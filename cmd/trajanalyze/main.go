@@ -1,0 +1,156 @@
+// Command trajanalyze inspects trajectory files: per-trajectory statistics,
+// stop detection, pairwise similarity, and clustering.
+//
+// Usage:
+//
+//	trajanalyze [flags] [file]
+//
+//	-from string    input format: csv or bin (default "csv")
+//	-stops          detect stops (speed < 1.5 m/s for ≥ 20 s)
+//	-similarity     print the pairwise Fréchet distance matrix
+//	-cluster int    cluster trajectories into K groups (0 = off)
+//	-metric string  similarity metric for -similarity/-cluster: frechet or
+//	                dtw (default "frechet")
+//
+// Reads from stdin when no file is given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	trajcomp "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trajanalyze: ")
+
+	var (
+		from       = flag.String("from", "csv", "input format: csv or bin")
+		stops      = flag.Bool("stops", false, "detect stops (speed < 1.5 m/s for ≥ 20 s)")
+		similarity = flag.Bool("similarity", false, "print the pairwise similarity matrix")
+		clusterK   = flag.Int("cluster", 0, "cluster trajectories into K groups (0 = off)")
+		metricName = flag.String("metric", "frechet", "similarity metric: frechet or dtw")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	var named []trajcomp.Named
+	var err error
+	switch *from {
+	case "csv":
+		named, err = trajcomp.DecodeCSV(r)
+	case "bin":
+		named, err = trajcomp.DecodeFile(r)
+	default:
+		log.Fatalf("unknown input format %q", *from)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(named) == 0 {
+		log.Fatal("no trajectories in input")
+	}
+
+	// Statistics table.
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "id\tpoints\tduration\tspeed km/h\tlength km\tdisplacement km")
+	for _, n := range named {
+		s := trajcomp.Summarize(n.Traj)
+		fmt.Fprintf(tw, "%s\t%d\t%.0f s\t%.1f\t%.2f\t%.2f\n",
+			n.ID, s.NumPoints, s.Duration, s.AvgSpeed*3.6, s.Length/1000, s.Displacement/1000)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	if *stops {
+		fmt.Println("\nstops (speed < 1.5 m/s for ≥ 20 s):")
+		for _, n := range named {
+			st, err := trajcomp.Stops(n.Traj, 1.5, 20)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %s: %d stops, %.0f s stopped in total\n",
+				n.ID, len(st), totalStopTime(st))
+		}
+	}
+
+	metric := trajcomp.Frechet
+	if *metricName == "dtw" {
+		metric = trajcomp.DTW
+	} else if *metricName != "frechet" {
+		log.Fatalf("unknown metric %q", *metricName)
+	}
+
+	if *similarity || *clusterK > 0 {
+		trajs := make([]trajcomp.Trajectory, len(named))
+		for i, n := range named {
+			trajs[i] = n.Traj
+		}
+		dist, err := trajcomp.DistanceMatrix(trajs, metric)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *similarity {
+			fmt.Printf("\npairwise %s distance (m):\n", *metricName)
+			stw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+			fmt.Fprint(stw, "\t")
+			for _, n := range named {
+				fmt.Fprintf(stw, "%s\t", n.ID)
+			}
+			fmt.Fprintln(stw)
+			for i, n := range named {
+				fmt.Fprintf(stw, "%s\t", n.ID)
+				for j := range named {
+					fmt.Fprintf(stw, "%.0f\t", dist[i][j])
+				}
+				fmt.Fprintln(stw)
+			}
+			if err := stw.Flush(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *clusterK > 0 {
+			res, err := trajcomp.KMedoids(dist, *clusterK, 1, 100)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sil, err := trajcomp.Silhouette(dist, res.Assignments)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\nk-medoids clustering (k=%d, silhouette %.2f):\n", *clusterK, sil)
+			for c := 0; c < res.K; c++ {
+				fmt.Printf("  cluster %d (medoid %s):", c, named[res.Medoids[c]].ID)
+				for i, a := range res.Assignments {
+					if a == c {
+						fmt.Printf(" %s", named[i].ID)
+					}
+				}
+				fmt.Println()
+			}
+		}
+	}
+}
+
+func totalStopTime(stops []trajcomp.StopEvent) float64 {
+	var total float64
+	for _, s := range stops {
+		total += s.Duration()
+	}
+	return total
+}

@@ -1,0 +1,110 @@
+// Command trajgen generates synthetic GPS trajectories in the library's
+// interchange formats.
+//
+// Usage:
+//
+//	trajgen [flags]
+//
+//	-n int          number of trajectories (default 10)
+//	-kind string    trip kind: urban, rural, mixed, cycle (default "cycle")
+//	-duration int   trip duration in seconds (default 1936)
+//	-seed int       random seed (default 2004)
+//	-format string  output format: csv or bin (default "csv")
+//	-o string       output file (default: stdout)
+//	-paper          ignore other generation flags and emit the fixed
+//	                Table 2 reproduction dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	trajcomp "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trajgen: ")
+
+	var (
+		n        = flag.Int("n", 10, "number of trajectories")
+		kind     = flag.String("kind", "cycle", "trip kind: urban, rural, mixed, cycle")
+		duration = flag.Int("duration", 1936, "trip duration in seconds")
+		seed     = flag.Int64("seed", 2004, "random seed")
+		format   = flag.String("format", "csv", "output format: csv or bin")
+		out      = flag.String("o", "", "output file (default stdout)")
+		paper    = flag.Bool("paper", false, "emit the fixed Table 2 reproduction dataset")
+	)
+	flag.Parse()
+
+	var trips []trajcomp.Trajectory
+	switch {
+	case *paper:
+		trips = trajcomp.PaperDataset()
+	default:
+		if *n <= 0 || *duration <= 0 {
+			log.Fatal("-n and -duration must be positive")
+		}
+		gen := trajcomp.NewGenerator(*seed, trajcomp.GenConfig{})
+		kinds, err := kindCycle(*kind)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < *n; i++ {
+			trips = append(trips, gen.Trip(kinds[i%len(kinds)], float64(*duration)))
+		}
+	}
+
+	named := make([]trajcomp.Named, len(trips))
+	for i, p := range trips {
+		named[i] = trajcomp.Named{ID: fmt.Sprintf("traj-%02d", i), Traj: p}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+
+	var err error
+	switch *format {
+	case "csv":
+		err = trajcomp.EncodeCSV(w, named)
+	case "bin":
+		err = trajcomp.EncodeFile(w, named)
+	default:
+		log.Fatalf("unknown format %q (want csv or bin)", *format)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, nm := range named {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", nm.ID, trajcomp.Summarize(nm.Traj))
+	}
+}
+
+func kindCycle(kind string) ([]trajcomp.TripKind, error) {
+	switch kind {
+	case "urban":
+		return []trajcomp.TripKind{trajcomp.Urban}, nil
+	case "rural":
+		return []trajcomp.TripKind{trajcomp.Rural}, nil
+	case "mixed":
+		return []trajcomp.TripKind{trajcomp.Mixed}, nil
+	case "cycle":
+		return []trajcomp.TripKind{trajcomp.Urban, trajcomp.Mixed, trajcomp.Rural}, nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q (want urban, rural, mixed or cycle)", kind)
+	}
+}

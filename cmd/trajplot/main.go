@@ -1,0 +1,130 @@
+// Command trajplot renders trajectory files as standalone SVG track maps,
+// optionally overlaying a compressed version of each track to visualize
+// what a compression setting discards.
+//
+// Usage:
+//
+//	trajplot [flags] [file]
+//
+//	-from string    input format: csv or bin (default "csv")
+//	-o string       output SVG path (default "tracks.svg")
+//	-alg string     also draw each track compressed with this spec
+//	                (e.g. tdtr:30); empty = original tracks only
+//	-heatmap float  render an object-seconds density heatmap with the given
+//	                cell size in metres instead of track lines (0 = off)
+//	-title string   chart title (default "trajectories")
+//
+// Reads from stdin when no file is given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	trajcomp "repro"
+	"repro/internal/plot"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trajplot: ")
+
+	var (
+		from     = flag.String("from", "csv", "input format: csv or bin")
+		out      = flag.String("o", "tracks.svg", "output SVG path")
+		algSpec  = flag.String("alg", "", "overlay compression spec (e.g. tdtr:30)")
+		heatCell = flag.Float64("heatmap", 0, "density heatmap cell size in metres (0 = track lines)")
+		title    = flag.String("title", "trajectories", "chart title")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	var named []trajcomp.Named
+	var err error
+	switch *from {
+	case "csv":
+		named, err = trajcomp.DecodeCSV(r)
+	case "bin":
+		named, err = trajcomp.DecodeFile(r)
+	default:
+		log.Fatalf("unknown input format %q", *from)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *heatCell > 0 {
+		err = renderHeatmap(f, named, *heatCell, *title)
+	} else {
+		err = renderTracks(f, named, *algSpec, *title)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}
+
+func renderTracks(f *os.File, named []trajcomp.Named, algSpec, title string) error {
+	m := plot.TrackMap{Title: title}
+	for _, n := range named {
+		m.Tracks = append(m.Tracks, plot.Track{Name: n.ID, Traj: n.Traj})
+	}
+	if algSpec != "" {
+		alg, err := trajcomp.ParseAlgorithm(algSpec)
+		if err != nil {
+			return err
+		}
+		for _, n := range named {
+			kept := alg.Compress(n.Traj)
+			m.Tracks = append(m.Tracks, plot.Track{
+				Name: fmt.Sprintf("%s [%s: %d→%d]", n.ID, alg.Name(), n.Traj.Len(), kept.Len()),
+				Traj: kept,
+			})
+		}
+	}
+	return m.RenderSVG(f)
+}
+
+func renderHeatmap(f *os.File, named []trajcomp.Named, cell float64, title string) error {
+	trajs := make([]trajcomp.Trajectory, 0, len(named))
+	t0, t1 := 0.0, 0.0
+	for _, n := range named {
+		if n.Traj.Len() < 2 {
+			continue
+		}
+		trajs = append(trajs, n.Traj)
+		if n.Traj.StartTime() < t0 {
+			t0 = n.Traj.StartTime()
+		}
+		if n.Traj.EndTime() > t1 {
+			t1 = n.Traj.EndTime()
+		}
+	}
+	dm, err := trajcomp.Density(trajs, cell, t0, t1, 10)
+	if err != nil {
+		return err
+	}
+	h := plot.Heatmap{Title: title, Cell: cell}
+	for key, w := range dm.Weights {
+		h.Cells = append(h.Cells, plot.HeatCell{CX: key[0], CY: key[1], Weight: w})
+	}
+	return h.RenderSVG(f)
+}

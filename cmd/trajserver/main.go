@@ -1,0 +1,112 @@
+// Command trajserver runs the moving-object tracking server: a TCP store
+// with optional on-ingest trajectory compression.
+//
+// Usage:
+//
+//	trajserver [-addr host:port] [-compress spec] [-cell metres]
+//
+//	-addr string      listen address (default "127.0.0.1:7007")
+//	-compress string  online compression: none, nopw:D[:W], opwtr:D[:W],
+//	                  opwsp:D:V[:W], dr:D (default "opwtr:30")
+//	-cell float       spatial index cell size in metres (default 1000)
+//	-index string     spatiotemporal index: grid or rtree (default "grid")
+//	-wal string       write-ahead log path for durability ("" = in-memory)
+//
+// Protocol (newline-delimited, see internal/server):
+//
+//	APPEND <id> <t> <x> <y>
+//	POSITION <id> <t>
+//	SNAPSHOT <id>
+//	QUERY <minx> <miny> <maxx> <maxy> <t0> <t1>
+//	IDS | STATS | PING | QUIT
+//
+// Try it:
+//
+//	go run ./cmd/trajserver &
+//	printf 'APPEND car 0 0 0\nAPPEND car 10 100 0\nPOSITION car 5\nQUIT\n' | nc 127.0.0.1 7007
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/stream"
+	"repro/internal/wal"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trajserver: ")
+
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7007", "listen address")
+		compSpec  = flag.String("compress", "opwtr:30", "online compression spec (none, nopw:D, opwtr:D, opwsp:D:V, dr:D)")
+		cell      = flag.Float64("cell", 1000, "spatial index cell size in metres")
+		indexName = flag.String("index", "grid", "spatiotemporal index: grid or rtree")
+		walPath   = flag.String("wal", "", "write-ahead log path for durability (empty = in-memory only)")
+	)
+	flag.Parse()
+
+	factory, err := stream.ParseFactory(*compSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var index store.IndexKind
+	switch *indexName {
+	case "grid":
+		index = store.IndexGrid
+	case "rtree":
+		index = store.IndexRTree
+	default:
+		log.Fatalf("unknown index %q (want grid or rtree)", *indexName)
+	}
+	opts := store.Options{NewCompressor: factory, CellSize: *cell, Index: index}
+
+	var backend server.Backend
+	var durable *wal.DurableStore
+	var st *store.Store
+	if *walPath != "" {
+		durable, err = wal.OpenDurable(*walPath, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		backend = durable
+		st = durable.Store
+		log.Printf("durable: write-ahead log at %s", *walPath)
+	} else {
+		st = store.New(opts)
+		backend = st
+	}
+	srv := server.New(backend)
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (compression %s)", l.Addr(), *compSpec)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		log.Print("shutting down")
+		srv.Close()
+	}()
+
+	if err := srv.Serve(l); err != server.ErrServerClosed {
+		log.Fatal(err)
+	}
+	if durable != nil {
+		if err := durable.Close(); err != nil {
+			log.Printf("closing WAL: %v", err)
+		}
+	}
+	stats := st.Stats()
+	log.Printf("final: %d objects, %d raw points, %d retained (%.1f%% compression)",
+		stats.Objects, stats.RawPoints, stats.RetainedPoints, stats.CompressionPct)
+}

@@ -1,0 +1,96 @@
+package trajcomp_test
+
+import (
+	"fmt"
+
+	trajcomp "repro"
+)
+
+// A trajectory is a series of time-stamped positions; compressing it with
+// the paper's TD-TR algorithm keeps the synchronized error under the
+// threshold while discarding redundant points.
+func ExampleNewTDTR() {
+	// An object that crawls, then sprints along a straight road. Spatially
+	// it is a perfect line, but its timing is far from uniform.
+	p := trajcomp.Trajectory{
+		trajcomp.S(0, 0, 0),
+		trajcomp.S(60, 60, 0),  // 1 m/s crawl
+		trajcomp.S(70, 310, 0), // 25 m/s sprint
+		trajcomp.S(80, 560, 0),
+		trajcomp.S(90, 810, 0),
+	}
+	a := trajcomp.NewTDTR(30).Compress(p)
+	e, _ := trajcomp.AvgError(p, a)
+	fmt.Printf("kept %d of %d points, error %.1f m\n", a.Len(), p.Len(), e)
+	// Output:
+	// kept 3 of 5 points, error 0.0 m
+}
+
+// Classic Douglas-Peucker sees only the line's shape: it collapses the same
+// trajectory to its endpoints and commits a large synchronized error.
+func ExampleNewDouglasPeucker() {
+	p := trajcomp.Trajectory{
+		trajcomp.S(0, 0, 0),
+		trajcomp.S(60, 60, 0),
+		trajcomp.S(70, 310, 0),
+		trajcomp.S(80, 560, 0),
+		trajcomp.S(90, 810, 0),
+	}
+	a := trajcomp.NewDouglasPeucker(30).Compress(p)
+	e, _ := trajcomp.AvgError(p, a)
+	fmt.Printf("kept %d of %d points, error %.0f m\n", a.Len(), p.Len(), e)
+	// Output:
+	// kept 2 of 5 points, error 240 m
+}
+
+// The synchronized distance is the paper's Eq. 1–2: where the approximation
+// says the object should be at the original point's timestamp.
+func ExampleSyncDistance() {
+	start := trajcomp.S(0, 0, 0)
+	end := trajcomp.S(10, 100, 0)
+	// At t=9 the object has only reached x=10; the segment expects x'=90.
+	d := trajcomp.SyncDistance(trajcomp.S(9, 10, 0), start, end)
+	fmt.Printf("%.0f m\n", d)
+	// Output:
+	// 80 m
+}
+
+// Online compression emits retained points as their fate becomes definite.
+func ExampleCollect() {
+	var p trajcomp.Trajectory
+	for i := 0; i <= 10; i++ {
+		p = append(p, trajcomp.S(float64(i), float64(i*10), 0))
+	}
+	// Constant-velocity motion: everything between the endpoints drops.
+	a, _ := trajcomp.Collect(trajcomp.NewOnlineOPWTR(5, 0), p)
+	fmt.Println(a.Len(), "points retained")
+	// Output:
+	// 2 points retained
+}
+
+// Algorithms are also constructable from compact textual specs (CLI-style).
+func ExampleParseAlgorithm() {
+	alg, err := trajcomp.ParseAlgorithm("opwsp:30:5")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(alg.Name())
+	// Output:
+	// OPW-SP(5m/s)
+}
+
+// The moving-object store answers spatiotemporal range queries over
+// compressed trajectories.
+func ExampleStore() {
+	st := trajcomp.NewStore(trajcomp.StoreOptions{})
+	for i := 0; i <= 10; i++ {
+		_ = st.Append("bus", trajcomp.S(float64(i*10), float64(i*100), 0))
+	}
+	hits := st.Query(trajcomp.Rect{
+		Min: trajcomp.Point{X: 450, Y: -50},
+		Max: trajcomp.Point{X: 550, Y: 50},
+	}, 0, 100)
+	fmt.Println(hits)
+	// Output:
+	// [bus]
+}

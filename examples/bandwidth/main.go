@@ -1,0 +1,75 @@
+// Bandwidth: quantify the storage/transmission argument of the paper's
+// introduction ("100 Mb of storage ... for just over 400 objects for a
+// single day") by measuring the actual bytes for one day of fleet data
+// under each representation.
+//
+//	go run ./examples/bandwidth
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	trajcomp "repro"
+)
+
+func main() {
+	// One day of commuting for a small fleet: two 40-minute trips per
+	// vehicle, fixes every 10 s.
+	const vehicles = 20
+	var fleet []trajcomp.Named
+	for v := 0; v < vehicles; v++ {
+		gen := trajcomp.NewGenerator(int64(v), trajcomp.GenConfig{})
+		morning := gen.Trip(trajcomp.Mixed, 40*60)
+		evening := gen.Trip(trajcomp.Mixed, 40*60).Shift(10*3600, 0, 0)
+		day := append(morning.Clone(), evening...)
+		fleet = append(fleet, trajcomp.Named{ID: fmt.Sprintf("car-%02d", v), Traj: day})
+	}
+
+	size := func(ts []trajcomp.Named, enc func(*bytes.Buffer, []trajcomp.Named) error) int {
+		var buf bytes.Buffer
+		if err := enc(&buf, ts); err != nil {
+			log.Fatal(err)
+		}
+		return buf.Len()
+	}
+	csvEnc := func(b *bytes.Buffer, ts []trajcomp.Named) error { return trajcomp.EncodeCSV(b, ts) }
+	binEnc := func(b *bytes.Buffer, ts []trajcomp.Named) error { return trajcomp.EncodeFile(b, ts) }
+	zipEnc := func(b *bytes.Buffer, ts []trajcomp.Named) error { return trajcomp.EncodeFileCompressed(b, ts) }
+
+	var points int
+	for _, n := range fleet {
+		points += n.Traj.Len()
+	}
+	rawCSV := size(fleet, csvEnc)
+	rawBin := size(fleet, binEnc)
+
+	// Lossy compression with the paper's OPW-TR at a 30 m tolerance.
+	compressed := make([]trajcomp.Named, len(fleet))
+	var keptPoints int
+	var worst float64
+	for i, n := range fleet {
+		kept := trajcomp.NewOPWTR(30).Compress(n.Traj)
+		compressed[i] = trajcomp.Named{ID: n.ID, Traj: kept}
+		keptPoints += kept.Len()
+		if e, err := trajcomp.MaxError(n.Traj, kept); err == nil && e > worst {
+			worst = e
+		}
+	}
+	lossyBin := size(compressed, binEnc)
+	lossyZip := size(compressed, zipEnc)
+
+	fmt.Printf("fleet: %d vehicles, %d fixes (one day)\n\n", vehicles, points)
+	fmt.Printf("%-34s %10s %14s\n", "representation", "bytes", "bytes/fix")
+	row := func(name string, n int, fixes int) {
+		fmt.Printf("%-34s %10d %14.1f\n", name, n, float64(n)/float64(fixes))
+	}
+	row("CSV (raw)", rawCSV, points)
+	row("binary delta+varint (raw)", rawBin, points)
+	row("binary + OPW-TR(30 m) lossy", lossyBin, points)
+	row("  + DEFLATE container", lossyZip, points)
+	fmt.Printf("\nlossy pipeline keeps %d of %d fixes; total reduction vs CSV: %.1f×\n",
+		keptPoints, points, float64(rawCSV)/float64(lossyZip))
+	fmt.Printf("worst-case synchronized position error introduced: %.1f m (bound: 30 m)\n", worst)
+}

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/trajectory"
+)
+
+// Flock is a group of objects that travelled together: every member stayed
+// within Radius of every other member (clique semantics are relaxed to
+// connected components, the usual "convoy" definition) for the whole
+// interval.
+type Flock struct {
+	Interval
+	// Members holds the indices (into the input slice) of the objects
+	// travelling together, sorted.
+	Members []int
+}
+
+// Flocks detects groups of at least minSize objects that moved within
+// radius of each other (pairwise-connected, transitively) for at least
+// minDuration seconds. The continuous trajectories are examined at sampling
+// interval dt; group membership changes are resolved at that granularity.
+//
+// This is the convoy/flock pattern of the moving-object literature, built
+// directly on the synchronized-movement model: positions are compared at
+// common time instants.
+func Flocks(ps []trajectory.Trajectory, radius float64, minSize int, minDuration, dt float64) ([]Flock, error) {
+	if radius <= 0 || minSize < 2 || minDuration < 0 || dt <= 0 {
+		return nil, fmt.Errorf("analysis: invalid flock parameters (radius %v, minSize %d, minDuration %v, dt %v)",
+			radius, minSize, minDuration, dt)
+	}
+	if len(ps) < minSize {
+		return nil, nil
+	}
+	// Global time span.
+	t0, t1 := math.Inf(1), math.Inf(-1)
+	for _, p := range ps {
+		if p.Len() < 2 {
+			continue
+		}
+		t0 = math.Min(t0, p.StartTime())
+		t1 = math.Max(t1, p.EndTime())
+	}
+	if t0 >= t1 {
+		return nil, nil
+	}
+
+	// active tracks the currently open candidate groups, keyed by member
+	// signature.
+	type open struct {
+		members []int
+		since   float64
+		lastOK  float64
+	}
+	activeGroups := map[string]*open{}
+	var out []Flock
+
+	closeGroup := func(g *open) {
+		if g.lastOK-g.since >= minDuration {
+			out = append(out, Flock{
+				Interval: Interval{T0: g.since, T1: g.lastOK},
+				Members:  g.members,
+			})
+		}
+	}
+
+	for t := t0; t <= t1+dt/2; t += dt {
+		comps := componentsAt(ps, t, radius, minSize)
+		seen := map[string]bool{}
+		for _, members := range comps {
+			key := sig(members)
+			seen[key] = true
+			if g, ok := activeGroups[key]; ok {
+				g.lastOK = t
+			} else {
+				activeGroups[key] = &open{members: members, since: t, lastOK: t}
+			}
+		}
+		for key, g := range activeGroups {
+			if !seen[key] {
+				closeGroup(g)
+				delete(activeGroups, key)
+			}
+		}
+	}
+	for _, g := range activeGroups {
+		closeGroup(g)
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].T0 != out[j].T0 {
+			return out[i].T0 < out[j].T0
+		}
+		return sig(out[i].Members) < sig(out[j].Members)
+	})
+	return out, nil
+}
+
+// componentsAt returns the connected components (≥ minSize) of the
+// proximity graph at time t.
+func componentsAt(ps []trajectory.Trajectory, t, radius float64, minSize int) [][]int {
+	type pos struct {
+		idx  int
+		x, y float64
+	}
+	var live []pos
+	for i, p := range ps {
+		if pt, ok := p.LocAt(t); ok {
+			live = append(live, pos{idx: i, x: pt.X, y: pt.Y})
+		}
+	}
+	n := len(live)
+	if n < minSize {
+		return nil
+	}
+	// Union-find over live objects.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if parent[i] != i {
+			parent[i] = find(parent[i])
+		}
+		return parent[i]
+	}
+	r2 := radius * radius
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx, dy := live[i].x-live[j].x, live[i].y-live[j].y
+			if dx*dx+dy*dy <= r2 {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	groups := map[int][]int{}
+	for i := range live {
+		root := find(i)
+		groups[root] = append(groups[root], live[i].idx)
+	}
+	var out [][]int
+	for _, members := range groups {
+		if len(members) >= minSize {
+			sort.Ints(members)
+			out = append(out, members)
+		}
+	}
+	return out
+}
+
+// sig builds a canonical string key for a sorted member list.
+func sig(members []int) string {
+	out := make([]byte, 0, len(members)*3)
+	for _, m := range members {
+		out = append(out, byte(m>>16), byte(m>>8), byte(m))
+	}
+	return string(out)
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/trajectory"
+)
+
+// eastbound builds a constant-speed eastbound track at offset y, optionally
+// starting late.
+func eastbound(y, t0 float64, n int) trajectory.Trajectory {
+	var p trajectory.Trajectory
+	for i := 0; i < n; i++ {
+		p = append(p, trajectory.S(t0+float64(i*10), float64(i*100), y))
+	}
+	return p
+}
+
+func TestFlocksDetectsConvoy(t *testing.T) {
+	// Objects 0 and 1 travel 20 m apart the whole time; object 2 is far
+	// away.
+	ps := []trajectory.Trajectory{
+		eastbound(0, 0, 20),
+		eastbound(20, 0, 20),
+		eastbound(5000, 0, 20),
+	}
+	flocks, err := Flocks(ps, 50, 2, 60, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flocks) != 1 {
+		t.Fatalf("flocks = %+v, want one", flocks)
+	}
+	f := flocks[0]
+	if len(f.Members) != 2 || f.Members[0] != 0 || f.Members[1] != 1 {
+		t.Errorf("members = %v, want [0 1]", f.Members)
+	}
+	if f.Duration() < 180 {
+		t.Errorf("flock lasted only %.0f s", f.Duration())
+	}
+}
+
+func TestFlocksTransitiveComponent(t *testing.T) {
+	// Chain: A within 50 of B, B within 50 of C, A and C 80 apart — one
+	// connected component of size 3.
+	ps := []trajectory.Trajectory{
+		eastbound(0, 0, 10),
+		eastbound(40, 0, 10),
+		eastbound(80, 0, 10),
+	}
+	flocks, err := Flocks(ps, 50, 3, 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flocks) != 1 || len(flocks[0].Members) != 3 {
+		t.Fatalf("flocks = %+v, want one of size 3", flocks)
+	}
+}
+
+func TestFlocksMinDurationFilters(t *testing.T) {
+	// Two crossing objects: proximity lasts only a moment.
+	a := trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 0), trajectory.S(100, 10000, 0),
+	})
+	b := trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 5000, -5000), trajectory.S(100, 5000, 5000),
+	})
+	flocks, err := Flocks([]trajectory.Trajectory{a, b}, 100, 2, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flocks) != 0 {
+		t.Errorf("momentary crossing reported as flock: %+v", flocks)
+	}
+}
+
+func TestFlocksLateJoiner(t *testing.T) {
+	// Object 2 joins the convoy halfway: the pair flock and the trio flock
+	// both appear.
+	ps := []trajectory.Trajectory{
+		eastbound(0, 0, 30),
+		eastbound(20, 0, 30),
+		eastbound(10, 150, 15), // starts at t=150, spatially inside the convoy
+	}
+	// Align the late joiner's x positions with the convoy at its times.
+	late := make(trajectory.Trajectory, 0, 15)
+	for i := 0; i < 15; i++ {
+		tt := 150 + float64(i*10)
+		late = append(late, trajectory.S(tt, tt*10, 10))
+	}
+	ps[2] = late
+
+	flocks, err := Flocks(ps, 50, 2, 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int
+	for _, f := range flocks {
+		sizes = append(sizes, len(f.Members))
+	}
+	if len(flocks) < 2 {
+		t.Fatalf("expected pair and trio phases, got %+v (sizes %v)", flocks, sizes)
+	}
+	foundTrio := false
+	for _, f := range flocks {
+		if len(f.Members) == 3 && f.Duration() >= 50 {
+			foundTrio = true
+		}
+	}
+	if !foundTrio {
+		t.Errorf("trio phase not detected: %+v", flocks)
+	}
+}
+
+func TestFlocksValidation(t *testing.T) {
+	ps := []trajectory.Trajectory{eastbound(0, 0, 5), eastbound(10, 0, 5)}
+	if _, err := Flocks(ps, 0, 2, 10, 1); err == nil {
+		t.Error("zero radius accepted")
+	}
+	if _, err := Flocks(ps, 10, 1, 10, 1); err == nil {
+		t.Error("minSize 1 accepted")
+	}
+	if _, err := Flocks(ps, 10, 2, 10, 0); err == nil {
+		t.Error("zero dt accepted")
+	}
+	// Fewer objects than minSize: no error, no flocks.
+	if flocks, err := Flocks(ps[:1], 10, 2, 10, 1); err != nil || flocks != nil {
+		t.Errorf("underpopulated input: %v, %v", flocks, err)
+	}
+}
+
+func BenchmarkFlocks(b *testing.B) {
+	ps := make([]trajectory.Trajectory, 12)
+	for i := range ps {
+		ps[i] = eastbound(float64(i*30), 0, 120)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Flocks(ps, 50, 3, 60, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/trajectory"
+)
+
+// Heatmap is a spatial density grid: object-seconds spent per square cell —
+// the congestion picture of the paper's rush-hour analysis.
+type Heatmap struct {
+	// Cell is the cell edge length in metres.
+	Cell float64
+	// Weights maps cell indices (floor(x/Cell), floor(y/Cell)) to the
+	// accumulated object-seconds spent inside.
+	Weights map[[2]int]float64
+}
+
+// Density builds a heatmap over the trajectories for the window [t0, t1]:
+// every dt seconds, each live object deposits dt object-seconds into the
+// cell under its interpolated position.
+func Density(ps []trajectory.Trajectory, cell, t0, t1, dt float64) (*Heatmap, error) {
+	if cell <= 0 || dt <= 0 || t1 < t0 {
+		return nil, fmt.Errorf("analysis: invalid heatmap parameters (cell %v, dt %v, window [%v, %v])", cell, dt, t0, t1)
+	}
+	h := &Heatmap{Cell: cell, Weights: make(map[[2]int]float64)}
+	for _, p := range ps {
+		if p.Len() < 2 {
+			continue
+		}
+		lo := math.Max(t0, p.StartTime())
+		hi := math.Min(t1, p.EndTime())
+		for t := lo; t <= hi; t += dt {
+			pos, ok := p.LocAt(t)
+			if !ok {
+				continue
+			}
+			key := [2]int{int(math.Floor(pos.X / cell)), int(math.Floor(pos.Y / cell))}
+			h.Weights[key] += dt
+		}
+	}
+	return h, nil
+}
+
+// Max returns the largest cell weight (0 for an empty map).
+func (h *Heatmap) Max() float64 {
+	var m float64
+	for _, w := range h.Weights {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// Total returns the sum of all cell weights.
+func (h *Heatmap) Total() float64 {
+	var s float64
+	for _, w := range h.Weights {
+		s += w
+	}
+	return s
+}
+
+// Hotspots returns the k heaviest cells as centre points with their
+// weights, ordered by decreasing weight.
+func (h *Heatmap) Hotspots(k int) []Hotspot {
+	out := make([]Hotspot, 0, len(h.Weights))
+	for key, w := range h.Weights {
+		out = append(out, Hotspot{
+			Center: geo.Pt((float64(key[0])+0.5)*h.Cell, (float64(key[1])+0.5)*h.Cell),
+			Weight: w,
+		})
+	}
+	// Selection sort of the top k keeps this dependency-free and the maps
+	// involved are small.
+	for i := 0; i < len(out) && i < k; i++ {
+		best := i
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Weight > out[best].Weight ||
+				(out[j].Weight == out[best].Weight && less(out[j].Center, out[best].Center)) {
+				best = j
+			}
+		}
+		out[i], out[best] = out[best], out[i]
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func less(a, b geo.Point) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	return a.Y < b.Y
+}
+
+// Hotspot is one high-density cell.
+type Hotspot struct {
+	Center geo.Point
+	Weight float64 // object-seconds
+}

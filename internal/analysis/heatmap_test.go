@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trajectory"
+)
+
+func TestDensityBasics(t *testing.T) {
+	// An object parked at (50, 50) for 100 s: all weight in one cell.
+	parked := trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 50, 50), trajectory.S(100, 50.001, 50),
+	})
+	h, err := Density([]trajectory.Trajectory{parked}, 100, 0, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Weights) != 1 {
+		t.Fatalf("weights spread over %d cells", len(h.Weights))
+	}
+	if w := h.Weights[[2]int{0, 0}]; math.Abs(w-101) > 1.5 {
+		t.Errorf("cell weight %v, want ≈100", w)
+	}
+	if h.Max() != h.Total() {
+		t.Errorf("Max %v != Total %v for single cell", h.Max(), h.Total())
+	}
+}
+
+func TestDensityMovingObject(t *testing.T) {
+	// Constant-speed eastbound across 4 cells: roughly equal weights.
+	var p trajectory.Trajectory
+	for i := 0; i <= 40; i++ {
+		p = append(p, trajectory.S(float64(i*10), float64(i*10), 5))
+	}
+	h, err := Density([]trajectory.Trajectory{p}, 100, 0, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Weights) < 4 {
+		t.Fatalf("expected ≥4 cells, got %d", len(h.Weights))
+	}
+	if tot := h.Total(); math.Abs(tot-401) > 2 {
+		t.Errorf("total weight %v, want ≈400", tot)
+	}
+}
+
+func TestDensityWindow(t *testing.T) {
+	p := trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 0), trajectory.S(1000, 10000, 0),
+	})
+	h, err := Density([]trajectory.Trajectory{p}, 100, 0, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the first 100 s count: total ≈ 100.
+	if tot := h.Total(); math.Abs(tot-101) > 2 {
+		t.Errorf("windowed total %v, want ≈100", tot)
+	}
+}
+
+func TestHotspots(t *testing.T) {
+	// Two parked objects, one dwelling twice as long.
+	long := trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 50, 50), trajectory.S(200, 50.001, 50),
+	})
+	short := trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 550, 50), trajectory.S(100, 550.001, 50),
+	})
+	h, err := Density([]trajectory.Trajectory{long, short}, 100, 0, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := h.Hotspots(2)
+	if len(hs) != 2 {
+		t.Fatalf("hotspots = %v", hs)
+	}
+	if hs[0].Weight <= hs[1].Weight {
+		t.Errorf("hotspots not ordered: %v", hs)
+	}
+	if hs[0].Center.X != 50 {
+		t.Errorf("top hotspot at %v, want x=50 cell centre", hs[0].Center)
+	}
+	// k larger than cells.
+	if got := h.Hotspots(99); len(got) < 2 {
+		t.Errorf("oversized k lost cells: %v", got)
+	}
+}
+
+func TestDensityValidation(t *testing.T) {
+	if _, err := Density(nil, 0, 0, 1, 1); err == nil {
+		t.Error("zero cell accepted")
+	}
+	if _, err := Density(nil, 1, 0, 1, 0); err == nil {
+		t.Error("zero dt accepted")
+	}
+	if _, err := Density(nil, 1, 5, 1, 1); err == nil {
+		t.Error("inverted window accepted")
+	}
+	// Empty input: valid, empty map.
+	h, err := Density(nil, 100, 0, 10, 1)
+	if err != nil || len(h.Weights) != 0 {
+		t.Errorf("empty input: %v, %v", h, err)
+	}
+}
+
+func BenchmarkDensity(b *testing.B) {
+	ps := make([]trajectory.Trajectory, 10)
+	for i := range ps {
+		var p trajectory.Trajectory
+		for j := 0; j < 200; j++ {
+			p = append(p, trajectory.S(float64(j*10), float64(j*50+i*13), float64(i*200)))
+		}
+		ps[i] = p
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Density(ps, 250, 0, 2000, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

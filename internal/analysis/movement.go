@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/trajectory"
+)
+
+// Stop is a detected stay: a maximal period during which the object's
+// derived speed stays below the detection threshold.
+type Stop struct {
+	Interval
+	// Center is the mean position of the samples inside the stay.
+	Center geo.Point
+}
+
+// Stops detects stays in a trajectory: maximal runs of consecutive segments
+// whose derived speed is below maxSpeed (m/s), lasting at least minDuration
+// seconds. Traffic lights, parking and loading stops in the paper's
+// commuter scenario surface as Stops.
+func Stops(p trajectory.Trajectory, maxSpeed, minDuration float64) ([]Stop, error) {
+	if maxSpeed <= 0 || minDuration < 0 {
+		return nil, fmt.Errorf("analysis: invalid stop parameters (maxSpeed %v, minDuration %v)", maxSpeed, minDuration)
+	}
+	var out []Stop
+	i := 0
+	for i < p.Len()-1 {
+		if p.SegmentSpeed(i) >= maxSpeed {
+			i++
+			continue
+		}
+		j := i
+		for j < p.Len()-1 && p.SegmentSpeed(j) < maxSpeed {
+			j++
+		}
+		// Slow run covers samples i..j.
+		if dur := p[j].T - p[i].T; dur >= minDuration {
+			var cx, cy float64
+			for k := i; k <= j; k++ {
+				cx += p[k].X
+				cy += p[k].Y
+			}
+			n := float64(j - i + 1)
+			out = append(out, Stop{
+				Interval: Interval{T0: p[i].T, T1: p[j].T},
+				Center:   geo.Pt(cx/n, cy/n),
+			})
+		}
+		i = j
+	}
+	return out, nil
+}
+
+// StoppedTime returns the total duration of the detected stops.
+func StoppedTime(stops []Stop) float64 {
+	var total float64
+	for _, s := range stops {
+		total += s.Duration()
+	}
+	return total
+}
+
+// ProfilePoint is one segment of a movement profile.
+type ProfilePoint struct {
+	T       float64 // segment midpoint time
+	Speed   float64 // derived speed, m/s
+	Heading float64 // direction of travel, radians CCW from east
+}
+
+// Profile derives the per-segment speed and heading series of a trajectory
+// — the raw material of the paper's rush-hour analyses.
+func Profile(p trajectory.Trajectory) []ProfilePoint {
+	if p.Len() < 2 {
+		return nil
+	}
+	out := make([]ProfilePoint, p.Len()-1)
+	for i := 0; i+1 < p.Len(); i++ {
+		out[i] = ProfilePoint{
+			T:       (p[i].T + p[i+1].T) / 2,
+			Speed:   p.SegmentSpeed(i),
+			Heading: p[i].Pos().Bearing(p[i+1].Pos()),
+		}
+	}
+	return out
+}
+
+// SpeedPercentiles returns the requested percentiles (each in [0, 100]) of
+// the time-weighted derived speed distribution.
+func SpeedPercentiles(p trajectory.Trajectory, percentiles []float64) ([]float64, error) {
+	if p.Len() < 2 {
+		return nil, fmt.Errorf("analysis: need at least 2 samples, have %d", p.Len())
+	}
+	type wv struct{ v, w float64 }
+	items := make([]wv, p.Len()-1)
+	var totalW float64
+	for i := range items {
+		w := p[i+1].T - p[i].T
+		items[i] = wv{v: p.SegmentSpeed(i), w: w}
+		totalW += w
+	}
+	// Sort by speed, then walk the cumulative weight.
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j].v < items[j-1].v; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+	out := make([]float64, len(percentiles))
+	for k, pc := range percentiles {
+		if pc < 0 || pc > 100 || math.IsNaN(pc) {
+			return nil, fmt.Errorf("analysis: percentile %v outside [0, 100]", pc)
+		}
+		target := pc / 100 * totalW
+		var acc float64
+		val := items[len(items)-1].v
+		for _, it := range items {
+			acc += it.w
+			if acc >= target {
+				val = it.v
+				break
+			}
+		}
+		out[k] = val
+	}
+	return out, nil
+}

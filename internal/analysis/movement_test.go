@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gpsgen"
+	"repro/internal/trajectory"
+)
+
+// stopTrack drives 10 m/s until t=60, stands still (x≈600) until t=100,
+// then drives again.
+func stopTrack() trajectory.Trajectory {
+	var p trajectory.Trajectory
+	for i := 0; i <= 6; i++ { // (0,0) .. (60,600) moving
+		p = append(p, trajectory.S(float64(i*10), float64(i*100), 0))
+	}
+	for i := 1; i <= 4; i++ { // 70..100 s stationary with tiny jitter
+		p = append(p, trajectory.S(60+float64(i*10), 600+float64(i)*0.1, 0))
+	}
+	for i := 1; i <= 5; i++ { // moving again from t=100
+		p = append(p, trajectory.S(100+float64(i*10), 600.4+float64(i*100), 0))
+	}
+	return p
+}
+
+func TestStops(t *testing.T) {
+	p := stopTrack()
+	stops, err := Stops(p, 1.0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stops) != 1 {
+		t.Fatalf("Stops = %v, want exactly one", stops)
+	}
+	s := stops[0]
+	if !almostEq(s.T0, 60, 1e-9) || !almostEq(s.T1, 100, 1e-9) {
+		t.Errorf("stop interval [%v, %v], want [60, 100]", s.T0, s.T1)
+	}
+	if math.Abs(s.Center.X-600) > 1 {
+		t.Errorf("stop centre %v, want ≈(600, 0)", s.Center)
+	}
+	if got := StoppedTime(stops); !almostEq(got, 40, 1e-9) {
+		t.Errorf("StoppedTime = %v, want 40", got)
+	}
+}
+
+func TestStopsMinDuration(t *testing.T) {
+	p := stopTrack()
+	stops, err := Stops(p, 1.0, 60) // stop lasts only 40 s
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stops) != 0 {
+		t.Errorf("short stay not filtered: %v", stops)
+	}
+	if _, err := Stops(p, 0, 10); err == nil {
+		t.Error("zero maxSpeed accepted")
+	}
+}
+
+func TestStopsOnGeneratedUrbanTrip(t *testing.T) {
+	p := gpsgen.New(8, gpsgen.Config{}).Trip(gpsgen.Urban, 1800)
+	stops, err := Stops(p, 1.5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stops) == 0 {
+		t.Error("urban trip with traffic lights yielded no stops")
+	}
+	if StoppedTime(stops) >= p.Duration() {
+		t.Error("stopped longer than the trip")
+	}
+}
+
+func TestProfile(t *testing.T) {
+	p := stopTrack()
+	prof := Profile(p)
+	if len(prof) != p.Len()-1 {
+		t.Fatalf("profile has %d points, want %d", len(prof), p.Len()-1)
+	}
+	if !almostEq(prof[0].Speed, 10, 1e-9) {
+		t.Errorf("first speed = %v, want 10", prof[0].Speed)
+	}
+	if !almostEq(prof[0].Heading, 0, 1e-9) {
+		t.Errorf("heading = %v, want 0 (east)", prof[0].Heading)
+	}
+	if !almostEq(prof[0].T, 5, 1e-9) {
+		t.Errorf("midpoint time = %v, want 5", prof[0].T)
+	}
+	if Profile(trajectory.Trajectory{trajectory.S(0, 0, 0)}) != nil {
+		t.Error("profile of single sample should be nil")
+	}
+}
+
+func TestSpeedPercentiles(t *testing.T) {
+	p := stopTrack()
+	pcs, err := SpeedPercentiles(p, []float64{0, 50, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pcs[0] > pcs[1] || pcs[1] > pcs[2] {
+		t.Errorf("percentiles not monotone: %v", pcs)
+	}
+	if !almostEq(pcs[2], 10, 1e-6) {
+		t.Errorf("p100 = %v, want 10", pcs[2])
+	}
+	if pcs[0] > 0.2 {
+		t.Errorf("p0 = %v, want ≈0 (standing still)", pcs[0])
+	}
+	if _, err := SpeedPercentiles(p, []float64{101}); err == nil {
+		t.Error("percentile > 100 accepted")
+	}
+	if _, err := SpeedPercentiles(trajectory.Trajectory{}, []float64{50}); err == nil {
+		t.Error("empty trajectory accepted")
+	}
+}

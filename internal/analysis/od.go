@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/trajectory"
+)
+
+// ODMatrix aggregates trips between origin and destination zones — the
+// classic commuter-flow summary of the paper's rush-hour analysis. Zones
+// are square cells of the given size.
+type ODMatrix struct {
+	// Zone is the zone cell edge length in metres.
+	Zone float64
+	// Counts maps (originCX, originCY, destCX, destCY) to trip counts.
+	Counts map[[4]int]int
+}
+
+// Flow is one aggregated origin→destination movement.
+type Flow struct {
+	Origin, Dest geo.Point // zone centres
+	Count        int
+}
+
+// OriginDestination bins each trajectory's first and last positions into
+// zones and counts the flows. Trajectories with fewer than 2 samples are
+// skipped.
+func OriginDestination(ps []trajectory.Trajectory, zone float64) (*ODMatrix, error) {
+	if zone <= 0 {
+		return nil, fmt.Errorf("analysis: non-positive zone size %v", zone)
+	}
+	m := &ODMatrix{Zone: zone, Counts: make(map[[4]int]int)}
+	cell := func(p geo.Point) (int, int) {
+		return int(math.Floor(p.X / zone)), int(math.Floor(p.Y / zone))
+	}
+	for _, p := range ps {
+		if p.Len() < 2 {
+			continue
+		}
+		ox, oy := cell(p[0].Pos())
+		dx, dy := cell(p[p.Len()-1].Pos())
+		m.Counts[[4]int{ox, oy, dx, dy}]++
+	}
+	return m, nil
+}
+
+// Trips returns the total number of counted trips.
+func (m *ODMatrix) Trips() int {
+	var n int
+	for _, c := range m.Counts {
+		n += c
+	}
+	return n
+}
+
+// TopFlows returns the k heaviest flows, ordered by decreasing count (ties
+// broken deterministically by zone indices).
+func (m *ODMatrix) TopFlows(k int) []Flow {
+	type kv struct {
+		key [4]int
+		n   int
+	}
+	items := make([]kv, 0, len(m.Counts))
+	for key, n := range m.Counts {
+		items = append(items, kv{key, n})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].n != items[j].n {
+			return items[i].n > items[j].n
+		}
+		return items[i].key[0] < items[j].key[0] ||
+			(items[i].key[0] == items[j].key[0] && items[i].key[1] < items[j].key[1])
+	})
+	if len(items) > k {
+		items = items[:k]
+	}
+	centre := func(cx, cy int) geo.Point {
+		return geo.Pt((float64(cx)+0.5)*m.Zone, (float64(cy)+0.5)*m.Zone)
+	}
+	out := make([]Flow, len(items))
+	for i, it := range items {
+		out[i] = Flow{
+			Origin: centre(it.key[0], it.key[1]),
+			Dest:   centre(it.key[2], it.key[3]),
+			Count:  it.n,
+		}
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/trajectory"
+)
+
+func tripBetween(t0 float64, ox, oy, dx, dy float64) trajectory.Trajectory {
+	return trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(t0, ox, oy),
+		trajectory.S(t0+100, (ox+dx)/2, (oy+dy)/2),
+		trajectory.S(t0+200, dx, dy),
+	})
+}
+
+func TestOriginDestination(t *testing.T) {
+	// Three trips zone (0,0) → zone (2,0); one reverse; one elsewhere.
+	ps := []trajectory.Trajectory{
+		tripBetween(0, 100, 100, 2500, 100),
+		tripBetween(0, 200, 300, 2700, 400),
+		tripBetween(0, 50, 50, 2100, 900),
+		tripBetween(0, 2500, 100, 100, 100),
+		tripBetween(0, 9000, 9000, 9100, 9100),
+		{trajectory.S(0, 0, 0)}, // degenerate: skipped
+	}
+	m, err := OriginDestination(ps, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Trips() != 5 {
+		t.Errorf("Trips = %d, want 5", m.Trips())
+	}
+	flows := m.TopFlows(2)
+	if len(flows) != 2 {
+		t.Fatalf("TopFlows = %v", flows)
+	}
+	if flows[0].Count != 3 {
+		t.Errorf("top flow count = %d, want 3", flows[0].Count)
+	}
+	if flows[0].Origin.X != 500 || flows[0].Dest.X != 2500 {
+		t.Errorf("top flow %v, want zone(0,0)→zone(2,0) centres", flows[0])
+	}
+	// k beyond the number of distinct flows.
+	if got := m.TopFlows(100); len(got) != 3 {
+		t.Errorf("TopFlows(100) = %d flows, want 3", len(got))
+	}
+	if _, err := OriginDestination(ps, 0); err == nil {
+		t.Error("zero zone accepted")
+	}
+}

@@ -1,0 +1,232 @@
+// Package analysis provides the moving-object analysis tools the paper's
+// introduction motivates ("tools to study, analyse and understand these
+// patterns"): proximity analysis between synchronously moving objects,
+// movement characterization (stops, speed and heading profiles), and
+// trajectory similarity measures (dynamic time warping, discrete Fréchet).
+//
+// All proximity computations use the same synchronized-movement model as the
+// paper's error notion: both objects travel their piecewise-linear
+// trajectories in real time, so relative position is piecewise-linear in t
+// and squared separation is piecewise-quadratic — minima and threshold
+// crossings have closed forms.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/trajectory"
+)
+
+// ErrNoOverlap is returned when two trajectories share no time span.
+var ErrNoOverlap = errors.New("analysis: trajectories share no time overlap")
+
+// Interval is a closed time interval [T0, T1].
+type Interval struct {
+	T0, T1 float64
+}
+
+// Duration returns the interval length.
+func (iv Interval) Duration() float64 { return iv.T1 - iv.T0 }
+
+// DistanceAt returns the separation of the two objects at time t; ok is
+// false when t is outside either trajectory's span.
+func DistanceAt(p, q trajectory.Trajectory, t float64) (float64, bool) {
+	pp, ok1 := p.LocAt(t)
+	qq, ok2 := q.LocAt(t)
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	return pp.Dist(qq), true
+}
+
+// ClosestApproach returns the time and separation of the two objects'
+// minimal distance over their overlapping time span.
+func ClosestApproach(p, q trajectory.Trajectory) (at, dist float64, err error) {
+	cuts, err := sharedCuts(p, q)
+	if err != nil {
+		return 0, 0, err
+	}
+	best := math.Inf(1)
+	bestT := cuts[0]
+	for i := 0; i+1 < len(cuts); i++ {
+		t0, t1 := cuts[i], cuts[i+1]
+		c := relQuadratic(p, q, t0, t1)
+		// Candidates: interval ends and the interior vertex of the
+		// quadratic (if any).
+		for _, t := range c.candidates(t0, t1) {
+			if d2 := c.at(t); d2 < best {
+				best, bestT = d2, t
+			}
+		}
+	}
+	return bestT, math.Sqrt(best), nil
+}
+
+// Within returns the maximal time intervals during which the two objects
+// are within d of each other (boundary contact counts). Intervals are
+// sorted and disjoint.
+func Within(p, q trajectory.Trajectory, d float64) ([]Interval, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("analysis: negative distance %v", d)
+	}
+	cuts, err := sharedCuts(p, q)
+	if err != nil {
+		return nil, err
+	}
+	var out []Interval
+	add := func(t0, t1 float64) {
+		if n := len(out); n > 0 && t0 <= out[n-1].T1 {
+			if t1 > out[n-1].T1 {
+				out[n-1].T1 = t1
+			}
+			return
+		}
+		out = append(out, Interval{t0, t1})
+	}
+	d2 := d * d
+	for i := 0; i+1 < len(cuts); i++ {
+		t0, t1 := cuts[i], cuts[i+1]
+		c := relQuadratic(p, q, t0, t1)
+		for _, iv := range c.below(d2, t0, t1) {
+			add(iv.T0, iv.T1)
+		}
+	}
+	return out, nil
+}
+
+// Meets reports whether the two objects ever come within d of each other,
+// with the first such time.
+func Meets(p, q trajectory.Trajectory, d float64) (bool, float64, error) {
+	ivs, err := Within(p, q, d)
+	if err != nil {
+		return false, 0, err
+	}
+	if len(ivs) == 0 {
+		return false, 0, nil
+	}
+	return true, ivs[0].T0, nil
+}
+
+// quad is the squared-separation quadratic d²(t) = A·t² + B·t + C on one
+// elementary interval.
+type quad struct{ A, B, C float64 }
+
+func (c quad) at(t float64) float64 { return (c.A*t+c.B)*t + c.C }
+
+// candidates returns the times where the minimum over [t0, t1] can occur.
+func (c quad) candidates(t0, t1 float64) []float64 {
+	out := []float64{t0, t1}
+	if c.A > 0 {
+		if v := -c.B / (2 * c.A); v > t0 && v < t1 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// below returns the sub-intervals of [t0, t1] where d²(t) ≤ d2.
+func (c quad) below(d2, t0, t1 float64) []Interval {
+	f0 := c.at(t0) - d2
+	f1 := c.at(t1) - d2
+	if c.A <= 1e-18*(math.Abs(c.B)+math.Abs(c.C)+d2) {
+		// Effectively linear in t (relative velocity ≈ 0 gives constant).
+		return linearBelow(f0, f1, t0, t1)
+	}
+	// Roots of A·t² + B·t + (C − d2) = 0.
+	disc := c.B*c.B - 4*c.A*(c.C-d2)
+	if disc < 0 {
+		if f0 <= 0 { // entirely below (A > 0 and no crossing)
+			return []Interval{{t0, t1}}
+		}
+		return nil
+	}
+	s := math.Sqrt(disc)
+	r0 := (-c.B - s) / (2 * c.A)
+	r1 := (-c.B + s) / (2 * c.A)
+	lo := math.Max(t0, r0)
+	hi := math.Min(t1, r1)
+	if lo >= hi {
+		// The below-region [r0, r1] misses the interval, except possibly a
+		// touching point.
+		if lo == hi {
+			return []Interval{{lo, hi}}
+		}
+		return nil
+	}
+	return []Interval{{lo, hi}}
+}
+
+func linearBelow(f0, f1, t0, t1 float64) []Interval {
+	switch {
+	case f0 <= 0 && f1 <= 0:
+		return []Interval{{t0, t1}}
+	case f0 > 0 && f1 > 0:
+		return nil
+	default:
+		// Single crossing.
+		cross := t0 + (t1-t0)*(f0/(f0-f1))
+		if f0 <= 0 {
+			return []Interval{{t0, cross}}
+		}
+		return []Interval{{cross, t1}}
+	}
+}
+
+// relQuadratic builds the squared-separation quadratic for an elementary
+// interval [t0, t1] on which both trajectories are linear.
+func relQuadratic(p, q trajectory.Trajectory, t0, t1 float64) quad {
+	pa, _ := p.LocAt(t0)
+	pb, _ := p.LocAt(t1)
+	qa, _ := q.LocAt(t0)
+	qb, _ := q.LocAt(t1)
+	h := t1 - t0
+	// Relative position r(t) = r0 + v·(t − t0).
+	r0x, r0y := pa.X-qa.X, pa.Y-qa.Y
+	vx := ((pb.X - qb.X) - r0x) / h
+	vy := ((pb.Y - qb.Y) - r0y) / h
+	// d²(t) = |r0 + v·(t−t0)|², expanded in absolute t.
+	// Substitute u = t − t0: A·u² + B'·u + C', then shift.
+	A := vx*vx + vy*vy
+	Bp := 2 * (r0x*vx + r0y*vy)
+	Cp := r0x*r0x + r0y*r0y
+	// In absolute t: A·t² + (B' − 2A·t0)·t + (A·t0² − B'·t0 + C').
+	return quad{
+		A: A,
+		B: Bp - 2*A*t0,
+		C: (A*t0-Bp)*t0 + Cp,
+	}
+}
+
+// sharedCuts merges the vertex times of p and q over their overlap.
+func sharedCuts(p, q trajectory.Trajectory) ([]float64, error) {
+	if p.Len() < 2 || q.Len() < 2 {
+		return nil, fmt.Errorf("analysis: need at least 2 samples in both trajectories (have %d and %d)", p.Len(), q.Len())
+	}
+	t0 := math.Max(p.StartTime(), q.StartTime())
+	t1 := math.Min(p.EndTime(), q.EndTime())
+	if t1 <= t0 {
+		return nil, ErrNoOverlap
+	}
+	cuts := []float64{t0, t1}
+	for _, s := range p {
+		if s.T > t0 && s.T < t1 {
+			cuts = append(cuts, s.T)
+		}
+	}
+	for _, s := range q {
+		if s.T > t0 && s.T < t1 {
+			cuts = append(cuts, s.T)
+		}
+	}
+	sort.Float64s(cuts)
+	out := cuts[:1]
+	for _, c := range cuts[1:] {
+		if c != out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/trajectory"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+// Two objects crossing an intersection perpendicularly: p eastbound along
+// y=0, q northbound along x=100, both passing the crossing at t=10.
+func crossing() (p, q trajectory.Trajectory) {
+	p = trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 0), trajectory.S(20, 200, 0),
+	})
+	q = trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 100, -100), trajectory.S(20, 100, 100),
+	})
+	return
+}
+
+func TestDistanceAt(t *testing.T) {
+	p, q := crossing()
+	if d, ok := DistanceAt(p, q, 10); !ok || !almostEq(d, 0, 1e-9) {
+		t.Errorf("DistanceAt(10) = %v, %v; want 0", d, ok)
+	}
+	if d, ok := DistanceAt(p, q, 0); !ok || !almostEq(d, math.Hypot(100, 100), 1e-9) {
+		t.Errorf("DistanceAt(0) = %v, %v", d, ok)
+	}
+	if _, ok := DistanceAt(p, q, 25); ok {
+		t.Error("time outside span answered")
+	}
+}
+
+func TestClosestApproachCrossing(t *testing.T) {
+	p, q := crossing()
+	at, dist, err := ClosestApproach(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(at, 10, 1e-9) || !almostEq(dist, 0, 1e-9) {
+		t.Errorf("ClosestApproach = t=%v d=%v, want t=10 d=0", at, dist)
+	}
+}
+
+func TestClosestApproachParallel(t *testing.T) {
+	// Parallel motion 30 m apart: constant separation; any time is minimal.
+	p := trajectory.MustNew([]trajectory.Sample{trajectory.S(0, 0, 0), trajectory.S(10, 100, 0)})
+	q := trajectory.MustNew([]trajectory.Sample{trajectory.S(0, 0, 30), trajectory.S(10, 100, 30)})
+	_, dist, err := ClosestApproach(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(dist, 30, 1e-9) {
+		t.Errorf("parallel closest = %v, want 30", dist)
+	}
+}
+
+func TestClosestApproachMultiSegment(t *testing.T) {
+	// q dwells at (50, 40); p passes by along y=0: nearest at x=50, t=5.
+	p := trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 0), trajectory.S(5, 50, 0), trajectory.S(10, 100, 0),
+	})
+	q := trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 50, 40), trajectory.S(10, 50, 40.0001),
+	})
+	at, dist, err := ClosestApproach(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(at, 5, 1e-3) || !almostEq(dist, 40, 1e-3) {
+		t.Errorf("ClosestApproach = t=%v d=%v, want t≈5 d≈40", at, dist)
+	}
+}
+
+func TestWithinCrossing(t *testing.T) {
+	p, q := crossing()
+	// Separation is √2·10·|t−10| m, so within 50 m for |t−10| ≤ 50/(10√2).
+	ivs, err := Within(p, q, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 1 {
+		t.Fatalf("Within = %v, want one interval", ivs)
+	}
+	half := 50 / (10 * math.Sqrt2)
+	if !almostEq(ivs[0].T0, 10-half, 1e-6) || !almostEq(ivs[0].T1, 10+half, 1e-6) {
+		t.Errorf("interval = %+v, want 10±%.3f", ivs[0], half)
+	}
+}
+
+func TestWithinNever(t *testing.T) {
+	p := trajectory.MustNew([]trajectory.Sample{trajectory.S(0, 0, 0), trajectory.S(10, 100, 0)})
+	q := trajectory.MustNew([]trajectory.Sample{trajectory.S(0, 0, 500), trajectory.S(10, 100, 500)})
+	ivs, err := Within(p, q, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 0 {
+		t.Errorf("Within = %v, want none", ivs)
+	}
+	met, _, err := Meets(p, q, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met {
+		t.Error("Meets reported an encounter")
+	}
+}
+
+func TestWithinAlways(t *testing.T) {
+	p := trajectory.MustNew([]trajectory.Sample{trajectory.S(0, 0, 0), trajectory.S(10, 100, 0)})
+	q := trajectory.MustNew([]trajectory.Sample{trajectory.S(0, 0, 10), trajectory.S(10, 100, 10)})
+	ivs, err := Within(p, q, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 1 || !almostEq(ivs[0].T0, 0, 1e-9) || !almostEq(ivs[0].T1, 10, 1e-9) {
+		t.Errorf("Within = %v, want the whole span", ivs)
+	}
+}
+
+func TestWithinMergesAcrossVertices(t *testing.T) {
+	// A multi-vertex original continuously near q must yield ONE interval,
+	// not one per segment.
+	p := trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 0), trajectory.S(5, 50, 2), trajectory.S(10, 100, 0),
+	})
+	q := trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 5), trajectory.S(10, 100, 5),
+	})
+	ivs, err := Within(p, q, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 1 {
+		t.Errorf("Within returned %d intervals, want 1 merged: %v", len(ivs), ivs)
+	}
+}
+
+func TestMeetsFirstTime(t *testing.T) {
+	p, q := crossing()
+	met, at, err := Meets(p, q, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := 50 / (10 * math.Sqrt2)
+	if !met || !almostEq(at, 10-half, 1e-6) {
+		t.Errorf("Meets = %v at %v, want true at %v", met, at, 10-half)
+	}
+}
+
+func TestProximityValidation(t *testing.T) {
+	p, _ := crossing()
+	short := trajectory.Trajectory{trajectory.S(0, 0, 0)}
+	if _, _, err := ClosestApproach(p, short); err == nil {
+		t.Error("degenerate trajectory accepted")
+	}
+	disjoint := p.Shift(1000, 0, 0)
+	if _, err := Within(p, disjoint, 10); !errors.Is(err, ErrNoOverlap) {
+		t.Errorf("disjoint spans: %v", err)
+	}
+	if _, err := Within(p, p, -1); err == nil {
+		t.Error("negative distance accepted")
+	}
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trajectory"
+)
+
+// Trajectory similarity measures over the sample sequences. Unlike the
+// synchronized error (which compares the same object before and after
+// compression), these compare different objects' paths regardless of
+// absolute timing — the clustering/classification side of pattern analysis.
+
+// DTW returns the dynamic time warping distance between the positional
+// sequences of p and q: the minimal sum of point distances over all
+// monotone alignments. O(len(p)·len(q)) time, O(min) memory.
+func DTW(p, q trajectory.Trajectory) (float64, error) {
+	return DTWWindowed(p, q, 0)
+}
+
+// DTWWindowed is DTW with a Sakoe-Chiba band of half-width w samples
+// (w = 0 means unconstrained). A band both speeds up the computation and
+// prevents pathological alignments between very different-length series.
+func DTWWindowed(p, q trajectory.Trajectory, w int) (float64, error) {
+	n, m := p.Len(), q.Len()
+	if n == 0 || m == 0 {
+		return 0, fmt.Errorf("analysis: DTW needs non-empty trajectories (have %d and %d)", n, m)
+	}
+	if w < 0 {
+		return 0, fmt.Errorf("analysis: negative DTW window %d", w)
+	}
+	if w != 0 && w < abs(n-m) {
+		// The band must at least bridge the length difference.
+		w = abs(n - m)
+	}
+	inf := math.Inf(1)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		for j := range cur {
+			cur[j] = inf
+		}
+		lo, hi := 1, m
+		if w != 0 {
+			if lo < i-w {
+				lo = i - w
+			}
+			if hi > i+w {
+				hi = i + w
+			}
+		}
+		for j := lo; j <= hi; j++ {
+			d := p[i-1].Pos().Dist(q[j-1].Pos())
+			best := math.Min(prev[j], math.Min(cur[j-1], prev[j-1]))
+			cur[j] = d + best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m], nil
+}
+
+// Frechet returns the discrete Fréchet distance (the "dog leash" measure)
+// between the positional sequences: the minimal over monotone alignments of
+// the maximal point distance. O(len(p)·len(q)) time.
+func Frechet(p, q trajectory.Trajectory) (float64, error) {
+	n, m := p.Len(), q.Len()
+	if n == 0 || m == 0 {
+		return 0, fmt.Errorf("analysis: Fréchet needs non-empty trajectories (have %d and %d)", n, m)
+	}
+	prev := make([]float64, m)
+	cur := make([]float64, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			d := p[i].Pos().Dist(q[j].Pos())
+			switch {
+			case i == 0 && j == 0:
+				cur[j] = d
+			case i == 0:
+				cur[j] = math.Max(cur[j-1], d)
+			case j == 0:
+				cur[j] = math.Max(prev[0], d)
+			default:
+				cur[j] = math.Max(math.Min(prev[j], math.Min(prev[j-1], cur[j-1])), d)
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m-1], nil
+}
+
+// LCSS returns the Longest Common SubSequence similarity of the positional
+// sequences: the fraction (in [0, 1]) of the shorter sequence that can be
+// matched, in order, to points of the other within eps metres. Unlike DTW it
+// is robust to outlier fixes — unmatched points simply do not contribute.
+func LCSS(p, q trajectory.Trajectory, eps float64) (float64, error) {
+	n, m := p.Len(), q.Len()
+	if n == 0 || m == 0 {
+		return 0, fmt.Errorf("analysis: LCSS needs non-empty trajectories (have %d and %d)", n, m)
+	}
+	if eps <= 0 {
+		return 0, fmt.Errorf("analysis: non-positive LCSS matching distance %v", eps)
+	}
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			if p[i-1].Pos().Dist(q[j-1].Pos()) <= eps {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+		for j := range cur {
+			cur[j] = 0
+		}
+	}
+	shorter := n
+	if m < shorter {
+		shorter = m
+	}
+	return float64(prev[m]) / float64(shorter), nil
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,271 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/gpsgen"
+	"repro/internal/trajectory"
+)
+
+func trips() (a, b trajectory.Trajectory) {
+	g := gpsgen.New(41, gpsgen.Config{})
+	return g.Trip(gpsgen.Urban, 900), g.Trip(gpsgen.Urban, 900)
+}
+
+func TestDTWIdentity(t *testing.T) {
+	a, _ := trips()
+	d, err := DTW(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("DTW(a,a) = %v, want 0", d)
+	}
+}
+
+func TestDTWSymmetry(t *testing.T) {
+	a, b := trips()
+	d1, err := DTW(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := DTW(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(d1, d2, 1e-6*(1+d1)) {
+		t.Errorf("DTW asymmetric: %v vs %v", d1, d2)
+	}
+	if d1 <= 0 {
+		t.Errorf("distinct trips have DTW %v", d1)
+	}
+}
+
+func TestDTWKnownAlignment(t *testing.T) {
+	// b repeats a's points (time-warped duplicate): DTW must be 0 even
+	// though the sequences have different lengths.
+	a := trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 0), trajectory.S(1, 10, 0), trajectory.S(2, 20, 0),
+	})
+	b := trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 0), trajectory.S(1, 0, 0.0), trajectory.S(2, 10, 0), trajectory.S(3, 20, 0),
+	})
+	d, err := DTW(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("time-warped duplicate has DTW %v, want 0", d)
+	}
+}
+
+func TestDTWWindowed(t *testing.T) {
+	a, b := trips()
+	full, err := DTW(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	banded, err := DTWWindowed(a, b, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A band restricts alignments, so the result can only grow.
+	if banded < full-1e-6 {
+		t.Errorf("banded DTW %v below unconstrained %v", banded, full)
+	}
+	if _, err := DTWWindowed(a, b, -1); err == nil {
+		t.Error("negative window accepted")
+	}
+	if _, err := DTW(trajectory.Trajectory{}, b); err == nil {
+		t.Error("empty trajectory accepted")
+	}
+}
+
+func TestFrechetBasics(t *testing.T) {
+	a, b := trips()
+	if d, err := Frechet(a, a); err != nil || d != 0 {
+		t.Errorf("Frechet(a,a) = %v, %v", d, err)
+	}
+	d1, err := Frechet(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Frechet(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(d1, d2, 1e-9) {
+		t.Errorf("Fréchet asymmetric: %v vs %v", d1, d2)
+	}
+	if _, err := Frechet(a, trajectory.Trajectory{}); err == nil {
+		t.Error("empty trajectory accepted")
+	}
+}
+
+func TestFrechetParallelLines(t *testing.T) {
+	// Two parallel straight lines 25 m apart: Fréchet distance is exactly
+	// the offset.
+	var a, b trajectory.Trajectory
+	for i := 0; i < 10; i++ {
+		a = append(a, trajectory.S(float64(i), float64(i*10), 0))
+		b = append(b, trajectory.S(float64(i), float64(i*10), 25))
+	}
+	d, err := Frechet(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(d, 25, 1e-9) {
+		t.Errorf("Fréchet = %v, want 25", d)
+	}
+}
+
+// Fréchet lower-bounds nothing in general, but it is always ≤ DTW only when
+// DTW is ≥ the max matched pair; instead check the weaker standard
+// relation: Fréchet ≤ sum alignments' max ≤ DTW total when all distances
+// are non-negative and the path length ≥ 1. Concretely, DTW (a sum) is at
+// least the Fréchet (a max over the same optimal path family).
+func TestFrechetLEQDTWProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		a := randTraj(rng, 5+rng.Intn(30))
+		b := randTraj(rng, 5+rng.Intn(30))
+		fr, err := Frechet(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dtw, err := DTW(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr > dtw+1e-9 {
+			t.Fatalf("Fréchet %v exceeds DTW %v", fr, dtw)
+		}
+	}
+}
+
+// Compression preserves the path under the synchronized-movement view:
+// resampling the compressed trajectory at the original timestamps (linear
+// interpolation = synchronized positions) keeps the discrete Fréchet
+// distance within the TD-TR threshold. The raw discrete Fréchet against the
+// sparse vertex sequence is NOT small — discrete Fréchet does not
+// interpolate — which is precisely why the paper's synchronized error
+// notion exists.
+func TestSimilarityStableUnderCompression(t *testing.T) {
+	a, _ := trips()
+	const eps = 30.0
+	c := compress.TDTR{Threshold: eps}.Compress(a)
+
+	resampled := make(trajectory.Trajectory, 0, a.Len())
+	for _, s := range a {
+		if rs, ok := c.SampleAt(s.T); ok {
+			resampled = append(resampled, rs)
+		}
+	}
+	fr, err := Frechet(a, resampled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr > eps+1e-9 {
+		t.Errorf("Fréchet(a, synchronized resample) = %v, want ≤ %v", fr, eps)
+	}
+}
+
+func TestLCSS(t *testing.T) {
+	a, b := trips()
+	// Identity: full match.
+	if s, err := LCSS(a, a, 1); err != nil || s != 1 {
+		t.Errorf("LCSS(a,a) = %v, %v", s, err)
+	}
+	// Symmetry.
+	s1, err := LCSS(a, b, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := LCSS(b, a, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(s1, s2, 1e-12) {
+		t.Errorf("LCSS asymmetric: %v vs %v", s1, s2)
+	}
+	if s1 < 0 || s1 > 1 {
+		t.Errorf("LCSS out of range: %v", s1)
+	}
+	// A looser eps matches at least as much.
+	s3, err := LCSS(a, b, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 < s1 {
+		t.Errorf("looser eps matched less: %v < %v", s3, s1)
+	}
+	// Validation.
+	if _, err := LCSS(a, trajectory.Trajectory{}, 10); err == nil {
+		t.Error("empty trajectory accepted")
+	}
+	if _, err := LCSS(a, b, 0); err == nil {
+		t.Error("zero eps accepted")
+	}
+}
+
+// LCSS is robust to a single wild outlier where DTW is not: the outlier
+// merely fails to match.
+func TestLCSSOutlierRobust(t *testing.T) {
+	var a, b trajectory.Trajectory
+	for i := 0; i < 20; i++ {
+		a = append(a, trajectory.S(float64(i), float64(i*10), 0))
+		y := 0.0
+		if i == 10 {
+			y = 1e6 // wild GPS glitch
+		}
+		b = append(b, trajectory.S(float64(i), float64(i*10), y))
+	}
+	s, err := LCSS(a, b, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.9 {
+		t.Errorf("LCSS = %v, want ≥ 0.9 despite one glitch", s)
+	}
+	d, err := DTW(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 1e5 {
+		t.Errorf("DTW = %v, expected to be dominated by the glitch", d)
+	}
+}
+
+func BenchmarkDTW(b *testing.B) {
+	p, q := trips()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DTW(p, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrechet(b *testing.B) {
+	p, q := trips()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Frechet(p, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func randTraj(rng *rand.Rand, n int) trajectory.Trajectory {
+	p := make(trajectory.Trajectory, n)
+	t, x, y := 0.0, rng.NormFloat64()*100, rng.NormFloat64()*100
+	for i := 0; i < n; i++ {
+		p[i] = trajectory.S(t, x, y)
+		t += 1 + rng.Float64()*5
+		x += rng.NormFloat64() * 50
+		y += rng.NormFloat64() * 50
+	}
+	return p
+}

@@ -1,0 +1,297 @@
+// Package cluster groups trajectories by similarity — the pattern-mining
+// step of the paper's motivation (commuter flows, fleet route families,
+// migration corridors). It is metric-agnostic: any trajectory distance
+// (DTW or discrete Fréchet from internal/analysis, or a custom function)
+// yields a distance matrix that both k-medoids and agglomerative clustering
+// consume.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/trajectory"
+)
+
+// Metric measures dissimilarity between two trajectories.
+type Metric func(a, b trajectory.Trajectory) (float64, error)
+
+// DistanceMatrix computes the symmetric pairwise distance matrix of ps
+// under m. The diagonal is zero.
+func DistanceMatrix(ps []trajectory.Trajectory, m Metric) ([][]float64, error) {
+	n := len(ps)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v, err := m(ps[i], ps[j])
+			if err != nil {
+				return nil, fmt.Errorf("cluster: distance(%d, %d): %w", i, j, err)
+			}
+			if v < 0 || math.IsNaN(v) {
+				return nil, fmt.Errorf("cluster: metric returned invalid distance %v for (%d, %d)", v, i, j)
+			}
+			d[i][j], d[j][i] = v, v
+		}
+	}
+	return d, nil
+}
+
+// Result is a clustering of n items into K groups.
+type Result struct {
+	// Assignments maps each item index to its cluster in [0, K).
+	Assignments []int
+	// Medoids holds the representative item index of each cluster
+	// (k-medoids only; nil for agglomerative results).
+	Medoids []int
+	// K is the number of clusters.
+	K int
+}
+
+// validateMatrix checks a distance matrix is square, symmetric enough, and
+// large enough for k clusters.
+func validateMatrix(dist [][]float64, k int) error {
+	n := len(dist)
+	if k < 1 {
+		return fmt.Errorf("cluster: k = %d < 1", k)
+	}
+	if n < k {
+		return fmt.Errorf("cluster: %d items cannot form %d clusters", n, k)
+	}
+	for i, row := range dist {
+		if len(row) != n {
+			return fmt.Errorf("cluster: row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	return nil
+}
+
+// KMedoids clusters the items of a distance matrix into k groups around
+// medoid items, using Voronoi-style alternation (assign to nearest medoid,
+// re-pick each cluster's cost-minimizing medoid) from a deterministic
+// seeded start, for at most maxIter rounds.
+func KMedoids(dist [][]float64, k int, seed int64, maxIter int) (Result, error) {
+	if err := validateMatrix(dist, k); err != nil {
+		return Result{}, err
+	}
+	if maxIter < 1 {
+		return Result{}, errors.New("cluster: maxIter < 1")
+	}
+	n := len(dist)
+	rng := rand.New(rand.NewSource(seed))
+
+	// k-means++-style seeding: spread initial medoids apart.
+	medoids := []int{rng.Intn(n)}
+	for len(medoids) < k {
+		var weights []float64
+		var total float64
+		for i := 0; i < n; i++ {
+			d := math.Inf(1)
+			for _, m := range medoids {
+				d = math.Min(d, dist[i][m])
+			}
+			weights = append(weights, d)
+			total += d
+		}
+		if total == 0 {
+			// All remaining items coincide with medoids; pick arbitrarily.
+			for i := 0; i < n && len(medoids) < k; i++ {
+				if !contains(medoids, i) {
+					medoids = append(medoids, i)
+				}
+			}
+			break
+		}
+		r := rng.Float64() * total
+		for i, w := range weights {
+			r -= w
+			if r <= 0 {
+				if !contains(medoids, i) {
+					medoids = append(medoids, i)
+				} else {
+					medoids = append(medoids, (i+1)%n)
+				}
+				break
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		// Assign to nearest medoid.
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c, m := range medoids {
+				if d := dist[i][m]; d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+		}
+		// Re-pick medoids.
+		changed := false
+		for c := range medoids {
+			bestM, bestCost := medoids[c], math.Inf(1)
+			for i := 0; i < n; i++ {
+				if assign[i] != c {
+					continue
+				}
+				var cost float64
+				for j := 0; j < n; j++ {
+					if assign[j] == c {
+						cost += dist[i][j]
+					}
+				}
+				if cost < bestCost {
+					bestM, bestCost = i, cost
+				}
+			}
+			if bestM != medoids[c] {
+				medoids[c] = bestM
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return Result{Assignments: assign, Medoids: medoids, K: k}, nil
+}
+
+// Linkage selects the inter-cluster distance for Agglomerative.
+type Linkage int
+
+const (
+	// Single links clusters by their closest pair.
+	Single Linkage = iota
+	// Complete links clusters by their farthest pair.
+	Complete
+	// Average links clusters by the mean pairwise distance.
+	Average
+)
+
+// Agglomerative performs hierarchical agglomerative clustering down to k
+// clusters under the given linkage, returning the assignment.
+func Agglomerative(dist [][]float64, k int, linkage Linkage) (Result, error) {
+	if err := validateMatrix(dist, k); err != nil {
+		return Result{}, err
+	}
+	n := len(dist)
+	// Active clusters as member lists.
+	clusters := make([][]int, n)
+	for i := range clusters {
+		clusters[i] = []int{i}
+	}
+	linkDist := func(a, b []int) float64 {
+		switch linkage {
+		case Single:
+			d := math.Inf(1)
+			for _, i := range a {
+				for _, j := range b {
+					d = math.Min(d, dist[i][j])
+				}
+			}
+			return d
+		case Complete:
+			d := 0.0
+			for _, i := range a {
+				for _, j := range b {
+					d = math.Max(d, dist[i][j])
+				}
+			}
+			return d
+		default:
+			var sum float64
+			for _, i := range a {
+				for _, j := range b {
+					sum += dist[i][j]
+				}
+			}
+			return sum / float64(len(a)*len(b))
+		}
+	}
+	for len(clusters) > k {
+		bi, bj, bd := 0, 1, math.Inf(1)
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				if d := linkDist(clusters[i], clusters[j]); d < bd {
+					bi, bj, bd = i, j, d
+				}
+			}
+		}
+		clusters[bi] = append(clusters[bi], clusters[bj]...)
+		clusters = append(clusters[:bj], clusters[bj+1:]...)
+	}
+	assign := make([]int, n)
+	for c, members := range clusters {
+		for _, i := range members {
+			assign[i] = c
+		}
+	}
+	return Result{Assignments: assign, K: k}, nil
+}
+
+// Silhouette returns the mean silhouette coefficient of a clustering in
+// [-1, 1]; higher is better. Items in singleton clusters contribute 0.
+func Silhouette(dist [][]float64, assign []int) (float64, error) {
+	n := len(dist)
+	if len(assign) != n {
+		return 0, fmt.Errorf("cluster: %d assignments for %d items", len(assign), n)
+	}
+	if n == 0 {
+		return 0, errors.New("cluster: empty matrix")
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		var a, aCount float64
+		other := map[int]*struct {
+			sum float64
+			n   int
+		}{}
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if assign[j] == assign[i] {
+				a += dist[i][j]
+				aCount++
+			} else {
+				o := other[assign[j]]
+				if o == nil {
+					o = &struct {
+						sum float64
+						n   int
+					}{}
+					other[assign[j]] = o
+				}
+				o.sum += dist[i][j]
+				o.n++
+			}
+		}
+		if aCount == 0 || len(other) == 0 {
+			continue // singleton or single-cluster case contributes 0
+		}
+		a /= aCount
+		b := math.Inf(1)
+		for _, o := range other {
+			b = math.Min(b, o.sum/float64(o.n))
+		}
+		if m := math.Max(a, b); m > 0 {
+			total += (b - a) / m
+		}
+	}
+	return total / float64(n), nil
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

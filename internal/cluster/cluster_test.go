@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/trajectory"
+)
+
+// routeFamily generates trips that follow one of three distinct corridors
+// with per-trip noise: the ground truth for recovery tests.
+func routeFamily(rng *rand.Rand, family int) trajectory.Trajectory {
+	var p trajectory.Trajectory
+	t := 0.0
+	x, y := 0.0, 0.0
+	for i := 0; i < 40; i++ {
+		p = append(p, trajectory.S(t, x+rng.NormFloat64()*15, y+rng.NormFloat64()*15))
+		t += 10
+		switch family {
+		case 0: // eastbound
+			x += 150
+		case 1: // northbound
+			y += 150
+		default: // diagonal
+			x += 110
+			y += 110
+		}
+	}
+	return p
+}
+
+func labelled(rng *rand.Rand, perFamily int) ([]trajectory.Trajectory, []int) {
+	var ps []trajectory.Trajectory
+	var labels []int
+	for f := 0; f < 3; f++ {
+		for i := 0; i < perFamily; i++ {
+			ps = append(ps, routeFamily(rng, f))
+			labels = append(labels, f)
+		}
+	}
+	return ps, labels
+}
+
+// purity measures how well assignments recover the ground-truth labels.
+func purity(assign, labels []int, k int) float64 {
+	correct := 0
+	for c := 0; c < k; c++ {
+		counts := map[int]int{}
+		for i, a := range assign {
+			if a == c {
+				counts[labels[i]]++
+			}
+		}
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(assign))
+}
+
+func frechetMetric(a, b trajectory.Trajectory) (float64, error) { return analysis.Frechet(a, b) }
+func dtwMetric(a, b trajectory.Trajectory) (float64, error)     { return analysis.DTW(a, b) }
+
+func TestDistanceMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ps, _ := labelled(rng, 2)
+	d, err := DistanceMatrix(ps, frechetMetric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(ps)
+	for i := 0; i < n; i++ {
+		if d[i][i] != 0 {
+			t.Errorf("diagonal (%d) = %v", i, d[i][i])
+		}
+		for j := 0; j < n; j++ {
+			if d[i][j] != d[j][i] {
+				t.Errorf("asymmetric at (%d,%d)", i, j)
+			}
+			if d[i][j] < 0 {
+				t.Errorf("negative distance at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestKMedoidsRecoversRoutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ps, labels := labelled(rng, 6)
+	d, err := DistanceMatrix(ps, frechetMetric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := KMedoids(d, 3, 7, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := purity(res.Assignments, labels, 3); p < 0.95 {
+		t.Errorf("k-medoids purity %.2f, want ≥ 0.95", p)
+	}
+	if len(res.Medoids) != 3 {
+		t.Errorf("medoids = %v", res.Medoids)
+	}
+	sil, err := Silhouette(d, res.Assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sil < 0.5 {
+		t.Errorf("silhouette %.2f too low for well-separated routes", sil)
+	}
+}
+
+func TestAgglomerativeRecoversRoutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ps, labels := labelled(rng, 5)
+	d, err := DistanceMatrix(ps, dtwMetric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, linkage := range []Linkage{Single, Complete, Average} {
+		res, err := Agglomerative(d, 3, linkage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p := purity(res.Assignments, labels, 3); p < 0.95 {
+			t.Errorf("linkage %d purity %.2f, want ≥ 0.95", linkage, p)
+		}
+	}
+}
+
+func TestKMedoidsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ps, _ := labelled(rng, 4)
+	d, err := DistanceMatrix(ps, frechetMetric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := KMedoids(d, 3, 99, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := KMedoids(d, 3, 99, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Assignments {
+		if r1.Assignments[i] != r2.Assignments[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	d := [][]float64{{0, 1}, {1, 0}}
+	if _, err := KMedoids(d, 3, 1, 10); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := KMedoids(d, 0, 1, 10); err == nil {
+		t.Error("k = 0 accepted")
+	}
+	if _, err := KMedoids(d, 1, 1, 0); err == nil {
+		t.Error("maxIter = 0 accepted")
+	}
+	if _, err := Agglomerative([][]float64{{0}, {0}}, 1, Single); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := Silhouette(d, []int{0}); err == nil {
+		t.Error("assignment length mismatch accepted")
+	}
+	bad := func(a, b trajectory.Trajectory) (float64, error) { return math.NaN(), nil }
+	if _, err := DistanceMatrix([]trajectory.Trajectory{{}, {}}, bad); err == nil {
+		t.Error("NaN metric accepted")
+	}
+}
+
+func TestSingleCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ps, _ := labelled(rng, 2)
+	d, err := DistanceMatrix(ps, frechetMetric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := KMedoids(d, 1, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Assignments {
+		if a != 0 {
+			t.Fatal("k=1 produced multiple clusters")
+		}
+	}
+	// Silhouette of a single cluster is defined as 0 here.
+	if sil, err := Silhouette(d, res.Assignments); err != nil || sil != 0 {
+		t.Errorf("single-cluster silhouette = %v, %v", sil, err)
+	}
+}

@@ -1,0 +1,81 @@
+package cluster
+
+import "fmt"
+
+// DBSCANResult labels each item with a cluster in [0, K) or Noise.
+type DBSCANResult struct {
+	// Assignments maps each item to its cluster, or Noise.
+	Assignments []int
+	// K is the number of clusters found.
+	K int
+}
+
+// Noise marks items that belong to no cluster.
+const Noise = -1
+
+// DBSCAN performs density-based clustering over a distance matrix: an item
+// with at least minPts neighbours within eps is a core item; clusters grow
+// by density reachability; everything else is Noise. Unlike k-medoids it
+// discovers the cluster count and tolerates outlier trajectories (erratic
+// trips that fit no route family).
+func DBSCAN(dist [][]float64, eps float64, minPts int) (DBSCANResult, error) {
+	n := len(dist)
+	if eps < 0 {
+		return DBSCANResult{}, fmt.Errorf("cluster: negative eps %v", eps)
+	}
+	if minPts < 1 {
+		return DBSCANResult{}, fmt.Errorf("cluster: minPts %d < 1", minPts)
+	}
+	for i, row := range dist {
+		if len(row) != n {
+			return DBSCANResult{}, fmt.Errorf("cluster: row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+
+	neighbours := func(i int) []int {
+		var out []int
+		for j := 0; j < n; j++ {
+			if dist[i][j] <= eps {
+				out = append(out, j) // includes i itself, per convention
+			}
+		}
+		return out
+	}
+
+	const unvisited = -2
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = unvisited
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		if assign[i] != unvisited {
+			continue
+		}
+		nb := neighbours(i)
+		if len(nb) < minPts {
+			assign[i] = Noise
+			continue
+		}
+		// Start a new cluster and expand it.
+		cluster := k
+		k++
+		assign[i] = cluster
+		queue := append([]int(nil), nb...)
+		for len(queue) > 0 {
+			j := queue[0]
+			queue = queue[1:]
+			if assign[j] == Noise {
+				assign[j] = cluster // border item reclaimed from noise
+			}
+			if assign[j] != unvisited {
+				continue
+			}
+			assign[j] = cluster
+			if nbj := neighbours(j); len(nbj) >= minPts {
+				queue = append(queue, nbj...)
+			}
+		}
+	}
+	return DBSCANResult{Assignments: assign, K: k}, nil
+}

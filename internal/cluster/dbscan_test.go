@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/trajectory"
+)
+
+func TestDBSCANRecoversRoutesAndNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ps, labels := labelled(rng, 5)
+	// Add one erratic outlier trajectory.
+	var outlier trajectory.Trajectory
+	x, y := 50000.0, -50000.0
+	for i := 0; i < 40; i++ {
+		outlier = append(outlier, trajectory.S(float64(i*10), x, y))
+		x += rng.NormFloat64() * 3000
+		y += rng.NormFloat64() * 3000
+	}
+	ps = append(ps, outlier)
+	labels = append(labels, -1)
+
+	d, err := DistanceMatrix(ps, frechetMetric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// eps: within-family Fréchet distances are noise-scale (tens of m);
+	// between families they are kilometres.
+	res, err := DBSCAN(d, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 3 {
+		t.Fatalf("found %d clusters, want 3 (assignments %v)", res.K, res.Assignments)
+	}
+	if res.Assignments[len(ps)-1] != Noise {
+		t.Errorf("outlier assigned to cluster %d, want Noise", res.Assignments[len(ps)-1])
+	}
+	// All same-family items share a cluster.
+	for f := 0; f < 3; f++ {
+		first := res.Assignments[f*5]
+		if first == Noise {
+			t.Fatalf("family %d marked noise", f)
+		}
+		for i := 0; i < 5; i++ {
+			if res.Assignments[f*5+i] != first {
+				t.Errorf("family %d split: %v", f, res.Assignments)
+			}
+		}
+	}
+}
+
+func TestDBSCANAllNoise(t *testing.T) {
+	// Pairwise distances all exceed eps: everything is noise.
+	d := [][]float64{
+		{0, 10, 10},
+		{10, 0, 10},
+		{10, 10, 0},
+	}
+	res, err := DBSCAN(d, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 0 {
+		t.Errorf("K = %d, want 0", res.K)
+	}
+	for i, a := range res.Assignments {
+		if a != Noise {
+			t.Errorf("item %d = %d, want Noise", i, a)
+		}
+	}
+}
+
+func TestDBSCANValidation(t *testing.T) {
+	d := [][]float64{{0, 1}, {1, 0}}
+	if _, err := DBSCAN(d, -1, 2); err == nil {
+		t.Error("negative eps accepted")
+	}
+	if _, err := DBSCAN(d, 1, 0); err == nil {
+		t.Error("minPts 0 accepted")
+	}
+	if _, err := DBSCAN([][]float64{{0}, {0}}, 1, 1); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}

@@ -1,0 +1,265 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/gpsgen"
+	"repro/internal/trajectory"
+)
+
+func sampleTrajectories() []Named {
+	g := gpsgen.New(1, gpsgen.Config{})
+	return []Named{
+		{ID: "car-1", Traj: g.Trip(gpsgen.Urban, 600)},
+		{ID: "car-2", Traj: g.Trip(gpsgen.Rural, 900)},
+		{ID: "", Traj: g.Trip(gpsgen.Mixed, 300)}, // empty id is legal
+	}
+}
+
+func trajAlmostEqual(a, b trajectory.Trajectory, eps float64) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i].T-b[i].T) > eps ||
+			math.Abs(a[i].X-b[i].X) > eps ||
+			math.Abs(a[i].Y-b[i].Y) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	ts := sampleTrajectories()
+	var buf bytes.Buffer
+	if err := EncodeFile(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ts) {
+		t.Fatalf("decoded %d trajectories, want %d", len(got), len(ts))
+	}
+	for i := range ts {
+		if got[i].ID != ts[i].ID {
+			t.Errorf("trajectory %d id = %q, want %q", i, got[i].ID, ts[i].ID)
+		}
+		if !trajAlmostEqual(got[i].Traj, ts[i].Traj, 0.0011) {
+			t.Errorf("trajectory %d does not round-trip within quantization", i)
+		}
+	}
+}
+
+func TestBinaryRoundTripSingle(t *testing.T) {
+	p := sampleTrajectories()[0].Traj
+	var buf bytes.Buffer
+	if err := Encode(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trajAlmostEqual(got, p, 0.0011) {
+		t.Error("single-trajectory round trip failed")
+	}
+}
+
+func TestBinaryEmptyTrajectory(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeFile(&buf, []Named{{ID: "empty"}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Traj.Len() != 0 {
+		t.Errorf("empty trajectory round-tripped to %d samples", got[0].Traj.Len())
+	}
+}
+
+func TestBinaryCompactness(t *testing.T) {
+	// Delta+varint coding should be well below the 24 bytes/sample of raw
+	// float64 triples for GPS-like data.
+	p := sampleTrajectories()[0].Traj
+	var buf bytes.Buffer
+	if err := Encode(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	perSample := float64(buf.Len()) / float64(p.Len())
+	if perSample > 16 {
+		t.Errorf("binary encoding uses %.1f bytes/sample, want < 16", perSample)
+	}
+}
+
+func TestBinaryDetectsCorruption(t *testing.T) {
+	ts := sampleTrajectories()[:1]
+	var buf bytes.Buffer
+	if err := EncodeFile(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip one bit somewhere in the payload (past the header).
+	data[len(data)/2] ^= 0x10
+	if _, err := DecodeFile(bytes.NewReader(data)); err == nil {
+		t.Error("corrupted payload decoded without error")
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("x"),
+		[]byte("NOPE....."),
+		[]byte("TRJC\x02"), // wrong version
+		[]byte("TRJC\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"), // absurd count
+	}
+	for i, data := range cases {
+		if _, err := DecodeFile(bytes.NewReader(data)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		} else if !errors.Is(err, ErrFormat) {
+			t.Errorf("case %d: error %v does not wrap ErrFormat", i, err)
+		}
+	}
+}
+
+func TestBinaryTruncation(t *testing.T) {
+	ts := sampleTrajectories()
+	var buf bytes.Buffer
+	if err := EncodeFile(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{6, len(data) / 3, len(data) - 2} {
+		if _, err := DecodeFile(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ts := []Named{
+		{ID: "a", Traj: sampleTrajectories()[0].Traj},
+		{ID: "b", Traj: sampleTrajectories()[1].Traj},
+	}
+	var buf bytes.Buffer
+	if err := EncodeCSV(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "a" || got[1].ID != "b" {
+		t.Fatalf("decoded ids: %v, %v", got[0].ID, got[1].ID)
+	}
+	for i := range ts {
+		if !trajAlmostEqual(got[i].Traj, ts[i].Traj, 1e-9) {
+			t.Errorf("CSV round trip lost precision on %q", ts[i].ID)
+		}
+	}
+}
+
+func TestCSVRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",                             // no header
+		"a,b,c,d\n",                    // wrong header
+		"id,t,x,y\n1,notanumber,2,3\n", // bad float
+		"id,t,x,y\nc,5,0,0\nc,5,1,1\n", // duplicate timestamp
+		"id,t,x,y\nc,5,0\n",            // wrong column count
+	}
+	for i, in := range cases {
+		if _, err := DecodeCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestGeoJSONPlanar(t *testing.T) {
+	ts := sampleTrajectories()[:1]
+	var buf bytes.Buffer
+	if err := EncodeGeoJSON(&buf, ts, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc["type"] != "FeatureCollection" {
+		t.Errorf("type = %v", doc["type"])
+	}
+	features := doc["features"].([]any)
+	if len(features) != 1 {
+		t.Fatalf("features = %d", len(features))
+	}
+	geom := features[0].(map[string]any)["geometry"].(map[string]any)
+	coords := geom["coordinates"].([]any)
+	if len(coords) != ts[0].Traj.Len() {
+		t.Errorf("coordinates = %d, want %d", len(coords), ts[0].Traj.Len())
+	}
+}
+
+func TestGeoJSONProjected(t *testing.T) {
+	origin := geo.LatLon{Lat: 52.22, Lon: 6.89}
+	proj, err := geo.NewProjector(origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := []Named{{ID: "x", Traj: trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 0), trajectory.S(10, 1000, 0),
+	})}}
+	var buf bytes.Buffer
+	if err := EncodeGeoJSON(&buf, ts, proj); err != nil {
+		t.Fatal(err)
+	}
+	var doc geoJSONFeatureCollection
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	c0 := doc.Features[0].Geometry.Coordinates[0]
+	if math.Abs(c0[0]-origin.Lon) > 1e-9 || math.Abs(c0[1]-origin.Lat) > 1e-9 {
+		t.Errorf("first coordinate %v, want origin %v", c0, origin)
+	}
+	c1 := doc.Features[0].Geometry.Coordinates[1]
+	if c1[0] <= origin.Lon {
+		t.Errorf("eastward motion did not increase longitude: %v", c1)
+	}
+}
+
+// Round-trip property across random data.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		b := trajectory.NewBuilder(0)
+		tt := rng.Float64() * 1000
+		for i := 0; i < 1+rng.Intn(200); i++ {
+			tt += 0.01 + rng.Float64()*30
+			if err := b.AppendPoint(tt, rng.NormFloat64()*1e5, rng.NormFloat64()*1e5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p := b.Trajectory()
+		var buf bytes.Buffer
+		if err := Encode(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !trajAlmostEqual(got, p, 0.0011) {
+			t.Fatalf("trial %d: round trip exceeded quantization error", trial)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package codec
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/trajectory"
+)
+
+// csvHeader is the column layout of the CSV interchange format.
+var csvHeader = []string{"id", "t", "x", "y"}
+
+// EncodeCSV writes named trajectories as CSV with columns id,t,x,y
+// (timestamps in seconds, coordinates in metres).
+func EncodeCSV(w io.Writer, ts []Named) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	rec := make([]string, 4)
+	for _, t := range ts {
+		for _, s := range t.Traj {
+			rec[0] = t.ID
+			rec[1] = strconv.FormatFloat(s.T, 'f', -1, 64)
+			rec[2] = strconv.FormatFloat(s.X, 'f', -1, 64)
+			rec[3] = strconv.FormatFloat(s.Y, 'f', -1, 64)
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// DecodeCSV reads the CSV interchange format. Rows are grouped by id; within
+// an id, rows must appear in strictly increasing time order. Trajectories
+// are returned sorted by id.
+func DecodeCSV(r io.Reader) ([]Named, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	head, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("%w: csv header: %v", ErrFormat, err)
+	}
+	for i, want := range csvHeader {
+		if head[i] != want {
+			return nil, fmt.Errorf("%w: csv header column %d is %q, want %q", ErrFormat, i, head[i], want)
+		}
+	}
+	builders := map[string]*trajectory.Builder{}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: csv line %d: %v", ErrFormat, line, err)
+		}
+		t, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: csv line %d: t: %v", ErrFormat, line, err)
+		}
+		x, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: csv line %d: x: %v", ErrFormat, line, err)
+		}
+		y, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: csv line %d: y: %v", ErrFormat, line, err)
+		}
+		b := builders[rec[0]]
+		if b == nil {
+			b = trajectory.NewBuilder(0)
+			builders[rec[0]] = b
+		}
+		if err := b.AppendPoint(t, x, y); err != nil {
+			return nil, fmt.Errorf("%w: csv line %d: %v", ErrFormat, line, err)
+		}
+	}
+	out := make([]Named, 0, len(builders))
+	for id, b := range builders {
+		out = append(out, Named{ID: id, Traj: b.Trajectory()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}

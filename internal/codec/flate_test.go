@@ -1,0 +1,64 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCompressedContainerRoundTrip(t *testing.T) {
+	ts := sampleTrajectories()
+	var buf bytes.Buffer
+	if err := EncodeFileCompressed(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFileCompressed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ts) {
+		t.Fatalf("decoded %d trajectories, want %d", len(got), len(ts))
+	}
+	for i := range ts {
+		if got[i].ID != ts[i].ID || !trajAlmostEqual(got[i].Traj, ts[i].Traj, 0.0011) {
+			t.Errorf("trajectory %d does not round-trip", i)
+		}
+	}
+}
+
+func TestCompressedContainerShrinks(t *testing.T) {
+	ts := sampleTrajectories()
+	var plain, packed bytes.Buffer
+	if err := EncodeFile(&plain, ts); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeFileCompressed(&packed, ts); err != nil {
+		t.Fatal(err)
+	}
+	if packed.Len() >= plain.Len() {
+		t.Errorf("flate container %d B not below plain %d B", packed.Len(), plain.Len())
+	}
+}
+
+func TestCompressedContainerRejectsPlain(t *testing.T) {
+	ts := sampleTrajectories()[:1]
+	var plain bytes.Buffer
+	if err := EncodeFile(&plain, ts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFileCompressed(&plain); err == nil {
+		t.Error("plain container accepted by compressed decoder")
+	}
+	if _, err := DecodeFileCompressed(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Corrupt flate payload.
+	var packed bytes.Buffer
+	if err := EncodeFileCompressed(&packed, ts); err != nil {
+		t.Fatal(err)
+	}
+	data := packed.Bytes()
+	data[len(data)/2] ^= 0xff
+	if _, err := DecodeFileCompressed(bytes.NewReader(data)); err == nil {
+		t.Error("corrupt payload accepted")
+	}
+}

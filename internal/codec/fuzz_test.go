@@ -1,0 +1,69 @@
+package codec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeFile checks that arbitrary bytes never panic the binary decoder
+// and that whatever decodes successfully re-encodes cleanly.
+func FuzzDecodeFile(f *testing.F) {
+	// Seed with a valid encoding and a few mutations.
+	var buf bytes.Buffer
+	if err := EncodeFile(&buf, sampleTrajectories()); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("TRJC\x01"))
+	f.Add(valid[:len(valid)/2])
+	mutated := append([]byte(nil), valid...)
+	mutated[10] ^= 0xff
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		named, err := DecodeFile(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Successful decodes must round-trip.
+		var out bytes.Buffer
+		if err := EncodeFile(&out, named); err != nil {
+			t.Fatalf("re-encode of decoded data failed: %v", err)
+		}
+		again, err := DecodeFile(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(named) {
+			t.Fatalf("round trip changed count: %d vs %d", len(again), len(named))
+		}
+	})
+}
+
+// FuzzDecodeCSV checks the CSV decoder against arbitrary text.
+func FuzzDecodeCSV(f *testing.F) {
+	var buf bytes.Buffer
+	if err := EncodeCSV(&buf, sampleTrajectories()[:1]); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("id,t,x,y\n")
+	f.Add("id,t,x,y\na,1,2,3\na,0,2,3\n")
+	f.Add("id,t,x,y\na,NaN,2,3\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		named, err := DecodeCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, n := range named {
+			if err := n.Traj.Validate(); err != nil {
+				t.Fatalf("decoder returned invalid trajectory: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package codec
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/geo"
+)
+
+// geoJSON document structure (only the subset needed for LineString export).
+type geoJSONFeatureCollection struct {
+	Type     string           `json:"type"`
+	Features []geoJSONFeature `json:"features"`
+}
+
+type geoJSONFeature struct {
+	Type       string          `json:"type"`
+	Properties map[string]any  `json:"properties"`
+	Geometry   geoJSONGeometry `json:"geometry"`
+}
+
+type geoJSONGeometry struct {
+	Type        string       `json:"type"`
+	Coordinates [][2]float64 `json:"coordinates"`
+}
+
+// EncodeGeoJSON writes named trajectories as a GeoJSON FeatureCollection of
+// LineStrings for display on maps. If proj is non-nil, planar coordinates
+// are converted back to WGS-84 lon/lat; otherwise raw planar metres are
+// emitted. Timestamps are carried in a "times" property parallel to the
+// coordinates.
+func EncodeGeoJSON(w io.Writer, ts []Named, proj *geo.Projector) error {
+	fc := geoJSONFeatureCollection{Type: "FeatureCollection"}
+	for _, t := range ts {
+		coords := make([][2]float64, t.Traj.Len())
+		times := make([]float64, t.Traj.Len())
+		for i, s := range t.Traj {
+			if proj != nil {
+				ll := proj.ToLatLon(s.Pos())
+				coords[i] = [2]float64{ll.Lon, ll.Lat}
+			} else {
+				coords[i] = [2]float64{s.X, s.Y}
+			}
+			times[i] = s.T
+		}
+		fc.Features = append(fc.Features, geoJSONFeature{
+			Type: "Feature",
+			Properties: map[string]any{
+				"id":    t.ID,
+				"times": times,
+			},
+			Geometry: geoJSONGeometry{Type: "LineString", Coordinates: coords},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(fc)
+}

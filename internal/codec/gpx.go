@@ -1,0 +1,124 @@
+package codec
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/trajectory"
+)
+
+// GPX interchange: the de-facto consumer GPS file format. Import converts
+// WGS-84 track points to the local planar frame with a projector centred on
+// the first point (or a caller-provided one); export reverses the
+// projection. Timestamps map to seconds relative to the GPX epoch below.
+
+// gpxEpoch anchors the conversion between absolute GPX times and the
+// library's relative seconds.
+var gpxEpoch = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+
+type gpxFile struct {
+	XMLName xml.Name   `xml:"gpx"`
+	Version string     `xml:"version,attr"`
+	Creator string     `xml:"creator,attr"`
+	Tracks  []gpxTrack `xml:"trk"`
+}
+
+type gpxTrack struct {
+	Name     string       `xml:"name,omitempty"`
+	Segments []gpxSegment `xml:"trkseg"`
+}
+
+type gpxSegment struct {
+	Points []gpxPoint `xml:"trkpt"`
+}
+
+type gpxPoint struct {
+	Lat  float64 `xml:"lat,attr"`
+	Lon  float64 `xml:"lon,attr"`
+	Time string  `xml:"time,omitempty"`
+}
+
+// EncodeGPX writes named trajectories as GPX 1.1 tracks. proj converts the
+// planar coordinates back to WGS-84 and must not be nil.
+func EncodeGPX(w io.Writer, ts []Named, proj *geo.Projector) error {
+	if proj == nil {
+		return fmt.Errorf("codec: EncodeGPX requires a projector")
+	}
+	doc := gpxFile{Version: "1.1", Creator: "trajcomp"}
+	for _, t := range ts {
+		seg := gpxSegment{Points: make([]gpxPoint, t.Traj.Len())}
+		for i, s := range t.Traj {
+			ll := proj.ToLatLon(s.Pos())
+			seg.Points[i] = gpxPoint{
+				Lat:  ll.Lat,
+				Lon:  ll.Lon,
+				Time: gpxEpoch.Add(time.Duration(s.T * float64(time.Second))).Format(time.RFC3339Nano),
+			}
+		}
+		doc.Tracks = append(doc.Tracks, gpxTrack{Name: t.ID, Segments: []gpxSegment{seg}})
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("codec: gpx encode: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// DecodeGPX reads GPX tracks into named planar trajectories. When proj is
+// nil, a projector centred on the first track point is created and
+// returned; otherwise the given projector is used and returned. Track
+// segments of one track are concatenated; unnamed tracks are numbered.
+// Points without a <time> element are rejected: the paper's entire premise
+// is time-stamped positions.
+func DecodeGPX(r io.Reader, proj *geo.Projector) ([]Named, *geo.Projector, error) {
+	var doc gpxFile
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, nil, fmt.Errorf("%w: gpx: %v", ErrFormat, err)
+	}
+	var out []Named
+	for ti, trk := range doc.Tracks {
+		b := trajectory.NewBuilder(0)
+		for _, seg := range trk.Segments {
+			for _, pt := range seg.Points {
+				ll := geo.LatLon{Lat: pt.Lat, Lon: pt.Lon}
+				if !ll.Valid() {
+					return nil, nil, fmt.Errorf("%w: gpx: invalid coordinate %+v", ErrFormat, ll)
+				}
+				if pt.Time == "" {
+					return nil, nil, fmt.Errorf("%w: gpx: track point without time", ErrFormat)
+				}
+				ts, err := time.Parse(time.RFC3339Nano, pt.Time)
+				if err != nil {
+					return nil, nil, fmt.Errorf("%w: gpx: time %q: %v", ErrFormat, pt.Time, err)
+				}
+				if proj == nil {
+					p, err := geo.NewProjector(ll)
+					if err != nil {
+						return nil, nil, fmt.Errorf("%w: gpx: %v", ErrFormat, err)
+					}
+					proj = p
+				}
+				pos := proj.ToPlanar(ll)
+				if err := b.AppendPoint(ts.Sub(gpxEpoch).Seconds(), pos.X, pos.Y); err != nil {
+					return nil, nil, fmt.Errorf("%w: gpx: %v", ErrFormat, err)
+				}
+			}
+		}
+		name := trk.Name
+		if name == "" {
+			name = fmt.Sprintf("track-%d", ti)
+		}
+		out = append(out, Named{ID: name, Traj: b.Trajectory()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, proj, nil
+}

@@ -1,0 +1,110 @@
+package codec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestGPXRoundTrip(t *testing.T) {
+	proj, err := geo.NewProjector(geo.LatLon{Lat: 52.22, Lon: 6.89})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := sampleTrajectories()[:2]
+	var buf bytes.Buffer
+	if err := EncodeGPX(&buf, ts, proj); err != nil {
+		t.Fatal(err)
+	}
+	got, gotProj, err := DecodeGPX(&buf, proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotProj != proj {
+		t.Error("given projector not returned")
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d tracks", len(got))
+	}
+	for i := range ts {
+		// GPX stores lat/lon text; round trip within a few centimetres and
+		// sub-millisecond time.
+		a, b := ts[i].Traj, got[i].Traj
+		if a.Len() != b.Len() {
+			t.Fatalf("track %d: %d vs %d points", i, a.Len(), b.Len())
+		}
+		for j := range a {
+			if d := a[j].Pos().Dist(b[j].Pos()); d > 0.05 {
+				t.Fatalf("track %d point %d: %.3f m apart", i, j, d)
+			}
+			if dt := a[j].T - b[j].T; dt > 1e-3 || dt < -1e-3 {
+				t.Fatalf("track %d point %d: time drift %v", i, j, dt)
+			}
+		}
+	}
+}
+
+func TestGPXAutoProjector(t *testing.T) {
+	in := `<?xml version="1.0"?>
+<gpx version="1.1" creator="test">
+  <trk><name>walk</name><trkseg>
+    <trkpt lat="52.2200" lon="6.8900"><time>2000-01-01T00:00:00Z</time></trkpt>
+    <trkpt lat="52.2210" lon="6.8910"><time>2000-01-01T00:00:30Z</time></trkpt>
+  </trkseg></trk>
+</gpx>`
+	got, proj, err := DecodeGPX(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj == nil {
+		t.Fatal("no projector returned")
+	}
+	if proj.Origin() != (geo.LatLon{Lat: 52.22, Lon: 6.89}) {
+		t.Errorf("auto origin = %+v", proj.Origin())
+	}
+	if len(got) != 1 || got[0].ID != "walk" || got[0].Traj.Len() != 2 {
+		t.Fatalf("decoded %+v", got)
+	}
+	// First point projects to the origin.
+	if got[0].Traj[0].Pos().Norm() > 1e-6 {
+		t.Errorf("first point not at origin: %v", got[0].Traj[0].Pos())
+	}
+	if got[0].Traj[0].T != 0 || got[0].Traj[1].T != 30 {
+		t.Errorf("times = %v, %v", got[0].Traj[0].T, got[0].Traj[1].T)
+	}
+}
+
+func TestGPXRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`not xml at all`,
+		`<gpx version="1.1"><trk><trkseg><trkpt lat="99" lon="0"><time>2000-01-01T00:00:00Z</time></trkpt></trkseg></trk></gpx>`,
+		`<gpx version="1.1"><trk><trkseg><trkpt lat="1" lon="1"/></trkseg></trk></gpx>`, // no time
+		`<gpx version="1.1"><trk><trkseg><trkpt lat="1" lon="1"><time>garbage</time></trkpt></trkseg></trk></gpx>`,
+	}
+	for i, in := range cases {
+		if _, _, err := DecodeGPX(strings.NewReader(in), nil); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestGPXEncodeRequiresProjector(t *testing.T) {
+	if err := EncodeGPX(&bytes.Buffer{}, nil, nil); err == nil {
+		t.Error("nil projector accepted")
+	}
+}
+
+func TestGPXUnnamedTracksNumbered(t *testing.T) {
+	in := `<gpx version="1.1"><trk><trkseg>
+	<trkpt lat="52.0" lon="6.0"><time>2000-01-01T00:00:00Z</time></trkpt>
+	</trkseg></trk></gpx>`
+	got, _, err := DecodeGPX(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].ID != "track-0" {
+		t.Errorf("unnamed track id = %q", got[0].ID)
+	}
+}

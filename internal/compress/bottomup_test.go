@@ -1,0 +1,174 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sed"
+	"repro/internal/trajectory"
+)
+
+func TestBottomUpInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 15; trial++ {
+		p := randomTrack(rng, 50+rng.Intn(200))
+		for _, alg := range []Algorithm{
+			BottomUp{Threshold: 40},
+			BottomUpTR{Threshold: 40},
+			SlidingWindow{Threshold: 40, Window: 20},
+			SlidingWindowTR{Threshold: 40, Window: 20},
+		} {
+			a := alg.Compress(p)
+			if err := a.Validate(); err != nil {
+				t.Fatalf("%s: invalid output: %v", alg.Name(), err)
+			}
+			if !a.IsVertexSubsetOf(p) {
+				t.Fatalf("%s: not a vertex subset", alg.Name())
+			}
+			if a[0] != p[0] || a[a.Len()-1] != p[p.Len()-1] {
+				t.Fatalf("%s: endpoints not retained", alg.Name())
+			}
+		}
+	}
+}
+
+// Bottom-up under perpendicular distance keeps every original point within
+// the threshold of its covering segment.
+func TestBottomUpPerpGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const eps = 40.0
+	for trial := 0; trial < 10; trial++ {
+		p := randomTrack(rng, 150)
+		a := BottomUp{Threshold: eps}.Compress(p)
+		if worst := maxPerpToApprox(p, a); worst > eps+1e-9 {
+			t.Errorf("BU perpendicular guarantee violated: %.3f > %.3f", worst, eps)
+		}
+	}
+}
+
+// Bottom-up under the synchronized distance bounds the synchronized max
+// error by the threshold.
+func TestBottomUpTRSyncGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const eps = 40.0
+	for trial := 0; trial < 10; trial++ {
+		p := randomTrack(rng, 150)
+		a := BottomUpTR{Threshold: eps}.Compress(p)
+		worst, err := sed.MaxError(p, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worst > eps+1e-9 {
+			t.Errorf("BU-TR synchronized guarantee violated: %.3f > %.3f", worst, eps)
+		}
+	}
+}
+
+// Sliding-window TR inherits TD-TR's guarantee within each window, which
+// composes to a global guarantee.
+func TestSlidingWindowTRSyncGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	const eps = 40.0
+	p := randomTrack(rng, 300)
+	for _, w := range []int{3, 10, 50, 1000} {
+		a := SlidingWindowTR{Threshold: eps, Window: w}.Compress(p)
+		worst, err := sed.MaxError(p, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worst > eps+1e-9 {
+			t.Errorf("SW-TR(%d) guarantee violated: %.3f > %.3f", w, worst, eps)
+		}
+	}
+}
+
+func TestBottomUpCollapsesStraightLine(t *testing.T) {
+	p := evenLine(100)
+	a := BottomUp{Threshold: 1}.Compress(p)
+	if a.Len() != 2 {
+		t.Errorf("BU kept %d points on a straight constant-speed line", a.Len())
+	}
+	b := BottomUpTR{Threshold: 1}.Compress(p)
+	if b.Len() != 2 {
+		t.Errorf("BU-TR kept %d points on a straight constant-speed line", b.Len())
+	}
+}
+
+func TestBottomUpKeepsSpike(t *testing.T) {
+	p := trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 0),
+		trajectory.S(1, 10, 0),
+		trajectory.S(2, 20, 50), // spike
+		trajectory.S(3, 30, 0),
+		trajectory.S(4, 40, 0),
+	})
+	a := BottomUp{Threshold: 10}.Compress(p)
+	found := false
+	for _, s := range a {
+		if s == p[2] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("BU dropped the spike: %v", a)
+	}
+}
+
+// With a huge window, sliding-window degenerates to the batch algorithm.
+func TestSlidingWindowHugeWindowEqualsBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	p := randomTrack(rng, 120)
+	sw := SlidingWindow{Threshold: 40, Window: 10000}.Compress(p)
+	dp := DouglasPeucker{Threshold: 40}.Compress(p)
+	if sw.Len() != dp.Len() {
+		t.Fatalf("SW(huge) %d points vs DP %d", sw.Len(), dp.Len())
+	}
+	for i := range sw {
+		if sw[i] != dp[i] {
+			t.Fatalf("outputs differ at %d", i)
+		}
+	}
+}
+
+// Smaller windows compress no better than bigger ones (they add forced
+// breakpoints at window boundaries).
+func TestSlidingWindowMonotoneInWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	p := randomTrack(rng, 200)
+	small := SlidingWindowTR{Threshold: 40, Window: 5}.Compress(p)
+	big := SlidingWindowTR{Threshold: 40, Window: 100}.Compress(p)
+	if small.Len() < big.Len() {
+		t.Errorf("SW-TR(5) kept %d < SW-TR(100) kept %d", small.Len(), big.Len())
+	}
+}
+
+func TestBottomUpValidation(t *testing.T) {
+	for i, fn := range []func(){
+		func() { BottomUp{Threshold: -1}.Compress(nil) },
+		func() { BottomUpTR{Threshold: -1}.Compress(nil) },
+		func() { SlidingWindow{Threshold: 1, Window: 2}.Compress(nil) },
+		func() { SlidingWindowTR{Threshold: 1, Window: 0}.Compress(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Bottom-up with zero threshold keeps all non-collinear points; with a huge
+// threshold it collapses to the endpoints.
+func TestBottomUpThresholdExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	p := randomTrack(rng, 80)
+	if a := (BottomUpTR{Threshold: 0}).Compress(p); a.Len() != p.Len() {
+		t.Errorf("BU-TR(0) kept %d of %d", a.Len(), p.Len())
+	}
+	if a := (BottomUpTR{Threshold: 1e12}).Compress(p); a.Len() != 2 {
+		t.Errorf("BU-TR(huge) kept %d, want 2", a.Len())
+	}
+}

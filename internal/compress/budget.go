@@ -1,0 +1,224 @@
+package compress
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/sed"
+	"repro/internal/trajectory"
+)
+
+// Point-budget compression: instead of an error threshold, these algorithms
+// target a retained point count — the halting condition the paper lists
+// first in §2 ("the number of data points ... exceeds a user-defined
+// value"). They complement the threshold algorithms when the application
+// fixes a storage or transmission budget.
+
+// DouglasPeuckerN retains the N most shape-relevant points under the
+// perpendicular distance, by running the top-down split greedily (always
+// splitting at the globally worst point) until the budget is reached.
+type DouglasPeuckerN struct {
+	// N is the number of points to retain; at least 2.
+	N int
+}
+
+// Name implements Algorithm.
+func (d DouglasPeuckerN) Name() string { return fmt.Sprintf("NDP-N(%d)", d.N) }
+
+// Compress implements Algorithm.
+func (d DouglasPeuckerN) Compress(p trajectory.Trajectory) trajectory.Trajectory {
+	validateBudget("DouglasPeuckerN", d.N)
+	return topDownBudget(p, d.N, func(p trajectory.Trajectory, lo, hi int) (int, float64) {
+		line := segBetween(p, lo, hi)
+		worst, worstDist := -1, -1.0
+		for i := lo + 1; i < hi; i++ {
+			if dd := line.PerpDist(p[i].Pos()); dd > worstDist {
+				worst, worstDist = i, dd
+			}
+		}
+		return worst, worstDist
+	})
+}
+
+// TDTRN retains the N most relevant points under the synchronized
+// (time-ratio) distance — the point-budget member of the paper's time-ratio
+// class.
+type TDTRN struct {
+	// N is the number of points to retain; at least 2.
+	N int
+}
+
+// Name implements Algorithm.
+func (d TDTRN) Name() string { return fmt.Sprintf("TD-TR-N(%d)", d.N) }
+
+// Compress implements Algorithm.
+func (d TDTRN) Compress(p trajectory.Trajectory) trajectory.Trajectory {
+	validateBudget("TDTRN", d.N)
+	return topDownBudget(p, d.N, func(p trajectory.Trajectory, lo, hi int) (int, float64) {
+		worst, worstDist := -1, -1.0
+		for i := lo + 1; i < hi; i++ {
+			if dd := sed.Distance(p[i], p[lo], p[hi]); dd > worstDist {
+				worst, worstDist = i, dd
+			}
+		}
+		return worst, worstDist
+	})
+}
+
+func validateBudget(name string, n int) {
+	if n < 2 {
+		panic(fmt.Sprintf("compress: %s: budget %d < 2", name, n))
+	}
+}
+
+// worstFunc returns the interior point of p[lo..hi] with the largest
+// distance (index, distance); index is -1 when the span has no interior.
+type worstFunc func(p trajectory.Trajectory, lo, hi int) (int, float64)
+
+// splitCandidate is a heap entry: the best split of one current span.
+type splitCandidate struct {
+	lo, hi int
+	at     int
+	dist   float64
+}
+
+type splitHeap []splitCandidate
+
+func (h splitHeap) Len() int           { return len(h) }
+func (h splitHeap) Less(i, j int) bool { return h[i].dist > h[j].dist } // max-heap
+func (h splitHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *splitHeap) Push(x any)        { *h = append(*h, x.(splitCandidate)) }
+func (h *splitHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// topDownBudget splits greedily at the globally worst point until n points
+// are retained (or no split remains).
+func topDownBudget(p trajectory.Trajectory, n int, worst worstFunc) trajectory.Trajectory {
+	if out, ok := small(p); ok {
+		return out
+	}
+	if n >= p.Len() {
+		return append(trajectory.Trajectory(nil), p...)
+	}
+	keep := []int{0, p.Len() - 1}
+
+	h := splitHeap{}
+	push := func(lo, hi int) {
+		if at, dist := worst(p, lo, hi); at >= 0 {
+			heap.Push(&h, splitCandidate{lo: lo, hi: hi, at: at, dist: dist})
+		}
+	}
+	push(0, p.Len()-1)
+	for len(keep) < n && h.Len() > 0 {
+		c := heap.Pop(&h).(splitCandidate)
+		keep = append(keep, c.at)
+		push(c.lo, c.at)
+		push(c.at, c.hi)
+	}
+	sort.Ints(keep)
+	out := make(trajectory.Trajectory, len(keep))
+	for i, idx := range keep {
+		out[i] = p[idx]
+	}
+	return out
+}
+
+// SQUISH is the priority-queue online compressor from the follow-on
+// literature (Muckell et al.): a bounded buffer of Capacity points is
+// maintained; when full, the point whose removal introduces the least
+// synchronized error is dropped, and its accumulated error is credited to
+// its neighbours so repeated removals in one area are progressively
+// penalized. The output is the buffer content — a fixed-size sketch of the
+// whole trajectory, regardless of input length.
+type SQUISH struct {
+	// Capacity is the buffer size (= retained point count); at least 2.
+	Capacity int
+}
+
+// Name implements Algorithm.
+func (s SQUISH) Name() string { return fmt.Sprintf("SQUISH(%d)", s.Capacity) }
+
+// Compress implements Algorithm.
+func (s SQUISH) Compress(p trajectory.Trajectory) trajectory.Trajectory {
+	validateBudget("SQUISH", s.Capacity)
+	if out, ok := small(p); ok {
+		return out
+	}
+	if s.Capacity >= p.Len() {
+		return append(trajectory.Trajectory(nil), p...)
+	}
+
+	n := p.Len()
+	prev := make([]int, n)
+	next := make([]int, n)
+	credit := make([]float64, n) // accumulated error credited by removed neighbours
+	stamp := make([]int, n)
+	removed := make([]bool, n)
+	inBuffer := make([]bool, n)
+
+	h := mergeHeap{}
+	prio := func(i int) float64 {
+		return credit[i] + sed.Distance(p[i], p[prev[i]], p[next[i]])
+	}
+	pushPoint := func(i int) {
+		stamp[i]++
+		heap.Push(&h, mergeItem{cost: prio(i), idx: i, stamp: stamp[i]})
+	}
+
+	// Stream the points through the bounded buffer. last tracks the newest
+	// buffered index; count the buffer occupancy.
+	last := 0
+	inBuffer[0] = true
+	count := 1
+	for i := 1; i < n; i++ {
+		prev[i], next[i] = last, -1
+		next[last] = i
+		inBuffer[i] = true
+		count++
+		// The previous newest point now has both neighbours: it becomes
+		// removable.
+		if last != 0 {
+			pushPoint(last)
+		}
+		last = i
+		if count <= s.Capacity {
+			continue
+		}
+		// Evict the lowest-priority interior point.
+		for {
+			it := heap.Pop(&h).(mergeItem)
+			j := it.idx
+			if removed[j] || it.stamp != stamp[j] {
+				continue
+			}
+			removed[j] = true
+			inBuffer[j] = false
+			count--
+			a, b := prev[j], next[j]
+			next[a], prev[b] = b, a
+			credit[a] += it.cost
+			credit[b] += it.cost
+			if a != 0 {
+				pushPoint(a)
+			}
+			if b != last && b != 0 {
+				pushPoint(b)
+			}
+			break
+		}
+	}
+
+	out := make(trajectory.Trajectory, 0, s.Capacity)
+	for i := 0; i < n; i++ {
+		if inBuffer[i] {
+			out = append(out, p[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sed"
+)
+
+func TestBudgetAlgorithmsExactCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	p := randomTrack(rng, 250)
+	for _, n := range []int{2, 3, 10, 50, 249} {
+		for _, alg := range []Algorithm{
+			DouglasPeuckerN{N: n},
+			TDTRN{N: n},
+			SQUISH{Capacity: n},
+		} {
+			a := alg.Compress(p)
+			if a.Len() != n {
+				t.Errorf("%s: kept %d points, want exactly %d", alg.Name(), a.Len(), n)
+			}
+			if err := a.Validate(); err != nil {
+				t.Errorf("%s: invalid output: %v", alg.Name(), err)
+			}
+			if !a.IsVertexSubsetOf(p) {
+				t.Errorf("%s: not a vertex subset", alg.Name())
+			}
+			if a[0] != p[0] || a[a.Len()-1] != p[p.Len()-1] {
+				t.Errorf("%s: endpoints dropped", alg.Name())
+			}
+		}
+	}
+}
+
+func TestBudgetLargerThanInput(t *testing.T) {
+	p := evenLine(10)
+	for _, alg := range []Algorithm{
+		DouglasPeuckerN{N: 100}, TDTRN{N: 100}, SQUISH{Capacity: 100},
+	} {
+		a := alg.Compress(p)
+		if a.Len() != p.Len() {
+			t.Errorf("%s: kept %d of %d with oversized budget", alg.Name(), a.Len(), p.Len())
+		}
+	}
+}
+
+func TestBudgetValidation(t *testing.T) {
+	for i, fn := range []func(){
+		func() { DouglasPeuckerN{N: 1}.Compress(nil) },
+		func() { TDTRN{N: 0}.Compress(nil) },
+		func() { SQUISH{Capacity: -3}.Compress(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// The greedy budgeted top-down picks the same points the threshold version
+// would keep: running TDTRN with the size of a TDTR result reproduces it on
+// tie-free data.
+func TestTDTRNMatchesThresholdRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 10; trial++ {
+		p := randomTrack(rng, 150)
+		th := TDTR{Threshold: 40}.Compress(p)
+		budgeted := TDTRN{N: th.Len()}.Compress(p)
+		if budgeted.Len() != th.Len() {
+			t.Fatalf("lengths differ: %d vs %d", budgeted.Len(), th.Len())
+		}
+		// The retained sets coincide because greedy splitting by maximal
+		// distance is exactly the order the threshold recursion cuts.
+		for i := range th {
+			if budgeted[i] != th[i] {
+				t.Fatalf("trial %d: point %d differs: %v vs %v", trial, i, budgeted[i], th[i])
+			}
+		}
+	}
+}
+
+// More budget means no worse synchronized error.
+func TestBudgetMonotoneError(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	p := randomTrack(rng, 200)
+	prevErr := 1e18
+	for _, n := range []int{5, 10, 20, 40, 80, 160} {
+		a := TDTRN{N: n}.Compress(p)
+		e, err := sed.AvgError(p, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e > prevErr+1e-9 {
+			t.Errorf("budget %d: error %.3f above smaller-budget error %.3f", n, e, prevErr)
+		}
+		prevErr = e
+	}
+}
+
+// SQUISH, with the same point budget, should commit error within a small
+// factor of the (near-optimal, offline) budgeted top-down.
+func TestSQUISHCompetitiveWithOffline(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	var squishErr, offlineErr float64
+	for trial := 0; trial < 10; trial++ {
+		p := randomTrack(rng, 300)
+		const n = 30
+		sq := SQUISH{Capacity: n}.Compress(p)
+		off := TDTRN{N: n}.Compress(p)
+		es, err := sed.AvgError(p, sq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eo, err := sed.AvgError(p, off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		squishErr += es
+		offlineErr += eo
+	}
+	if squishErr > 5*offlineErr {
+		t.Errorf("SQUISH error %.1f not competitive with offline %.1f", squishErr, offlineErr)
+	}
+}
+
+// SQUISH processes an arbitrarily long stream with an O(capacity) buffer;
+// the retained sketch spreads over the whole trajectory rather than
+// clustering at either end.
+func TestSQUISHSketchCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	p := randomTrack(rng, 2000)
+	a := SQUISH{Capacity: 50}.Compress(p)
+	if a.Len() != 50 {
+		t.Fatalf("kept %d", a.Len())
+	}
+	// At least one retained point in every third of the journey.
+	third := p.Duration() / 3
+	counts := [3]int{}
+	for _, s := range a {
+		idx := int((s.T - p.StartTime()) / third)
+		if idx > 2 {
+			idx = 2
+		}
+		counts[idx]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("no retained points in third %d: %v", i, counts)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package compress implements the trajectory compression algorithms studied
+// and proposed by the paper, all as pure batch functions over immutable
+// trajectories (online/streaming counterparts live in internal/stream):
+//
+//   - Simple sequential baselines (§2): Uniform (every i-th point, Tobler),
+//     Radial (Euclidean neighbour elimination) and Angular (Jenks' angular
+//     change criterion).
+//   - Line-generalization algorithms (§2.1–2.2): DouglasPeucker (the paper's
+//     NDP), its O(N log N) path-hull variant DouglasPeuckerHull
+//     (Hershberger–Snoeyink), and the opening-window algorithms NOPW and
+//     BOPW.
+//   - The paper's time-ratio class (§3.2): TDTR and OPWTR, which replace the
+//     perpendicular distance with the synchronized (time-ratio) distance of
+//     internal/sed.
+//   - The paper's spatiotemporal class (§3.3): OPWSP (the pseudocode
+//     algorithm SPT) and TDSP, which add a speed-difference threshold.
+//   - DeadReckoning, an online baseline from the follow-on literature.
+//
+// Every algorithm returns a subsequence of the input samples: points are
+// only ever discarded, never moved or invented, exactly as the paper's error
+// derivation assumes ("we never invented new data points, let alone time
+// stamps", §4.2).
+package compress
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/trajectory"
+)
+
+// Algorithm is a batch trajectory compressor.
+type Algorithm interface {
+	// Name returns a short identifier such as "TD-TR" or "OPW-SP(5)".
+	Name() string
+	// Compress returns a compressed copy of p. The result is always a
+	// subsequence of p's samples, retains p's first sample, and is never
+	// longer than p. Implementations must not modify p.
+	Compress(p trajectory.Trajectory) trajectory.Trajectory
+}
+
+// Rate returns the compression rate achieved by reducing a trajectory of
+// origLen points to compLen points, as a percentage of points removed —
+// the quantity on the paper's "Compression (percent)" axes.
+// It returns 0 for empty input.
+func Rate(origLen, compLen int) float64 {
+	if origLen == 0 {
+		return 0
+	}
+	return 100 * float64(origLen-compLen) / float64(origLen)
+}
+
+// CompressAll compresses every trajectory with alg concurrently (a worker
+// per CPU), preserving input order — the batch path for archival jobs over
+// large fleets. Algorithms are pure and value-typed, so one instance is
+// shared safely across workers.
+func CompressAll(alg Algorithm, ps []trajectory.Trajectory) []trajectory.Trajectory {
+	out := make([]trajectory.Trajectory, len(ps))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ps) {
+		workers = len(ps)
+	}
+	if workers <= 1 {
+		for i, p := range ps {
+			out[i] = alg.Compress(p)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = alg.Compress(ps[i])
+			}
+		}()
+	}
+	for i := range ps {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// small returns p unchanged when it is too short to compress (fewer than 3
+// samples); ok reports whether that shortcut applies.
+func small(p trajectory.Trajectory) (trajectory.Trajectory, bool) {
+	if p.Len() < 3 {
+		return p, true
+	}
+	return nil, false
+}
+
+func validateDistance(name string, threshold float64) {
+	if threshold < 0 {
+		panic(fmt.Sprintf("compress: %s: negative distance threshold %v", name, threshold))
+	}
+}

@@ -1,0 +1,84 @@
+package compress
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trajectory"
+)
+
+// FuzzParse checks the spec parser never panics and that accepted specs
+// yield runnable algorithms.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"tdtr:30", "opwsp:30:5", "sw:10:8", "uniform:3", "", "x", "tdtr:",
+		"tdtr:1e309", "opwsp:30:5:7", ":::", "tdtr:-0", "sw:1:1e18",
+	} {
+		f.Add(seed)
+	}
+	p := evenLine(12)
+	f.Fuzz(func(t *testing.T, spec string) {
+		alg, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		a := alg.Compress(p)
+		if err := a.Validate(); err != nil {
+			t.Fatalf("spec %q produced invalid output: %v", spec, err)
+		}
+		if !a.IsVertexSubsetOf(p) {
+			t.Fatalf("spec %q output not a subsequence", spec)
+		}
+	})
+}
+
+// FuzzCompressInvariants feeds fuzz-shaped trajectories through the
+// threshold algorithms and checks the universal invariants.
+func FuzzCompressInvariants(f *testing.F) {
+	f.Add(int64(1), uint8(20), float64(30))
+	f.Add(int64(7), uint8(3), float64(0))
+	f.Add(int64(9), uint8(200), float64(1e6))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8, eps float64) {
+		if !(eps >= 0) || math.IsInf(eps, 0) || n < 3 {
+			return
+		}
+		p := fuzzTrack(seed, int(n))
+		for _, alg := range []Algorithm{
+			DouglasPeucker{Threshold: eps},
+			TDTR{Threshold: eps},
+			NOPW{Threshold: eps},
+			OPWTR{Threshold: eps},
+			BottomUpTR{Threshold: eps},
+		} {
+			a := alg.Compress(p)
+			if err := a.Validate(); err != nil {
+				t.Fatalf("%s: %v", alg.Name(), err)
+			}
+			if !a.IsVertexSubsetOf(p) {
+				t.Fatalf("%s: not a subsequence", alg.Name())
+			}
+			if a[0] != p[0] || a[a.Len()-1] != p[p.Len()-1] {
+				t.Fatalf("%s: endpoints dropped", alg.Name())
+			}
+		}
+	})
+}
+
+// fuzzTrack derives a deterministic pseudo-random trajectory from a seed
+// using a simple LCG (keeping the fuzz target self-contained).
+func fuzzTrack(seed int64, n int) trajectory.Trajectory {
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / (1 << 53)
+	}
+	p := make(trajectory.Trajectory, n)
+	t, x, y := 0.0, 0.0, 0.0
+	for i := 0; i < n; i++ {
+		p[i] = trajectory.S(t, x, y)
+		t += 0.1 + next()*20
+		x += (next() - 0.5) * 500
+		y += (next() - 0.5) * 500
+	}
+	return p
+}

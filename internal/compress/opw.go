@@ -1,0 +1,195 @@
+package compress
+
+import (
+	"fmt"
+
+	"repro/internal/sed"
+	"repro/internal/trajectory"
+)
+
+// BreakStrategy selects where an opening-window algorithm cuts a segment
+// when the halting condition is violated (paper §2.2).
+type BreakStrategy int
+
+const (
+	// BreakAtViolation cuts at the data point causing the threshold excess —
+	// the paper's "Normal Opening Window" strategy (NOPW) and the strategy
+	// of the SPT pseudocode.
+	BreakAtViolation BreakStrategy = iota
+	// BreakBefore cuts at the data point just before the float when the
+	// excess occurs — the paper's "Before Opening Window" strategy (BOPW).
+	// It yields higher compression at the cost of (much) higher error.
+	BreakBefore
+)
+
+// String implements fmt.Stringer.
+func (b BreakStrategy) String() string {
+	switch b {
+	case BreakAtViolation:
+		return "at-violation"
+	case BreakBefore:
+		return "before"
+	default:
+		return fmt.Sprintf("BreakStrategy(%d)", int(b))
+	}
+}
+
+// violationFunc reports whether intermediate point i violates the halting
+// condition for the candidate segment from anchor to float.
+type violationFunc func(p trajectory.Trajectory, anchor, float, i int) bool
+
+// openingWindow runs the shared opening-window scheme (paper §2.2 and the
+// SPT pseudocode of §3.3).
+//
+// The anchor starts at the first point and the float two positions later.
+// All intermediate points are tested; on the first violation the series is
+// cut according to strategy, the cut point becomes the new anchor, and the
+// window re-opens. Without violation the float moves one up.
+//
+// When dropTail is false (the default behaviour of all exported algorithms)
+// the final data point is always emitted, closing the last window — the
+// countermeasure the paper calls for after observing that OW algorithms "may
+// lose the last few data points". With dropTail true the raw behaviour of
+// Figs. 2–3 is reproduced for ablation: the tail after the last cut is
+// discarded.
+func openingWindow(p trajectory.Trajectory, strategy BreakStrategy, dropTail bool, violates violationFunc) trajectory.Trajectory {
+	if out, ok := small(p); ok {
+		return out
+	}
+	out := trajectory.Trajectory{p[0]}
+	anchor := 0
+	e := anchor + 2
+	for e < p.Len() {
+		cut := -1
+		for i := anchor + 1; i < e; i++ {
+			if violates(p, anchor, e, i) {
+				if strategy == BreakBefore {
+					cut = e - 1
+				} else {
+					cut = i
+				}
+				break
+			}
+		}
+		if cut < 0 {
+			e++
+			continue
+		}
+		if cut == anchor {
+			// A BreakBefore cut can coincide with the anchor when the window
+			// is at its minimum size; advance by one point to guarantee
+			// progress.
+			cut = anchor + 1
+		}
+		out = append(out, p[cut])
+		anchor = cut
+		e = anchor + 2
+	}
+	if !dropTail {
+		if last := p[p.Len()-1]; out[len(out)-1] != last {
+			out = append(out, last)
+		}
+	}
+	return out
+}
+
+// NOPW is the Normal Opening Window algorithm (§2.2): perpendicular-distance
+// halting condition, cutting at the data point causing the threshold excess.
+type NOPW struct {
+	// Threshold is the perpendicular distance tolerance in metres.
+	Threshold float64
+	// DropTail reproduces the raw tail-losing behaviour of Fig. 2 when set;
+	// by default the final point is retained.
+	DropTail bool
+}
+
+// Name implements Algorithm.
+func (a NOPW) Name() string { return "NOPW" }
+
+// Compress implements Algorithm.
+func (a NOPW) Compress(p trajectory.Trajectory) trajectory.Trajectory {
+	validateDistance("NOPW", a.Threshold)
+	return openingWindow(p, BreakAtViolation, a.DropTail, func(p trajectory.Trajectory, anchor, float, i int) bool {
+		return segBetween(p, anchor, float).PerpDist(p[i].Pos()) > a.Threshold
+	})
+}
+
+// BOPW is the Before Opening Window algorithm (§2.2): like NOPW but cutting
+// at the data point just before the float when the excess occurs.
+type BOPW struct {
+	// Threshold is the perpendicular distance tolerance in metres.
+	Threshold float64
+	// DropTail reproduces the raw tail-losing behaviour of Fig. 3 when set.
+	DropTail bool
+}
+
+// Name implements Algorithm.
+func (a BOPW) Name() string { return "BOPW" }
+
+// Compress implements Algorithm.
+func (a BOPW) Compress(p trajectory.Trajectory) trajectory.Trajectory {
+	validateDistance("BOPW", a.Threshold)
+	return openingWindow(p, BreakBefore, a.DropTail, func(p trajectory.Trajectory, anchor, float, i int) bool {
+		return segBetween(p, anchor, float).PerpDist(p[i].Pos()) > a.Threshold
+	})
+}
+
+// OPWTR is the paper's opening-window time-ratio algorithm (§3.2): the
+// opening-window scheme with the synchronized (time-ratio) distance as the
+// halting condition.
+type OPWTR struct {
+	// Threshold is the synchronized distance tolerance in metres.
+	Threshold float64
+	// Strategy selects the break point; the paper uses BreakAtViolation.
+	// BreakBefore is provided for the ablation of §5 of DESIGN.md.
+	Strategy BreakStrategy
+	// DropTail disables the keep-last countermeasure when set.
+	DropTail bool
+}
+
+// Name implements Algorithm.
+func (a OPWTR) Name() string { return "OPW-TR" }
+
+// Compress implements Algorithm.
+func (a OPWTR) Compress(p trajectory.Trajectory) trajectory.Trajectory {
+	validateDistance("OPWTR", a.Threshold)
+	return openingWindow(p, a.Strategy, a.DropTail, func(p trajectory.Trajectory, anchor, float, i int) bool {
+		return sed.Distance(p[i], p[anchor], p[float]) > a.Threshold
+	})
+}
+
+// OPWSP is the paper's spatiotemporal opening-window algorithm — the
+// pseudocode procedure SPT of §3.3. A point is retained when its
+// synchronized distance to the candidate segment exceeds DistThreshold or
+// when the derived speeds of its adjacent segments differ by more than
+// SpeedThreshold.
+type OPWSP struct {
+	// DistThreshold is the synchronized distance tolerance in metres
+	// (max_dist_error in the pseudocode).
+	DistThreshold float64
+	// SpeedThreshold is the speed-difference tolerance in m/s
+	// (max_speed_error in the pseudocode).
+	SpeedThreshold float64
+	// DropTail disables the keep-last countermeasure when set.
+	DropTail bool
+}
+
+// Name implements Algorithm.
+func (a OPWSP) Name() string { return fmt.Sprintf("OPW-SP(%gm/s)", a.SpeedThreshold) }
+
+// Compress implements Algorithm.
+func (a OPWSP) Compress(p trajectory.Trajectory) trajectory.Trajectory {
+	validateDistance("OPWSP", a.DistThreshold)
+	if a.SpeedThreshold <= 0 {
+		panic(fmt.Sprintf("compress: OPWSP: non-positive speed threshold %v", a.SpeedThreshold))
+	}
+	return openingWindow(p, BreakAtViolation, a.DropTail, func(p trajectory.Trajectory, anchor, float, i int) bool {
+		if sed.Distance(p[i], p[anchor], p[float]) > a.DistThreshold {
+			return true
+		}
+		// The pseudocode's ‖v_i − v_{i−1}‖ check uses the original series'
+		// derived speeds around point i; i+1 ≤ float < len(p) so the lookup
+		// is always in range.
+		return speedJump(p, i) > a.SpeedThreshold
+	})
+}

@@ -1,0 +1,179 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sed"
+	"repro/internal/trajectory"
+)
+
+// A square-wave path whose spikes exceed the threshold pins down the two
+// break-point strategies of §2.2: NOPW cuts at the offending point, BOPW at
+// the point just before the float.
+func spiky() trajectory.Trajectory {
+	// Baseline along y=0 with a spike at every 3rd point.
+	var p trajectory.Trajectory
+	for i := 0; i < 12; i++ {
+		y := 0.0
+		if i%3 == 2 {
+			y = 50
+		}
+		p = append(p, trajectory.S(float64(i*10), float64(i*100), y))
+	}
+	return p
+}
+
+func TestNOPWBreaksAtViolation(t *testing.T) {
+	p := spiky()
+	a := NOPW{Threshold: 20}.Compress(p)
+	// Every spike (indices 2, 5, 8) must appear as a break point.
+	for _, want := range []int{2, 5, 8} {
+		sub := trajectory.Trajectory{p[want]}
+		if !sub.IsVertexSubsetOf(a) {
+			t.Errorf("NOPW output %v missing spike point %d", a, want)
+		}
+	}
+}
+
+func TestBOPWBreaksBeforeFloat(t *testing.T) {
+	// Three points: anchor, a violating middle, and the float. BOPW with
+	// minimum window must still make progress and cut after the anchor.
+	p := trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 0),
+		trajectory.S(1, 10, 50),
+		trajectory.S(2, 20, 0),
+		trajectory.S(3, 30, 50),
+		trajectory.S(4, 40, 0),
+	})
+	a := BOPW{Threshold: 20}.Compress(p)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("BOPW emitted invalid output: %v", err)
+	}
+	if a[0] != p[0] || a[a.Len()-1] != p[p.Len()-1] {
+		t.Fatalf("BOPW dropped endpoints: %v", a)
+	}
+}
+
+// BOPW compresses at least as much as NOPW on the same data — the paper's
+// Fig. 8 observation.
+func TestBOPWCompressesMore(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	totalN, totalB := 0, 0
+	for trial := 0; trial < 20; trial++ {
+		p := randomTrack(rng, 200)
+		totalN += NOPW{Threshold: 40}.Compress(p).Len()
+		totalB += BOPW{Threshold: 40}.Compress(p).Len()
+	}
+	if totalB > totalN {
+		t.Errorf("BOPW kept more points (%d) than NOPW (%d) in aggregate", totalB, totalN)
+	}
+}
+
+// OPW-TR commits far lower synchronized error than NOPW at comparable
+// thresholds — the paper's Fig. 9 claim, tested on dwell-heavy data.
+func TestOPWTRBeatsNOPWOnSyncError(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	var errN, errTR float64
+	for trial := 0; trial < 10; trial++ {
+		p := dwellTrack(rng, 150)
+		n := NOPW{Threshold: 40}.Compress(p)
+		tr := OPWTR{Threshold: 40}.Compress(p)
+		en, err := sed.AvgError(p, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		etr, err := sed.AvgError(p, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errN += en
+		errTR += etr
+	}
+	if errTR >= errN {
+		t.Errorf("OPW-TR aggregate error %.2f not below NOPW %.2f", errTR, errN)
+	}
+}
+
+// dwellTrack interleaves crawling and sprinting along a meandering path so
+// that time-parameterization matters.
+func dwellTrack(rng *rand.Rand, n int) trajectory.Trajectory {
+	p := make(trajectory.Trajectory, n)
+	t, x, y := 0.0, 0.0, 0.0
+	heading := 0.0
+	for i := 0; i < n; i++ {
+		p[i] = trajectory.S(t, x, y)
+		speed := 1.0
+		if (i/10)%2 == 0 {
+			speed = 25
+		}
+		heading += rng.NormFloat64() * 0.15
+		dt := 10.0
+		t += dt
+		x += speed * dt * math.Cos(heading)
+		y += speed * dt * math.Sin(heading)
+	}
+	return p
+}
+
+func TestOPWSPSpeedCriterion(t *testing.T) {
+	// Straight line with a hard stop: only the speed criterion can trigger.
+	p := trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 0),
+		trajectory.S(10, 100, 0),  // 10 m/s
+		trajectory.S(110, 200, 0), // 1 m/s
+		trajectory.S(120, 300, 0), // 10 m/s
+	})
+	a := OPWSP{DistThreshold: 1e6, SpeedThreshold: 5}.Compress(p)
+	if a.Len() < 3 {
+		t.Fatalf("OPW-SP ignored a 9 m/s speed jump: %v", a)
+	}
+	b := OPWSP{DistThreshold: 1e6, SpeedThreshold: 15}.Compress(p)
+	if b.Len() != 2 {
+		t.Fatalf("OPW-SP kept %d points with a lenient speed threshold, want 2", b.Len())
+	}
+}
+
+// With a huge speed threshold OPW-SP reduces to OPW-TR, the coincidence the
+// paper reports between OPW-SP(25 m/s) and OPW-TR in Figs. 10–11.
+func TestOPWSPReducesToOPWTR(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 10; trial++ {
+		p := randomTrack(rng, 150)
+		sp := OPWSP{DistThreshold: 40, SpeedThreshold: 1e9}.Compress(p)
+		tr := OPWTR{Threshold: 40}.Compress(p)
+		if sp.Len() != tr.Len() {
+			t.Fatalf("lengths differ: OPW-SP %d vs OPW-TR %d", sp.Len(), tr.Len())
+		}
+		for i := range sp {
+			if sp[i] != tr[i] {
+				t.Fatalf("outputs differ at %d", i)
+			}
+		}
+	}
+}
+
+// DropTail reproduces the tail-losing behaviour of Figs. 2–3; the default
+// keeps the last point.
+func TestDropTailAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	p := randomTrack(rng, 100)
+	kept := OPWTR{Threshold: 40}.Compress(p)
+	if kept[kept.Len()-1] != p[p.Len()-1] {
+		t.Error("default OPW-TR lost the last point")
+	}
+	dropped := OPWTR{Threshold: 40, DropTail: true}.Compress(p)
+	if dropped.Len() > kept.Len() {
+		t.Error("DropTail output longer than default")
+	}
+}
+
+func TestBreakStrategyString(t *testing.T) {
+	if BreakAtViolation.String() != "at-violation" || BreakBefore.String() != "before" {
+		t.Error("BreakStrategy strings wrong")
+	}
+	if BreakStrategy(9).String() == "" {
+		t.Error("unknown strategy has empty string")
+	}
+}

@@ -1,0 +1,166 @@
+package compress
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds an Algorithm from a compact textual spec, as used by the
+// command-line tools:
+//
+//	uniform:K            keep every K-th point
+//	radial:D             neighbour elimination, min spacing D metres
+//	angular:A            Jenks criterion, min turn angle A radians
+//	dr:D                 dead reckoning, deviation D metres
+//	ndp:D                Douglas-Peucker, perpendicular tolerance D metres
+//	ndphull:D            hull-accelerated Douglas-Peucker
+//	nopw:D               normal opening window
+//	bopw:D               before opening window
+//	tdtr:D               top-down time ratio
+//	opwtr:D              opening-window time ratio
+//	opwsp:D:V            opening-window spatiotemporal, speed tolerance V m/s
+//	tdsp:D:V             top-down spatiotemporal
+//	bu:D                 bottom-up, perpendicular tolerance D metres
+//	butr:D               bottom-up time ratio
+//	sw:D:W               sliding window: Douglas-Peucker in windows of W points
+//	swtr:D:W             sliding window time ratio
+//	ndpn:N               Douglas-Peucker to a budget of N points
+//	tdtrn:N              top-down time ratio to a budget of N points
+//	squish:N             SQUISH online sketch of N points
+//	vw:A                 Visvalingam–Whyatt, effective area tolerance A m²
+//
+// Algorithm names are case-insensitive.
+func Parse(spec string) (Algorithm, error) {
+	parts := strings.Split(spec, ":")
+	name := strings.ToLower(strings.TrimSpace(parts[0]))
+	args := parts[1:]
+
+	num := func(i int) (float64, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("compress: spec %q: missing argument %d for %s", spec, i+1, name)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(args[i]), 64)
+		if err != nil {
+			return 0, fmt.Errorf("compress: spec %q: argument %d: %w", spec, i+1, err)
+		}
+		return v, nil
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("compress: spec %q: %s takes %d argument(s), got %d", spec, name, n, len(args))
+		}
+		return nil
+	}
+
+	switch name {
+	case "uniform":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		k, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		if k < 1 || k != float64(int(k)) {
+			return nil, fmt.Errorf("compress: spec %q: stride must be a positive integer", spec)
+		}
+		return Uniform{K: int(k)}, nil
+	case "radial", "angular", "dr", "ndp", "ndphull", "nopw", "bopw", "tdtr", "opwtr", "bu", "butr", "vw":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		d, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		if d < 0 {
+			return nil, fmt.Errorf("compress: spec %q: negative threshold", spec)
+		}
+		switch name {
+		case "radial":
+			return Radial{Threshold: d}, nil
+		case "angular":
+			return Angular{AngleThreshold: d}, nil
+		case "dr":
+			return DeadReckoning{Threshold: d}, nil
+		case "ndp":
+			return DouglasPeucker{Threshold: d}, nil
+		case "ndphull":
+			return DouglasPeuckerHull{Threshold: d}, nil
+		case "nopw":
+			return NOPW{Threshold: d}, nil
+		case "bopw":
+			return BOPW{Threshold: d}, nil
+		case "tdtr":
+			return TDTR{Threshold: d}, nil
+		case "bu":
+			return BottomUp{Threshold: d}, nil
+		case "butr":
+			return BottomUpTR{Threshold: d}, nil
+		case "vw":
+			return Visvalingam{AreaThreshold: d}, nil
+		default:
+			return OPWTR{Threshold: d}, nil
+		}
+	case "ndpn", "tdtrn", "squish":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		n, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		if n < 2 || n != float64(int(n)) {
+			return nil, fmt.Errorf("compress: spec %q: point budget must be an integer ≥ 2", spec)
+		}
+		switch name {
+		case "ndpn":
+			return DouglasPeuckerN{N: int(n)}, nil
+		case "tdtrn":
+			return TDTRN{N: int(n)}, nil
+		default:
+			return SQUISH{Capacity: int(n)}, nil
+		}
+	case "sw", "swtr":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		d, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		w, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		if d < 0 || w < 3 || w != float64(int(w)) {
+			return nil, fmt.Errorf("compress: spec %q: need threshold ≥ 0 and integer window ≥ 3", spec)
+		}
+		if name == "sw" {
+			return SlidingWindow{Threshold: d, Window: int(w)}, nil
+		}
+		return SlidingWindowTR{Threshold: d, Window: int(w)}, nil
+	case "opwsp", "tdsp":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		d, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		if d < 0 || v <= 0 {
+			return nil, fmt.Errorf("compress: spec %q: thresholds must be positive", spec)
+		}
+		if name == "opwsp" {
+			return OPWSP{DistThreshold: d, SpeedThreshold: v}, nil
+		}
+		return TDSP{DistThreshold: d, SpeedThreshold: v}, nil
+	default:
+		return nil, fmt.Errorf("compress: unknown algorithm %q (see Parse docs for the supported set)", name)
+	}
+}

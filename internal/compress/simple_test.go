@@ -1,0 +1,139 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/trajectory"
+)
+
+func evenLine(n int) trajectory.Trajectory {
+	p := make(trajectory.Trajectory, n)
+	for i := range p {
+		p[i] = trajectory.S(float64(i), float64(i*10), 0)
+	}
+	return p
+}
+
+func TestUniform(t *testing.T) {
+	p := evenLine(10)
+	a := Uniform{K: 3}.Compress(p)
+	want := trajectory.Trajectory{p[0], p[3], p[6], p[9]}
+	if a.Len() != want.Len() {
+		t.Fatalf("Uniform(3) = %v", a)
+	}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("Uniform(3)[%d] = %v, want %v", i, a[i], want[i])
+		}
+	}
+	// K=1 keeps everything.
+	if got := (Uniform{K: 1}).Compress(p); got.Len() != p.Len() {
+		t.Errorf("Uniform(1) kept %d of %d", got.Len(), p.Len())
+	}
+	// Last point always kept even when the stride misses it.
+	if got := (Uniform{K: 4}).Compress(p); got[got.Len()-1] != p[9] {
+		t.Errorf("Uniform(4) lost the last point: %v", got)
+	}
+}
+
+func TestRadial(t *testing.T) {
+	p := evenLine(10) // 10 m spacing
+	a := Radial{Threshold: 25}.Compress(p)
+	// Points at least 25 m from the last retained: 0, 30, 60, 90 plus last.
+	if a.Len() != 4 {
+		t.Fatalf("Radial(25) kept %d points: %v", a.Len(), a)
+	}
+	for i := 1; i < a.Len()-1; i++ {
+		if d := a[i].Pos().Dist(a[i-1].Pos()); d < 25 {
+			t.Errorf("retained points %d,%d only %v m apart", i-1, i, d)
+		}
+	}
+	// Zero threshold keeps everything.
+	if got := (Radial{Threshold: 0}).Compress(p); got.Len() != p.Len() {
+		t.Errorf("Radial(0) kept %d of %d", got.Len(), p.Len())
+	}
+}
+
+func TestAngular(t *testing.T) {
+	// An L-shape: only the corner turns.
+	p := trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 0),
+		trajectory.S(1, 10, 0),
+		trajectory.S(2, 20, 0),
+		trajectory.S(3, 20, 10), // right-angle turn happens at index 2
+		trajectory.S(4, 20, 20),
+	})
+	a := Angular{AngleThreshold: 0.5}.Compress(p)
+	// The corner point (index 2) must be retained.
+	found := false
+	for _, s := range a {
+		if s == p[2] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Angular dropped the corner: %v", a)
+	}
+	// Straight-line interior points must be dropped.
+	if a.Len() >= p.Len() {
+		t.Errorf("Angular kept everything: %v", a)
+	}
+}
+
+func TestAngularDistBound(t *testing.T) {
+	p := evenLine(100) // perfectly straight: no angles at all
+	a := Angular{AngleThreshold: 0.1, DistThreshold: 95}.Compress(p)
+	// The distance bound forces a retained point at least every ~95 m.
+	for i := 1; i < a.Len(); i++ {
+		if d := a[i].Pos().Dist(a[i-1].Pos()); d > 200 {
+			t.Errorf("gap of %v m exceeds the distance bound regime", d)
+		}
+	}
+	if a.Len() < 5 {
+		t.Errorf("distance bound ignored, only %d points kept", a.Len())
+	}
+}
+
+func TestDeadReckoningConstantVelocity(t *testing.T) {
+	// Perfectly linear motion is fully predictable: everything between the
+	// endpoints is discarded.
+	p := evenLine(50)
+	a := DeadReckoning{Threshold: 1}.Compress(p)
+	if a.Len() != 2 {
+		t.Errorf("DeadReckoning kept %d points on constant-velocity motion", a.Len())
+	}
+}
+
+func TestDeadReckoningTurn(t *testing.T) {
+	// Straight, then an abrupt 90° turn: the turn breaks the prediction.
+	var p trajectory.Trajectory
+	for i := 0; i < 10; i++ {
+		p = append(p, trajectory.S(float64(i), float64(i*10), 0))
+	}
+	for i := 0; i < 10; i++ {
+		p = append(p, trajectory.S(float64(10+i), 90, float64((i+1)*10)))
+	}
+	a := DeadReckoning{Threshold: 5}.Compress(p)
+	if a.Len() < 3 {
+		t.Errorf("DeadReckoning missed the turn: %v", a)
+	}
+	if a.Len() > 6 {
+		t.Errorf("DeadReckoning kept too many points (%d) on piecewise-linear motion", a.Len())
+	}
+}
+
+// Higher stride ⇒ fewer points, monotonically.
+func TestUniformMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	p := randomTrack(rng, 333)
+	prev := math.MaxInt
+	for k := 1; k <= 10; k++ {
+		n := Uniform{K: k}.Compress(p).Len()
+		if n > prev {
+			t.Fatalf("Uniform(%d) kept %d > Uniform(%d) kept %d", k, n, k-1, prev)
+		}
+		prev = n
+	}
+}

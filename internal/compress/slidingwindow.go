@@ -1,0 +1,77 @@
+package compress
+
+import (
+	"fmt"
+
+	"repro/internal/trajectory"
+)
+
+// Sliding-window algorithms (§2's fourth category): "a window of fixed size
+// is moved over the data points, and compression takes place only on the
+// data points inside the window". Each consecutive window of Window data
+// points (adjacent windows share their boundary point) is compressed
+// independently with the corresponding top-down algorithm; the results are
+// concatenated. The fixed window bounds both latency and per-step work,
+// trading some compression against the batch algorithms, which see the
+// whole series.
+
+// SlidingWindow applies Douglas-Peucker within fixed windows
+// (perpendicular distance).
+type SlidingWindow struct {
+	// Threshold is the perpendicular distance tolerance in metres.
+	Threshold float64
+	// Window is the number of data points per window; must be ≥ 3.
+	Window int
+}
+
+// Name implements Algorithm.
+func (a SlidingWindow) Name() string { return fmt.Sprintf("SW(%d)", a.Window) }
+
+// Compress implements Algorithm.
+func (a SlidingWindow) Compress(p trajectory.Trajectory) trajectory.Trajectory {
+	validateDistance("SlidingWindow", a.Threshold)
+	validateSWWindow(a.Window)
+	return slidingWindow(p, a.Window, DouglasPeucker{Threshold: a.Threshold})
+}
+
+// SlidingWindowTR applies TD-TR within fixed windows (synchronized
+// distance) — the sliding-window member of the paper's time-ratio class.
+type SlidingWindowTR struct {
+	// Threshold is the synchronized distance tolerance in metres.
+	Threshold float64
+	// Window is the number of data points per window; must be ≥ 3.
+	Window int
+}
+
+// Name implements Algorithm.
+func (a SlidingWindowTR) Name() string { return fmt.Sprintf("SW-TR(%d)", a.Window) }
+
+// Compress implements Algorithm.
+func (a SlidingWindowTR) Compress(p trajectory.Trajectory) trajectory.Trajectory {
+	validateDistance("SlidingWindowTR", a.Threshold)
+	validateSWWindow(a.Window)
+	return slidingWindow(p, a.Window, TDTR{Threshold: a.Threshold})
+}
+
+func validateSWWindow(w int) {
+	if w < 3 {
+		panic(fmt.Sprintf("compress: sliding window size %d must be ≥ 3", w))
+	}
+}
+
+func slidingWindow(p trajectory.Trajectory, window int, inner Algorithm) trajectory.Trajectory {
+	if out, ok := small(p); ok {
+		return out
+	}
+	out := trajectory.Trajectory{p[0]}
+	for lo := 0; lo < p.Len()-1; lo += window - 1 {
+		hi := lo + window - 1
+		if hi > p.Len()-1 {
+			hi = p.Len() - 1
+		}
+		part := inner.Compress(p.Sub(lo, hi))
+		// The window's first point equals the previous window's last; skip it.
+		out = append(out, part[1:]...)
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/trajectory"
+)
+
+func TestVisvalingamBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	p := randomTrack(rng, 150)
+	a := Visvalingam{AreaThreshold: 500}.Compress(p)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("invalid output: %v", err)
+	}
+	if !a.IsVertexSubsetOf(p) {
+		t.Fatal("not a vertex subset")
+	}
+	if a[0] != p[0] || a[a.Len()-1] != p[p.Len()-1] {
+		t.Fatal("endpoints dropped")
+	}
+	if a.Len() >= p.Len() {
+		t.Errorf("no compression at 500 m² (kept %d of %d)", a.Len(), p.Len())
+	}
+}
+
+func TestVisvalingamCollinear(t *testing.T) {
+	// Collinear points subtend zero area and vanish at any threshold.
+	p := evenLine(50)
+	a := Visvalingam{AreaThreshold: 1e-9}.Compress(p)
+	if a.Len() != 2 {
+		t.Errorf("kept %d points on a straight line, want 2", a.Len())
+	}
+}
+
+func TestVisvalingamKeepsBigFeatures(t *testing.T) {
+	// A large detour triangle must survive a modest area threshold.
+	p := trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 0),
+		trajectory.S(1, 100, 1),
+		trajectory.S(2, 200, 500), // large detour
+		trajectory.S(3, 300, -1),
+		trajectory.S(4, 400, 0),
+	})
+	a := Visvalingam{AreaThreshold: 1000}.Compress(p)
+	found := false
+	for _, s := range a {
+		if s == p[2] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("large detour removed: %v", a)
+	}
+}
+
+func TestVisvalingamMonotoneInThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	p := randomTrack(rng, 200)
+	prev := p.Len() + 1
+	for _, th := range []float64{1, 100, 1e4, 1e6, 1e9} {
+		n := Visvalingam{AreaThreshold: th}.Compress(p).Len()
+		if n > prev {
+			t.Errorf("threshold %g kept %d > %d at smaller threshold", th, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestVisvalingamValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative area threshold accepted")
+		}
+	}()
+	Visvalingam{AreaThreshold: -1}.Compress(nil)
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import "testing"
+
+func TestAblationTailDrop(t *testing.T) {
+	f := AblationTailDrop()
+	keep, drop := f.Series[0], f.Series[1]
+	// Dropping the tail can only discard more points, so its compression is
+	// at least as high at every threshold.
+	for i := range keep.Thresholds {
+		if drop.Compression[i] < keep.Compression[i]-1e-9 {
+			t.Errorf("threshold %.0f: drop-tail compression %.2f below keep-last %.2f",
+				keep.Thresholds[i], drop.Compression[i], keep.Compression[i])
+		}
+	}
+	// Keeping the last point must respect the synchronized guarantee; the
+	// tail-dropping variant is only evaluated over its covered prefix, so
+	// both error series stay at the same order.
+	if mean(drop.Error) > 3*mean(keep.Error)+10 {
+		t.Errorf("drop-tail error %.1f implausibly above keep-last %.1f", mean(drop.Error), mean(keep.Error))
+	}
+}
+
+func TestAblationBreakStrategy(t *testing.T) {
+	f := AblationBreakStrategy()
+	at, before := f.Series[0], f.Series[1]
+	// Break-before merges more aggressively: higher compression — the
+	// synchronized-distance analogue of the paper's Fig. 8 result.
+	if mean(before.Compression) < mean(at.Compression) {
+		t.Errorf("break-before compression %.1f below at-violation %.1f",
+			mean(before.Compression), mean(at.Compression))
+	}
+	// Unlike BOPW under perpendicular distance, both variants keep the
+	// synchronized max-error guarantee, so average errors stay within the
+	// thresholds.
+	for i, th := range before.Thresholds {
+		if before.Error[i] > th {
+			t.Errorf("break-before error %.1f exceeds threshold %.0f", before.Error[i], th)
+		}
+	}
+}
+
+func TestBudgetFigure(t *testing.T) {
+	f := BudgetFigure()
+	byName := map[string]Series{}
+	for _, s := range f.Series {
+		byName[s.Name] = s
+	}
+	// At every budget, the time-aware budgeted top-down beats uniform
+	// sampling and the offline algorithm beats (or matches) the online
+	// sketch.
+	tdtrn, uniform := byName["TD-TR-N"], byName["Uniform"]
+	squish := byName["SQUISH"]
+	for i := range tdtrn.Thresholds {
+		if tdtrn.Error[i] >= uniform.Error[i] {
+			t.Errorf("budget %.0f: TD-TR-N error %.1f not below Uniform %.1f",
+				tdtrn.Thresholds[i], tdtrn.Error[i], uniform.Error[i])
+		}
+		if tdtrn.Error[i] > squish.Error[i]*1.2+1 {
+			t.Errorf("budget %.0f: offline TD-TR-N error %.1f above online SQUISH %.1f",
+				tdtrn.Thresholds[i], tdtrn.Error[i], squish.Error[i])
+		}
+	}
+	// Error decreases with budget for every series.
+	for _, s := range f.Series {
+		for i := 1; i < len(s.Error); i++ {
+			if s.Error[i] > s.Error[i-1]*1.3+1 {
+				t.Errorf("%s: error grew substantially with budget at %v", s.Name, s.Thresholds[i])
+			}
+		}
+	}
+}
+
+func TestMapMatchFigure(t *testing.T) {
+	f := MapMatchFigure()
+	raw, matched := f.Series[0], f.Series[1]
+	// At every threshold, matching first compresses at least as hard and
+	// stays closer to the ground truth.
+	for i, th := range raw.Thresholds {
+		if matched.Compression[i] < raw.Compression[i]-1 {
+			t.Errorf("threshold %.0f: matched compression %.1f below raw %.1f",
+				th, matched.Compression[i], raw.Compression[i])
+		}
+		if matched.Error[i] > raw.Error[i]+0.5 {
+			t.Errorf("threshold %.0f: matched truth-error %.1f above raw %.1f",
+				th, matched.Error[i], raw.Error[i])
+		}
+	}
+}
+
+func TestTaxonomyFigure(t *testing.T) {
+	f := TaxonomyFigure()
+	if len(f.Series) != 4 {
+		t.Fatalf("taxonomy has %d series", len(f.Series))
+	}
+	byName := map[string]Series{}
+	for _, s := range f.Series {
+		byName[s.Name] = s
+	}
+	// All four scan strategies inherit the synchronized guarantee: average
+	// error bounded by the threshold.
+	for name, s := range byName {
+		for i, th := range s.Thresholds {
+			if s.Error[i] > th {
+				t.Errorf("%s: error %.1f exceeds threshold %.0f", name, s.Error[i], th)
+			}
+		}
+	}
+	// Batch algorithms with global view (TD, BU) compress at least as well
+	// as the windowed ones on average.
+	if mean(byName["BU-TR"].Compression) < mean(byName["SW-TR(20)"].Compression)-5 {
+		t.Errorf("BU-TR compression %.1f unexpectedly below SW-TR %.1f",
+			mean(byName["BU-TR"].Compression), mean(byName["SW-TR(20)"].Compression))
+	}
+}

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"text/tabwriter"
+)
+
+// Claim is one machine-checked statement from the paper's evaluation.
+type Claim struct {
+	ID        string // e.g. "F7.1"
+	Statement string // the paper's claim, paraphrased
+	Pass      bool
+	Detail    string // measured quantities backing the verdict
+}
+
+var (
+	claimsOnce sync.Once
+	claimsMemo []Claim
+)
+
+// VerifyClaims evaluates every qualitative claim of the paper's §4 against
+// the reproduction and returns the checklist — the repository's
+// "reproduction certificate". Results are memoized.
+func VerifyClaims() []Claim {
+	claimsOnce.Do(func() { claimsMemo = verifyClaims() })
+	return claimsMemo
+}
+
+func verifyClaims() []Claim {
+	var out []Claim
+	add := func(id, statement string, pass bool, detail string, args ...any) {
+		out = append(out, Claim{ID: id, Statement: statement, Pass: pass, Detail: fmt.Sprintf(detail, args...)})
+	}
+
+	// Table 2 calibration.
+	t2 := Table2()
+	add("T2.1", "dataset duration matches Table 2 (00:32:16 ± 20%)",
+		t2.Mean.Duration > 1936*0.8 && t2.Mean.Duration < 1936*1.2,
+		"measured %.0f s vs paper 1936 s", t2.Mean.Duration)
+	add("T2.2", "dataset speed matches Table 2 (40.85 km/h ± 25%)",
+		t2.Mean.AvgSpeed*3.6 > 30 && t2.Mean.AvgSpeed*3.6 < 51,
+		"measured %.2f km/h vs paper 40.85 km/h", t2.Mean.AvgSpeed*3.6)
+	add("T2.3", "dataset size matches Table 2 (≈200 points per trajectory)",
+		t2.Mean.NumPoints >= 140 && t2.Mean.NumPoints <= 260,
+		"measured %d points vs paper 200", t2.Mean.NumPoints)
+
+	f7 := Figure7()
+	ndp, tdtr := f7.Series[0], f7.Series[1]
+	add("F7.1", "TD-TR produces much lower errors than NDP",
+		meanOf(tdtr.Error) < meanOf(ndp.Error)/2,
+		"mean error %.1f m vs %.1f m", meanOf(tdtr.Error), meanOf(ndp.Error))
+	add("F7.2", "TD-TR compression is only slightly lower than NDP's",
+		meanOf(ndp.Compression)-meanOf(tdtr.Compression) > 0 &&
+			meanOf(ndp.Compression)-meanOf(tdtr.Compression) < 30,
+		"mean compression %.1f%% vs %.1f%%", meanOf(tdtr.Compression), meanOf(ndp.Compression))
+	add("F7.3", "compression and error increase monotonically with threshold, flattening",
+		nearlyMonotone(ndp.Compression) && nearlyMonotone(tdtr.Compression) &&
+			nearlyMonotone(tdtr.Error),
+		"NDP comp %.1f→%.1f%%, TD-TR comp %.1f→%.1f%%",
+		ndp.Compression[0], ndp.Compression[len(ndp.Compression)-1],
+		tdtr.Compression[0], tdtr.Compression[len(tdtr.Compression)-1])
+
+	f8 := Figure8()
+	bopw, nopw := f8.Series[0], f8.Series[1]
+	add("F8.1", "BOPW yields higher compression but worse errors than NOPW",
+		meanOf(bopw.Compression) >= meanOf(nopw.Compression) &&
+			meanOf(bopw.Error) >= meanOf(nopw.Error),
+		"BOPW %.1f%% / %.1f m vs NOPW %.1f%% / %.1f m",
+		meanOf(bopw.Compression), meanOf(bopw.Error),
+		meanOf(nopw.Compression), meanOf(nopw.Error))
+
+	f9 := Figure9()
+	nopw9, opwtr := f9.Series[0], f9.Series[1]
+	add("F9.1", "OPW-TR is superior to NOPW on error",
+		meanOf(opwtr.Error) < meanOf(nopw9.Error)/2,
+		"mean error %.1f m vs %.1f m", meanOf(opwtr.Error), meanOf(nopw9.Error))
+	add("F9.2", "OPW-TR error is insensitive to the threshold choice, unlike NOPW",
+		spreadOf(opwtr.Error) < spreadOf(nopw9.Error),
+		"error spread %.1f m vs %.1f m", spreadOf(opwtr.Error), spreadOf(nopw9.Error))
+
+	f10 := Figure10()
+	series := map[string]Series{}
+	for _, s := range f10.Series {
+		series[s.Name] = s
+	}
+	coincide := true
+	for i := range series["OPW-TR"].Thresholds {
+		d := math.Abs(series["OPW-TR"].Error[i] - series["OPW-SP(25m/s)"].Error[i])
+		if d > 0.15*series["OPW-TR"].Error[i]+1 {
+			coincide = false
+		}
+	}
+	add("F10.1", "the OPW-TR graph coincides with OPW-SP(25 m/s)",
+		coincide, "max relative divergence within 15%%")
+	add("F10.2", "a 5 m/s speed threshold in TD-SP improves compression",
+		meanOf(series["TD-SP(5m/s)"].Compression) > meanOf(series["OPW-TR"].Compression),
+		"TD-SP(5) %.1f%% vs OPW-TR %.1f%%",
+		meanOf(series["TD-SP(5m/s)"].Compression), meanOf(series["OPW-TR"].Compression))
+
+	f11 := Figure11()
+	dominance := true
+	var ndp11, tdtr11 Series
+	for _, s := range f11.Series {
+		switch s.Name {
+		case "NDP":
+			ndp11 = s
+		case "TD-TR":
+			tdtr11 = s
+		}
+	}
+	for i := range ndp11.Thresholds {
+		if tdtr11.Error[i] >= ndp11.Error[i] {
+			dominance = false
+		}
+	}
+	add("F11.1", "spatiotemporal algorithms outperform the spatial-only ones",
+		dominance, "TD-TR error below NDP at all 15 thresholds")
+	add("F11.2", "TD-TR ranks slightly over OPW-TR on compression, at slightly higher error",
+		meanOf(tdtr11.Compression) > meanOf(series["OPW-TR"].Compression) &&
+			meanOf(tdtr11.Error) > meanOf(series["OPW-TR"].Error),
+		"TD-TR %.1f%% / %.1f m vs OPW-TR %.1f%% / %.1f m",
+		meanOf(tdtr11.Compression), meanOf(tdtr11.Error),
+		meanOf(series["OPW-TR"].Compression), meanOf(series["OPW-TR"].Error))
+
+	// The library's own guarantee, beyond the paper: time-ratio average
+	// error never exceeds the distance threshold.
+	bounded := true
+	for _, s := range []Series{tdtr, opwtr} {
+		for i, th := range s.Thresholds {
+			if s.Error[i] > th {
+				bounded = false
+			}
+		}
+	}
+	add("G1", "time-ratio algorithms keep α(p,a) within the distance threshold",
+		bounded, "checked TD-TR and OPW-TR over all thresholds")
+
+	return out
+}
+
+// RenderClaims writes the checklist as an aligned table and reports whether
+// every claim passed.
+func RenderClaims(w io.Writer, claims []Claim) (allPass bool, err error) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	allPass = true
+	for _, c := range claims {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+			allPass = false
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t(%s)\n", mark, c.ID, c.Statement, c.Detail)
+	}
+	return allPass, tw.Flush()
+}
+
+func meanOf(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func spreadOf(xs []float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo, hi = math.Min(lo, x), math.Max(hi, x)
+	}
+	return hi - lo
+}
+
+// nearlyMonotone tolerates 1-point dips (the paper notes NOPW's error is
+// not strictly monotone).
+func nearlyMonotone(xs []float64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1]-1 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Every paper claim must pass on the reproduction — this is the
+// reproduction certificate in test form.
+func TestAllClaimsPass(t *testing.T) {
+	claims := VerifyClaims()
+	if len(claims) < 10 {
+		t.Fatalf("only %d claims checked", len(claims))
+	}
+	for _, c := range claims {
+		if !c.Pass {
+			t.Errorf("%s FAILED: %s (%s)", c.ID, c.Statement, c.Detail)
+		}
+	}
+}
+
+func TestVerifyClaimsMemoized(t *testing.T) {
+	a := VerifyClaims()
+	b := VerifyClaims()
+	if &a[0] != &b[0] {
+		t.Error("claims recomputed on second call")
+	}
+}
+
+func TestRenderClaims(t *testing.T) {
+	var buf bytes.Buffer
+	allPass, err := RenderClaims(&buf, VerifyClaims())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !allPass {
+		t.Error("RenderClaims reports failures")
+	}
+	out := buf.String()
+	for _, want := range []string{"PASS", "F7.1", "T2.1", "G1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	// A failing claim renders FAIL and flips allPass.
+	buf.Reset()
+	fail := []Claim{{ID: "X", Statement: "broken", Pass: false, Detail: "detail"}}
+	allPass, err = RenderClaims(&buf, fail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allPass || !strings.Contains(buf.String(), "FAIL") {
+		t.Error("failing claim not rendered as FAIL")
+	}
+}

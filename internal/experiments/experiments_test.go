@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Figures are expensive enough to share across assertions.
+var (
+	figOnce sync.Once
+	fig7    Figure
+	fig8    Figure
+	fig9    Figure
+	fig10   Figure
+)
+
+func figures() (Figure, Figure, Figure, Figure) {
+	figOnce.Do(func() {
+		fig7, fig8, fig9, fig10 = Figure7(), Figure8(), Figure9(), Figure10()
+	})
+	return fig7, fig8, fig9, fig10
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func spread(xs []float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo, hi = math.Min(lo, x), math.Max(hi, x)
+	}
+	return hi - lo
+}
+
+func TestThresholdGrid(t *testing.T) {
+	ths := Thresholds()
+	if len(ths) != 15 || ths[0] != 30 || ths[14] != 100 {
+		t.Errorf("Thresholds = %v, want 30..100 step 5", ths)
+	}
+	if sp := SpeedThresholds(); len(sp) != 3 || sp[0] != 5 || sp[2] != 25 {
+		t.Errorf("SpeedThresholds = %v", sp)
+	}
+}
+
+func TestDatasetCachedAndSized(t *testing.T) {
+	a, b := Dataset(), Dataset()
+	if len(a) != 10 {
+		t.Fatalf("dataset size %d, want 10", len(a))
+	}
+	if &a[0] != &b[0] {
+		t.Error("Dataset not cached")
+	}
+}
+
+// Figure 7 claim: TD-TR produces much lower errors while the compression
+// rate is only slightly lower.
+func TestFigure7Shape(t *testing.T) {
+	f7, _, _, _ := figures()
+	ndp, tdtr := f7.Series[0], f7.Series[1]
+	if mean(tdtr.Error) >= mean(ndp.Error)/2 {
+		t.Errorf("TD-TR mean error %.1f not clearly below NDP %.1f", mean(tdtr.Error), mean(ndp.Error))
+	}
+	if diff := mean(ndp.Compression) - mean(tdtr.Compression); diff < 0 || diff > 30 {
+		t.Errorf("TD-TR compression should be slightly below NDP; diff = %.1f points", diff)
+	}
+	// Both quantities increase (near-)monotonically with threshold for the
+	// top-down algorithms; allow tiny numerical wiggles.
+	for i := 1; i < len(ndp.Thresholds); i++ {
+		if ndp.Compression[i] < ndp.Compression[i-1]-1 {
+			t.Errorf("NDP compression not monotone at threshold %.0f", ndp.Thresholds[i])
+		}
+		if tdtr.Compression[i] < tdtr.Compression[i-1]-1 {
+			t.Errorf("TD-TR compression not monotone at threshold %.0f", tdtr.Thresholds[i])
+		}
+	}
+}
+
+// Figure 8 claim: BOPW yields higher compression but worse errors than NOPW.
+func TestFigure8Shape(t *testing.T) {
+	_, f8, _, _ := figures()
+	bopw, nopw := f8.Series[0], f8.Series[1]
+	if mean(bopw.Compression) < mean(nopw.Compression) {
+		t.Errorf("BOPW compression %.1f below NOPW %.1f", mean(bopw.Compression), mean(nopw.Compression))
+	}
+	if mean(bopw.Error) < mean(nopw.Error) {
+		t.Errorf("BOPW error %.1f below NOPW %.1f — break-before should be worse", mean(bopw.Error), mean(nopw.Error))
+	}
+}
+
+// Figure 9 claims: OPW-TR commits far lower error than NOPW, and its error
+// is much less sensitive to the threshold choice.
+func TestFigure9Shape(t *testing.T) {
+	_, _, f9, _ := figures()
+	nopw, opwtr := f9.Series[0], f9.Series[1]
+	if mean(opwtr.Error) >= mean(nopw.Error)/2 {
+		t.Errorf("OPW-TR mean error %.1f not clearly below NOPW %.1f", mean(opwtr.Error), mean(nopw.Error))
+	}
+	if spread(opwtr.Error) >= spread(nopw.Error) {
+		t.Errorf("OPW-TR error spread %.1f not below NOPW %.1f", spread(opwtr.Error), spread(nopw.Error))
+	}
+}
+
+// Figure 10 claims: OPW-SP(25 m/s) behaves like OPW-TR (the curves coincide
+// in the paper), and tightening the speed threshold retains more points.
+func TestFigure10Shape(t *testing.T) {
+	_, _, _, f10 := figures()
+	byName := map[string]Series{}
+	for _, s := range f10.Series {
+		byName[s.Name] = s
+	}
+	opwtr := byName["OPW-TR"]
+	sp25 := byName["OPW-SP(25m/s)"]
+	sp5 := byName["OPW-SP(5m/s)"]
+	for i := range opwtr.Thresholds {
+		if d := math.Abs(opwtr.Error[i] - sp25.Error[i]); d > 0.15*opwtr.Error[i]+1 {
+			t.Errorf("OPW-SP(25) error diverges from OPW-TR at threshold %.0f: %.1f vs %.1f",
+				opwtr.Thresholds[i], sp25.Error[i], opwtr.Error[i])
+		}
+		if d := math.Abs(opwtr.Compression[i] - sp25.Compression[i]); d > 5 {
+			t.Errorf("OPW-SP(25) compression diverges from OPW-TR at threshold %.0f: %.1f vs %.1f",
+				opwtr.Thresholds[i], sp25.Compression[i], opwtr.Compression[i])
+		}
+	}
+	// A 5 m/s speed threshold triggers on ordinary braking, so it must
+	// retain more points (lower compression) than OPW-SP(25)/OPW-TR.
+	if mean(sp5.Compression) > mean(sp25.Compression) {
+		t.Errorf("OPW-SP(5) compression %.1f above OPW-SP(25) %.1f", mean(sp5.Compression), mean(sp25.Compression))
+	}
+}
+
+// Figure 11 claim: the spatiotemporal algorithms dominate — at every
+// threshold TD-TR and OPW-TR commit less error than their spatial
+// counterparts at comparable compression.
+func TestFigure11Dominance(t *testing.T) {
+	f7, _, f9, _ := figures()
+	ndp, tdtr := f7.Series[0], f7.Series[1]
+	nopw, opwtr := f9.Series[0], f9.Series[1]
+	for i := range ndp.Thresholds {
+		if tdtr.Error[i] >= ndp.Error[i] {
+			t.Errorf("threshold %.0f: TD-TR error %.1f not below NDP %.1f", ndp.Thresholds[i], tdtr.Error[i], ndp.Error[i])
+		}
+		if opwtr.Error[i] >= nopw.Error[i] {
+			t.Errorf("threshold %.0f: OPW-TR error %.1f not below NOPW %.1f", nopw.Thresholds[i], opwtr.Error[i], nopw.Error[i])
+		}
+	}
+}
+
+// The synchronized guarantee transfers to the sweep: the time-ratio
+// algorithms' average error never exceeds the distance threshold.
+func TestTimeRatioErrorBoundedByThreshold(t *testing.T) {
+	f7, _, f9, _ := figures()
+	for _, s := range []Series{f7.Series[1], f9.Series[1]} { // TD-TR, OPW-TR
+		for i, th := range s.Thresholds {
+			if s.Error[i] > th {
+				t.Errorf("%s: avg error %.1f exceeds threshold %.0f", s.Name, s.Error[i], th)
+			}
+		}
+	}
+}
+
+func TestTable2Render(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderTable2(&buf, Table2()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"duration", "speed", "length", "displacement", "# of data points"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFigure(t *testing.T) {
+	f7, _, _, _ := figures()
+	var buf bytes.Buffer
+	if err := RenderFigure(&buf, f7); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 7") || !strings.Contains(out, "TD-TR err") {
+		t.Errorf("figure render incomplete:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got < 16 {
+		t.Errorf("expected ≥16 lines (header + 15 thresholds), got %d", got)
+	}
+	buf.Reset()
+	if err := RenderFrontier(&buf, f7); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "compression") {
+		t.Error("frontier render incomplete")
+	}
+}
+
+func TestAllFiguresComplete(t *testing.T) {
+	// AllFigures must cover Figures 7–11 with fully populated series.
+	figs := AllFigures()
+	if len(figs) != 5 {
+		t.Fatalf("AllFigures returned %d figures, want 5", len(figs))
+	}
+	for _, f := range figs {
+		if len(f.Series) < 2 {
+			t.Errorf("%s has %d series", f.ID, len(f.Series))
+		}
+		for _, s := range f.Series {
+			if len(s.Error) != 15 || len(s.Compression) != 15 {
+				t.Errorf("%s/%s has %d/%d points", f.ID, s.Name, len(s.Error), len(s.Compression))
+			}
+		}
+	}
+}

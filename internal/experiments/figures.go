@@ -1,0 +1,78 @@
+package experiments
+
+import "repro/internal/trajectory"
+
+// Table2 reproduces the paper's Table 2: per-dataset statistics of the ten
+// evaluation trajectories.
+func Table2() trajectory.DatasetStats {
+	return trajectory.SummarizeDataset(Dataset())
+}
+
+// Figure7 reproduces Fig. 7: conventional top-down Douglas-Peucker (NDP)
+// against the top-down time-ratio algorithm (TD-TR).
+func Figure7() Figure {
+	return Figure{
+		ID:     "Figure 7",
+		Title:  "NDP vs TD-TR: compression and synchronized error per distance threshold",
+		Series: SweepAll(NDPFactory, TDTRFactory),
+	}
+}
+
+// Figure8 reproduces Fig. 8: the two opening-window break strategies, BOPW
+// and NOPW.
+func Figure8() Figure {
+	return Figure{
+		ID:     "Figure 8",
+		Title:  "BOPW vs NOPW: break-point strategy of opening-window algorithms",
+		Series: SweepAll(BOPWFactory, NOPWFactory),
+	}
+}
+
+// Figure9 reproduces Fig. 9: the conventional opening window (NOPW) against
+// the opening-window time-ratio algorithm (OPW-TR).
+func Figure9() Figure {
+	return Figure{
+		ID:     "Figure 9",
+		Title:  "NOPW vs OPW-TR: perpendicular vs synchronized halting condition",
+		Series: SweepAll(NOPWFactory, OPWTRFactory),
+	}
+}
+
+// Figure10 reproduces Fig. 10: OPW-TR against the spatiotemporal algorithms
+// TD-SP(5 m/s) and OPW-SP at the three speed thresholds.
+func Figure10() Figure {
+	return Figure{
+		ID:    "Figure 10",
+		Title: "OPW-TR vs TD-SP and OPW-SP: the speed-difference criterion",
+		Series: SweepAll(
+			OPWTRFactory,
+			TDSPFactory(5),
+			OPWSPFactory(5),
+			OPWSPFactory(15),
+			OPWSPFactory(25),
+		),
+	}
+}
+
+// Figure11 reproduces Fig. 11: the error-versus-compression frontier of all
+// compared algorithms (each series traces its fifteen threshold settings).
+func Figure11() Figure {
+	return Figure{
+		ID:    "Figure 11",
+		Title: "Error versus compression across all algorithms",
+		Series: SweepAll(
+			NDPFactory,
+			TDTRFactory,
+			NOPWFactory,
+			OPWTRFactory,
+			OPWSPFactory(5),
+			OPWSPFactory(15),
+			OPWSPFactory(25),
+		),
+	}
+}
+
+// AllFigures regenerates every figure of the evaluation, in paper order.
+func AllFigures() []Figure {
+	return []Figure{Figure7(), Figure8(), Figure9(), Figure10(), Figure11()}
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/gpsgen"
+)
+
+// The paper's headline orderings must hold on freshly generated datasets
+// from different seeds, not just the calibrated PaperDataset — otherwise
+// the reproduction could be an artifact of one lucky sample.
+func TestHeadlineClaimsRobustAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep is slow")
+	}
+	for _, seed := range []int64{7, 99, 31337} {
+		ds := gpsgen.New(seed, gpsgen.Config{}).Dataset(10, 1936, 750)
+
+		ndp := SweepOn(ds, NDPFactory)
+		tdtr := SweepOn(ds, TDTRFactory)
+		nopw := SweepOn(ds, NOPWFactory)
+		opwtr := SweepOn(ds, OPWTRFactory)
+
+		// F7: TD-TR error clearly below NDP at every threshold.
+		for i := range ndp.Thresholds {
+			if tdtr.Error[i] >= ndp.Error[i] {
+				t.Errorf("seed %d, threshold %.0f: TD-TR error %.1f not below NDP %.1f",
+					seed, ndp.Thresholds[i], tdtr.Error[i], ndp.Error[i])
+			}
+		}
+		if meanOf(tdtr.Error) >= meanOf(ndp.Error)/2 {
+			t.Errorf("seed %d: TD-TR mean error %.1f not clearly below NDP %.1f",
+				seed, meanOf(tdtr.Error), meanOf(ndp.Error))
+		}
+		// F9: OPW-TR error clearly below NOPW.
+		if meanOf(opwtr.Error) >= meanOf(nopw.Error)/2 {
+			t.Errorf("seed %d: OPW-TR mean error %.1f not clearly below NOPW %.1f",
+				seed, meanOf(opwtr.Error), meanOf(nopw.Error))
+		}
+		// G1: the guarantee holds regardless of data.
+		for i, th := range tdtr.Thresholds {
+			if tdtr.Error[i] > th || opwtr.Error[i] > th {
+				t.Errorf("seed %d: time-ratio error exceeds threshold %.0f", seed, th)
+			}
+		}
+	}
+}

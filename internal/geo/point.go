@@ -1,0 +1,98 @@
+// Package geo provides planar geometric primitives used throughout the
+// trajectory compression library.
+//
+// All coordinates are planar metres: x grows eastward, y grows northward.
+// GPS (WGS-84) positions are converted to this local frame with a Projector.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position in the local planar frame, in metres.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p + q, treating both as vectors.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q, treating both as vectors.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by k.
+func (p Point) Scale(k float64) Point { return Point{p.X * k, p.Y * k} }
+
+// Dot returns the dot product of p and q as vectors.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z component of the cross product p × q.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length of p as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Norm2 returns the squared Euclidean length of p as a vector.
+func (p Point) Norm2() float64 { return p.X*p.X + p.Y*p.Y }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Dist2 returns the squared Euclidean distance between p and q.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Lerp linearly interpolates between p and q: result = p + f*(q-p).
+// f is not clamped; values outside [0, 1] extrapolate.
+func (p Point) Lerp(q Point, f float64) Point {
+	return Point{p.X + f*(q.X-p.X), p.Y + f*(q.Y-p.Y)}
+}
+
+// Equal reports whether p and q are exactly equal.
+func (p Point) Equal(q Point) bool { return p.X == q.X && p.Y == q.Y }
+
+// AlmostEqual reports whether p and q are within eps of each other in both
+// coordinates.
+func (p Point) AlmostEqual(q Point, eps float64) bool {
+	return math.Abs(p.X-q.X) <= eps && math.Abs(p.Y-q.Y) <= eps
+}
+
+// IsFinite reports whether both coordinates are finite (not NaN or ±Inf).
+func (p Point) IsFinite() bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) &&
+		!math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
+}
+
+// Bearing returns the compass-style bearing in radians from p to q measured
+// counter-clockwise from the positive x axis, in (-π, π]. For coincident
+// points it returns 0.
+func (p Point) Bearing(q Point) float64 {
+	if p.Equal(q) {
+		return 0
+	}
+	return math.Atan2(q.Y-p.Y, q.X-p.X)
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.3f, %.3f)", p.X, p.Y) }
+
+// AngleBetween returns the absolute turning angle at point b when travelling
+// a → b → c, in radians in [0, π]. A straight continuation yields 0; a full
+// reversal yields π. Degenerate (zero-length) legs yield 0.
+func AngleBetween(a, b, c Point) float64 {
+	u := b.Sub(a)
+	v := c.Sub(b)
+	nu, nv := u.Norm(), v.Norm()
+	if nu == 0 || nv == 0 {
+		return 0
+	}
+	cos := u.Dot(v) / (nu * nv)
+	cos = math.Max(-1, math.Min(1, cos))
+	return math.Acos(cos)
+}

@@ -1,0 +1,154 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Pt(1, 2), Pt(3, -4)
+	if got := p.Add(q); got != Pt(4, -2) {
+		t.Errorf("Add = %v, want (4,-2)", got)
+	}
+	if got := p.Sub(q); got != Pt(-2, 6) {
+		t.Errorf("Sub = %v, want (-2,6)", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v, want (2,4)", got)
+	}
+	if got := p.Dot(q); got != 1*3+2*(-4) {
+		t.Errorf("Dot = %v, want -5", got)
+	}
+	if got := p.Cross(q); got != 1*(-4)-2*3 {
+		t.Errorf("Cross = %v, want -10", got)
+	}
+}
+
+func TestDist(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		want float64
+	}{
+		{Pt(0, 0), Pt(3, 4), 5},
+		{Pt(1, 1), Pt(1, 1), 0},
+		{Pt(-1, -1), Pt(2, 3), 5},
+	}
+	for _, tc := range tests {
+		if got := tc.p.Dist(tc.q); !almostEq(got, tc.want, 1e-12) {
+			t.Errorf("Dist(%v,%v) = %v, want %v", tc.p, tc.q, got, tc.want)
+		}
+		if got := tc.p.Dist2(tc.q); !almostEq(got, tc.want*tc.want, 1e-12) {
+			t.Errorf("Dist2(%v,%v) = %v, want %v", tc.p, tc.q, got, tc.want*tc.want)
+		}
+	}
+}
+
+func TestLerp(t *testing.T) {
+	p, q := Pt(0, 0), Pt(10, 20)
+	if got := p.Lerp(q, 0); !got.Equal(p) {
+		t.Errorf("Lerp(0) = %v, want %v", got, p)
+	}
+	if got := p.Lerp(q, 1); !got.Equal(q) {
+		t.Errorf("Lerp(1) = %v, want %v", got, q)
+	}
+	if got := p.Lerp(q, 0.5); !got.Equal(Pt(5, 10)) {
+		t.Errorf("Lerp(0.5) = %v, want (5,10)", got)
+	}
+	// Extrapolation is allowed.
+	if got := p.Lerp(q, 2); !got.Equal(Pt(20, 40)) {
+		t.Errorf("Lerp(2) = %v, want (20,40)", got)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !Pt(1, 2).IsFinite() {
+		t.Error("finite point reported non-finite")
+	}
+	for _, p := range []Point{
+		{math.NaN(), 0}, {0, math.NaN()},
+		{math.Inf(1), 0}, {0, math.Inf(-1)},
+	} {
+		if p.IsFinite() {
+			t.Errorf("%v reported finite", p)
+		}
+	}
+}
+
+func TestBearing(t *testing.T) {
+	tests := []struct {
+		q    Point
+		want float64
+	}{
+		{Pt(1, 0), 0},
+		{Pt(0, 1), math.Pi / 2},
+		{Pt(-1, 0), math.Pi},
+		{Pt(0, -1), -math.Pi / 2},
+	}
+	for _, tc := range tests {
+		if got := Pt(0, 0).Bearing(tc.q); !almostEq(got, tc.want, 1e-12) {
+			t.Errorf("Bearing(origin,%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := Pt(3, 3).Bearing(Pt(3, 3)); got != 0 {
+		t.Errorf("Bearing of coincident points = %v, want 0", got)
+	}
+}
+
+func TestAngleBetween(t *testing.T) {
+	// Straight line: no turn.
+	if got := AngleBetween(Pt(0, 0), Pt(1, 0), Pt(2, 0)); !almostEq(got, 0, 1e-12) {
+		t.Errorf("straight angle = %v, want 0", got)
+	}
+	// Right angle turn.
+	if got := AngleBetween(Pt(0, 0), Pt(1, 0), Pt(1, 1)); !almostEq(got, math.Pi/2, 1e-12) {
+		t.Errorf("right angle = %v, want π/2", got)
+	}
+	// Full reversal.
+	if got := AngleBetween(Pt(0, 0), Pt(1, 0), Pt(0, 0)); !almostEq(got, math.Pi, 1e-12) {
+		t.Errorf("reversal angle = %v, want π", got)
+	}
+	// Degenerate leg.
+	if got := AngleBetween(Pt(0, 0), Pt(0, 0), Pt(1, 1)); got != 0 {
+		t.Errorf("degenerate angle = %v, want 0", got)
+	}
+}
+
+func TestDistSymmetryProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		clamp := func(v float64) float64 { return math.Mod(v, 1e6) }
+		a, b := Pt(clamp(ax), clamp(ay)), Pt(clamp(bx), clamp(by))
+		return almostEq(a.Dist(b), b.Dist(a), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a := Pt(rng.NormFloat64()*100, rng.NormFloat64()*100)
+		b := Pt(rng.NormFloat64()*100, rng.NormFloat64()*100)
+		c := Pt(rng.NormFloat64()*100, rng.NormFloat64()*100)
+		if a.Dist(c) > a.Dist(b)+b.Dist(c)+1e-9 {
+			t.Fatalf("triangle inequality violated for %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestLerpEndpointsProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		// Confine magnitudes to a physically plausible range; at float64
+		// extremes b-a overflows and the identity cannot hold.
+		clamp := func(v float64) float64 { return math.Mod(v, 1e6) }
+		a, b := Pt(clamp(ax), clamp(ay)), Pt(clamp(bx), clamp(by))
+		return a.Lerp(b, 0).Equal(a) && a.Lerp(b, 1).AlmostEqual(b, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

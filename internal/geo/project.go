@@ -1,0 +1,79 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadius is the mean Earth radius in metres (IUGG).
+const EarthRadius = 6371008.8
+
+// LatLon is a WGS-84 geographic coordinate in decimal degrees.
+type LatLon struct {
+	Lat, Lon float64
+}
+
+// Valid reports whether the coordinate lies in the legal WGS-84 range.
+func (ll LatLon) Valid() bool {
+	return ll.Lat >= -90 && ll.Lat <= 90 && ll.Lon >= -180 && ll.Lon <= 180 &&
+		!math.IsNaN(ll.Lat) && !math.IsNaN(ll.Lon)
+}
+
+// Haversine returns the great-circle distance in metres between two
+// geographic coordinates.
+func Haversine(a, b LatLon) float64 {
+	const rad = math.Pi / 180
+	lat1, lat2 := a.Lat*rad, b.Lat*rad
+	dLat := (b.Lat - a.Lat) * rad
+	dLon := (b.Lon - a.Lon) * rad
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * EarthRadius * math.Asin(math.Min(1, math.Sqrt(s)))
+}
+
+// Projector converts WGS-84 coordinates to the local planar frame using an
+// equirectangular projection centred on an origin. For trajectories spanning
+// tens of kilometres — the paper's working scale — the distortion is well
+// below GPS noise, so planar Euclidean distances in the projected frame are a
+// faithful stand-in for geodesic distances.
+type Projector struct {
+	origin LatLon
+	cosLat float64
+}
+
+// NewProjector returns a projector centred at origin.
+// It returns an error if origin is outside the WGS-84 range or so close to a
+// pole that the projection degenerates.
+func NewProjector(origin LatLon) (*Projector, error) {
+	if !origin.Valid() {
+		return nil, fmt.Errorf("geo: invalid projection origin %+v", origin)
+	}
+	if math.Abs(origin.Lat) > 89 {
+		return nil, fmt.Errorf("geo: projection origin latitude %.4f too close to pole", origin.Lat)
+	}
+	return &Projector{
+		origin: origin,
+		cosLat: math.Cos(origin.Lat * math.Pi / 180),
+	}, nil
+}
+
+// Origin returns the projection origin.
+func (pr *Projector) Origin() LatLon { return pr.origin }
+
+// ToPlanar converts a geographic coordinate to local planar metres.
+func (pr *Projector) ToPlanar(ll LatLon) Point {
+	const rad = math.Pi / 180
+	return Point{
+		X: (ll.Lon - pr.origin.Lon) * rad * EarthRadius * pr.cosLat,
+		Y: (ll.Lat - pr.origin.Lat) * rad * EarthRadius,
+	}
+}
+
+// ToLatLon converts a local planar position back to geographic coordinates.
+func (pr *Projector) ToLatLon(p Point) LatLon {
+	const deg = 180 / math.Pi
+	return LatLon{
+		Lat: pr.origin.Lat + p.Y/EarthRadius*deg,
+		Lon: pr.origin.Lon + p.X/(EarthRadius*pr.cosLat)*deg,
+	}
+}

@@ -1,0 +1,99 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewProjectorValidation(t *testing.T) {
+	if _, err := NewProjector(LatLon{Lat: 91, Lon: 0}); err == nil {
+		t.Error("latitude 91 accepted")
+	}
+	if _, err := NewProjector(LatLon{Lat: 0, Lon: 181}); err == nil {
+		t.Error("longitude 181 accepted")
+	}
+	if _, err := NewProjector(LatLon{Lat: 89.5, Lon: 0}); err == nil {
+		t.Error("near-pole origin accepted")
+	}
+	if _, err := NewProjector(LatLon{Lat: math.NaN(), Lon: 0}); err == nil {
+		t.Error("NaN latitude accepted")
+	}
+	pr, err := NewProjector(LatLon{Lat: 52.22, Lon: 6.89}) // Enschede
+	if err != nil {
+		t.Fatalf("valid origin rejected: %v", err)
+	}
+	if pr.Origin() != (LatLon{Lat: 52.22, Lon: 6.89}) {
+		t.Errorf("Origin = %+v", pr.Origin())
+	}
+}
+
+func TestProjectorRoundTrip(t *testing.T) {
+	origin := LatLon{Lat: 52.22, Lon: 6.89}
+	pr, err := NewProjector(origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		ll := LatLon{
+			Lat: origin.Lat + rng.Float64()*0.4 - 0.2,
+			Lon: origin.Lon + rng.Float64()*0.4 - 0.2,
+		}
+		back := pr.ToLatLon(pr.ToPlanar(ll))
+		if math.Abs(back.Lat-ll.Lat) > 1e-9 || math.Abs(back.Lon-ll.Lon) > 1e-9 {
+			t.Fatalf("round trip %+v -> %+v", ll, back)
+		}
+	}
+}
+
+// Planar distance in the projected frame should match haversine to within a
+// small relative error at city scale.
+func TestProjectorDistanceAgreesWithHaversine(t *testing.T) {
+	origin := LatLon{Lat: 52.22, Lon: 6.89}
+	pr, err := NewProjector(origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		a := LatLon{Lat: origin.Lat + rng.Float64()*0.2 - 0.1, Lon: origin.Lon + rng.Float64()*0.2 - 0.1}
+		b := LatLon{Lat: origin.Lat + rng.Float64()*0.2 - 0.1, Lon: origin.Lon + rng.Float64()*0.2 - 0.1}
+		hd := Haversine(a, b)
+		pd := pr.ToPlanar(a).Dist(pr.ToPlanar(b))
+		if hd < 100 {
+			continue // relative error meaningless at tiny distances
+		}
+		if rel := math.Abs(hd-pd) / hd; rel > 0.002 {
+			t.Fatalf("distance mismatch: haversine %.2f planar %.2f rel %.5f", hd, pd, rel)
+		}
+	}
+}
+
+func TestHaversineKnownDistance(t *testing.T) {
+	// Enschede to Amsterdam, roughly 140 km.
+	enschede := LatLon{Lat: 52.2215, Lon: 6.8937}
+	amsterdam := LatLon{Lat: 52.3676, Lon: 4.9041}
+	d := Haversine(enschede, amsterdam)
+	if d < 130e3 || d > 150e3 {
+		t.Errorf("Haversine Enschede-Amsterdam = %.1f km, want ≈140 km", d/1000)
+	}
+	if Haversine(enschede, enschede) != 0 {
+		t.Error("Haversine of identical points non-zero")
+	}
+}
+
+func TestLatLonValid(t *testing.T) {
+	valid := []LatLon{{0, 0}, {-90, -180}, {90, 180}}
+	for _, ll := range valid {
+		if !ll.Valid() {
+			t.Errorf("%+v reported invalid", ll)
+		}
+	}
+	invalid := []LatLon{{90.1, 0}, {0, -180.1}, {math.NaN(), 0}, {0, math.NaN()}}
+	for _, ll := range invalid {
+		if ll.Valid() {
+			t.Errorf("%+v reported valid", ll)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package geo
+
+import "math"
+
+// Segment is the directed straight segment from A to B.
+type Segment struct {
+	A, B Point
+}
+
+// Seg is shorthand for Segment{a, b}.
+func Seg(a, b Point) Segment { return Segment{A: a, B: b} }
+
+// Length returns the Euclidean length of the segment.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// IsDegenerate reports whether the segment has zero length.
+func (s Segment) IsDegenerate() bool { return s.A.Equal(s.B) }
+
+// At returns the point A + f*(B-A). f is not clamped.
+func (s Segment) At(f float64) Point { return s.A.Lerp(s.B, f) }
+
+// Midpoint returns the segment midpoint.
+func (s Segment) Midpoint() Point { return s.At(0.5) }
+
+// ProjectParam returns the parameter f of the orthogonal projection of p onto
+// the infinite line through the segment, such that the projection is At(f).
+// For a degenerate segment it returns 0.
+func (s Segment) ProjectParam(p Point) float64 {
+	d := s.B.Sub(s.A)
+	l2 := d.Norm2()
+	if l2 == 0 {
+		return 0
+	}
+	return p.Sub(s.A).Dot(d) / l2
+}
+
+// Project returns the orthogonal projection of p onto the infinite line
+// through the segment.
+func (s Segment) Project(p Point) Point { return s.At(s.ProjectParam(p)) }
+
+// PerpDist returns the perpendicular distance from p to the infinite line
+// through the segment. For a degenerate segment it returns the distance to A.
+//
+// This is the classic line-generalization discard criterion (Douglas-Peucker,
+// NOPW/BOPW); the paper argues it ignores time and proposes the synchronized
+// distance instead (internal/sed).
+func (s Segment) PerpDist(p Point) float64 {
+	d := s.B.Sub(s.A)
+	l := d.Norm()
+	if l == 0 {
+		return p.Dist(s.A)
+	}
+	return math.Abs(d.Cross(p.Sub(s.A))) / l
+}
+
+// ClosestParam returns the parameter in [0, 1] of the point on the segment
+// nearest to p.
+func (s Segment) ClosestParam(p Point) float64 {
+	f := s.ProjectParam(p)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// ClosestPoint returns the point on the segment nearest to p.
+func (s Segment) ClosestPoint(p Point) Point { return s.At(s.ClosestParam(p)) }
+
+// Dist returns the distance from p to the nearest point of the segment.
+func (s Segment) Dist(p Point) float64 { return p.Dist(s.ClosestPoint(p)) }
+
+// Bounds returns the axis-aligned bounding rectangle of the segment.
+func (s Segment) Bounds() Rect {
+	return Rect{
+		Min: Point{math.Min(s.A.X, s.B.X), math.Min(s.A.Y, s.B.Y)},
+		Max: Point{math.Max(s.A.X, s.B.X), math.Max(s.A.Y, s.B.Y)},
+	}
+}
+
+// Rect is an axis-aligned rectangle, Min ≤ Max in both coordinates.
+type Rect struct {
+	Min, Max Point
+}
+
+// EmptyRect returns a rectangle that contains nothing and acts as the
+// identity for Union.
+func EmptyRect() Rect {
+	inf := math.Inf(1)
+	return Rect{Min: Point{inf, inf}, Max: Point{-inf, -inf}}
+}
+
+// IsEmpty reports whether the rectangle contains no points.
+func (r Rect) IsEmpty() bool { return r.Min.X > r.Max.X || r.Min.Y > r.Max.Y }
+
+// Width returns the x extent; zero for empty rectangles.
+func (r Rect) Width() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.Max.X - r.Min.X
+}
+
+// Height returns the y extent; zero for empty rectangles.
+func (r Rect) Height() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.Max.Y - r.Min.Y
+}
+
+// Contains reports whether p lies inside or on the boundary of r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Intersects reports whether r and q share at least one point.
+func (r Rect) Intersects(q Rect) bool {
+	if r.IsEmpty() || q.IsEmpty() {
+		return false
+	}
+	return r.Min.X <= q.Max.X && q.Min.X <= r.Max.X &&
+		r.Min.Y <= q.Max.Y && q.Min.Y <= r.Max.Y
+}
+
+// Union returns the smallest rectangle containing both r and q.
+func (r Rect) Union(q Rect) Rect {
+	if r.IsEmpty() {
+		return q
+	}
+	if q.IsEmpty() {
+		return r
+	}
+	return Rect{
+		Min: Point{math.Min(r.Min.X, q.Min.X), math.Min(r.Min.Y, q.Min.Y)},
+		Max: Point{math.Max(r.Max.X, q.Max.X), math.Max(r.Max.Y, q.Max.Y)},
+	}
+}
+
+// Extend returns the smallest rectangle containing r and p.
+func (r Rect) Extend(p Point) Rect {
+	return r.Union(Rect{Min: p, Max: p})
+}
+
+// Expand grows the rectangle by d on every side. Expanding an empty
+// rectangle yields an empty rectangle.
+func (r Rect) Expand(d float64) Rect {
+	if r.IsEmpty() {
+		return r
+	}
+	return Rect{
+		Min: Point{r.Min.X - d, r.Min.Y - d},
+		Max: Point{r.Max.X + d, r.Max.Y + d},
+	}
+}

@@ -1,0 +1,174 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPerpDist(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	tests := []struct {
+		p    Point
+		want float64
+	}{
+		{Pt(5, 3), 3},
+		{Pt(5, -3), 3},
+		{Pt(0, 0), 0},
+		{Pt(10, 0), 0},
+		{Pt(20, 4), 4}, // beyond the segment: distance to the infinite line
+	}
+	for _, tc := range tests {
+		if got := s.PerpDist(tc.p); !almostEq(got, tc.want, 1e-12) {
+			t.Errorf("PerpDist(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestPerpDistDegenerate(t *testing.T) {
+	s := Seg(Pt(2, 2), Pt(2, 2))
+	if got := s.PerpDist(Pt(5, 6)); !almostEq(got, 5, 1e-12) {
+		t.Errorf("degenerate PerpDist = %v, want 5", got)
+	}
+}
+
+func TestSegmentDist(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	tests := []struct {
+		p    Point
+		want float64
+	}{
+		{Pt(5, 3), 3},
+		{Pt(-3, 4), 5},  // clamps to A
+		{Pt(13, -4), 5}, // clamps to B
+	}
+	for _, tc := range tests {
+		if got := s.Dist(tc.p); !almostEq(got, tc.want, 1e-12) {
+			t.Errorf("Dist(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestProject(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 10))
+	p := Pt(10, 0)
+	proj := s.Project(p)
+	if !proj.AlmostEqual(Pt(5, 5), 1e-12) {
+		t.Errorf("Project = %v, want (5,5)", proj)
+	}
+	if f := s.ProjectParam(p); !almostEq(f, 0.5, 1e-12) {
+		t.Errorf("ProjectParam = %v, want 0.5", f)
+	}
+}
+
+func TestClosestPointClampsToEndpoints(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	if got := s.ClosestPoint(Pt(-5, 5)); !got.Equal(Pt(0, 0)) {
+		t.Errorf("ClosestPoint before A = %v, want A", got)
+	}
+	if got := s.ClosestPoint(Pt(15, 5)); !got.Equal(Pt(10, 0)) {
+		t.Errorf("ClosestPoint after B = %v, want B", got)
+	}
+}
+
+// The perpendicular distance to the line never exceeds the distance to the
+// segment, and the segment distance never exceeds the distance to either
+// endpoint.
+func TestDistanceOrderingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		s := Seg(
+			Pt(rng.NormFloat64()*50, rng.NormFloat64()*50),
+			Pt(rng.NormFloat64()*50, rng.NormFloat64()*50),
+		)
+		p := Pt(rng.NormFloat64()*50, rng.NormFloat64()*50)
+		perp := s.PerpDist(p)
+		seg := s.Dist(p)
+		if perp > seg+1e-9 {
+			t.Fatalf("PerpDist %v > segment Dist %v for s=%v p=%v", perp, seg, s, p)
+		}
+		if seg > p.Dist(s.A)+1e-9 || seg > p.Dist(s.B)+1e-9 {
+			t.Fatalf("segment Dist %v exceeds endpoint distance for s=%v p=%v", seg, s, p)
+		}
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := EmptyRect()
+	if !r.IsEmpty() {
+		t.Fatal("EmptyRect not empty")
+	}
+	if r.Width() != 0 || r.Height() != 0 {
+		t.Errorf("empty rect has extent %v × %v", r.Width(), r.Height())
+	}
+	r = r.Extend(Pt(1, 2)).Extend(Pt(-1, 5))
+	if r.IsEmpty() {
+		t.Fatal("extended rect is empty")
+	}
+	if r.Min != Pt(-1, 2) || r.Max != Pt(1, 5) {
+		t.Errorf("rect = %+v, want min (-1,2) max (1,5)", r)
+	}
+	if !r.Contains(Pt(0, 3)) || r.Contains(Pt(2, 3)) {
+		t.Error("Contains misclassifies")
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := Rect{Min: Pt(0, 0), Max: Pt(10, 10)}
+	b := Rect{Min: Pt(5, 5), Max: Pt(15, 15)}
+	c := Rect{Min: Pt(11, 11), Max: Pt(12, 12)}
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("overlapping rects reported disjoint")
+	}
+	if a.Intersects(c) {
+		t.Error("disjoint rects reported overlapping")
+	}
+	if a.Intersects(EmptyRect()) || EmptyRect().Intersects(a) {
+		t.Error("empty rect intersects something")
+	}
+	// Touching edges count as intersecting.
+	d := Rect{Min: Pt(10, 0), Max: Pt(20, 10)}
+	if !a.Intersects(d) {
+		t.Error("edge-touching rects reported disjoint")
+	}
+}
+
+func TestRectUnionExpand(t *testing.T) {
+	a := Rect{Min: Pt(0, 0), Max: Pt(1, 1)}
+	b := Rect{Min: Pt(2, 2), Max: Pt(3, 3)}
+	u := a.Union(b)
+	if u.Min != Pt(0, 0) || u.Max != Pt(3, 3) {
+		t.Errorf("Union = %+v", u)
+	}
+	if got := a.Union(EmptyRect()); got != a {
+		t.Errorf("Union with empty = %+v, want %+v", got, a)
+	}
+	e := a.Expand(1)
+	if e.Min != Pt(-1, -1) || e.Max != Pt(2, 2) {
+		t.Errorf("Expand = %+v", e)
+	}
+	if !EmptyRect().Expand(5).IsEmpty() {
+		t.Error("expanding empty rect produced non-empty rect")
+	}
+}
+
+func TestSegmentBounds(t *testing.T) {
+	s := Seg(Pt(3, -1), Pt(-2, 4))
+	b := s.Bounds()
+	if b.Min != Pt(-2, -1) || b.Max != Pt(3, 4) {
+		t.Errorf("Bounds = %+v", b)
+	}
+}
+
+func TestSegmentAt(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(4, 8))
+	if got := s.Midpoint(); !got.Equal(Pt(2, 4)) {
+		t.Errorf("Midpoint = %v", got)
+	}
+	if got := s.Length(); !almostEq(got, math.Sqrt(80), 1e-12) {
+		t.Errorf("Length = %v", got)
+	}
+	if !Seg(Pt(1, 1), Pt(1, 1)).IsDegenerate() {
+		t.Error("degenerate segment not detected")
+	}
+}

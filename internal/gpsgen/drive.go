@@ -1,0 +1,117 @@
+package gpsgen
+
+import (
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/trajectory"
+)
+
+// simulation time step in seconds; fine enough that acceleration-limited
+// kinematics are smooth relative to the GPS sampling interval.
+const simStep = 0.2
+
+// drive runs the kinematic car model along the planned route for the given
+// duration and returns the sampled, noisy trajectory.
+func (g *Generator) drive(route []waypoint, duration float64) trajectory.Trajectory {
+	cfg := g.cfg
+	b := trajectory.NewBuilder(int(duration/cfg.SampleInterval) + 2)
+
+	seg := 0          // current segment: route[seg] → route[seg+1]
+	s := 0.0          // distance travelled along the current segment
+	v := 0.0          // current speed
+	waiting := 0.0    // remaining red-light wait
+	t := 0.0          // simulation clock
+	nextSample := 0.0 // next GPS fix time
+
+	segLen := func() float64 { return route[seg+1].pos.Dist(route[seg].pos) }
+	position := func() geo.Point {
+		a, c := route[seg].pos, route[seg+1].pos
+		return a.Lerp(c, s/segLen())
+	}
+	// endSpeed returns the speed the car must reach by the end of the
+	// current segment: zero for a red light, TurnSpeed for a direction
+	// change, otherwise the next segment's own target (no constraint felt
+	// if it is faster).
+	endSpeed := func() float64 {
+		if route[seg+1].stop > 0 {
+			return 0
+		}
+		if seg+2 >= len(route) {
+			return 0 // glide to a stop at the end of the plan
+		}
+		if turnsAt(route, seg+1) {
+			return cfg.TurnSpeed
+		}
+		return route[seg+2].speed
+	}
+
+	sample := func() {
+		p := position()
+		fix := trajectory.Sample{
+			T: t,
+			X: p.X + g.rng.NormFloat64()*cfg.NoiseSigma,
+			Y: p.Y + g.rng.NormFloat64()*cfg.NoiseSigma,
+		}
+		// Builder enforces the trajectory invariants; simulation times
+		// strictly increase so this cannot fail.
+		if err := b.Append(fix); err != nil {
+			panic("gpsgen: internal: " + err.Error())
+		}
+	}
+
+	for t <= duration && seg+1 < len(route) {
+		if t >= nextSample {
+			sample()
+			nextSample += cfg.SampleInterval
+		}
+		if waiting > 0 {
+			waiting -= simStep
+			t += simStep
+			continue
+		}
+
+		// Acceleration-limited speed control with braking distance for the
+		// segment-end constraint: v ≤ √(v_end² + 2·a·d_remaining). A small
+		// creep floor lets the car roll across the stop line instead of
+		// asymptotically approaching it; the stop handling below then pins
+		// it for the waiting time.
+		target := route[seg+1].speed
+		rem := segLen() - s
+		ve := endSpeed()
+		allowed := math.Sqrt(ve*ve + 2*cfg.Accel*rem)
+		v = math.Min(v+cfg.Accel*simStep, math.Min(target, allowed))
+		if ve == 0 && v < 0.5 {
+			v = 0.5
+		}
+
+		s += v * simStep
+		if s >= segLen() {
+			s -= segLen()
+			if route[seg+1].stop > 0 {
+				waiting = route[seg+1].stop
+				v = 0
+				s = 0
+			}
+			seg++
+			if seg+1 >= len(route) {
+				break
+			}
+			if s >= segLen() {
+				s = segLen() * 0.999 // degenerate carry-over guard
+			}
+		}
+		t += simStep
+	}
+	return b.Trajectory()
+}
+
+// turnsAt reports whether the route changes direction at waypoint i.
+func turnsAt(route []waypoint, i int) bool {
+	if i <= 0 || i+1 >= len(route) {
+		return false
+	}
+	in := route[i].pos.Sub(route[i-1].pos)
+	out := route[i+1].pos.Sub(route[i].pos)
+	return in.Cross(out) != 0 || in.Dot(out) < 0
+}

@@ -1,0 +1,263 @@
+package gpsgen
+
+import (
+	"testing"
+
+	"repro/internal/trajectory"
+)
+
+func TestTripProducesValidTrajectory(t *testing.T) {
+	g := New(1, Config{})
+	for _, kind := range []TripKind{Urban, Rural, Mixed} {
+		p := g.Trip(kind, 1800)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%v trip invalid: %v", kind, err)
+		}
+		if p.Len() < 150 {
+			t.Errorf("%v trip has only %d points for 1800 s at 10 s sampling", kind, p.Len())
+		}
+		if d := p.Duration(); d < 1700 || d > 1810 {
+			t.Errorf("%v trip duration %v, want ≈1800", kind, d)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(7, Config{}).Trip(Urban, 900)
+	b := New(7, Config{}).Trip(Urban, 900)
+	if a.Len() != b.Len() {
+		t.Fatalf("same seed, different lengths: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, sample %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := New(8, Config{}).Trip(Urban, 900)
+	same := c.Len() == a.Len()
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical trips")
+	}
+}
+
+func TestPaperDatasetStable(t *testing.T) {
+	d1 := PaperDataset()
+	d2 := PaperDataset()
+	if len(d1) != 10 || len(d2) != 10 {
+		t.Fatalf("PaperDataset size %d / %d, want 10", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if d1[i].Len() != d2[i].Len() {
+			t.Fatalf("trajectory %d differs between calls", i)
+		}
+	}
+}
+
+// The generated dataset must land near the paper's Table 2 statistics: this
+// is the calibration contract of the substitution documented in DESIGN.md §4.
+func TestPaperDatasetMatchesTable2(t *testing.T) {
+	ds := trajectory.SummarizeDataset(PaperDataset())
+
+	// Paper: 00:32:16 = 1936 s. Accept ±20%.
+	if ds.Mean.Duration < 1936*0.8 || ds.Mean.Duration > 1936*1.2 {
+		t.Errorf("mean duration %.0f s, want ≈1936 s", ds.Mean.Duration)
+	}
+	// Paper: 40.85 km/h = 11.35 m/s. Accept ±25%.
+	if kmh := ds.Mean.AvgSpeed * 3.6; kmh < 30 || kmh > 51 {
+		t.Errorf("mean speed %.2f km/h, want ≈40.85 km/h", kmh)
+	}
+	// Paper: 19.95 km. Accept ±35%.
+	if km := ds.Mean.Length / 1000; km < 13 || km > 27 {
+		t.Errorf("mean length %.2f km, want ≈19.95 km", km)
+	}
+	// Paper: displacement 10.58 km — about half the length. Accept a
+	// displacement/length ratio between 0.30 and 0.75.
+	ratio := ds.Mean.Displacement / ds.Mean.Length
+	if ratio < 0.30 || ratio > 0.75 {
+		t.Errorf("displacement/length ratio %.2f, want ≈0.53", ratio)
+	}
+	// Paper: ≈200 points with sd ≈100.
+	if ds.Mean.NumPoints < 140 || ds.Mean.NumPoints > 260 {
+		t.Errorf("mean points %d, want ≈200", ds.Mean.NumPoints)
+	}
+	if ds.StdDev.Duration < 200 {
+		t.Errorf("duration spread %.0f s too small, want several minutes", ds.StdDev.Duration)
+	}
+}
+
+// Speed must genuinely vary within a trip (stops and sprints): otherwise the
+// paper's central result — perpendicular methods committing large
+// synchronized error — cannot reproduce.
+func TestTripSpeedVariation(t *testing.T) {
+	g := New(3, Config{})
+	p := g.Trip(Urban, 1800)
+	var stopped, moving int
+	for i := 0; i+1 < p.Len(); i++ {
+		v := p.SegmentSpeed(i)
+		if v < 1.5 {
+			stopped++
+		}
+		if v > 8 {
+			moving++
+		}
+	}
+	if stopped == 0 {
+		t.Error("urban trip contains no stop intervals")
+	}
+	if moving == 0 {
+		t.Error("urban trip contains no cruising intervals")
+	}
+}
+
+// Rural trips are faster than urban trips on average.
+func TestRuralFasterThanUrban(t *testing.T) {
+	g := New(5, Config{})
+	var urban, rural float64
+	for i := 0; i < 3; i++ {
+		urban += g.Trip(Urban, 1200).AvgSpeed()
+		rural += g.Trip(Rural, 1200).AvgSpeed()
+	}
+	if rural <= urban {
+		t.Errorf("rural avg speed %.2f not above urban %.2f", rural/3, urban/3)
+	}
+}
+
+func TestTripPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on non-positive duration")
+		}
+	}()
+	New(1, Config{}).Trip(Urban, 0)
+}
+
+func TestTripKindString(t *testing.T) {
+	if Urban.String() != "urban" || Rural.String() != "rural" || Mixed.String() != "mixed" || Pedestrian.String() != "pedestrian" {
+		t.Error("TripKind strings wrong")
+	}
+	if TripKind(42).String() == "" {
+		t.Error("unknown TripKind has empty string")
+	}
+}
+
+func TestPedestrianTrip(t *testing.T) {
+	g := New(9, Config{NoiseSigma: 2})
+	p := g.Trip(Pedestrian, 1800)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("pedestrian trip invalid: %v", err)
+	}
+	// Walking pace: mean speed well below driving, above standstill.
+	v := p.AvgSpeed()
+	if v < 0.2 || v > 1.6 {
+		t.Errorf("pedestrian avg speed %.2f m/s, want walking pace", v)
+	}
+	// Short legs: the bounding box stays within a couple of kilometres.
+	b := p.Bounds()
+	if b.Width() > 3000 || b.Height() > 3000 {
+		t.Errorf("pedestrian trip spans %v × %v m", b.Width(), b.Height())
+	}
+}
+
+func TestNoiseFreeTrips(t *testing.T) {
+	g := New(14, Config{NoiseSigma: -1})
+	p := g.Trip(Urban, 600)
+	// Without noise, consecutive fixes during a red-light stop coincide
+	// exactly in space (the car is pinned to the stop line).
+	identical := 0
+	for i := 0; i+1 < p.Len(); i++ {
+		if p[i].Pos().Equal(p[i+1].Pos()) {
+			identical++
+		}
+	}
+	if identical == 0 {
+		t.Error("noise-free trip has no exactly-stationary fixes at stops")
+	}
+	// And stop-free trips never halt.
+	g2 := New(14, Config{StopProb: -1})
+	q := g2.Trip(Urban, 600)
+	for i := 0; i+1 < q.Len(); i++ {
+		if q.SegmentSpeed(i) < 0.05 {
+			t.Errorf("stop-free trip stalls at segment %d", i)
+			break
+		}
+	}
+}
+
+func TestFleet(t *testing.T) {
+	g := New(13, Config{})
+	fleet := g.Fleet(9, 8000, 900)
+	if len(fleet) != 9 {
+		t.Fatalf("fleet size %d", len(fleet))
+	}
+	starts := map[[2]int]bool{}
+	for i, p := range fleet {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("vehicle %d invalid: %v", i, err)
+		}
+		if d := p.Duration(); d < 800 || d > 910 {
+			t.Errorf("vehicle %d duration %v", i, d)
+		}
+		starts[[2]int{int(p[0].X / 1000), int(p[0].Y / 1000)}] = true
+	}
+	// Depots are scattered: several distinct kilometre cells.
+	if len(starts) < 4 {
+		t.Errorf("depots clustered in %d cells", len(starts))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid fleet parameters accepted")
+		}
+	}()
+	g.Fleet(0, 100, 100)
+}
+
+func TestCommute(t *testing.T) {
+	g := New(15, Config{})
+	p := g.Commute(3, Urban, 1800)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("commute invalid: %v", err)
+	}
+	legs := p.SplitGaps(3600)
+	if len(legs) != 6 {
+		t.Fatalf("3-day commute split into %d legs, want 6", len(legs))
+	}
+	for d := 0; d < 3; d++ {
+		morning, evening := legs[2*d], legs[2*d+1]
+		// The evening leg returns home: its end is the morning's start.
+		home := morning[0].Pos()
+		back := evening[evening.Len()-1].Pos()
+		if home.Dist(back) > 1e-6 {
+			t.Errorf("day %d: evening ends %.1f m from home", d, home.Dist(back))
+		}
+		// And it starts where the morning ended (work).
+		work := morning[morning.Len()-1].Pos()
+		if work.Dist(evening[0].Pos()) > 1e-6 {
+			t.Errorf("day %d: evening does not start at work", d)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive day count accepted")
+		}
+	}()
+	g.Commute(0, Urban, 600)
+}
+
+func TestConfigDefaults(t *testing.T) {
+	g := New(1, Config{NoiseSigma: 2.5})
+	cfg := g.Config()
+	if cfg.NoiseSigma != 2.5 {
+		t.Errorf("explicit NoiseSigma overridden: %v", cfg.NoiseSigma)
+	}
+	if cfg.SampleInterval != DefaultConfig().SampleInterval {
+		t.Errorf("default SampleInterval not applied: %v", cfg.SampleInterval)
+	}
+}

@@ -1,0 +1,124 @@
+package gpsgen
+
+import (
+	"repro/internal/geo"
+)
+
+// waypoint is one junction of a planned route.
+type waypoint struct {
+	pos   geo.Point
+	speed float64 // target speed on the segment arriving at this waypoint, m/s
+	stop  float64 // red-light waiting time at this waypoint in seconds; 0 = none
+}
+
+// grid directions: east, north, west, south.
+var dirs = [4]geo.Point{{X: 1}, {Y: 1}, {X: -1}, {Y: -1}}
+
+// route plans a junction-to-junction path on the road grid long enough to
+// fill the requested duration with margin.
+func (g *Generator) route(kind TripKind, duration float64) []waypoint {
+	// expectLen estimates the distance actually driven (road speed reduced
+	// by stops, turns and acceleration); Mixed road transitions are placed
+	// relative to it. The plan itself extends to twice the distance the car
+	// could cover at full rural speed so the drive never runs out of road.
+	expectLen := duration * g.estimatedSpeed(kind)
+	targetLen := 2 * duration * g.cfg.RuralSpeed
+
+	// The trip drifts towards a random quadrant: two preferred directions
+	// (e.g. east and north) produce the staircase-like routes of real car
+	// trips, with displacement roughly half the travelled length.
+	driftA := g.rng.Intn(4)
+	driftB := (driftA + 1) % 4 // perpendicular neighbour
+
+	wps := []waypoint{{pos: geo.Pt(0, 0)}}
+	pos := geo.Pt(0, 0)
+	dir := driftA
+	var planned float64
+	for i := 0; planned < targetLen; i++ {
+		block, speed, urban := g.roadAt(kind, planned, expectLen)
+
+		// Choose the next direction: mostly straight, otherwise turn —
+		// preferring the drift directions but occasionally wandering. Rare
+		// wander keeps displacement ≈ half the travelled length, the ratio
+		// of the paper's Table 2.
+		r := g.rng.Float64()
+		switch {
+		case r < g.cfg.StraightBias:
+			// keep dir
+		case r < g.cfg.StraightBias+(1-g.cfg.StraightBias)*0.82:
+			// Turn towards one of the drift directions (never reversing).
+			cand := driftA
+			if g.rng.Intn(2) == 0 {
+				cand = driftB
+			}
+			if cand != (dir+2)%4 {
+				dir = cand
+			}
+		default:
+			// Wander: any direction except straight back.
+			for {
+				cand := g.rng.Intn(4)
+				if cand != (dir+2)%4 {
+					dir = cand
+					break
+				}
+			}
+		}
+
+		// Jitter the per-segment target speed ±12%.
+		segSpeed := speed * (0.88 + 0.24*g.rng.Float64())
+
+		pos = pos.Add(dirs[dir].Scale(block))
+		planned += block
+
+		// Urban junctions carry traffic lights; rural junctions only rarely
+		// force a halt (crossings, give-way situations).
+		stopProb := g.cfg.StopProb
+		if !urban {
+			stopProb *= 0.2
+		}
+		stop := 0.0
+		if g.rng.Float64() < stopProb {
+			stop = g.cfg.StopMin + g.rng.Float64()*(g.cfg.StopMax-g.cfg.StopMin)
+		}
+		wps = append(wps, waypoint{pos: pos, speed: segSpeed, stop: stop})
+	}
+	return wps
+}
+
+// roadAt returns the block length, road speed and urban flag for the road at
+// the given planned distance into the route; expectLen is the distance the
+// car is expected to actually cover.
+func (g *Generator) roadAt(kind TripKind, planned, expectLen float64) (block, speed float64, urban bool) {
+	switch kind {
+	case Urban:
+		return g.cfg.UrbanBlock, g.cfg.UrbanSpeed, true
+	case Rural:
+		return g.cfg.RuralBlock, g.cfg.RuralSpeed, false
+	case Pedestrian:
+		// Footpath grid: short legs at walking pace; "urban" so that
+		// junctions carry pause probability (window shopping, crossings).
+		return 40, 1.4, true
+	default: // Mixed: urban 30% — rural 40% — urban 30% of the expected drive
+		frac := planned / expectLen
+		if frac < 0.3 || frac > 0.7 {
+			return g.cfg.UrbanBlock, g.cfg.UrbanSpeed, true
+		}
+		return g.cfg.RuralBlock, g.cfg.RuralSpeed, false
+	}
+}
+
+// estimatedSpeed predicts the realized average speed of a trip kind,
+// accounting for stops, turns and acceleration losses.
+func (g *Generator) estimatedSpeed(kind TripKind) float64 {
+	switch kind {
+	case Urban:
+		return g.cfg.UrbanSpeed * 0.62
+	case Rural:
+		return g.cfg.RuralSpeed * 0.85
+	case Pedestrian:
+		return 1.4 * 0.6
+	default:
+		return (g.cfg.UrbanSpeed*0.62*0.6 + g.cfg.RuralSpeed*0.85*0.4)
+	}
+}

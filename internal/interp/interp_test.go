@@ -1,0 +1,229 @@
+package interp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/sed"
+	"repro/internal/trajectory"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+// circle samples uniform circular motion: radius r, angular speed w.
+func circle(n int, r, w, dt float64) trajectory.Trajectory {
+	p := make(trajectory.Trajectory, n)
+	for i := range p {
+		t := float64(i) * dt
+		p[i] = trajectory.S(t, r*math.Cos(w*t), r*math.Sin(w*t))
+	}
+	return p
+}
+
+func TestNewSplineValidation(t *testing.T) {
+	if _, err := NewSpline(trajectory.Trajectory{trajectory.S(0, 0, 0)}); err == nil {
+		t.Error("single-sample trajectory accepted")
+	}
+	bad := trajectory.Trajectory{trajectory.S(1, 0, 0), trajectory.S(0, 1, 1)}
+	if _, err := NewSpline(bad); err == nil {
+		t.Error("unsorted trajectory accepted")
+	}
+}
+
+func TestSplinePassesThroughSamples(t *testing.T) {
+	p := circle(20, 100, 0.1, 1)
+	sp, err := NewSpline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range p {
+		got, ok := sp.At(s.T)
+		if !ok {
+			t.Fatalf("At(%v) out of range", s.T)
+		}
+		if !got.AlmostEqual(s.Pos(), 1e-9) {
+			t.Errorf("At(%v) = %v, want %v", s.T, got, s.Pos())
+		}
+	}
+	if _, ok := sp.At(-1); ok {
+		t.Error("time before span answered")
+	}
+	if _, ok := sp.At(1e9); ok {
+		t.Error("time after span answered")
+	}
+}
+
+// On linear motion the spline reduces exactly to linear interpolation.
+func TestSplineLinearMotionExact(t *testing.T) {
+	var p trajectory.Trajectory
+	for i := 0; i < 10; i++ {
+		p = append(p, trajectory.S(float64(i*7), float64(i*30), float64(-i*10)))
+	}
+	sp, err := NewSpline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0.0; tt <= p.EndTime(); tt += 1.7 {
+		got, _ := sp.At(tt)
+		want, _ := p.LocAt(tt)
+		if !got.AlmostEqual(want, 1e-9) {
+			t.Fatalf("At(%v) = %v, linear %v", tt, got, want)
+		}
+	}
+}
+
+// On smooth curved motion the spline reconstructs between-sample positions
+// far better than linear interpolation.
+func TestSplineBeatsLinearOnCurves(t *testing.T) {
+	// Coarse samples of a circle (every 1 rad ≈ 57°): severe for linear.
+	coarse := circle(8, 100, 1, 1)
+	sp, err := NewSpline(coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := func(t float64) (x, y float64) { return 100 * math.Cos(t), 100 * math.Sin(t) }
+	var linErr, splErr float64
+	n := 0
+	for tt := 0.0; tt <= coarse.EndTime(); tt += 0.05 {
+		tx, ty := truth(tt)
+		lin, _ := coarse.LocAt(tt)
+		spl, _ := sp.At(tt)
+		linErr += math.Hypot(lin.X-tx, lin.Y-ty)
+		splErr += math.Hypot(spl.X-tx, spl.Y-ty)
+		n++
+	}
+	linErr /= float64(n)
+	splErr /= float64(n)
+	if splErr >= linErr/2 {
+		t.Errorf("spline error %.3f not clearly below linear %.3f", splErr, linErr)
+	}
+}
+
+func TestSplineVelocity(t *testing.T) {
+	// Uniform circular motion: |v| = r·w everywhere.
+	const r, w = 100.0, 0.1
+	p := circle(40, r, w, 1)
+	sp, err := NewSpline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 2.0; tt < 35; tt += 1.3 {
+		v, ok := sp.Velocity(tt)
+		if !ok {
+			t.Fatalf("Velocity(%v) out of range", tt)
+		}
+		if speed := v.Norm(); !almostEq(speed, r*w, 0.25) {
+			t.Errorf("speed at %v = %.3f, want ≈%.1f", tt, speed, r*w)
+		}
+	}
+}
+
+// Velocity is continuous at interior samples (the point of C¹).
+func TestSplineVelocityContinuity(t *testing.T) {
+	p := circle(20, 100, 0.3, 1)
+	sp, err := NewSpline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < p.Len()-1; i++ {
+		before, _ := sp.Velocity(p[i].T - 1e-7)
+		after, _ := sp.Velocity(p[i].T + 1e-7)
+		if before.Dist(after) > 1e-3 {
+			t.Errorf("velocity jump at sample %d: %v vs %v", i, before, after)
+		}
+	}
+}
+
+func TestResample(t *testing.T) {
+	p := circle(10, 50, 0.2, 2)
+	sp, err := NewSpline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sp.Resample(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("resample invalid: %v", err)
+	}
+	if r[0].T != p.StartTime() || r[r.Len()-1].T != p.EndTime() {
+		t.Errorf("resample bounds %v..%v", r[0].T, r[r.Len()-1].T)
+	}
+	if _, err := sp.Resample(0); err == nil {
+		t.Error("dt=0 accepted")
+	}
+}
+
+// Spline-based synchronized error: zero for identical trajectories,
+// positive for real approximations, and close to the linear α when motion
+// is linear.
+func TestAvgError(t *testing.T) {
+	p := circle(30, 100, 0.25, 2)
+	if e, err := AvgError(p, p.Clone(), 1e-9); err != nil || e > 1e-9 {
+		t.Errorf("identity spline error = %v, %v", e, err)
+	}
+
+	a := compress.TDTR{Threshold: 15}.Compress(p)
+	splineErr, err := AvgError(p, a, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if splineErr <= 0 {
+		t.Errorf("spline error = %v, want > 0", splineErr)
+	}
+	linearErr, err := sed.AvgError(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On circular motion the spline reconstruction of the original stays
+	// near the truth, so the spline error should not explode relative to
+	// the linear notion.
+	if splineErr > 3*linearErr+5 {
+		t.Errorf("spline error %.2f implausibly large vs linear %.2f", splineErr, linearErr)
+	}
+}
+
+func TestAvgErrorValidation(t *testing.T) {
+	p := circle(10, 100, 0.25, 2)
+	one := trajectory.Trajectory{trajectory.S(0, 0, 0)}
+	if _, err := AvgError(p, one, 1e-6); err == nil {
+		t.Error("degenerate approximation accepted")
+	}
+	far := p.Shift(1e6, 0, 0)
+	if _, err := AvgError(p, far, 1e-6); err == nil {
+		t.Error("disjoint spans accepted")
+	}
+}
+
+// Compressing then reconstructing with the spline loses less than linear
+// reconstruction on smooth motion — the motivation for the paper's future
+// work.
+func TestSplineReconstructionAfterCompression(t *testing.T) {
+	fine := circle(200, 100, 0.05, 1) // smooth, densely sampled truth
+	a := compress.TDTR{Threshold: 5}.Compress(fine)
+
+	sa, err := NewSpline(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var linErr, splErr float64
+	n := 0
+	for tt := fine.StartTime(); tt <= a.EndTime(); tt += 0.5 {
+		truth, _ := fine.LocAt(tt)
+		lin, _ := a.LocAt(tt)
+		spl, ok := sa.At(tt)
+		if !ok {
+			continue
+		}
+		linErr += truth.Dist(lin)
+		splErr += truth.Dist(spl)
+		n++
+	}
+	linErr /= float64(n)
+	splErr /= float64(n)
+	if splErr >= linErr {
+		t.Errorf("spline reconstruction %.3f not below linear %.3f", splErr, linErr)
+	}
+}

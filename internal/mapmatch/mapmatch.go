@@ -1,0 +1,161 @@
+// Package mapmatch snaps noisy GPS trajectories onto a road network with
+// the standard hidden-Markov-model formulation (Newson & Krumm style):
+// candidate road projections are the hidden states, GPS noise gives the
+// emission probabilities, and agreement between along-road distance and
+// straight-line displacement gives the transition probabilities; Viterbi
+// decoding picks the most likely road path.
+//
+// Map matching composes naturally with the paper's pipeline: matching
+// before compression removes lateral GPS noise (positions lie exactly on
+// roads), which lets the time-ratio algorithms compress harder at the same
+// synchronized error budget.
+package mapmatch
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/roadnet"
+	"repro/internal/trajectory"
+)
+
+// Options tunes the HMM.
+type Options struct {
+	// SearchRadius bounds the candidate projections per fix, metres.
+	// Zero selects 80 m.
+	SearchRadius float64
+	// NoiseSigma is the expected GPS noise standard deviation, metres.
+	// Zero selects 10 m.
+	NoiseSigma float64
+	// Beta scales the transition penalty on the difference between
+	// along-road and straight-line distance, metres. Zero selects 30 m.
+	Beta float64
+	// MaxCandidates caps the candidate states per fix. Zero selects 8.
+	MaxCandidates int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SearchRadius == 0 {
+		o.SearchRadius = 80
+	}
+	if o.NoiseSigma == 0 {
+		o.NoiseSigma = 10
+	}
+	if o.Beta == 0 {
+		o.Beta = 30
+	}
+	if o.MaxCandidates == 0 {
+		o.MaxCandidates = 8
+	}
+	return o
+}
+
+// Match is the result for one input sample.
+type Match struct {
+	// Proj is the chosen road position.
+	Proj roadnet.Projection
+}
+
+// Snap map-matches a trajectory and returns both the per-sample matches and
+// the snapped trajectory (original timestamps, positions moved onto the
+// matched roads). Samples with no road within the search radius cause an
+// error, as does a trajectory whose candidates are all mutually unreachable.
+func Snap(g *roadnet.Graph, p trajectory.Trajectory, opts Options) ([]Match, trajectory.Trajectory, error) {
+	opts = opts.withDefaults()
+	if opts.SearchRadius < 0 || opts.NoiseSigma <= 0 || opts.Beta <= 0 || opts.MaxCandidates < 1 {
+		return nil, nil, fmt.Errorf("mapmatch: invalid options %+v", opts)
+	}
+	n := p.Len()
+	if n == 0 {
+		return nil, nil, nil
+	}
+
+	// Candidate states per sample.
+	cands := make([][]roadnet.Projection, n)
+	for i, s := range p {
+		cs := g.NearbyEdges(s.Pos(), opts.SearchRadius)
+		if len(cs) == 0 {
+			return nil, nil, fmt.Errorf("mapmatch: no road within %.0f m of sample %d at %v", opts.SearchRadius, i, s.Pos())
+		}
+		if len(cs) > opts.MaxCandidates {
+			cs = cs[:opts.MaxCandidates]
+		}
+		cands[i] = cs
+	}
+
+	// Viterbi in log space.
+	emission := func(pr roadnet.Projection) float64 {
+		z := pr.Dist / opts.NoiseSigma
+		return -0.5 * z * z
+	}
+	prob := make([]float64, len(cands[0]))
+	back := make([][]int, n)
+	for k, c := range cands[0] {
+		prob[k] = emission(c)
+	}
+	for i := 1; i < n; i++ {
+		straight := p[i-1].Pos().Dist(p[i].Pos())
+		// Network searches are pruned generously beyond the plausible
+		// detour scale.
+		prune := straight + 4*(opts.SearchRadius+opts.Beta)
+		next := make([]float64, len(cands[i]))
+		back[i] = make([]int, len(cands[i]))
+		for k, c := range cands[i] {
+			best := math.Inf(-1)
+			arg := -1
+			for j, pc := range cands[i-1] {
+				if math.IsInf(prob[j], -1) {
+					continue
+				}
+				road := g.NetworkDist(pc, c, prune)
+				if math.IsInf(road, 1) {
+					continue
+				}
+				trans := -math.Abs(road-straight) / opts.Beta
+				if v := prob[j] + trans; v > best {
+					best, arg = v, j
+				}
+			}
+			if arg < 0 {
+				next[k] = math.Inf(-1)
+				back[i][k] = -1
+				continue
+			}
+			next[k] = best + emission(c)
+			back[i][k] = arg
+		}
+		prob = next
+		alive := false
+		for _, v := range prob {
+			if !math.IsInf(v, -1) {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			return nil, nil, fmt.Errorf("mapmatch: no connected road path through sample %d", i)
+		}
+	}
+
+	// Backtrack.
+	bestK := 0
+	for k := range prob {
+		if prob[k] > prob[bestK] {
+			bestK = k
+		}
+	}
+	choice := make([]int, n)
+	choice[n-1] = bestK
+	for i := n - 1; i > 0; i-- {
+		choice[i-1] = back[i][choice[i]]
+	}
+
+	matches := make([]Match, n)
+	snapped := make(trajectory.Trajectory, n)
+	for i := range matches {
+		pr := cands[i][choice[i]]
+		matches[i] = Match{Proj: pr}
+		snapped[i] = trajectory.Sample{T: p[i].T, X: pr.Point.X, Y: pr.Point.Y}
+	}
+	return matches, snapped, nil
+}

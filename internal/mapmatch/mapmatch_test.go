@@ -1,0 +1,198 @@
+package mapmatch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+	"repro/internal/sed"
+	"repro/internal/trajectory"
+)
+
+// drive synthesizes a trip along an L-shaped route on the grid: east along
+// y=0 to x=500, then north along x=500, at 10 m/s with one fix per 10 s,
+// perturbed by Gaussian noise.
+func drive(rng *rand.Rand, sigma float64) (noisy, truth trajectory.Trajectory) {
+	pos := func(dist float64) geo.Point {
+		if dist <= 500 {
+			return geo.Pt(dist, 0)
+		}
+		return geo.Pt(500, dist-500)
+	}
+	for i := 0; i <= 10; i++ {
+		t := float64(i * 10)
+		p := pos(float64(i) * 100)
+		truth = append(truth, trajectory.S(t, p.X, p.Y))
+		noisy = append(noisy, trajectory.S(t,
+			p.X+rng.NormFloat64()*sigma,
+			p.Y+rng.NormFloat64()*sigma))
+	}
+	return noisy, truth
+}
+
+func TestSnapRecoversRoute(t *testing.T) {
+	g := roadnet.Grid(11, 11, 100)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		noisy, truth := drive(rng, 8)
+		matches, snapped, err := Snap(g, noisy, Options{NoiseSigma: 8})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(matches) != noisy.Len() || snapped.Len() != noisy.Len() {
+			t.Fatalf("trial %d: result sizes %d/%d", trial, len(matches), snapped.Len())
+		}
+		if err := snapped.Validate(); err != nil {
+			t.Fatalf("trial %d: snapped invalid: %v", trial, err)
+		}
+		// Matching removes lateral noise; longitudinal noise (along the
+		// road) remains, so compare against the noise scale: mean deviation
+		// near σ, worst within a few σ.
+		var sum, worst float64
+		for i := range snapped {
+			d := snapped[i].Pos().Dist(truth[i].Pos())
+			sum += d
+			if d > worst {
+				worst = d
+			}
+		}
+		if mean := sum / float64(snapped.Len()); mean > 12 {
+			t.Errorf("trial %d: mean matched deviation %.1f m from truth", trial, mean)
+		}
+		if worst > 40 {
+			t.Errorf("trial %d: worst matched deviation %.1f m from truth", trial, worst)
+		}
+	}
+}
+
+// Matched positions lie exactly on roads: either x or y is a multiple of
+// the 100 m block.
+func TestSnapPositionsOnRoads(t *testing.T) {
+	g := roadnet.Grid(11, 11, 100)
+	rng := rand.New(rand.NewSource(2))
+	noisy, _ := drive(rng, 8)
+	_, snapped, err := Snap(g, noisy, Options{NoiseSigma: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	onGrid := func(v float64) bool {
+		_, frac := math.Modf(v / 100)
+		return frac < 1e-9 || frac > 1-1e-9
+	}
+	for i, s := range snapped {
+		if !onGrid(s.X) && !onGrid(s.Y) {
+			t.Errorf("sample %d at %v is off-road", i, s.Pos())
+		}
+	}
+}
+
+// The HMM prefers the coherent route over per-point nearest roads: a
+// glitched fix slightly closer to a parallel road must be kept on the
+// travelled road, because switching roads implies an implausible detour via
+// the distant connectors.
+func TestSnapUsesContinuity(t *testing.T) {
+	// Two parallel 600 m roads at y=0 and y=100, connected only at their
+	// ends.
+	g := roadnet.NewGraph()
+	b0 := g.AddNode(geo.Pt(0, 0))
+	b1 := g.AddNode(geo.Pt(600, 0))
+	t0 := g.AddNode(geo.Pt(0, 100))
+	t1 := g.AddNode(geo.Pt(600, 100))
+	g.AddEdge(b0, b1)
+	g.AddEdge(t0, t1)
+	g.AddEdge(b0, t0)
+	g.AddEdge(b1, t1)
+	g.Build()
+
+	// Eastbound along y=0; the middle fix glitches to y=55 — closer to the
+	// top road (45 m) than to the travelled one (55 m).
+	var p trajectory.Trajectory
+	for i := 0; i <= 6; i++ {
+		y := 0.0
+		if i == 3 {
+			y = 55
+		}
+		p = append(p, trajectory.S(float64(i*10), float64(i*100), y))
+	}
+	_, snapped, err := Snap(g, p, Options{NoiseSigma: 30, SearchRadius: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapped[3].Y != 0 {
+		t.Errorf("glitched fix snapped to y=%v, want the continuous road y=0", snapped[3].Y)
+	}
+}
+
+func TestSnapErrors(t *testing.T) {
+	g := roadnet.Grid(5, 5, 100)
+	// Fix far away from any road.
+	far := trajectory.Trajectory{trajectory.S(0, 10000, 10000)}
+	if _, _, err := Snap(g, far, Options{}); err == nil {
+		t.Error("off-network fix accepted")
+	}
+	// Disconnected graph: consecutive fixes on different components.
+	dg := roadnet.NewGraph()
+	a0 := dg.AddNode(geo.Pt(0, 0))
+	a1 := dg.AddNode(geo.Pt(100, 0))
+	b0 := dg.AddNode(geo.Pt(5000, 5000))
+	b1 := dg.AddNode(geo.Pt(5100, 5000))
+	dg.AddEdge(a0, a1)
+	dg.AddEdge(b0, b1)
+	dg.Build()
+	jump := trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 50, 0), trajectory.S(10, 5050, 5000),
+	})
+	if _, _, err := Snap(dg, jump, Options{}); err == nil {
+		t.Error("disconnected jump accepted")
+	}
+	// Empty trajectory: no-op.
+	if m, s, err := Snap(g, nil, Options{}); err != nil || m != nil || s != nil {
+		t.Errorf("empty input: %v %v %v", m, s, err)
+	}
+	// Invalid options.
+	if _, _, err := Snap(g, far, Options{NoiseSigma: -1}); err == nil {
+		t.Error("negative sigma accepted")
+	}
+}
+
+// Map matching before compression removes lateral noise, letting TD-TR
+// discard more points at the same synchronized error budget — the pipeline
+// composition the package doc advertises.
+func TestSnapImprovesCompression(t *testing.T) {
+	g := roadnet.Grid(11, 11, 100)
+	rng := rand.New(rand.NewSource(3))
+	var rawKept, snapKept int
+	for trial := 0; trial < 10; trial++ {
+		noisy, _ := drive(rng, 8)
+		_, snapped, err := Snap(g, noisy, Options{NoiseSigma: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		alg := compress.TDTR{Threshold: 15}
+		rawKept += alg.Compress(noisy).Len()
+		snapKept += alg.Compress(snapped).Len()
+		// Sanity: the compressed snapped trajectory stays within budget.
+		if e, err := sed.MaxError(snapped, alg.Compress(snapped)); err != nil || e > 15+1e-9 {
+			t.Fatalf("budget violated: %v, %v", e, err)
+		}
+	}
+	if snapKept >= rawKept {
+		t.Errorf("snapping did not improve compression: %d vs %d points kept", snapKept, rawKept)
+	}
+}
+
+func BenchmarkSnap(b *testing.B) {
+	g := roadnet.Grid(31, 31, 100)
+	rng := rand.New(rand.NewSource(9))
+	noisy, _ := drive(rng, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Snap(g, noisy, Options{NoiseSigma: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package mapmatch
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/roadnet"
+	"repro/internal/trajectory"
+)
+
+// Matcher is a fixed-lag online map matcher: samples are pushed as they
+// arrive and matches are emitted once they are lag samples old, decoded
+// from the Viterbi trellis accumulated so far. The fixed lag bounds both
+// memory and latency; matches within the lag window may still be revised by
+// future evidence, matches emitted are final.
+//
+// Emission and transition models are those of Snap. Matcher is not safe for
+// concurrent use.
+type Matcher struct {
+	g    *roadnet.Graph
+	opts Options
+	lag  int
+
+	// trellis columns for the buffered samples.
+	samples []trajectory.Sample
+	cands   [][]roadnet.Projection
+	prob    []float64
+	back    [][]int
+	out     []Match
+}
+
+// NewMatcher returns an online matcher emitting matches lag samples behind
+// the newest input (lag ≥ 1).
+func NewMatcher(g *roadnet.Graph, lag int, opts Options) (*Matcher, error) {
+	opts = opts.withDefaults()
+	if lag < 1 {
+		return nil, fmt.Errorf("mapmatch: lag %d < 1", lag)
+	}
+	if opts.SearchRadius < 0 || opts.NoiseSigma <= 0 || opts.Beta <= 0 || opts.MaxCandidates < 1 {
+		return nil, fmt.Errorf("mapmatch: invalid options %+v", opts)
+	}
+	return &Matcher{g: g, opts: opts, lag: lag}, nil
+}
+
+// Push feeds one sample and returns any matches that became final (samples
+// now more than the lag behind). Samples must arrive in increasing time
+// order; a sample with no nearby road or no connected path fails.
+func (m *Matcher) Push(s trajectory.Sample) ([]Match, error) {
+	if n := len(m.samples); n > 0 && s.T <= m.samples[n-1].T {
+		return nil, fmt.Errorf("mapmatch: sample out of order (t=%v)", s.T)
+	}
+	cs := m.g.NearbyEdges(s.Pos(), m.opts.SearchRadius)
+	if len(cs) == 0 {
+		return nil, fmt.Errorf("mapmatch: no road within %.0f m of %v", m.opts.SearchRadius, s.Pos())
+	}
+	if len(cs) > m.opts.MaxCandidates {
+		cs = cs[:m.opts.MaxCandidates]
+	}
+
+	emission := func(pr roadnet.Projection) float64 {
+		z := pr.Dist / m.opts.NoiseSigma
+		return -0.5 * z * z
+	}
+
+	if len(m.samples) == 0 {
+		m.samples = append(m.samples, s)
+		m.cands = append(m.cands, cs)
+		m.prob = make([]float64, len(cs))
+		for k, c := range cs {
+			m.prob[k] = emission(c)
+		}
+		m.back = append(m.back, nil)
+		return nil, nil
+	}
+
+	prev := m.samples[len(m.samples)-1]
+	straight := prev.Pos().Dist(s.Pos())
+	prune := straight + 4*(m.opts.SearchRadius+m.opts.Beta)
+	next := make([]float64, len(cs))
+	backRow := make([]int, len(cs))
+	prevCands := m.cands[len(m.cands)-1]
+	alive := false
+	for k, c := range cs {
+		best := math.Inf(-1)
+		arg := -1
+		for j, pc := range prevCands {
+			if math.IsInf(m.prob[j], -1) {
+				continue
+			}
+			road := m.g.NetworkDist(pc, c, prune)
+			if math.IsInf(road, 1) {
+				continue
+			}
+			if v := m.prob[j] - math.Abs(road-straight)/m.opts.Beta; v > best {
+				best, arg = v, j
+			}
+		}
+		if arg < 0 {
+			next[k] = math.Inf(-1)
+			backRow[k] = -1
+			continue
+		}
+		next[k] = best + emission(c)
+		backRow[k] = arg
+		alive = true
+	}
+	if !alive {
+		return nil, fmt.Errorf("mapmatch: no connected road path to %v", s.Pos())
+	}
+	m.samples = append(m.samples, s)
+	m.cands = append(m.cands, cs)
+	m.prob = next
+	m.back = append(m.back, backRow)
+
+	m.out = m.out[:0]
+	for len(m.samples) > m.lag {
+		m.out = append(m.out, m.emitOldest())
+	}
+	return m.out, nil
+}
+
+// Flush decodes and returns the matches still buffered, resetting the
+// matcher for a new stream.
+func (m *Matcher) Flush() []Match {
+	var out []Match
+	for len(m.samples) > 0 {
+		out = append(out, m.emitOldest())
+	}
+	m.prob = nil
+	return out
+}
+
+// emitOldest decodes the current best path, emits its first element, and
+// re-roots the trellis at the second column.
+func (m *Matcher) emitOldest() Match {
+	// Backtrack from the best current state to the oldest column.
+	bestK := 0
+	for k := range m.prob {
+		if m.prob[k] > m.prob[bestK] {
+			bestK = k
+		}
+	}
+	k := bestK
+	for i := len(m.back) - 1; i >= 1; i-- {
+		k = m.back[i][k]
+	}
+	match := Match{Proj: m.cands[0][k]}
+
+	if len(m.samples) == 1 {
+		m.samples = nil
+		m.cands = nil
+		m.back = nil
+		return match
+	}
+	// Re-root: condition the second column on the emitted choice by
+	// dropping first-column alternatives. Probabilities of the remaining
+	// columns are unchanged (a shared additive constant is irrelevant to
+	// argmax); back pointers of column 1 now all point at the emitted
+	// state, which column re-indexing removes.
+	m.samples = m.samples[1:]
+	m.cands = m.cands[1:]
+	m.back = m.back[1:]
+	if len(m.back) > 0 {
+		m.back[0] = nil
+	}
+	return match
+}

@@ -1,0 +1,110 @@
+package mapmatch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/roadnet"
+	"repro/internal/trajectory"
+)
+
+// With a lag larger than the stream, the online matcher decodes the same
+// trellis as batch Snap and must produce identical matches.
+func TestOnlineMatchesBatchWithLargeLag(t *testing.T) {
+	g := roadnet.Grid(11, 11, 100)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 5; trial++ {
+		noisy, _ := drive(rng, 8)
+		batch, _, err := Snap(g, noisy, Options{NoiseSigma: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewMatcher(g, 1000, Options{NoiseSigma: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Match
+		for _, s := range noisy {
+			emitted, err := m.Push(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, emitted...)
+		}
+		got = append(got, m.Flush()...)
+		if len(got) != len(batch) {
+			t.Fatalf("trial %d: online %d matches, batch %d", trial, len(got), len(batch))
+		}
+		for i := range batch {
+			if got[i].Proj.Point != batch[i].Proj.Point {
+				t.Fatalf("trial %d: match %d differs: %v vs %v",
+					trial, i, got[i].Proj.Point, batch[i].Proj.Point)
+			}
+		}
+	}
+}
+
+// With a small lag, emissions arrive incrementally and stay near the truth.
+func TestOnlineFixedLag(t *testing.T) {
+	g := roadnet.Grid(11, 11, 100)
+	rng := rand.New(rand.NewSource(5))
+	noisy, truth := drive(rng, 8)
+
+	m, err := NewMatcher(g, 3, Options{NoiseSigma: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Match
+	for i, s := range noisy {
+		emitted, err := m.Push(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, emitted...)
+		// Emissions trail the input by exactly the lag.
+		if want := i + 1 - 3; want > 0 && len(got) != want {
+			t.Fatalf("after %d pushes: %d emitted, want %d", i+1, len(got), want)
+		}
+	}
+	got = append(got, m.Flush()...)
+	if len(got) != noisy.Len() {
+		t.Fatalf("total %d matches, want %d", len(got), noisy.Len())
+	}
+	var worst float64
+	for i, mt := range got {
+		if d := mt.Proj.Point.Dist(truth[i].Pos()); d > worst {
+			worst = d
+		}
+	}
+	if worst > 40 {
+		t.Errorf("worst online deviation %.1f m", worst)
+	}
+}
+
+func TestOnlineErrors(t *testing.T) {
+	g := roadnet.Grid(5, 5, 100)
+	if _, err := NewMatcher(g, 0, Options{}); err == nil {
+		t.Error("lag 0 accepted")
+	}
+	if _, err := NewMatcher(g, 1, Options{NoiseSigma: -1}); err == nil {
+		t.Error("bad options accepted")
+	}
+	m, err := NewMatcher(g, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Push(trajectory.S(0, 1e6, 1e6)); err == nil {
+		t.Error("off-network sample accepted")
+	}
+	if _, err := m.Push(trajectory.S(0, 50, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Push(trajectory.S(0, 60, 0)); err == nil {
+		t.Error("out-of-order sample accepted")
+	}
+	// Reusable after Flush.
+	_ = m.Flush()
+	if _, err := m.Push(trajectory.S(0, 50, 0)); err != nil {
+		t.Errorf("matcher unusable after Flush: %v", err)
+	}
+}

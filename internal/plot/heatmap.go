@@ -1,0 +1,98 @@
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// HeatCell is one weighted cell of a heatmap.
+type HeatCell struct {
+	CX, CY int // cell indices
+	Weight float64
+}
+
+// Heatmap renders a cell-weight grid (e.g. analysis.Heatmap weights) as an
+// SVG density map: darker cells carry more weight.
+type Heatmap struct {
+	Title string
+	// Cell is the cell edge in metres (used for the scale bar).
+	Cell   float64
+	Width  int // zero selects 700
+	Height int // zero selects 700
+	Cells  []HeatCell
+}
+
+// RenderSVG writes the heatmap as a standalone SVG document.
+func (h Heatmap) RenderSVG(w io.Writer) error {
+	if len(h.Cells) == 0 {
+		return fmt.Errorf("plot: heatmap %q has no cells", h.Title)
+	}
+	if h.Cell <= 0 {
+		return fmt.Errorf("plot: heatmap %q has non-positive cell size", h.Title)
+	}
+	width, height := float64(h.Width), float64(h.Height)
+	if width <= 0 {
+		width = 700
+	}
+	if height <= 0 {
+		height = 700
+	}
+
+	minX, maxX := math.MaxInt32, math.MinInt32
+	minY, maxY := math.MaxInt32, math.MinInt32
+	var maxW float64
+	for _, c := range h.Cells {
+		if c.Weight < 0 || math.IsNaN(c.Weight) || math.IsInf(c.Weight, 0) {
+			return fmt.Errorf("plot: heatmap %q has invalid weight %v", h.Title, c.Weight)
+		}
+		minX, maxX = min(minX, c.CX), max(maxX, c.CX)
+		minY, maxY = min(minY, c.CY), max(maxY, c.CY)
+		maxW = math.Max(maxW, c.Weight)
+	}
+	if maxW == 0 {
+		maxW = 1
+	}
+	cols := maxX - minX + 1
+	rows := maxY - minY + 1
+	plotW := width - marginLeft - marginRight
+	plotH := height - marginTop - marginBottom
+	scale := math.Min(plotW/float64(cols), plotH/float64(rows))
+
+	var b builder
+	b.open(width, height)
+	b.text(width/2, marginTop/2+4, "middle", 15, "bold", h.Title)
+	for _, c := range h.Cells {
+		x := marginLeft + float64(c.CX-minX)*scale
+		// SVG y grows downward; cell rows grow northward.
+		y := marginTop + float64(maxY-c.CY)*scale
+		opacity := 0.08 + 0.92*(c.Weight/maxW)
+		b.appendf(`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#c4442d" fill-opacity="%.3f"/>`+"\n",
+			x, y, scale, scale, opacity)
+	}
+
+	// Scale bar in cells → metres.
+	barCells := int(math.Max(1, niceLength(float64(cols)/4)))
+	y := height - marginBottom/2
+	b.line(marginLeft, y, marginLeft+float64(barCells)*scale, y, "#333", 2)
+	b.text(marginLeft+float64(barCells)*scale/2, y-6, "middle", 11, "",
+		formatDistance(float64(barCells)*h.Cell))
+
+	b.close()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,55 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHeatmapRenderSVG(t *testing.T) {
+	h := Heatmap{
+		Title: "density",
+		Cell:  250,
+		Cells: []HeatCell{
+			{CX: 0, CY: 0, Weight: 10},
+			{CX: 1, CY: 0, Weight: 40},
+			{CX: -2, CY: 3, Weight: 5},
+		},
+	}
+	var buf bytes.Buffer
+	if err := h.RenderSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+	out := buf.String()
+	if got := strings.Count(out, "<rect"); got != 4 { // background + 3 cells
+		t.Errorf("%d rects, want 4", got)
+	}
+	if !strings.Contains(out, "density") {
+		t.Error("title missing")
+	}
+}
+
+func TestHeatmapRejectsBadInput(t *testing.T) {
+	cases := []Heatmap{
+		{Title: "empty", Cell: 100},
+		{Title: "badcell", Cell: 0, Cells: []HeatCell{{Weight: 1}}},
+		{Title: "negweight", Cell: 100, Cells: []HeatCell{{Weight: -1}}},
+		{Title: "nan", Cell: 100, Cells: []HeatCell{{Weight: math.NaN()}}},
+	}
+	for _, h := range cases {
+		if err := h.RenderSVG(&bytes.Buffer{}); err == nil {
+			t.Errorf("heatmap %q accepted", h.Title)
+		}
+	}
+}
+
+func TestHeatmapAllZeroWeights(t *testing.T) {
+	h := Heatmap{Title: "zero", Cell: 100, Cells: []HeatCell{{CX: 0, CY: 0, Weight: 0}}}
+	var buf bytes.Buffer
+	if err := h.RenderSVG(&buf); err != nil {
+		t.Fatalf("zero weights rejected: %v", err)
+	}
+	wellFormed(t, buf.Bytes())
+}

@@ -1,0 +1,220 @@
+// Package plot renders line charts and track maps as standalone SVG — the
+// display side of the paper's motivation ("storage, transmission,
+// computation, and display challenges"). It has no dependencies beyond the
+// standard library and produces self-contained files suitable for viewing
+// the reproduced figures in a browser.
+package plot
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Series is one polyline of a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a 2D line chart.
+type Chart struct {
+	Title          string
+	XLabel, YLabel string
+	// Width and Height are the SVG canvas size in pixels; zero selects
+	// 800 × 500.
+	Width, Height int
+	Series        []Series
+}
+
+// palette holds the series colours, reused cyclically.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+const (
+	marginLeft   = 70.0
+	marginRight  = 24.0
+	marginTop    = 44.0
+	marginBottom = 56.0
+	legendRow    = 18.0
+)
+
+// RenderSVG writes the chart as a standalone SVG document.
+func (c Chart) RenderSVG(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	width, height := float64(c.Width), float64(c.Height)
+	if width <= 0 {
+		width = 800
+	}
+	if height <= 0 {
+		height = 500
+	}
+
+	// Data bounds.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return fmt.Errorf("plot: series %q is empty", s.Name)
+		}
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) || math.IsInf(s.X[i], 0) || math.IsInf(s.Y[i], 0) {
+				return fmt.Errorf("plot: series %q has non-finite point %d", s.Name, i)
+			}
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	// Always include zero on the y axis for honest magnitude comparison,
+	// and pad degenerate ranges.
+	ymin = math.Min(ymin, 0)
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	plotW := width - marginLeft - marginRight
+	plotH := height - marginTop - marginBottom
+	px := func(x float64) float64 { return marginLeft + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return marginTop + plotH - (y-ymin)/(ymax-ymin)*plotH }
+
+	var b builder
+	b.open(width, height)
+	b.text(width/2, marginTop/2+4, "middle", 15, "bold", c.Title)
+
+	// Axes.
+	b.line(marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH, "#333", 1)
+	b.line(marginLeft, marginTop, marginLeft, marginTop+plotH, "#333", 1)
+	for _, t := range ticks(xmin, xmax, 6) {
+		x := px(t)
+		b.line(x, marginTop+plotH, x, marginTop+plotH+5, "#333", 1)
+		b.line(x, marginTop, x, marginTop+plotH, "#eee", 1)
+		b.text(x, marginTop+plotH+20, "middle", 11, "", formatTick(t))
+	}
+	for _, t := range ticks(ymin, ymax, 6) {
+		y := py(t)
+		b.line(marginLeft-5, y, marginLeft, y, "#333", 1)
+		b.line(marginLeft, y, marginLeft+plotW, y, "#eee", 1)
+		b.text(marginLeft-8, y+4, "end", 11, "", formatTick(t))
+	}
+	b.text(marginLeft+plotW/2, height-14, "middle", 12, "", c.XLabel)
+	b.vtext(18, marginTop+plotH/2, 12, c.YLabel)
+
+	// Series and legend.
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		pts := make([][2]float64, len(s.X))
+		for j := range s.X {
+			pts[j] = [2]float64{px(s.X[j]), py(s.Y[j])}
+		}
+		b.polyline(pts, color)
+		ly := marginTop + 8 + float64(i)*legendRow
+		b.line(marginLeft+plotW-130, ly, marginLeft+plotW-108, ly, color, 2.5)
+		b.text(marginLeft+plotW-102, ly+4, "start", 11, "", s.Name)
+	}
+
+	b.close()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ticks returns ≤ n "nice" tick positions covering [lo, hi].
+func ticks(lo, hi float64, n int) []float64 {
+	span := hi - lo
+	step := math.Pow(10, math.Floor(math.Log10(span/float64(n))))
+	for span/step > float64(n) {
+		switch {
+		case span/(step*2) <= float64(n):
+			step *= 2
+		case span/(step*2.5) <= float64(n) && math.Mod(math.Log10(step), 1) == 0:
+			step *= 2.5
+		case span/(step*5) <= float64(n):
+			step *= 5
+		default:
+			step *= 10
+		}
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+step/1e6; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+func formatTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// builder accumulates SVG elements with proper escaping.
+type builder struct {
+	buf []byte
+}
+
+func (b *builder) open(w, h float64) {
+	b.appendf(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+	b.appendf(`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f" font-family="sans-serif">`+"\n", w, h, w, h)
+	b.appendf(`<rect width="%.0f" height="%.0f" fill="white"/>`+"\n", w, h)
+}
+
+func (b *builder) close() { b.appendf("</svg>\n") }
+
+func (b *builder) line(x1, y1, x2, y2 float64, color string, width float64) {
+	b.appendf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		x1, y1, x2, y2, color, width)
+}
+
+func (b *builder) polyline(pts [][2]float64, color string) {
+	b.appendf(`<polyline fill="none" stroke="%s" stroke-width="2" points="`, color)
+	for _, p := range pts {
+		b.appendf("%.1f,%.1f ", p[0], p[1])
+	}
+	b.appendf(`"/>` + "\n")
+}
+
+func (b *builder) text(x, y float64, anchor string, size float64, weight, s string) {
+	w := ""
+	if weight != "" {
+		w = fmt.Sprintf(` font-weight="%s"`, weight)
+	}
+	b.appendf(`<text x="%.1f" y="%.1f" text-anchor="%s" font-size="%.0f"%s>%s</text>`+"\n",
+		x, y, anchor, size, w, escape(s))
+}
+
+func (b *builder) vtext(x, y, size float64, s string) {
+	b.appendf(`<text x="%.1f" y="%.1f" text-anchor="middle" font-size="%.0f" transform="rotate(-90 %.1f %.1f)">%s</text>`+"\n",
+		x, y, size, x, y, escape(s))
+}
+
+func (b *builder) appendf(format string, args ...any) {
+	b.buf = append(b.buf, fmt.Sprintf(format, args...)...)
+}
+
+func (b *builder) String() string { return string(b.buf) }
+
+func escape(s string) string {
+	var out []byte
+	if err := xml.EscapeText(discard{&out}, []byte(s)); err != nil {
+		return s
+	}
+	return string(out)
+}
+
+type discard struct{ buf *[]byte }
+
+func (d discard) Write(p []byte) (int, error) {
+	*d.buf = append(*d.buf, p...)
+	return len(p), nil
+}

@@ -1,0 +1,143 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/gpsgen"
+	"repro/internal/trajectory"
+)
+
+func sampleChart() Chart {
+	return Chart{
+		Title:  "error vs threshold",
+		XLabel: "threshold (m)",
+		YLabel: "error (m)",
+		Series: []Series{
+			{Name: "NDP", X: []float64{30, 50, 100}, Y: []float64{118, 121, 122}},
+			{Name: "TD-TR", X: []float64{30, 50, 100}, Y: []float64{7, 12, 20}},
+		},
+	}
+}
+
+// wellFormed checks the output parses as XML.
+func wellFormed(t *testing.T, data []byte) {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+}
+
+func TestChartRenderSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChart().RenderSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wellFormed(t, buf.Bytes())
+	for _, want := range []string{"<svg", "polyline", "NDP", "TD-TR", "error vs threshold", "threshold (m)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("%d polylines, want 2", got)
+	}
+}
+
+func TestChartEscapesText(t *testing.T) {
+	c := sampleChart()
+	c.Title = `errors < & > "quotes"`
+	var buf bytes.Buffer
+	if err := c.RenderSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+	if strings.Contains(buf.String(), `errors < &`) {
+		t.Error("unescaped markup characters in output")
+	}
+}
+
+func TestChartRejectsBadSeries(t *testing.T) {
+	cases := []Chart{
+		{Title: "empty"},
+		{Title: "mismatch", Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{1, 2}}}},
+		{Title: "hollow", Series: []Series{{Name: "s"}}},
+		{Title: "nan", Series: []Series{{Name: "s", X: []float64{math.NaN()}, Y: []float64{1}}}},
+		{Title: "inf", Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{math.Inf(1)}}}},
+	}
+	for _, c := range cases {
+		if err := c.RenderSVG(&bytes.Buffer{}); err == nil {
+			t.Errorf("chart %q accepted", c.Title)
+		}
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	c := Chart{
+		Title:  "flat",
+		Series: []Series{{Name: "s", X: []float64{5, 5}, Y: []float64{3, 3}}},
+	}
+	var buf bytes.Buffer
+	if err := c.RenderSVG(&buf); err != nil {
+		t.Fatalf("degenerate range: %v", err)
+	}
+	wellFormed(t, buf.Bytes())
+}
+
+func TestTicks(t *testing.T) {
+	got := ticks(0, 100, 6)
+	if len(got) < 2 || len(got) > 7 {
+		t.Errorf("ticks(0,100,6) = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Errorf("ticks not increasing: %v", got)
+		}
+	}
+	if got[0] < 0 || got[len(got)-1] > 100+1e-9 {
+		t.Errorf("ticks out of range: %v", got)
+	}
+}
+
+func TestTrackMap(t *testing.T) {
+	g := gpsgen.New(1, gpsgen.Config{})
+	m := TrackMap{
+		Title: "routes",
+		Tracks: []Track{
+			{Name: "urban", Traj: g.Trip(gpsgen.Urban, 600)},
+			{Name: "rural", Traj: g.Trip(gpsgen.Rural, 600)},
+		},
+	}
+	var buf bytes.Buffer
+	if err := m.RenderSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+	out := buf.String()
+	for _, want := range []string{"urban", "rural", "circle", "km"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("track map missing %q", want)
+		}
+	}
+}
+
+func TestTrackMapRejectsEmpty(t *testing.T) {
+	if err := (TrackMap{}).RenderSVG(&bytes.Buffer{}); err == nil {
+		t.Error("empty track map accepted")
+	}
+	m := TrackMap{Tracks: []Track{{Name: "x", Traj: trajectory.Trajectory{}}}}
+	if err := m.RenderSVG(&bytes.Buffer{}); err == nil {
+		t.Error("empty track accepted")
+	}
+}

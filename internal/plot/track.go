@@ -1,0 +1,115 @@
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/trajectory"
+)
+
+// Track is one named trajectory on a track map.
+type Track struct {
+	Name string
+	Traj trajectory.Trajectory
+}
+
+// TrackMap renders the spatial paths of trajectories (x east, y north, equal
+// scale) as a standalone SVG — a minimal map view for eyeballing
+// compression results and route families.
+type TrackMap struct {
+	Title  string
+	Width  int // zero selects 700
+	Height int // zero selects 700
+	Tracks []Track
+}
+
+// RenderSVG writes the track map as a standalone SVG document.
+func (m TrackMap) RenderSVG(w io.Writer) error {
+	if len(m.Tracks) == 0 {
+		return fmt.Errorf("plot: track map %q has no tracks", m.Title)
+	}
+	width, height := float64(m.Width), float64(m.Height)
+	if width <= 0 {
+		width = 700
+	}
+	if height <= 0 {
+		height = 700
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, t := range m.Tracks {
+		if t.Traj.Len() == 0 {
+			return fmt.Errorf("plot: track %q is empty", t.Name)
+		}
+		b := t.Traj.Bounds()
+		xmin, xmax = math.Min(xmin, b.Min.X), math.Max(xmax, b.Max.X)
+		ymin, ymax = math.Min(ymin, b.Min.Y), math.Max(ymax, b.Max.Y)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Equal scale: fit the larger extent, centre the smaller.
+	plotW := width - marginLeft - marginRight
+	plotH := height - marginTop - marginBottom
+	scale := math.Min(plotW/(xmax-xmin), plotH/(ymax-ymin))
+	cx, cy := (xmin+xmax)/2, (ymin+ymax)/2
+	px := func(x float64) float64 { return marginLeft + plotW/2 + (x-cx)*scale }
+	py := func(y float64) float64 { return marginTop + plotH/2 - (y-cy)*scale }
+
+	var b builder
+	b.open(width, height)
+	b.text(width/2, marginTop/2+4, "middle", 15, "bold", m.Title)
+
+	for i, t := range m.Tracks {
+		color := palette[i%len(palette)]
+		pts := make([][2]float64, t.Traj.Len())
+		for j, s := range t.Traj {
+			pts[j] = [2]float64{px(s.X), py(s.Y)}
+		}
+		b.polyline(pts, color)
+		// Start marker.
+		b.appendf(`<circle cx="%.1f" cy="%.1f" r="4" fill="%s"/>`+"\n", pts[0][0], pts[0][1], color)
+		ly := marginTop + 8 + float64(i)*legendRow
+		b.line(marginLeft+8, ly, marginLeft+30, ly, color, 2.5)
+		b.text(marginLeft+36, ly+4, "start", 11, "", t.Name)
+	}
+
+	// Scale bar: a round distance spanning ~1/4 of the width.
+	barMetres := niceLength(plotW / 4 / scale)
+	barPx := barMetres * scale
+	y := height - marginBottom/2
+	b.line(marginLeft, y, marginLeft+barPx, y, "#333", 2)
+	b.text(marginLeft+barPx/2, y-6, "middle", 11, "", formatDistance(barMetres))
+
+	b.close()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// niceLength rounds v down to a 1/2/5 × 10^k length.
+func niceLength(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	switch {
+	case v >= 5*mag:
+		return 5 * mag
+	case v >= 2*mag:
+		return 2 * mag
+	default:
+		return mag
+	}
+}
+
+func formatDistance(m float64) string {
+	if m >= 1000 {
+		return fmt.Sprintf("%g km", m/1000)
+	}
+	return fmt.Sprintf("%g m", m)
+}

@@ -1,0 +1,173 @@
+package quality
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/trajectory"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+// A triangle wave approximated by its baseline.
+func wave() (p, a trajectory.Trajectory) {
+	p = trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 0),
+		trajectory.S(1, 10, 4),
+		trajectory.S(2, 20, 0),
+		trajectory.S(3, 30, 4),
+		trajectory.S(4, 40, 0),
+	})
+	a = trajectory.Trajectory{p[0], p[4]}
+	return p, a
+}
+
+func TestPerpError(t *testing.T) {
+	p, a := wave()
+	avg, maxE, err := PerpError(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interior points sit at heights 4, 0, 4 above the baseline.
+	if !almostEq(avg, 8.0/3, 1e-9) {
+		t.Errorf("avg = %v, want 8/3", avg)
+	}
+	if !almostEq(maxE, 4, 1e-9) {
+		t.Errorf("max = %v, want 4", maxE)
+	}
+}
+
+func TestPerpErrorIdentity(t *testing.T) {
+	p, _ := wave()
+	avg, maxE, err := PerpError(p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg != 0 || maxE != 0 {
+		t.Errorf("identity PerpError = %v, %v", avg, maxE)
+	}
+}
+
+func TestPerpErrorRejectsNonSubsequence(t *testing.T) {
+	p, _ := wave()
+	alien := trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 0), trajectory.S(4, 40, 1), // second vertex not in p
+	})
+	if _, _, err := PerpError(p, alien); err == nil {
+		t.Error("non-subsequence approximation accepted")
+	}
+	short := trajectory.Trajectory{trajectory.S(0, 0, 0)}
+	if _, _, err := PerpError(p, short); err == nil {
+		t.Error("single-vertex approximation accepted")
+	}
+}
+
+func TestPerpAreaError(t *testing.T) {
+	p, a := wave()
+	got, err := PerpAreaError(p, a, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean height of the triangle wave |/\/\| over the baseline is 2.
+	if !almostEq(got, 2, 0.01) {
+		t.Errorf("area error = %v, want ≈2", got)
+	}
+	if _, err := PerpAreaError(p, a, 0); err == nil {
+		t.Error("dt=0 accepted")
+	}
+	if _, err := PerpAreaError(trajectory.Trajectory{}, a, 1); err == nil {
+		t.Error("empty original accepted")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	p, _ := wave()
+	a := compress.TDTR{Threshold: 3}.Compress(p)
+	r, err := Evaluate("TD-TR", p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Algorithm != "TD-TR" || r.OriginalLen != 5 || r.CompressedLen != a.Len() {
+		t.Errorf("report header wrong: %+v", r)
+	}
+	if r.SyncMaxError > 3+1e-9 {
+		t.Errorf("sync max %v exceeds TD-TR threshold", r.SyncMaxError)
+	}
+	if r.CompressionPct < 0 || r.CompressionPct > 100 {
+		t.Errorf("compression %% out of range: %v", r.CompressionPct)
+	}
+	if !strings.Contains(r.String(), "TD-TR") {
+		t.Errorf("String() missing algorithm name: %q", r.String())
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	p, _ := wave()
+	if _, err := Evaluate("x", p, trajectory.Trajectory{p[0]}); err == nil {
+		t.Error("degenerate approximation accepted")
+	}
+}
+
+func TestErrorProfile(t *testing.T) {
+	p, a := wave()
+	prof, err := ErrorProfile(p, a, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) < 10 {
+		t.Fatalf("profile has %d points", len(prof))
+	}
+	// Error vanishes at shared endpoints and peaks at the wave crests.
+	if prof[0].Dist > 1e-9 {
+		t.Errorf("error at start = %v", prof[0].Dist)
+	}
+	var peak float64
+	for _, e := range prof {
+		if e.Dist > peak {
+			peak = e.Dist
+		}
+	}
+	if !almostEq(peak, 4, 1e-9) {
+		t.Errorf("peak error = %v, want 4", peak)
+	}
+	if _, err := ErrorProfile(p, a, 0); err == nil {
+		t.Error("dt=0 accepted")
+	}
+	if _, err := ErrorProfile(p, trajectory.Trajectory{}, 1); err == nil {
+		t.Error("empty approximation accepted")
+	}
+}
+
+func TestErrorPercentiles(t *testing.T) {
+	p, a := wave()
+	pcs, err := ErrorPercentiles(p, a, 0.01, []float64{0, 50, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pcs[0] > pcs[1] || pcs[1] > pcs[2] {
+		t.Errorf("percentiles not monotone: %v", pcs)
+	}
+	if !almostEq(pcs[2], 4, 0.02) {
+		t.Errorf("p100 = %v, want ≈4", pcs[2])
+	}
+	if _, err := ErrorPercentiles(p, a, 0.01, []float64{-1}); err == nil {
+		t.Error("negative percentile accepted")
+	}
+}
+
+// The synchronized average error always upper-bounds zero and relates
+// sensibly to the perpendicular error on time-uniform data: for an object
+// moving at constant speed along each segment the two notions coincide in
+// spirit (sync ≥ perp, since perpendicular projection is the closest point).
+func TestSyncDominatesPerp(t *testing.T) {
+	p, a := wave()
+	r, err := Evaluate("baseline", p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SyncMaxError+1e-9 < r.PerpMaxError {
+		t.Errorf("sync max %v below perp max %v", r.SyncMaxError, r.PerpMaxError)
+	}
+}

@@ -1,0 +1,258 @@
+// Package roadnet is a minimal road-network substrate: an undirected graph
+// of nodes (junctions) and straight edges (road segments) with a spatial
+// edge index and shortest-path search. The paper observes that "in many of
+// the applications we have in mind, object movement appears to be
+// restricted to an underlying transportation infrastructure that itself has
+// linear characteristics" — this package models that infrastructure, and
+// internal/mapmatch snaps noisy trajectories onto it.
+package roadnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+)
+
+// Graph is an undirected road network. Construct with NewGraph/AddNode/
+// AddEdge (or the Grid helper), then call Build before spatial queries.
+type Graph struct {
+	nodes []geo.Point
+	edges []Edge
+	adj   [][]int // node → incident edge indices
+
+	index map[cellKey][]int // cell → edge indices
+	cell  float64
+	built bool
+}
+
+// Edge is one undirected road segment between two node indices.
+type Edge struct {
+	A, B   int
+	Length float64
+}
+
+type cellKey struct{ cx, cy int32 }
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// AddNode appends a junction and returns its index.
+func (g *Graph) AddNode(p geo.Point) int {
+	g.nodes = append(g.nodes, p)
+	g.adj = append(g.adj, nil)
+	g.built = false
+	return len(g.nodes) - 1
+}
+
+// AddEdge connects two nodes with a straight road segment and returns the
+// edge index. It panics on invalid node indices or self-loops (programmer
+// error when constructing a network).
+func (g *Graph) AddEdge(a, b int) int {
+	if a < 0 || b < 0 || a >= len(g.nodes) || b >= len(g.nodes) || a == b {
+		panic(fmt.Sprintf("roadnet: invalid edge (%d, %d) with %d nodes", a, b, len(g.nodes)))
+	}
+	idx := len(g.edges)
+	g.edges = append(g.edges, Edge{A: a, B: b, Length: g.nodes[a].Dist(g.nodes[b])})
+	g.adj[a] = append(g.adj[a], idx)
+	g.adj[b] = append(g.adj[b], idx)
+	g.built = false
+	return idx
+}
+
+// Node returns the position of node i.
+func (g *Graph) Node(i int) geo.Point { return g.nodes[i] }
+
+// EdgeAt returns edge e.
+func (g *Graph) EdgeAt(e int) Edge { return g.edges[e] }
+
+// NumNodes and NumEdges report the graph size.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges reports the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Build constructs the spatial edge index; it must be called after the last
+// AddEdge and before NearbyEdges/Project. The cell size is derived from the
+// median edge length.
+func (g *Graph) Build() {
+	if len(g.edges) == 0 {
+		g.index = map[cellKey][]int{}
+		g.cell = 1
+		g.built = true
+		return
+	}
+	var total float64
+	for _, e := range g.edges {
+		total += e.Length
+	}
+	g.cell = math.Max(1, total/float64(len(g.edges)))
+	g.index = make(map[cellKey][]int, len(g.edges))
+	for i, e := range g.edges {
+		box := geo.Seg(g.nodes[e.A], g.nodes[e.B]).Bounds()
+		lo := g.keyOf(box.Min)
+		hi := g.keyOf(box.Max)
+		for cx := lo.cx; cx <= hi.cx; cx++ {
+			for cy := lo.cy; cy <= hi.cy; cy++ {
+				k := cellKey{cx, cy}
+				g.index[k] = append(g.index[k], i)
+			}
+		}
+	}
+	g.built = true
+}
+
+func (g *Graph) keyOf(p geo.Point) cellKey {
+	return cellKey{int32(math.Floor(p.X / g.cell)), int32(math.Floor(p.Y / g.cell))}
+}
+
+// Projection is a position on an edge: the nearest road point to a query.
+type Projection struct {
+	EdgeIdx int
+	// Frac is the position along the edge from node A (0) to node B (1).
+	Frac float64
+	// Point is the projected position.
+	Point geo.Point
+	// Dist is the distance from the query to Point.
+	Dist float64
+}
+
+// NearbyEdges returns projections of p onto all edges within maxDist,
+// ordered by increasing distance. Build must have been called.
+func (g *Graph) NearbyEdges(p geo.Point, maxDist float64) []Projection {
+	if !g.built {
+		panic("roadnet: NearbyEdges called before Build")
+	}
+	lo := g.keyOf(geo.Pt(p.X-maxDist, p.Y-maxDist))
+	hi := g.keyOf(geo.Pt(p.X+maxDist, p.Y+maxDist))
+	seen := map[int]bool{}
+	var out []Projection
+	for cx := lo.cx; cx <= hi.cx; cx++ {
+		for cy := lo.cy; cy <= hi.cy; cy++ {
+			for _, ei := range g.index[cellKey{cx, cy}] {
+				if seen[ei] {
+					continue
+				}
+				seen[ei] = true
+				e := g.edges[ei]
+				seg := geo.Seg(g.nodes[e.A], g.nodes[e.B])
+				frac := seg.ClosestParam(p)
+				pt := seg.At(frac)
+				d := p.Dist(pt)
+				if d <= maxDist {
+					out = append(out, Projection{EdgeIdx: ei, Frac: frac, Point: pt, Dist: d})
+				}
+			}
+		}
+	}
+	// Insertion sort by distance; candidate lists are short.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Dist < out[j-1].Dist; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// NetworkDist returns the shortest along-road distance between two
+// projections, or +Inf if they are disconnected. maxDist (0 = unlimited)
+// prunes the search for speed.
+func (g *Graph) NetworkDist(from, to Projection, maxDist float64) float64 {
+	if from.EdgeIdx == to.EdgeIdx {
+		// Same edge: straight along it.
+		return math.Abs(from.Frac-to.Frac) * g.edges[from.EdgeIdx].Length
+	}
+	ef, et := g.edges[from.EdgeIdx], g.edges[to.EdgeIdx]
+	// Distances from the source projection to its edge's endpoints.
+	srcCost := map[int]float64{
+		ef.A: from.Frac * ef.Length,
+		ef.B: (1 - from.Frac) * ef.Length,
+	}
+	// Costs added when reaching the target edge's endpoints.
+	dstCost := map[int]float64{
+		et.A: to.Frac * et.Length,
+		et.B: (1 - to.Frac) * et.Length,
+	}
+	best := math.Inf(1)
+	dist := g.dijkstra(srcCost, maxDist)
+	for node, tail := range dstCost {
+		if d, ok := dist[node]; ok && d+tail < best {
+			best = d + tail
+		}
+	}
+	return best
+}
+
+// dijkstra runs a multi-source shortest path from the given node costs,
+// pruned beyond maxDist when positive.
+func (g *Graph) dijkstra(src map[int]float64, maxDist float64) map[int]float64 {
+	dist := make(map[int]float64, len(src)*8)
+	h := &nodeHeap{}
+	for n, d := range src {
+		heap.Push(h, nodeItem{node: n, dist: d})
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(nodeItem)
+		if d, ok := dist[it.node]; ok && d <= it.dist {
+			continue
+		}
+		dist[it.node] = it.dist
+		if maxDist > 0 && it.dist > maxDist {
+			continue
+		}
+		for _, ei := range g.adj[it.node] {
+			e := g.edges[ei]
+			other := e.A
+			if other == it.node {
+				other = e.B
+			}
+			nd := it.dist + e.Length
+			if d, ok := dist[other]; !ok || nd < d {
+				heap.Push(h, nodeItem{node: other, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type nodeItem struct {
+	node int
+	dist float64
+}
+
+type nodeHeap []nodeItem
+
+func (h nodeHeap) Len() int           { return len(h) }
+func (h nodeHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(nodeItem)) }
+func (h *nodeHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Grid builds an nx × ny junction grid with the given block length —
+// matching the road world of internal/gpsgen. The node at column i, row j
+// has index j*nx + i.
+func Grid(nx, ny int, block float64) *Graph {
+	if nx < 2 || ny < 2 || block <= 0 {
+		panic(fmt.Sprintf("roadnet: invalid grid %d×%d block %v", nx, ny, block))
+	}
+	g := NewGraph()
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			g.AddNode(geo.Pt(float64(i)*block, float64(j)*block))
+		}
+	}
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			n := j*nx + i
+			if i+1 < nx {
+				g.AddEdge(n, n+1)
+			}
+			if j+1 < ny {
+				g.AddEdge(n, n+nx)
+			}
+		}
+	}
+	g.Build()
+	return g
+}

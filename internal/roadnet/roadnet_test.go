@@ -1,0 +1,143 @@
+package roadnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestGridConstruction(t *testing.T) {
+	g := Grid(4, 3, 100)
+	if g.NumNodes() != 12 {
+		t.Errorf("nodes = %d, want 12", g.NumNodes())
+	}
+	// Horizontal: 3 per row × 3 rows; vertical: 4 per column × 2 = 8.
+	if g.NumEdges() != 3*3+4*2 {
+		t.Errorf("edges = %d, want 17", g.NumEdges())
+	}
+	if got := g.Node(1*4 + 2); !got.Equal(geo.Pt(200, 100)) {
+		t.Errorf("node (2,1) at %v", got)
+	}
+}
+
+func TestNearbyEdges(t *testing.T) {
+	g := Grid(5, 5, 100)
+	// A point 10 m north of the road between (100,100) and (200,100).
+	p := geo.Pt(150, 110)
+	cs := g.NearbyEdges(p, 50)
+	if len(cs) == 0 {
+		t.Fatal("no candidates")
+	}
+	best := cs[0]
+	if math.Abs(best.Dist-10) > 1e-9 {
+		t.Errorf("best candidate at distance %v, want 10", best.Dist)
+	}
+	if !best.Point.AlmostEqual(geo.Pt(150, 100), 1e-9) {
+		t.Errorf("projection %v, want (150, 100)", best.Point)
+	}
+	// Ordered by distance.
+	for i := 1; i < len(cs); i++ {
+		if cs[i].Dist < cs[i-1].Dist {
+			t.Fatal("candidates not ordered")
+		}
+	}
+	// Radius respected.
+	for _, c := range cs {
+		if c.Dist > 50 {
+			t.Errorf("candidate beyond radius: %v", c.Dist)
+		}
+	}
+	if got := g.NearbyEdges(geo.Pt(1e6, 1e6), 50); len(got) != 0 {
+		t.Errorf("far query returned %d candidates", len(got))
+	}
+}
+
+func TestNetworkDistSameEdge(t *testing.T) {
+	g := Grid(3, 3, 100)
+	cs := g.NearbyEdges(geo.Pt(20, 0), 10)
+	ds := g.NearbyEdges(geo.Pt(80, 0), 10)
+	d := g.NetworkDist(cs[0], ds[0], 0)
+	if math.Abs(d-60) > 1e-9 {
+		t.Errorf("same-edge distance %v, want 60", d)
+	}
+}
+
+func TestNetworkDistAcrossGrid(t *testing.T) {
+	g := Grid(5, 5, 100)
+	// From the midpoint of the bottom-left horizontal edge to the midpoint
+	// of the next horizontal edge: along the road, 100 m.
+	a := g.NearbyEdges(geo.Pt(50, 0), 5)[0]
+	b := g.NearbyEdges(geo.Pt(150, 0), 5)[0]
+	if d := g.NetworkDist(a, b, 0); math.Abs(d-100) > 1e-9 {
+		t.Errorf("adjacent-edge distance %v, want 100", d)
+	}
+	// Manhattan detour: (50, 0) to (0, 150) must go via a corner:
+	// 50 to node (0,0) + 100 up + 50 more = 200.
+	c := g.NearbyEdges(geo.Pt(0, 150), 5)[0]
+	if d := g.NetworkDist(a, c, 0); math.Abs(d-200) > 1e-9 {
+		t.Errorf("cross distance %v, want 200", d)
+	}
+}
+
+func TestNetworkDistPruned(t *testing.T) {
+	g := Grid(10, 10, 100)
+	a := g.NearbyEdges(geo.Pt(0, 50), 5)[0]
+	b := g.NearbyEdges(geo.Pt(900, 850), 5)[0]
+	full := g.NetworkDist(a, b, 0)
+	if math.IsInf(full, 1) || full < 1500 {
+		t.Fatalf("full distance = %v", full)
+	}
+	if d := g.NetworkDist(a, b, 100); !math.IsInf(d, 1) {
+		t.Errorf("tight prune returned finite distance %v", d)
+	}
+}
+
+func TestDisconnectedComponents(t *testing.T) {
+	g := NewGraph()
+	a0 := g.AddNode(geo.Pt(0, 0))
+	a1 := g.AddNode(geo.Pt(100, 0))
+	b0 := g.AddNode(geo.Pt(10000, 10000))
+	b1 := g.AddNode(geo.Pt(10100, 10000))
+	g.AddEdge(a0, a1)
+	g.AddEdge(b0, b1)
+	g.Build()
+	pa := g.NearbyEdges(geo.Pt(50, 0), 10)[0]
+	pb := g.NearbyEdges(geo.Pt(10050, 10000), 10)[0]
+	if d := g.NetworkDist(pa, pb, 0); !math.IsInf(d, 1) {
+		t.Errorf("disconnected distance %v, want +Inf", d)
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { Grid(1, 5, 100) },
+		func() { Grid(5, 5, 0) },
+		func() {
+			g := NewGraph()
+			g.AddNode(geo.Pt(0, 0))
+			g.AddEdge(0, 0)
+		},
+		func() {
+			g := NewGraph()
+			g.AddNode(geo.Pt(0, 0))
+			g.AddEdge(0, 5)
+		},
+		func() {
+			g := NewGraph()
+			g.AddNode(geo.Pt(0, 0))
+			g.AddNode(geo.Pt(1, 0))
+			g.AddEdge(0, 1)
+			g.NearbyEdges(geo.Pt(0, 0), 10) // Build not called
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,265 @@
+// Package rtree implements a dynamic 3-dimensional (x, y, t) R-tree over
+// trajectory segments — the index family the paper's related work points to
+// for trajectory data (trajectory-oriented R-tree variants such as the
+// 2+3 TR-tree). It backs the moving-object store's spatiotemporal range
+// queries as an alternative to the uniform grid, trading insert cost for
+// robustness to skewed data where a fixed cell size degenerates.
+//
+// The implementation follows Guttman's original design: least-enlargement
+// leaf choice and quadratic split, with volume computed over the
+// space–time box (area × duration, with small floors so degenerate boxes —
+// stationary objects, instantaneous events — still order sensibly).
+package rtree
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+)
+
+const (
+	maxEntries = 16
+	minEntries = 6 // ≈ 40% of max, Guttman's recommendation
+
+	// Floors applied when computing volumes so zero-extent boxes (points,
+	// stationary segments) retain a meaningful ordering.
+	minExtent = 1e-9
+)
+
+// Box is an axis-aligned space–time volume.
+type Box struct {
+	Rect   geo.Rect
+	T0, T1 float64
+}
+
+// Valid reports whether the box is well-formed (non-empty rectangle,
+// T0 ≤ T1).
+func (b Box) Valid() bool { return !b.Rect.IsEmpty() && b.T0 <= b.T1 }
+
+// Intersects reports whether two boxes share a point in space and time.
+func (b Box) Intersects(o Box) bool {
+	return b.Rect.Intersects(o.Rect) && b.T0 <= o.T1 && o.T0 <= b.T1
+}
+
+func (b Box) union(o Box) Box {
+	out := Box{Rect: b.Rect.Union(o.Rect), T0: b.T0, T1: b.T1}
+	if o.T0 < out.T0 {
+		out.T0 = o.T0
+	}
+	if o.T1 > out.T1 {
+		out.T1 = o.T1
+	}
+	return out
+}
+
+func (b Box) volume() float64 {
+	w := b.Rect.Width() + minExtent
+	h := b.Rect.Height() + minExtent
+	d := b.T1 - b.T0 + minExtent
+	return w * h * d
+}
+
+// Tree is a 3D R-tree mapping boxes to string values. Not safe for
+// concurrent use; the store serializes access.
+type Tree struct {
+	root *node
+	size int
+	// path records the ancestors of the last chooseLeaf descent, root
+	// first; kept on the tree to avoid per-insert allocation.
+	path []*node
+}
+
+type entry struct {
+	box   Box
+	child *node  // nil at leaves
+	value string // set at leaves
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{leaf: true}}
+}
+
+// Len returns the number of stored values.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds a value under a box. It panics on invalid boxes, which
+// indicate programmer error upstream (segments always have valid bounds).
+func (t *Tree) Insert(b Box, value string) {
+	if !b.Valid() {
+		panic(fmt.Sprintf("rtree: invalid box %+v", b))
+	}
+	leaf := t.chooseLeaf(t.root, b)
+	leaf.entries = append(leaf.entries, entry{box: b, value: value})
+	t.size++
+
+	split := t.splitIfNeeded(leaf)
+	t.adjustUp(leaf, split)
+}
+
+// Search calls fn for every stored value whose box intersects q, until fn
+// returns false. Values inserted under several boxes are reported once per
+// intersecting box.
+func (t *Tree) Search(q Box, fn func(value string) bool) {
+	if !q.Valid() {
+		return
+	}
+	search(t.root, q, fn)
+}
+
+func search(n *node, q Box, fn func(string) bool) bool {
+	for _, e := range n.entries {
+		if !e.box.Intersects(q) {
+			continue
+		}
+		if n.leaf {
+			if !fn(e.value) {
+				return false
+			}
+		} else if !search(e.child, q, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// chooseLeaf descends to the leaf whose enlargement to include b is
+// minimal, tracking parents via the path slice on the tree.
+func (t *Tree) chooseLeaf(n *node, b Box) *node {
+	t.path = t.path[:0]
+	for !n.leaf {
+		t.path = append(t.path, n)
+		best := 0
+		bestEnl, bestVol := 0.0, 0.0
+		for i, e := range n.entries {
+			vol := e.box.volume()
+			enl := e.box.union(b).volume() - vol
+			if i == 0 || enl < bestEnl || (enl == bestEnl && vol < bestVol) {
+				best, bestEnl, bestVol = i, enl, vol
+			}
+		}
+		n.entries[best].box = n.entries[best].box.union(b)
+		n = n.entries[best].child
+	}
+	return n
+}
+
+// splitIfNeeded splits an overfull node and returns the new sibling (nil if
+// no split happened).
+func (t *Tree) splitIfNeeded(n *node) *node {
+	if len(n.entries) <= maxEntries {
+		return nil
+	}
+	return quadraticSplit(n)
+}
+
+// adjustUp propagates splits and bounding-box updates to the root.
+func (t *Tree) adjustUp(n *node, split *node) {
+	for i := len(t.path) - 1; i >= 0; i-- {
+		parent := t.path[i]
+		if split != nil {
+			parent.entries = append(parent.entries, entry{box: boundsOf(split), child: split})
+		}
+		// Refresh the entry covering n (its box may have grown precisely;
+		// chooseLeaf already grew it conservatively, but a split shrinks).
+		for j := range parent.entries {
+			if parent.entries[j].child == n {
+				parent.entries[j].box = boundsOf(n)
+			}
+		}
+		split = t.splitIfNeeded(parent)
+		n = parent
+	}
+	if split != nil {
+		// Root split: grow the tree by one level.
+		old := t.root
+		t.root = &node{
+			leaf: false,
+			entries: []entry{
+				{box: boundsOf(old), child: old},
+				{box: boundsOf(split), child: split},
+			},
+		}
+	}
+}
+
+func boundsOf(n *node) Box {
+	b := n.entries[0].box
+	for _, e := range n.entries[1:] {
+		b = b.union(e.box)
+	}
+	return b
+}
+
+// quadraticSplit redistributes an overfull node's entries into the node and
+// a new sibling using Guttman's quadratic seeds/next heuristics.
+func quadraticSplit(n *node) *node {
+	entries := n.entries
+	// Pick seeds: the pair wasting the most volume if grouped.
+	s1, s2 := 0, 1
+	worst := -1.0
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			waste := entries[i].box.union(entries[j].box).volume() -
+				entries[i].box.volume() - entries[j].box.volume()
+			if waste > worst {
+				worst, s1, s2 = waste, i, j
+			}
+		}
+	}
+	groupA := []entry{entries[s1]}
+	groupB := []entry{entries[s2]}
+	boxA, boxB := entries[s1].box, entries[s2].box
+	rest := make([]entry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != s1 && i != s2 {
+			rest = append(rest, e)
+		}
+	}
+
+	for len(rest) > 0 {
+		// Force-assign when one group must take everything to reach min.
+		need := minEntries - len(groupA)
+		if need > 0 && need >= len(rest) {
+			groupA = append(groupA, rest...)
+			rest = nil
+			break
+		}
+		need = minEntries - len(groupB)
+		if need > 0 && need >= len(rest) {
+			groupB = append(groupB, rest...)
+			rest = nil
+			break
+		}
+		// Pick the entry with the strongest group preference.
+		bestIdx, bestDiff, preferA := 0, -1.0, true
+		for i, e := range rest {
+			dA := boxA.union(e.box).volume() - boxA.volume()
+			dB := boxB.union(e.box).volume() - boxB.volume()
+			diff := dA - dB
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestDiff, bestIdx, preferA = diff, i, dA < dB
+			}
+		}
+		e := rest[bestIdx]
+		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
+		if preferA {
+			groupA = append(groupA, e)
+			boxA = boxA.union(e.box)
+		} else {
+			groupB = append(groupB, e)
+			boxB = boxB.union(e.box)
+		}
+	}
+
+	n.entries = groupA
+	return &node{leaf: n.leaf, entries: groupB}
+}

@@ -1,0 +1,179 @@
+package rtree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func boxAt(x, y, t float64) Box {
+	return Box{
+		Rect: geo.Rect{Min: geo.Pt(x, y), Max: geo.Pt(x+10, y+10)},
+		T0:   t, T1: t + 10,
+	}
+}
+
+func collect(t *Tree, q Box) []string {
+	var out []string
+	t.Search(q, func(v string) bool {
+		out = append(out, v)
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+func TestInsertSearchBasic(t *testing.T) {
+	tr := New()
+	tr.Insert(boxAt(0, 0, 0), "a")
+	tr.Insert(boxAt(100, 100, 0), "b")
+	tr.Insert(boxAt(0, 0, 100), "c") // same place, later time
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got := collect(tr, boxAt(0, 0, 0))
+	if len(got) != 1 || got[0] != "a" {
+		t.Errorf("search near origin t=0: %v, want [a]", got)
+	}
+	got = collect(tr, boxAt(0, 0, 100))
+	if len(got) != 1 || got[0] != "c" {
+		t.Errorf("search near origin t=100: %v, want [c]", got)
+	}
+	// A query spanning all time at the origin finds a and c.
+	got = collect(tr, Box{Rect: geo.Rect{Min: geo.Pt(-1, -1), Max: geo.Pt(5, 5)}, T0: -1e9, T1: 1e9})
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Errorf("all-time search: %v, want [a c]", got)
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 50; i++ {
+		tr.Insert(boxAt(0, 0, 0), fmt.Sprintf("v%d", i))
+	}
+	count := 0
+	tr.Search(boxAt(0, 0, 0), func(string) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop visited %d, want 5", count)
+	}
+}
+
+func TestInvalidBoxes(t *testing.T) {
+	tr := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid box insert did not panic")
+		}
+	}()
+	// Searching with invalid boxes is a no-op, not a panic.
+	tr.Search(Box{Rect: geo.EmptyRect()}, func(string) bool { t.Error("matched"); return true })
+	tr.Search(Box{Rect: geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1, 1)}, T0: 5, T1: 1},
+		func(string) bool { t.Error("matched"); return true })
+	tr.Insert(Box{Rect: geo.EmptyRect(), T0: 0, T1: 1}, "bad")
+}
+
+// Brute-force equivalence under random workloads: the tree must return
+// exactly the same result set as a linear scan.
+func TestRandomizedAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	type item struct {
+		box Box
+		val string
+	}
+	for trial := 0; trial < 10; trial++ {
+		tr := New()
+		var items []item
+		n := 100 + rng.Intn(900)
+		for i := 0; i < n; i++ {
+			b := Box{
+				Rect: geo.Rect{
+					Min: geo.Pt(rng.Float64()*1e4, rng.Float64()*1e4),
+				},
+				T0: rng.Float64() * 1e4,
+			}
+			b.Rect.Max = b.Rect.Min.Add(geo.Pt(rng.Float64()*200, rng.Float64()*200))
+			b.T1 = b.T0 + rng.Float64()*100
+			v := fmt.Sprintf("i%d", i)
+			tr.Insert(b, v)
+			items = append(items, item{b, v})
+		}
+		if tr.Len() != n {
+			t.Fatalf("Len = %d, want %d", tr.Len(), n)
+		}
+		for q := 0; q < 50; q++ {
+			qb := Box{
+				Rect: geo.Rect{Min: geo.Pt(rng.Float64()*1e4, rng.Float64()*1e4)},
+				T0:   rng.Float64() * 1e4,
+			}
+			qb.Rect.Max = qb.Rect.Min.Add(geo.Pt(rng.Float64()*2000, rng.Float64()*2000))
+			qb.T1 = qb.T0 + rng.Float64()*2000
+
+			var want []string
+			for _, it := range items {
+				if it.box.Intersects(qb) {
+					want = append(want, it.val)
+				}
+			}
+			sort.Strings(want)
+			got := collect(tr, qb)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d query %d: got %d results, want %d", trial, q, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d query %d: result %d = %q, want %q", trial, q, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// Degenerate boxes (points in space and instants in time) must index and
+// query correctly.
+func TestDegenerateBoxes(t *testing.T) {
+	tr := New()
+	for i := 0; i < 200; i++ {
+		x := float64(i)
+		tr.Insert(Box{
+			Rect: geo.Rect{Min: geo.Pt(x, x), Max: geo.Pt(x, x)},
+			T0:   x, T1: x,
+		}, fmt.Sprintf("p%d", i))
+	}
+	got := collect(tr, Box{
+		Rect: geo.Rect{Min: geo.Pt(49.5, 49.5), Max: geo.Pt(52.5, 52.5)},
+		T0:   0, T1: 1e9,
+	})
+	if len(got) != 3 {
+		t.Errorf("point query returned %v, want p50 p51 p52", got)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x, y, tt := rng.Float64()*1e5, rng.Float64()*1e5, rng.Float64()*1e5
+		tr.Insert(boxAt(x, y, tt), "v")
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tr := New()
+	for i := 0; i < 50000; i++ {
+		tr.Insert(boxAt(rng.Float64()*1e5, rng.Float64()*1e5, rng.Float64()*1e5), "v")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := boxAt(rng.Float64()*1e5, rng.Float64()*1e5, rng.Float64()*1e5)
+		tr.Search(q, func(string) bool { return true })
+	}
+}

@@ -1,0 +1,144 @@
+package sed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/trajectory"
+)
+
+// randomTrajectory builds a car-like random trajectory with n samples.
+func randomTrajectory(rng *rand.Rand, n int) trajectory.Trajectory {
+	p := make(trajectory.Trajectory, n)
+	t, x, y := 0.0, 0.0, 0.0
+	heading := rng.Float64() * 2 * math.Pi
+	for i := 0; i < n; i++ {
+		p[i] = trajectory.S(t, x, y)
+		dt := 1 + rng.Float64()*15
+		speed := rng.Float64() * 25
+		heading += rng.NormFloat64() * 0.5
+		t += dt
+		x += speed * dt * math.Cos(heading)
+		y += speed * dt * math.Sin(heading)
+	}
+	return p
+}
+
+// subsample keeps the first and last samples plus a random interior subset.
+func subsample(rng *rand.Rand, p trajectory.Trajectory) trajectory.Trajectory {
+	a := trajectory.Trajectory{p[0]}
+	for i := 1; i < p.Len()-1; i++ {
+		if rng.Float64() < 0.3 {
+			a = append(a, p[i])
+		}
+	}
+	return append(a, p[p.Len()-1])
+}
+
+// The closed-form α must agree with high-accuracy numeric quadrature on
+// arbitrary trajectory/approximation pairs. This exercises all three
+// analytic cases, since random approximations mix shared-endpoint segments
+// (disc = 0 at interval boundaries) with general ones.
+func TestClosedFormMatchesNumericProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2004))
+	for trial := 0; trial < 200; trial++ {
+		p := randomTrajectory(rng, 10+rng.Intn(60))
+		a := subsample(rng, p)
+		got, err := AvgError(p, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := AvgErrorNumeric(p, a, 1e-10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tol := 1e-6 * (1 + want)
+		if math.Abs(got-want) > tol {
+			t.Fatalf("trial %d: closed form %.9f vs numeric %.9f (|Δ|=%.3g)", trial, got, want, math.Abs(got-want))
+		}
+	}
+}
+
+// α is non-negative and bounded above by the max synchronized error.
+func TestAvgErrorBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		p := randomTrajectory(rng, 20+rng.Intn(40))
+		a := subsample(rng, p)
+		avg, err := AvgError(p, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		max, err := MaxError(p, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if avg < 0 {
+			t.Fatalf("negative α = %v", avg)
+		}
+		if avg > max+1e-9 {
+			t.Fatalf("α %v exceeds max error %v", avg, max)
+		}
+	}
+}
+
+// α is symmetric: swapping the roles of p and a only changes which path is
+// "original", not the synchronized separation.
+func TestAvgErrorSymmetryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		p := randomTrajectory(rng, 30)
+		a := subsample(rng, p)
+		e1, err1 := AvgError(p, a)
+		e2, err2 := AvgError(a, p)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if math.Abs(e1-e2) > 1e-9*(1+e1) {
+			t.Fatalf("asymmetry: %v vs %v", e1, e2)
+		}
+	}
+}
+
+// Keeping every vertex yields zero error; dropping vertices can only be
+// measured as ≥ 0 relative to that.
+func TestAvgErrorZeroForFullSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		p := randomTrajectory(rng, 25)
+		e, err := AvgError(p, p.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e > 1e-9 {
+			t.Fatalf("α(p, clone(p)) = %v", e)
+		}
+	}
+}
+
+func BenchmarkAvgErrorClosedForm(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := randomTrajectory(rng, 200)
+	a := subsample(rng, p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AvgError(p, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAvgErrorNumeric(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := randomTrajectory(rng, 200)
+	a := subsample(rng, p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AvgErrorNumeric(p, a, 1e-6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Package sed implements the paper's synchronized (time-ratio) distance and
+// the time-synchronized average error α(p, a) of §4.2, including the full
+// closed-form solution of the per-segment integral and a numeric integrator
+// used to cross-validate it.
+//
+// The synchronized distance between an original data point P_i and a
+// candidate segment P_s–P_e is the distance between P_i and its
+// time-interpolated position P'_i on the segment (Eq. 1–2):
+//
+//	x'_i = x_s + Δi/Δe · (x_e − x_s)
+//	y'_i = y_s + Δi/Δe · (y_e − y_s)
+//
+// with Δe = t_e − t_s and Δi = t_i − t_s. This is the discard criterion of
+// the TD-TR, OPW-TR, OPW-SP and TD-SP algorithms.
+package sed
+
+import (
+	"repro/internal/geo"
+	"repro/internal/trajectory"
+)
+
+// SyncPosition returns P'_i: the position at time t on the straight movement
+// from sample a to sample b under linear (time-ratio) interpolation.
+// It panics if a and b carry the same timestamp.
+func SyncPosition(a, b trajectory.Sample, t float64) geo.Point {
+	de := b.T - a.T
+	if de == 0 {
+		panic("sed: zero-duration segment")
+	}
+	f := (t - a.T) / de
+	return a.Pos().Lerp(b.Pos(), f)
+}
+
+// Distance returns the synchronized Euclidean distance between data point p
+// and its time-interpolated approximation on the segment a–b.
+func Distance(p trajectory.Sample, a, b trajectory.Sample) float64 {
+	return p.Pos().Dist(SyncPosition(a, b, p.T))
+}
+
+// MaxDistance returns the largest synchronized distance of the interior
+// points of p (excluding the first and last sample) to the single segment
+// from p's first to last sample, along with the index of the worst point.
+// For trajectories with fewer than 3 samples it returns (0, -1).
+func MaxDistance(p trajectory.Trajectory) (worst float64, idx int) {
+	idx = -1
+	if p.Len() < 3 {
+		return 0, idx
+	}
+	first, last := p[0], p[p.Len()-1]
+	for i := 1; i < p.Len()-1; i++ {
+		if d := Distance(p[i], first, last); d > worst {
+			worst, idx = d, i
+		}
+	}
+	return worst, idx
+}

@@ -1,0 +1,216 @@
+package sed
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/trajectory"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSyncPosition(t *testing.T) {
+	a := trajectory.S(0, 0, 0)
+	b := trajectory.S(10, 100, 0)
+	tests := []struct {
+		t    float64
+		want geo.Point
+	}{
+		{0, geo.Pt(0, 0)},
+		{10, geo.Pt(100, 0)},
+		{5, geo.Pt(50, 0)},
+		{2.5, geo.Pt(25, 0)},
+	}
+	for _, tc := range tests {
+		if got := SyncPosition(a, b, tc.t); !got.AlmostEqual(tc.want, 1e-9) {
+			t.Errorf("SyncPosition(t=%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestSyncPositionPanicsOnZeroDuration(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on zero-duration segment")
+		}
+	}()
+	SyncPosition(trajectory.S(1, 0, 0), trajectory.S(1, 5, 5), 1)
+}
+
+// The paper's Fig. 4 situation: the synchronized distance differs from the
+// perpendicular distance when the object's speed is uneven.
+func TestDistanceVersusPerpendicular(t *testing.T) {
+	// Object dwells near the start: at t=9 it has only reached x=10 although
+	// the approximating segment (t 0..10, x 0..100) expects x'=90.
+	a := trajectory.S(0, 0, 0)
+	b := trajectory.S(10, 100, 0)
+	p := trajectory.S(9, 10, 0)
+	sedDist := Distance(p, a, b)
+	if !almostEq(sedDist, 80, 1e-9) {
+		t.Errorf("synchronized distance = %v, want 80", sedDist)
+	}
+	perp := geo.Seg(a.Pos(), b.Pos()).PerpDist(p.Pos())
+	if !almostEq(perp, 0, 1e-9) {
+		t.Errorf("perpendicular distance = %v, want 0 (point on the line)", perp)
+	}
+}
+
+func TestMaxDistance(t *testing.T) {
+	p := trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 0),
+		trajectory.S(1, 10, 3), // expected x'=10 → distance 3
+		trajectory.S(2, 20, 8), // expected x'=20 → distance 8
+		trajectory.S(3, 30, 0),
+		trajectory.S(4, 40, 0),
+	})
+	worst, idx := MaxDistance(p)
+	if idx != 2 || !almostEq(worst, 8, 1e-9) {
+		t.Errorf("MaxDistance = %v at %d, want 8 at 2", worst, idx)
+	}
+	if w, i := MaxDistance(p.Sub(0, 1)); w != 0 || i != -1 {
+		t.Errorf("MaxDistance on 2 points = %v, %d", w, i)
+	}
+}
+
+func TestAvgErrorIdentical(t *testing.T) {
+	p := trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 0), trajectory.S(5, 30, 40), trajectory.S(9, 100, -20),
+	})
+	got, err := AvgError(p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, 0, 1e-9) {
+		t.Errorf("α(p,p) = %v, want 0", got)
+	}
+}
+
+// Case c1 = 0 (paper): the approximation is a translated copy; the error is
+// the constant translation distance.
+func TestAvgErrorTranslation(t *testing.T) {
+	p := trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 0), trajectory.S(10, 100, 0), trajectory.S(20, 100, 100),
+	})
+	a := p.Shift(0, 3, 4) // constant offset 5 m
+	got, err := AvgError(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, 5, 1e-9) {
+		t.Errorf("translated α = %v, want 5", got)
+	}
+	m, err := MaxError(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(m, 5, 1e-9) {
+		t.Errorf("translated max = %v, want 5", m)
+	}
+}
+
+// Case disc = 0, shared start point (paper): α = ½·√(δx1² + δy1²).
+func TestAvgErrorSharedStart(t *testing.T) {
+	p := trajectory.MustNew([]trajectory.Sample{trajectory.S(0, 0, 0), trajectory.S(10, 100, 0)})
+	a := trajectory.MustNew([]trajectory.Sample{trajectory.S(0, 0, 0), trajectory.S(10, 100, 6)})
+	got, err := AvgError(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, 3, 1e-9) {
+		t.Errorf("shared-start α = %v, want 3", got)
+	}
+}
+
+// Case disc = 0, shared end point (paper): α = ½·√(δx0² + δy0²).
+func TestAvgErrorSharedEnd(t *testing.T) {
+	p := trajectory.MustNew([]trajectory.Sample{trajectory.S(0, 0, 4), trajectory.S(10, 100, 0)})
+	a := trajectory.MustNew([]trajectory.Sample{trajectory.S(0, 0, 0), trajectory.S(10, 100, 0)})
+	got, err := AvgError(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, 2, 1e-9) {
+		t.Errorf("shared-end α = %v, want 2", got)
+	}
+}
+
+// Offset flips sign mid-interval (the root of |δ| lies inside): the paper's
+// "δ ratios respected" sub-case. δ goes (0,2) → (0,-2) linearly, so |δ|
+// averages to 1.
+func TestAvgErrorSignChange(t *testing.T) {
+	p := trajectory.MustNew([]trajectory.Sample{trajectory.S(0, 0, 2), trajectory.S(10, 100, -2)})
+	a := trajectory.MustNew([]trajectory.Sample{trajectory.S(0, 0, 0), trajectory.S(10, 100, 0)})
+	got, err := AvgError(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, 1, 1e-9) {
+		t.Errorf("sign-change α = %v, want 1", got)
+	}
+}
+
+// General case with a known closed form: δ rotates from (1,0) to (0,1);
+// α = ∫₀¹ √(2s²−2s+1) ds = (√2 + asinh(1))/… — compare against numeric.
+func TestAvgErrorGeneralCaseAgainstNumeric(t *testing.T) {
+	p := trajectory.MustNew([]trajectory.Sample{trajectory.S(0, 1, 0), trajectory.S(1, 10, 1)})
+	a := trajectory.MustNew([]trajectory.Sample{trajectory.S(0, 0, 0), trajectory.S(1, 10, 0)})
+	got, err := AvgError(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := AvgErrorNumeric(p, a, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, want, 1e-9) {
+		t.Errorf("closed form %v vs numeric %v", got, want)
+	}
+}
+
+func TestAvgErrorInputValidation(t *testing.T) {
+	one := trajectory.Trajectory{trajectory.S(0, 0, 0)}
+	two := trajectory.MustNew([]trajectory.Sample{trajectory.S(0, 0, 0), trajectory.S(1, 1, 1)})
+	if _, err := AvgError(one, two); err == nil {
+		t.Error("single-sample p accepted")
+	}
+	if _, err := AvgError(two, one); err == nil {
+		t.Error("single-sample a accepted")
+	}
+	later := two.Shift(100, 0, 0)
+	if _, err := AvgError(two, later); err == nil {
+		t.Error("disjoint spans accepted")
+	}
+}
+
+// Partial overlap: error is computed over the covered prefix only.
+func TestAvgErrorPartialOverlap(t *testing.T) {
+	p := trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 0), trajectory.S(10, 100, 0), trajectory.S(20, 200, 0),
+	})
+	// a covers only [0, 10] and is offset by 7 m.
+	a := trajectory.MustNew([]trajectory.Sample{trajectory.S(0, 0, 7), trajectory.S(10, 100, 7)})
+	got, err := AvgError(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, 7, 1e-9) {
+		t.Errorf("partial-overlap α = %v, want 7", got)
+	}
+}
+
+func TestMaxErrorAttainedAtVertex(t *testing.T) {
+	// Dwell-then-sprint against a constant-speed approximation: the worst
+	// synchronized offset occurs at the dwell-end vertex.
+	p := trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 0), trajectory.S(9, 10, 0), trajectory.S(10, 100, 0),
+	})
+	a := trajectory.MustNew([]trajectory.Sample{trajectory.S(0, 0, 0), trajectory.S(10, 100, 0)})
+	m, err := MaxError(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(m, 80, 1e-9) {
+		t.Errorf("max error = %v, want 80", m)
+	}
+}

@@ -1,0 +1,192 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/geo"
+	"repro/internal/trajectory"
+)
+
+// Client is a synchronous client for the tracking protocol. It is safe for
+// concurrent use; requests are serialized over one connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a tracking server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial: %w", err)
+	}
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReader(conn),
+		w:    bufio.NewWriter(conn),
+	}, nil
+}
+
+// Close sends QUIT (best effort) and closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintln(c.w, "QUIT")
+	c.w.Flush()
+	return c.conn.Close()
+}
+
+// roundTrip sends one command and reads a single-line response.
+func (c *Client) roundTrip(cmd string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.roundTripLocked(cmd)
+}
+
+func (c *Client) roundTripLocked(cmd string) (string, error) {
+	if _, err := fmt.Fprintln(c.w, cmd); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	line = strings.TrimSpace(line)
+	if strings.HasPrefix(line, "ERR ") {
+		return "", fmt.Errorf("server: %s", strings.TrimPrefix(line, "ERR "))
+	}
+	return line, nil
+}
+
+// readList reads data lines up to END after a command.
+func (c *Client) readList(cmd string) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := fmt.Fprintln(c.w, cmd); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	var out []string
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimSpace(line)
+		if line == "END" {
+			return out, nil
+		}
+		if strings.HasPrefix(line, "ERR ") {
+			return nil, fmt.Errorf("server: %s", strings.TrimPrefix(line, "ERR "))
+		}
+		out = append(out, line)
+	}
+}
+
+// Ping checks connectivity.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip("PING")
+	return err
+}
+
+// Append ingests one observation.
+func (c *Client) Append(id string, s trajectory.Sample) error {
+	if strings.ContainsAny(id, " \t\n") {
+		return fmt.Errorf("server: object id %q contains whitespace", id)
+	}
+	_, err := c.roundTrip(fmt.Sprintf("APPEND %s %g %g %g", id, s.T, s.X, s.Y))
+	return err
+}
+
+// PositionAt queries the interpolated position of an object at time t.
+func (c *Client) PositionAt(id string, t float64) (geo.Point, error) {
+	resp, err := c.roundTrip(fmt.Sprintf("POSITION %s %g", id, t))
+	if err != nil {
+		return geo.Point{}, err
+	}
+	var x, y float64
+	if _, err := fmt.Sscanf(resp, "OK %g %g", &x, &y); err != nil {
+		return geo.Point{}, fmt.Errorf("server: bad POSITION response %q", resp)
+	}
+	return geo.Pt(x, y), nil
+}
+
+// Snapshot fetches an object's stored trajectory.
+func (c *Client) Snapshot(id string) (trajectory.Trajectory, error) {
+	lines, err := c.readList("SNAPSHOT " + id)
+	if err != nil {
+		return nil, err
+	}
+	out := make(trajectory.Trajectory, 0, len(lines))
+	for _, line := range lines {
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			return nil, fmt.Errorf("server: bad SNAPSHOT line %q", line)
+		}
+		var s trajectory.Sample
+		var errT, errX, errY error
+		s.T, errT = strconv.ParseFloat(f[0], 64)
+		s.X, errX = strconv.ParseFloat(f[1], 64)
+		s.Y, errY = strconv.ParseFloat(f[2], 64)
+		if errT != nil || errX != nil || errY != nil {
+			return nil, fmt.Errorf("server: bad SNAPSHOT line %q", line)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Query returns the IDs of objects intersecting rect during [t0, t1].
+func (c *Client) Query(rect geo.Rect, t0, t1 float64) ([]string, error) {
+	return c.readList(fmt.Sprintf("QUERY %g %g %g %g %g %g",
+		rect.Min.X, rect.Min.Y, rect.Max.X, rect.Max.Y, t0, t1))
+}
+
+// QueryWithTolerance is Query with the rectangle expanded server-side by
+// eps metres (see store.QueryWithTolerance).
+func (c *Client) QueryWithTolerance(rect geo.Rect, t0, t1, eps float64) ([]string, error) {
+	return c.readList(fmt.Sprintf("QUERYTOL %g %g %g %g %g %g %g",
+		rect.Min.X, rect.Min.Y, rect.Max.X, rect.Max.Y, t0, t1, eps))
+}
+
+// EvictBefore removes server-side data older than t, returning the number
+// of removed samples.
+func (c *Client) EvictBefore(t float64) (int, error) {
+	resp, err := c.roundTrip(fmt.Sprintf("EVICT %g", t))
+	if err != nil {
+		return 0, err
+	}
+	var n int
+	if _, err := fmt.Sscanf(resp, "OK removed=%d", &n); err != nil {
+		return 0, fmt.Errorf("server: bad EVICT response %q", resp)
+	}
+	return n, nil
+}
+
+// IDs lists all stored object identifiers.
+func (c *Client) IDs() ([]string, error) { return c.readList("IDS") }
+
+// Stats reports server-side storage statistics.
+func (c *Client) Stats() (objects, raw, retained int, compressionPct float64, err error) {
+	resp, err := c.roundTrip("STATS")
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if _, err := fmt.Sscanf(resp, "OK objects=%d raw=%d retained=%d compression=%g",
+		&objects, &raw, &retained, &compressionPct); err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("server: bad STATS response %q", resp)
+	}
+	return objects, raw, retained, compressionPct, nil
+}

@@ -1,0 +1,427 @@
+// Package server exposes the moving-object store over TCP with a
+// newline-delimited text protocol, so position sources (GPS gateways,
+// simulators) and analysis clients can share one live store — the
+// transmission-side deployment the paper's introduction motivates.
+//
+// Protocol (one command per line, space-separated; responses are a single
+// "OK ..."/"ERR ..." line, or data lines terminated by "END"):
+//
+//	APPEND <id> <t> <x> <y>                   → OK
+//	POSITION <id> <t>                         → OK <x> <y>
+//	SNAPSHOT <id>                             → <t> <x> <y> lines, END
+//	QUERY <minx> <miny> <maxx> <maxy> <t0> <t1> → id lines, END
+//	QUERYTOL <minx> <miny> <maxx> <maxy> <t0> <t1> <eps> → id lines, END
+//	                                          (tolerance-expanded query: no
+//	                                          false negatives when eps is the
+//	                                          compressor's error bound)
+//	EVICT <t>                                 → OK removed=<n>
+//	IDS                                       → id lines, END
+//	STATS                                     → OK objects=… raw=… retained=… compression=…
+//	SUBSCRIBE <id|*>                          → OK subscribed, then a live
+//	                                          "POS <id> <t> <x> <y>" line per
+//	                                          APPEND of a matching object
+//	                                          until the subscriber closes its
+//	                                          connection; the feed is
+//	                                          best-effort (slow subscribers
+//	                                          drop updates, never block
+//	                                          ingest)
+//	PING                                      → OK pong
+//	QUIT                                      → OK bye (connection closes)
+//
+// Object identifiers must not contain whitespace.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/store"
+	"repro/internal/trajectory"
+)
+
+// Backend is the store surface the server exposes. *store.Store implements
+// it directly; *wal.DurableStore implements it with write-ahead-logged
+// appends.
+type Backend interface {
+	Append(id string, s trajectory.Sample) error
+	Snapshot(id string) (trajectory.Trajectory, bool)
+	PositionAt(id string, t float64) (geo.Point, bool)
+	Query(rect geo.Rect, t0, t1 float64) []string
+	QueryWithTolerance(rect geo.Rect, t0, t1, eps float64) []string
+	EvictBefore(t float64) int
+	IDs() []string
+	Stats() store.Stats
+}
+
+// Server serves the protocol over a listener. Create with New, start with
+// Serve, stop with Close.
+type Server struct {
+	st Backend
+
+	// IdleTimeout closes connections that send no command for the given
+	// duration; 0 (the default) disables the limit. Set before Serve.
+	IdleTimeout time.Duration
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	subsMu sync.Mutex
+	subs   map[*subscriber]struct{}
+}
+
+// subscriber is one live position feed. Updates flow through a buffered
+// channel so a slow consumer drops updates instead of blocking ingest.
+type subscriber struct {
+	id string // object id, or "*" for all
+	ch chan string
+}
+
+// New returns a server over the given backend.
+func New(st Backend) *Server {
+	return &Server{
+		st:    st,
+		conns: make(map[net.Conn]struct{}),
+		subs:  make(map[*subscriber]struct{}),
+	}
+}
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// Serve accepts connections on l until Close is called. It always returns a
+// non-nil error; after Close the error is ErrServerClosed.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.listener = l
+	s.mu.Unlock()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes all connections, and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	w := bufio.NewWriter(conn)
+	for {
+		if s.IdleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.IdleTimeout)); err != nil {
+				return
+			}
+		}
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		quit, sub := s.dispatch(w, line)
+		if w.Flush() != nil || quit {
+			return
+		}
+		if sub != nil {
+			s.stream(conn, w, sub)
+			return
+		}
+	}
+}
+
+// stream pumps a subscriber's feed to the connection until the feed drains
+// after unsubscription or the write fails; a reader goroutine watches for
+// the client closing its end.
+func (s *Server) stream(conn net.Conn, w *bufio.Writer, sub *subscriber) {
+	defer s.unsubscribe(sub)
+	// Detect client hangup: when the read side errors, unsubscribe, which
+	// closes the channel and ends the loop below.
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			if s.IdleTimeout > 0 {
+				// Streaming connections are exempt from the idle timeout on
+				// reads; the client is not expected to talk.
+				if err := conn.SetReadDeadline(time.Time{}); err != nil {
+					break
+				}
+			}
+			if _, err := conn.Read(buf); err != nil {
+				break
+			}
+		}
+		s.unsubscribe(sub)
+	}()
+	for line := range sub.ch {
+		if _, err := w.WriteString(line + "\n"); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) unsubscribe(sub *subscriber) {
+	s.subsMu.Lock()
+	defer s.subsMu.Unlock()
+	if _, ok := s.subs[sub]; ok {
+		delete(s.subs, sub)
+		close(sub.ch)
+	}
+}
+
+// publish fans one accepted observation out to matching subscribers,
+// dropping updates for saturated feeds.
+func (s *Server) publish(id string, smp trajectory.Sample) {
+	s.subsMu.Lock()
+	defer s.subsMu.Unlock()
+	if len(s.subs) == 0 {
+		return
+	}
+	line := fmt.Sprintf("POS %s %g %g %g", id, smp.T, smp.X, smp.Y)
+	for sub := range s.subs {
+		if sub.id != "*" && sub.id != id {
+			continue
+		}
+		select {
+		case sub.ch <- line:
+		default: // feed saturated: drop rather than block ingest
+		}
+	}
+}
+
+// dispatch executes one command line; it reports whether the connection
+// should close, and a non-nil subscriber when the connection switches to
+// streaming mode.
+func (s *Server) dispatch(w *bufio.Writer, line string) (quit bool, sub *subscriber) {
+	fields := strings.Fields(line)
+	cmd := strings.ToUpper(fields[0])
+	args := fields[1:]
+
+	switch cmd {
+	case "PING":
+		fmt.Fprintln(w, "OK pong")
+	case "QUIT":
+		fmt.Fprintln(w, "OK bye")
+		return true, nil
+	case "SUBSCRIBE":
+		if len(args) != 1 {
+			fmt.Fprintln(w, "ERR usage: SUBSCRIBE <id|*>")
+			return false, nil
+		}
+		sub = &subscriber{id: args[0], ch: make(chan string, 256)}
+		s.subsMu.Lock()
+		s.subs[sub] = struct{}{}
+		s.subsMu.Unlock()
+		fmt.Fprintln(w, "OK subscribed")
+		return false, sub
+	case "APPEND":
+		s.cmdAppend(w, args)
+	case "POSITION":
+		s.cmdPosition(w, args)
+	case "SNAPSHOT":
+		s.cmdSnapshot(w, args)
+	case "QUERY":
+		s.cmdQuery(w, args)
+	case "QUERYTOL":
+		s.cmdQueryTol(w, args)
+	case "EVICT":
+		s.cmdEvict(w, args)
+	case "IDS":
+		for _, id := range s.st.IDs() {
+			fmt.Fprintln(w, id)
+		}
+		fmt.Fprintln(w, "END")
+	case "STATS":
+		st := s.st.Stats()
+		fmt.Fprintf(w, "OK objects=%d raw=%d retained=%d compression=%.1f\n",
+			st.Objects, st.RawPoints, st.RetainedPoints, st.CompressionPct)
+	default:
+		fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
+	}
+	return false, nil
+}
+
+func parseFloats(args []string) ([]float64, error) {
+	out := make([]float64, len(args))
+	for i, a := range args {
+		v, err := strconv.ParseFloat(a, 64)
+		if err != nil {
+			return nil, fmt.Errorf("argument %d: %v", i+1, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (s *Server) cmdAppend(w *bufio.Writer, args []string) {
+	if len(args) != 4 {
+		fmt.Fprintln(w, "ERR usage: APPEND <id> <t> <x> <y>")
+		return
+	}
+	v, err := parseFloats(args[1:])
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	smp := trajectory.S(v[0], v[1], v[2])
+	if err := s.st.Append(args[0], smp); err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	s.publish(args[0], smp)
+	fmt.Fprintln(w, "OK")
+}
+
+func (s *Server) cmdPosition(w *bufio.Writer, args []string) {
+	if len(args) != 2 {
+		fmt.Fprintln(w, "ERR usage: POSITION <id> <t>")
+		return
+	}
+	t, err := strconv.ParseFloat(args[1], 64)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	pos, ok := s.st.PositionAt(args[0], t)
+	if !ok {
+		fmt.Fprintln(w, "ERR no position (unknown object or time outside span)")
+		return
+	}
+	fmt.Fprintf(w, "OK %g %g\n", pos.X, pos.Y)
+}
+
+func (s *Server) cmdSnapshot(w *bufio.Writer, args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(w, "ERR usage: SNAPSHOT <id>")
+		return
+	}
+	snap, ok := s.st.Snapshot(args[0])
+	if !ok {
+		fmt.Fprintf(w, "ERR unknown object %q\n", args[0])
+		return
+	}
+	for _, p := range snap {
+		fmt.Fprintf(w, "%g %g %g\n", p.T, p.X, p.Y)
+	}
+	fmt.Fprintln(w, "END")
+}
+
+func (s *Server) cmdQuery(w *bufio.Writer, args []string) {
+	if len(args) != 6 {
+		fmt.Fprintln(w, "ERR usage: QUERY <minx> <miny> <maxx> <maxy> <t0> <t1>")
+		return
+	}
+	v, err := parseFloats(args)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	rect := geo.Rect{Min: geo.Pt(v[0], v[1]), Max: geo.Pt(v[2], v[3])}
+	if rect.IsEmpty() || v[5] < v[4] {
+		fmt.Fprintln(w, "ERR empty query window")
+		return
+	}
+	for _, id := range s.st.Query(rect, v[4], v[5]) {
+		fmt.Fprintln(w, id)
+	}
+	fmt.Fprintln(w, "END")
+}
+
+func (s *Server) cmdQueryTol(w *bufio.Writer, args []string) {
+	if len(args) != 7 {
+		fmt.Fprintln(w, "ERR usage: QUERYTOL <minx> <miny> <maxx> <maxy> <t0> <t1> <eps>")
+		return
+	}
+	v, err := parseFloats(args)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	rect := geo.Rect{Min: geo.Pt(v[0], v[1]), Max: geo.Pt(v[2], v[3])}
+	if rect.IsEmpty() || v[5] < v[4] {
+		fmt.Fprintln(w, "ERR empty query window")
+		return
+	}
+	for _, id := range s.st.QueryWithTolerance(rect, v[4], v[5], v[6]) {
+		fmt.Fprintln(w, id)
+	}
+	fmt.Fprintln(w, "END")
+}
+
+func (s *Server) cmdEvict(w *bufio.Writer, args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(w, "ERR usage: EVICT <t>")
+		return
+	}
+	t, err := strconv.ParseFloat(args[0], 64)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "OK removed=%d\n", s.st.EvictBefore(t))
+}

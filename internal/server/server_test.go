@@ -1,0 +1,448 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/store"
+	"repro/internal/stream"
+	"repro/internal/trajectory"
+	"repro/internal/wal"
+)
+
+// startServer runs a server on a random loopback port and returns its
+// address and a shutdown func.
+func startServer(t *testing.T, st *store.Store) (addr string, shutdown func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(st)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	return l.Addr().String(), func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		if err := <-done; err != ErrServerClosed {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+	}
+}
+
+func TestClientServerBasics(t *testing.T) {
+	addr, shutdown := startServer(t, store.New(store.Options{}))
+	defer shutdown()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := c.Append("bus-7", trajectory.S(float64(i*10), float64(i*100), 0)); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	pos, err := c.PositionAt("bus-7", 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pos.AlmostEqual(geo.Pt(450, 0), 1e-9) {
+		t.Errorf("PositionAt = %v, want (450, 0)", pos)
+	}
+	snap, err := c.Snapshot("bus-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() != 10 {
+		t.Errorf("snapshot has %d points, want 10", snap.Len())
+	}
+	if err := snap.Validate(); err != nil {
+		t.Errorf("snapshot invalid: %v", err)
+	}
+	ids, err := c.IDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "bus-7" {
+		t.Errorf("IDs = %v", ids)
+	}
+	objects, raw, retained, _, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if objects != 1 || raw != 10 || retained != 10 {
+		t.Errorf("Stats = %d, %d, %d", objects, raw, retained)
+	}
+}
+
+func TestServerQuery(t *testing.T) {
+	addr, shutdown := startServer(t, store.New(store.Options{CellSize: 100}))
+	defer shutdown()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	_ = c.Append("near", trajectory.S(0, 0, 0))
+	_ = c.Append("near", trajectory.S(10, 100, 0))
+	_ = c.Append("far", trajectory.S(0, 9000, 9000))
+	_ = c.Append("far", trajectory.S(10, 9100, 9000))
+
+	got, err := c.Query(geo.Rect{Min: geo.Pt(-10, -10), Max: geo.Pt(150, 10)}, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "near" {
+		t.Errorf("Query = %v, want [near]", got)
+	}
+}
+
+func TestServerQueryTolAndEvict(t *testing.T) {
+	addr, shutdown := startServer(t, store.New(store.Options{CellSize: 100}))
+	defer shutdown()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	_ = c.Append("a", trajectory.S(0, 0, 0))
+	_ = c.Append("a", trajectory.S(10, 100, 0))
+	_ = c.Append("a", trajectory.S(20, 200, 0))
+
+	// A rectangle 30 m off the path misses plainly but hits with eps=50.
+	rect := geo.Rect{Min: geo.Pt(40, 35), Max: geo.Pt(60, 45)}
+	plain, err := c.Query(rect, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != 0 {
+		t.Errorf("plain query unexpectedly hit: %v", plain)
+	}
+	tol, err := c.QueryWithTolerance(rect, 0, 20, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tol) != 1 || tol[0] != "a" {
+		t.Errorf("tolerance query = %v, want [a]", tol)
+	}
+
+	n, err := c.EvictBefore(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("EvictBefore removed nothing")
+	}
+	snap, err := c.Snapshot("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap[0].T < 15 {
+		t.Errorf("evicted sample survived: %v", snap[0])
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	addr, shutdown := startServer(t, store.New(store.Options{}))
+	defer shutdown()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.PositionAt("ghost", 0); err == nil {
+		t.Error("unknown object did not error")
+	}
+	if _, err := c.Snapshot("ghost"); err == nil {
+		t.Error("unknown snapshot did not error")
+	}
+	if err := c.Append("bad id", trajectory.S(0, 0, 0)); err == nil {
+		t.Error("whitespace id accepted client-side")
+	}
+	_ = c.Append("a", trajectory.S(5, 0, 0))
+	if err := c.Append("a", trajectory.S(5, 0, 0)); err == nil {
+		t.Error("duplicate timestamp accepted")
+	}
+	// The connection survives errors.
+	if err := c.Ping(); err != nil {
+		t.Errorf("ping after errors: %v", err)
+	}
+}
+
+// Raw-protocol test: malformed lines get ERR responses without killing the
+// connection.
+func TestServerProtocolRobustness(t *testing.T) {
+	addr, shutdown := startServer(t, store.New(store.Options{}))
+	defer shutdown()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+
+	send := func(line string) string {
+		t.Helper()
+		if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading response to %q: %v", line, err)
+		}
+		return strings.TrimSpace(resp)
+	}
+
+	cases := []string{
+		"BOGUS",
+		"APPEND onlyid",
+		"APPEND id notanumber 0 0",
+		"POSITION",
+		"QUERY 1 2 3",
+		"QUERY 10 10 0 0 0 1", // inverted rectangle
+		"QUERY 0 0 1 1 5 1",   // inverted time window
+	}
+	for _, line := range cases {
+		if resp := send(line); !strings.HasPrefix(resp, "ERR") {
+			t.Errorf("%q: response %q, want ERR", line, resp)
+		}
+	}
+	if resp := send("PING"); resp != "OK pong" {
+		t.Errorf("connection unusable after errors: %q", resp)
+	}
+	if resp := send("QUIT"); resp != "OK bye" {
+		t.Errorf("QUIT response %q", resp)
+	}
+}
+
+func TestServerSubscribe(t *testing.T) {
+	addr, shutdown := startServer(t, store.New(store.Options{}))
+	defer shutdown()
+
+	// Subscriber connection (raw protocol).
+	subConn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subConn.Close()
+	subR := bufio.NewReader(subConn)
+	fmt.Fprintln(subConn, "SUBSCRIBE bus-1")
+	if resp, _ := subR.ReadString('\n'); !strings.HasPrefix(resp, "OK subscribed") {
+		t.Fatalf("subscribe response %q", resp)
+	}
+
+	// Publisher connection.
+	pub, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Append("bus-1", trajectory.S(10, 100, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Append("bus-2", trajectory.S(10, 0, 0)); err != nil {
+		t.Fatal(err) // different object: must NOT reach the subscriber
+	}
+	if err := pub.Append("bus-1", trajectory.S(20, 110, 210)); err != nil {
+		t.Fatal(err)
+	}
+
+	subConn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	line1, err := subR.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	line2, err := subR.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(line1) != "POS bus-1 10 100 200" {
+		t.Errorf("first update %q", line1)
+	}
+	if strings.TrimSpace(line2) != "POS bus-1 20 110 210" {
+		t.Errorf("second update %q", line2)
+	}
+}
+
+func TestServerSubscribeWildcard(t *testing.T) {
+	addr, shutdown := startServer(t, store.New(store.Options{}))
+	defer shutdown()
+
+	subConn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subConn.Close()
+	subR := bufio.NewReader(subConn)
+	fmt.Fprintln(subConn, "SUBSCRIBE *")
+	if resp, _ := subR.ReadString('\n'); !strings.HasPrefix(resp, "OK subscribed") {
+		t.Fatalf("subscribe response %q", resp)
+	}
+
+	pub, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	_ = pub.Append("a", trajectory.S(1, 0, 0))
+	_ = pub.Append("b", trajectory.S(2, 0, 0))
+
+	subConn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	got := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		line, err := subR.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[strings.Fields(line)[1]] = true
+	}
+	if !got["a"] || !got["b"] {
+		t.Errorf("wildcard missed updates: %v", got)
+	}
+}
+
+func TestServerIdleTimeout(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(store.New(store.Options{}))
+	srv.IdleTimeout = 50 * time.Millisecond
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	defer func() {
+		srv.Close()
+		<-done
+	}()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Stay silent past the idle timeout: the server must close the
+	// connection (read returns EOF/reset).
+	buf := make([]byte, 1)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("idle connection not closed")
+	}
+}
+
+// The server works over a durable (WAL-backed) backend, and the data
+// survives a full server+store restart.
+func TestServerDurableBackend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "server.wal")
+	opts := store.Options{
+		NewCompressor: func() stream.Compressor { return stream.NewOPWTR(40, 0) },
+	}
+
+	session := func(appendData bool) int {
+		d, err := wal.OpenDurable(path, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := New(d)
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(l) }()
+		c, err := Dial(l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if appendData {
+			for i := 0; i < 40; i++ {
+				if err := c.Append("tram", trajectory.S(float64(i*10), float64(i*120), 0)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		snap, err := c.Snapshot("tram")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return snap.Len()
+	}
+
+	wrote := session(true)
+	if wrote < 2 {
+		t.Fatalf("first session stored only %d points", wrote)
+	}
+	recovered := session(false)
+	if recovered != wrote {
+		t.Errorf("recovered %d points after restart, want %d", recovered, wrote)
+	}
+}
+
+func TestServerWithCompressionAndConcurrency(t *testing.T) {
+	st := store.New(store.Options{
+		NewCompressor: func() stream.Compressor { return stream.NewOPWTR(30, 0) },
+	})
+	addr, shutdown := startServer(t, st)
+	defer shutdown()
+
+	const clients = 6
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			id := fmt.Sprintf("veh-%d", n)
+			for k := 0; k < 60; k++ {
+				s := trajectory.S(float64(k*10), float64(k*50+n), float64(n*100))
+				if err := c.Append(id, s); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	objects, raw, _, _, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if objects != clients || raw != clients*60 {
+		t.Errorf("Stats objects=%d raw=%d, want %d and %d", objects, raw, clients, clients*60)
+	}
+}

@@ -1,0 +1,63 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/trajectory"
+)
+
+func TestEvictBefore(t *testing.T) {
+	for _, kind := range []IndexKind{IndexGrid, IndexRTree} {
+		st := New(Options{Index: kind, CellSize: 100})
+		var line trajectory.Trajectory
+		for i := 0; i <= 10; i++ {
+			line = append(line, trajectory.S(float64(i*10), float64(i*100), 0))
+		}
+		feed(t, st, "a", line)
+		// A second object entirely in the old era.
+		feed(t, st, "old", trajectory.MustNew([]trajectory.Sample{
+			trajectory.S(0, 5000, 5000), trajectory.S(10, 5100, 5000),
+		}))
+
+		removed := st.EvictBefore(50)
+		if removed == 0 {
+			t.Fatalf("index %v: nothing evicted", kind)
+		}
+		// Object "old" vanished entirely.
+		if _, ok := st.Snapshot("old"); ok {
+			t.Errorf("index %v: fully aged object survived", kind)
+		}
+		// "a" keeps its tail from t ≥ 50.
+		snap, ok := st.Snapshot("a")
+		if !ok {
+			t.Fatalf("index %v: surviving object lost", kind)
+		}
+		if snap[0].T != 50 {
+			t.Errorf("index %v: snapshot starts at %v, want 50", kind, snap[0].T)
+		}
+		// The index no longer answers for the evicted era...
+		oldRect := geo.Rect{Min: geo.Pt(-10, -10), Max: geo.Pt(410, 10)}
+		if got := st.Query(oldRect, 0, 40); len(got) != 0 {
+			t.Errorf("index %v: evicted era still answers: %v", kind, got)
+		}
+		// ...but still answers for the surviving era.
+		newRect := geo.Rect{Min: geo.Pt(590, -10), Max: geo.Pt(710, 10)}
+		if got := st.Query(newRect, 55, 75); len(got) != 1 || got[0] != "a" {
+			t.Errorf("index %v: surviving era lost: %v", kind, got)
+		}
+	}
+}
+
+func TestEvictBeforeNothingToDo(t *testing.T) {
+	st := New(Options{})
+	feed(t, st, "a", trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(100, 0, 0), trajectory.S(110, 100, 0),
+	}))
+	if removed := st.EvictBefore(50); removed != 0 {
+		t.Errorf("evicted %d from fresh store", removed)
+	}
+	if snap, ok := st.Snapshot("a"); !ok || snap.Len() != 2 {
+		t.Error("eviction disturbed untouched object")
+	}
+}

@@ -1,0 +1,108 @@
+package store
+
+import (
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/rtree"
+)
+
+// spatialIndex abstracts the spatiotemporal segment index backing Query.
+type spatialIndex interface {
+	insert(id string, box geo.Rect, t0, t1 float64)
+	query(rect geo.Rect, t0, t1 float64) map[string]bool
+}
+
+// gridIndex is a uniform spatial grid over trajectory segments. Each entry
+// carries the segment's bounding box and time interval; a segment spanning
+// several cells is inserted into each.
+type gridIndex struct {
+	cell  float64
+	cells map[cellKey][]entry
+}
+
+type cellKey struct{ cx, cy int32 }
+
+type entry struct {
+	id     string
+	box    geo.Rect
+	t0, t1 float64
+}
+
+func newGridIndex(cell float64) *gridIndex {
+	return &gridIndex{cell: cell, cells: make(map[cellKey][]entry)}
+}
+
+// keyOf maps a position to its cell.
+func (g *gridIndex) keyOf(p geo.Point) cellKey {
+	return cellKey{
+		cx: int32(math.Floor(p.X / g.cell)),
+		cy: int32(math.Floor(p.Y / g.cell)),
+	}
+}
+
+// insert registers one segment under every cell its bounding box covers.
+func (g *gridIndex) insert(id string, box geo.Rect, t0, t1 float64) {
+	if box.IsEmpty() {
+		return
+	}
+	e := entry{id: id, box: box, t0: t0, t1: t1}
+	lo, hi := g.keyOf(box.Min), g.keyOf(box.Max)
+	for cx := lo.cx; cx <= hi.cx; cx++ {
+		for cy := lo.cy; cy <= hi.cy; cy++ {
+			k := cellKey{cx, cy}
+			g.cells[k] = append(g.cells[k], e)
+		}
+	}
+}
+
+// query returns the set of object IDs with a segment whose bounding box
+// intersects rect and whose time interval overlaps [t0, t1].
+func (g *gridIndex) query(rect geo.Rect, t0, t1 float64) map[string]bool {
+	hits := make(map[string]bool)
+	if rect.IsEmpty() || t1 < t0 {
+		return hits
+	}
+	lo, hi := g.keyOf(rect.Min), g.keyOf(rect.Max)
+	for cx := lo.cx; cx <= hi.cx; cx++ {
+		for cy := lo.cy; cy <= hi.cy; cy++ {
+			for _, e := range g.cells[cellKey{cx, cy}] {
+				if hits[e.id] {
+					continue
+				}
+				if e.box.Intersects(rect) && overlaps(e.t0, e.t1, t0, t1) {
+					hits[e.id] = true
+				}
+			}
+		}
+	}
+	return hits
+}
+
+// rtreeIndex backs the store with the 3D R-tree of internal/rtree.
+type rtreeIndex struct {
+	tree *rtree.Tree
+}
+
+func newRTreeIndex() *rtreeIndex {
+	return &rtreeIndex{tree: rtree.New()}
+}
+
+func (r *rtreeIndex) insert(id string, box geo.Rect, t0, t1 float64) {
+	if box.IsEmpty() {
+		return
+	}
+	r.tree.Insert(rtree.Box{Rect: box, T0: t0, T1: t1}, id)
+}
+
+func (r *rtreeIndex) query(rect geo.Rect, t0, t1 float64) map[string]bool {
+	hits := make(map[string]bool)
+	if rect.IsEmpty() || t1 < t0 {
+		return hits
+	}
+	r.tree.Search(rtree.Box{Rect: rect, T0: t0, T1: t1}, func(id string) bool {
+		hits[id] = true
+		return true
+	})
+	return hits
+}

@@ -1,0 +1,73 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/gpsgen"
+	"repro/internal/trajectory"
+)
+
+// Both index kinds must answer every query with the identical ID set.
+func TestGridAndRTreeAgree(t *testing.T) {
+	grid := New(Options{Index: IndexGrid, CellSize: 700})
+	rt := New(Options{Index: IndexRTree})
+
+	g := gpsgen.New(6, gpsgen.Config{})
+	var bounds geo.Rect = geo.EmptyRect()
+	var tMax float64
+	for v := 0; v < 12; v++ {
+		kind := []gpsgen.TripKind{gpsgen.Urban, gpsgen.Mixed, gpsgen.Rural}[v%3]
+		p := g.Trip(kind, 900).Shift(0, float64(v%4)*3000, float64(v/4)*3000)
+		id := fmt.Sprintf("car-%d", v)
+		for _, s := range p {
+			if err := grid.Append(id, s); err != nil {
+				t.Fatal(err)
+			}
+			if err := rt.Append(id, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		bounds = bounds.Union(p.Bounds())
+		if p.EndTime() > tMax {
+			tMax = p.EndTime()
+		}
+	}
+
+	rng := rand.New(rand.NewSource(44))
+	for q := 0; q < 200; q++ {
+		cx := bounds.Min.X + rng.Float64()*bounds.Width()
+		cy := bounds.Min.Y + rng.Float64()*bounds.Height()
+		half := 100 + rng.Float64()*3000
+		rect := geo.Rect{Min: geo.Pt(cx-half, cy-half), Max: geo.Pt(cx+half, cy+half)}
+		t0 := rng.Float64() * tMax
+		t1 := t0 + rng.Float64()*tMax/2
+
+		a := grid.Query(rect, t0, t1)
+		b := rt.Query(rect, t0, t1)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: grid %v vs rtree %v", q, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %d: grid %v vs rtree %v", q, a, b)
+			}
+		}
+	}
+}
+
+func TestRTreeStoreBasics(t *testing.T) {
+	st := New(Options{Index: IndexRTree})
+	feed(t, st, "a", trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 0), trajectory.S(10, 500, 0),
+	}))
+	got := st.Query(geo.Rect{Min: geo.Pt(200, -50), Max: geo.Pt(300, 50)}, 0, 20)
+	if len(got) != 1 || got[0] != "a" {
+		t.Errorf("Query = %v", got)
+	}
+	if got := st.Query(geo.Rect{Min: geo.Pt(200, -50), Max: geo.Pt(300, 50)}, 50, 60); len(got) != 0 {
+		t.Errorf("time-disjoint Query = %v", got)
+	}
+}

@@ -1,0 +1,49 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/trajectory"
+)
+
+func TestNearest(t *testing.T) {
+	st := New(Options{})
+	// Three objects moving east on parallel tracks at y = 0, 100, 300.
+	for i, y := range []float64{0, 100, 300} {
+		id := []string{"close", "mid", "far"}[i]
+		feed(t, st, id, trajectory.MustNew([]trajectory.Sample{
+			trajectory.S(0, 0, y), trajectory.S(10, 100, y),
+		}))
+	}
+	// One object outside the time span.
+	feed(t, st, "ghost", trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(100, 0, 0), trajectory.S(110, 100, 0),
+	}))
+
+	got := st.Nearest(geo.Pt(50, 0), 5, 2)
+	if len(got) != 2 {
+		t.Fatalf("Nearest returned %d results", len(got))
+	}
+	if got[0].ID != "close" || got[1].ID != "mid" {
+		t.Errorf("order = %s, %s", got[0].ID, got[1].ID)
+	}
+	if got[0].Dist > 1e-9 {
+		t.Errorf("closest distance = %v, want 0", got[0].Dist)
+	}
+	if !got[1].Pos.AlmostEqual(geo.Pt(50, 100), 1e-9) {
+		t.Errorf("mid position = %v", got[1].Pos)
+	}
+	// k larger than the live population.
+	if got := st.Nearest(geo.Pt(0, 0), 5, 10); len(got) != 3 {
+		t.Errorf("want 3 live objects, got %d", len(got))
+	}
+	// k ≤ 0 yields nothing.
+	if got := st.Nearest(geo.Pt(0, 0), 5, 0); got != nil {
+		t.Errorf("k=0 returned %v", got)
+	}
+	// Time with nobody live.
+	if got := st.Nearest(geo.Pt(0, 0), 50, 3); len(got) != 0 {
+		t.Errorf("dead time returned %v", got)
+	}
+}

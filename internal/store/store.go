@@ -1,0 +1,453 @@
+// Package store is an in-memory moving-object database substrate: the kind
+// of system the paper targets ("database support for moving object
+// representation and computing"). It ingests time-stamped positions per
+// object, optionally compressing them on the fly with an online compressor
+// from internal/stream, maintains a spatiotemporal grid index over the
+// retained trajectory segments, and answers position-at-time and
+// spatiotemporal range queries.
+//
+// The store demonstrates the paper's storage argument end to end: with an
+// OPW-TR or OPW-SP compressor configured, the retained point count — and
+// hence index size and snapshot size — drops by the compression rates of the
+// paper's experiments while queries keep working within the configured
+// error bound.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/codec"
+	"repro/internal/geo"
+	"repro/internal/stream"
+	"repro/internal/trajectory"
+)
+
+// IndexKind selects the spatiotemporal index backing Query.
+type IndexKind int
+
+const (
+	// IndexGrid is a uniform spatial grid — fast inserts, best when data
+	// density is roughly uniform and CellSize is well chosen.
+	IndexGrid IndexKind = iota
+	// IndexRTree is a 3D (x, y, t) R-tree — heavier inserts, robust to
+	// skewed data and long time spans without tuning.
+	IndexRTree
+)
+
+// Options configures a Store.
+type Options struct {
+	// NewCompressor returns a fresh online compressor for each object; nil
+	// stores raw, uncompressed trajectories.
+	NewCompressor func() stream.Compressor
+	// Index selects the spatiotemporal index; the zero value is IndexGrid.
+	Index IndexKind
+	// CellSize is the spatial grid cell edge in metres for IndexGrid;
+	// 0 selects 1000 m. Ignored by IndexRTree.
+	CellSize float64
+	// ErrorBound records the on-ingest compressor's synchronized max-error
+	// guarantee in metres (e.g. the distance threshold of an OPW-TR or
+	// OPW-SP compressor). It is informational: PositionBoundAt reports it
+	// as the uncertainty radius, fulfilling the paper's objective of data
+	// "with known, small margins of error". Zero means exact (no
+	// compression or unknown bound).
+	ErrorBound float64
+}
+
+// Store is safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	opts    Options
+	objects map[string]*object
+	index   spatialIndex
+	rawPts  int
+}
+
+type object struct {
+	comp     stream.Compressor
+	retained trajectory.Trajectory
+	lastRaw  trajectory.Sample
+	rawSeen  int
+}
+
+// New returns an empty store.
+func New(opts Options) *Store {
+	if opts.CellSize <= 0 {
+		opts.CellSize = 1000
+	}
+	var idx spatialIndex
+	switch opts.Index {
+	case IndexRTree:
+		idx = newRTreeIndex()
+	default:
+		idx = newGridIndex(opts.CellSize)
+	}
+	return &Store{
+		opts:    opts,
+		objects: make(map[string]*object),
+		index:   idx,
+	}
+}
+
+// Append ingests one observation for the given object. Observations must
+// arrive in strictly increasing time order per object.
+func (st *Store) Append(id string, s trajectory.Sample) error {
+	_, err := st.AppendObserved(id, s)
+	return err
+}
+
+// AppendObserved is Append, additionally returning the samples whose
+// retention became definite through this observation (empty while an
+// on-ingest compressor is buffering). Write-ahead logging uses this to
+// persist exactly the retained stream.
+func (st *Store) AppendObserved(id string, s trajectory.Sample) ([]trajectory.Sample, error) {
+	if !s.IsFinite() {
+		return nil, fmt.Errorf("store: object %q: %w", id, trajectory.ErrNotFinite)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	obj := st.objects[id]
+	if obj == nil {
+		obj = &object{}
+		if st.opts.NewCompressor != nil {
+			obj.comp = st.opts.NewCompressor()
+		}
+		st.objects[id] = obj
+	}
+	if obj.rawSeen > 0 && s.T <= obj.lastRaw.T {
+		return nil, fmt.Errorf("store: object %q: %w: t=%v after t=%v", id, trajectory.ErrUnsorted, s.T, obj.lastRaw.T)
+	}
+
+	var retained []trajectory.Sample
+	if obj.comp == nil {
+		st.retain(id, obj, s)
+		retained = []trajectory.Sample{s}
+	} else {
+		emitted, err := obj.comp.Push(s)
+		if err != nil {
+			return nil, fmt.Errorf("store: object %q: %w", id, err)
+		}
+		for _, e := range emitted {
+			st.retain(id, obj, e)
+		}
+		retained = emitted
+	}
+	obj.lastRaw = s
+	obj.rawSeen++
+	st.rawPts++
+	return retained, nil
+}
+
+// Restore inserts a sample directly into an object's retained trajectory,
+// bypassing any on-ingest compressor — the replay path of write-ahead
+// logging, where the logged stream is already compressed. Samples must
+// arrive in strictly increasing time order per object.
+func (st *Store) Restore(id string, s trajectory.Sample) error {
+	if !s.IsFinite() {
+		return fmt.Errorf("store: object %q: %w", id, trajectory.ErrNotFinite)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	obj := st.objects[id]
+	if obj == nil {
+		obj = &object{}
+		if st.opts.NewCompressor != nil {
+			obj.comp = st.opts.NewCompressor()
+		}
+		st.objects[id] = obj
+	}
+	if obj.rawSeen > 0 && s.T <= obj.lastRaw.T {
+		return fmt.Errorf("store: object %q: %w: t=%v after t=%v", id, trajectory.ErrUnsorted, s.T, obj.lastRaw.T)
+	}
+	st.retain(id, obj, s)
+	obj.lastRaw = s
+	obj.rawSeen++
+	st.rawPts++
+	return nil
+}
+
+// retain appends a finalized sample and indexes the new segment.
+func (st *Store) retain(id string, obj *object, s trajectory.Sample) {
+	if n := obj.retained.Len(); n > 0 {
+		prev := obj.retained[n-1]
+		st.index.insert(id, geo.Seg(prev.Pos(), s.Pos()).Bounds(), prev.T, s.T)
+	}
+	obj.retained = append(obj.retained, s)
+}
+
+// Retained returns only the finalized (post-compression) samples of an
+// object, without the buffered tail. This is the stream write-ahead logging
+// persists. The boolean is false for unknown objects.
+func (st *Store) Retained(id string) (trajectory.Trajectory, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	obj := st.objects[id]
+	if obj == nil {
+		return nil, false
+	}
+	return obj.retained.Clone(), true
+}
+
+// Snapshot returns the current queryable trajectory of an object: the
+// retained samples plus, when on-ingest compression is buffering, the most
+// recent raw observation (so the present position is always visible). The
+// boolean is false for unknown objects.
+func (st *Store) Snapshot(id string) (trajectory.Trajectory, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	obj := st.objects[id]
+	if obj == nil {
+		return nil, false
+	}
+	return st.snapshotLocked(obj), true
+}
+
+func (st *Store) snapshotLocked(obj *object) trajectory.Trajectory {
+	out := obj.retained.Clone()
+	if obj.rawSeen > 0 {
+		if n := out.Len(); n == 0 || obj.lastRaw.T > out[n-1].T {
+			out = append(out, obj.lastRaw)
+		}
+	}
+	return out
+}
+
+// History returns the portion of an object's stored trajectory within
+// [t0, t1], with interpolated boundary samples. The boolean is false for
+// unknown objects.
+func (st *Store) History(id string, t0, t1 float64) (trajectory.Trajectory, bool) {
+	snap, ok := st.Snapshot(id)
+	if !ok {
+		return nil, false
+	}
+	return snap.TimeSlice(t0, t1), true
+}
+
+// PositionAt returns the interpolated position of the object at time t.
+// The boolean is false for unknown objects or times outside the recorded
+// span.
+func (st *Store) PositionAt(id string, t float64) (geo.Point, bool) {
+	snap, ok := st.Snapshot(id)
+	if !ok {
+		return geo.Point{}, false
+	}
+	return snap.LocAt(t)
+}
+
+// PositionBoundAt returns the interpolated position of the object at time t
+// together with the uncertainty radius inherited from the on-ingest
+// compressor's error bound (Options.ErrorBound): the object's true position
+// at t was within radius metres of the returned point, for any t covered by
+// finalized (retained) segments. Inside the compressor's still-buffered
+// window the straight-line tail is not yet validated, so there the radius
+// is a heuristic rather than a guarantee; bounding the window
+// (stream.NewOPWTR's maxWindow) bounds that exposure. The boolean is false
+// for unknown objects or times outside the recorded span.
+func (st *Store) PositionBoundAt(id string, t float64) (pos geo.Point, radius float64, ok bool) {
+	pos, ok = st.PositionAt(id, t)
+	return pos, st.opts.ErrorBound, ok
+}
+
+// IDs returns the identifiers of all stored objects, sorted.
+func (st *Store) IDs() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]string, 0, len(st.objects))
+	for id := range st.objects {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Query returns the IDs of objects whose retained trajectory intersects the
+// spatial rectangle during [t0, t1], sorted. The test is conservative at
+// segment-bounding-box granularity: every truly intersecting object is
+// returned; an object whose segment box (but not the segment itself)
+// touches the rectangle may be included.
+func (st *Store) Query(rect geo.Rect, t0, t1 float64) []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	hits := st.index.query(rect, t0, t1)
+	// The buffered tail segment (last retained → last raw) is not indexed;
+	// check it directly so freshly ingested movement is queryable.
+	for id, obj := range st.objects {
+		if hits[id] || obj.rawSeen == 0 {
+			continue
+		}
+		if n := obj.retained.Len(); n > 0 && obj.lastRaw.T > obj.retained[n-1].T {
+			prev := obj.retained[n-1]
+			box := geo.Seg(prev.Pos(), obj.lastRaw.Pos()).Bounds()
+			if box.Intersects(rect) && overlaps(prev.T, obj.lastRaw.T, t0, t1) {
+				hits[id] = true
+			}
+		} else if n == 0 {
+			if rect.Contains(obj.lastRaw.Pos()) && overlaps(obj.lastRaw.T, obj.lastRaw.T, t0, t1) {
+				hits[id] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(hits))
+	for id := range hits {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EvictBefore removes all retained samples older than t (exclusive) and
+// rebuilds the spatiotemporal index — the data-aging countermeasure for the
+// paper's "enormous volumes of data": a tracking service keeps a rolling
+// window instead of unbounded history. Objects whose entire history
+// (including their newest observation) predates t are removed outright.
+// Samples still buffered inside an on-ingest compressor are untouched, so t
+// should lag the newest data by more than the compressor's window span.
+// It returns the number of retained samples removed.
+func (st *Store) EvictBefore(t float64) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	removed := 0
+	for id, obj := range st.objects {
+		n := obj.retained.Len()
+		cut := 0
+		for cut < n && obj.retained[cut].T < t {
+			cut++
+		}
+		if cut > 0 {
+			removed += cut
+			obj.retained = append(trajectory.Trajectory(nil), obj.retained[cut:]...)
+		}
+		if obj.retained.Len() == 0 && obj.lastRaw.T < t {
+			delete(st.objects, id)
+		}
+	}
+
+	// Rebuild the index over the surviving segments.
+	switch st.opts.Index {
+	case IndexRTree:
+		st.index = newRTreeIndex()
+	default:
+		st.index = newGridIndex(st.opts.CellSize)
+	}
+	for id, obj := range st.objects {
+		for i := 0; i+1 < obj.retained.Len(); i++ {
+			a, b := obj.retained[i], obj.retained[i+1]
+			st.index.insert(id, geo.Seg(a.Pos(), b.Pos()).Bounds(), a.T, b.T)
+		}
+	}
+	return removed
+}
+
+// QueryWithTolerance is Query with the rectangle expanded by the on-ingest
+// compressor's error bound eps (metres). When every stored trajectory
+// satisfies a synchronized max-error ≤ eps guarantee — as the OPW-TR and
+// OPW-SP compressors ensure for their distance threshold — the expanded
+// query returns every object whose ORIGINAL (uncompressed) movement
+// intersected the rectangle during [t0, t1]: compression introduces no
+// false negatives.
+func (st *Store) QueryWithTolerance(rect geo.Rect, t0, t1, eps float64) []string {
+	if eps < 0 {
+		eps = 0
+	}
+	return st.Query(rect.Expand(eps), t0, t1)
+}
+
+// Neighbor is one nearest-neighbour result.
+type Neighbor struct {
+	ID   string
+	Pos  geo.Point
+	Dist float64
+}
+
+// Nearest returns the k objects closest to q at time t (objects without a
+// position at t are skipped), ordered by increasing distance. Fewer than k
+// results are returned when fewer objects are live at t.
+func (st *Store) Nearest(q geo.Point, t float64, k int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	st.mu.RLock()
+	var all []Neighbor
+	for id, obj := range st.objects {
+		snap := st.snapshotLocked(obj)
+		pos, ok := snap.LocAt(t)
+		if !ok {
+			continue
+		}
+		all = append(all, Neighbor{ID: id, Pos: pos, Dist: pos.Dist(q)})
+	}
+	st.mu.RUnlock()
+
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].ID < all[j].ID
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// Stats summarizes storage effectiveness.
+type Stats struct {
+	Objects        int
+	RawPoints      int     // observations ingested
+	RetainedPoints int     // points kept after on-ingest compression
+	CompressionPct float64 // % of ingested points discarded
+}
+
+// Stats returns current storage statistics.
+func (st *Store) Stats() Stats {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s := Stats{Objects: len(st.objects), RawPoints: st.rawPts}
+	for _, obj := range st.objects {
+		s.RetainedPoints += obj.retained.Len()
+	}
+	if st.rawPts > 0 {
+		s.CompressionPct = 100 * float64(st.rawPts-s.RetainedPoints) / float64(st.rawPts)
+	}
+	return s
+}
+
+// Save writes a snapshot of every object (retained samples plus buffered
+// tail) in the binary codec format.
+func (st *Store) Save(w interface{ Write([]byte) (int, error) }) error {
+	st.mu.RLock()
+	named := make([]codec.Named, 0, len(st.objects))
+	ids := make([]string, 0, len(st.objects))
+	for id := range st.objects {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		named = append(named, codec.Named{ID: id, Traj: st.snapshotLocked(st.objects[id])})
+	}
+	st.mu.RUnlock()
+	return codec.EncodeFile(w, named)
+}
+
+// Load ingests a snapshot written by Save into an empty store. Each loaded
+// sample passes through the store's usual ingest path (including on-ingest
+// compression if configured).
+func (st *Store) Load(r interface{ Read([]byte) (int, error) }) error {
+	named, err := codec.DecodeFile(r)
+	if err != nil {
+		return err
+	}
+	for _, n := range named {
+		for _, s := range n.Traj {
+			if err := st.Append(n.ID, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func overlaps(a0, a1, b0, b1 float64) bool { return a0 <= b1 && b0 <= a1 }

@@ -1,0 +1,319 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/gpsgen"
+	"repro/internal/sed"
+	"repro/internal/stream"
+	"repro/internal/trajectory"
+)
+
+func feed(t *testing.T, st *Store, id string, p trajectory.Trajectory) {
+	t.Helper()
+	for _, s := range p {
+		if err := st.Append(id, s); err != nil {
+			t.Fatalf("append %q: %v", id, err)
+		}
+	}
+}
+
+func TestAppendAndSnapshotRaw(t *testing.T) {
+	st := New(Options{})
+	g := gpsgen.New(1, gpsgen.Config{})
+	p := g.Trip(gpsgen.Urban, 600)
+	feed(t, st, "car", p)
+
+	snap, ok := st.Snapshot("car")
+	if !ok {
+		t.Fatal("object missing")
+	}
+	if snap.Len() != p.Len() {
+		t.Errorf("raw store kept %d of %d points", snap.Len(), p.Len())
+	}
+	if _, ok := st.Snapshot("ghost"); ok {
+		t.Error("unknown object answered")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	st := New(Options{})
+	if err := st.Append("a", trajectory.S(1, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append("a", trajectory.S(1, 1, 1)); !errors.Is(err, trajectory.ErrUnsorted) {
+		t.Errorf("duplicate time: %v", err)
+	}
+	if err := st.Append("a", trajectory.S(2, math.NaN(), 0)); !errors.Is(err, trajectory.ErrNotFinite) {
+		t.Errorf("NaN: %v", err)
+	}
+	// Other objects are unaffected.
+	if err := st.Append("b", trajectory.S(0.5, 0, 0)); err != nil {
+		t.Errorf("independent object rejected: %v", err)
+	}
+}
+
+func TestOnIngestCompression(t *testing.T) {
+	const eps = 50.0
+	st := New(Options{
+		NewCompressor: func() stream.Compressor { return stream.NewOPWTR(eps, 0) },
+	})
+	g := gpsgen.New(2, gpsgen.Config{})
+	p := g.Trip(gpsgen.Urban, 1800)
+	feed(t, st, "car", p)
+
+	stats := st.Stats()
+	if stats.RawPoints != p.Len() {
+		t.Errorf("raw points %d, want %d", stats.RawPoints, p.Len())
+	}
+	if stats.CompressionPct < 20 {
+		t.Errorf("compression only %.1f%%, expected substantial reduction", stats.CompressionPct)
+	}
+
+	// The stored trajectory stays within the OPW-TR error bound over the
+	// finalized portion.
+	snap, _ := st.Snapshot("car")
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("snapshot invalid: %v", err)
+	}
+	if !snap.IsVertexSubsetOf(p) {
+		t.Fatal("snapshot not a subsequence of the input")
+	}
+	worst, err := sed.MaxError(p, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > eps+1e-9 {
+		t.Errorf("stored trajectory max sync error %.2f exceeds %.0f", worst, eps)
+	}
+}
+
+func TestSnapshotIncludesLatestPosition(t *testing.T) {
+	st := New(Options{
+		NewCompressor: func() stream.Compressor { return stream.NewOPWTR(1e9, 0) },
+	})
+	// With a huge threshold, the compressor buffers everything after the
+	// first point — but the snapshot must still expose the newest fix.
+	for i := 0; i < 10; i++ {
+		if err := st.Append("car", trajectory.S(float64(i), float64(i*10), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, _ := st.Snapshot("car")
+	if snap[snap.Len()-1].T != 9 {
+		t.Errorf("snapshot tail t=%v, want 9", snap[snap.Len()-1].T)
+	}
+	if pos, ok := st.PositionAt("car", 9); !ok || !pos.AlmostEqual(geo.Pt(90, 0), 1e-9) {
+		t.Errorf("PositionAt(9) = %v, %v", pos, ok)
+	}
+}
+
+func TestPositionAt(t *testing.T) {
+	st := New(Options{})
+	feed(t, st, "car", trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 0), trajectory.S(10, 100, 0),
+	}))
+	if pos, ok := st.PositionAt("car", 5); !ok || !pos.AlmostEqual(geo.Pt(50, 0), 1e-9) {
+		t.Errorf("PositionAt(5) = %v, %v", pos, ok)
+	}
+	if _, ok := st.PositionAt("car", 11); ok {
+		t.Error("time beyond span answered")
+	}
+	if _, ok := st.PositionAt("ghost", 5); ok {
+		t.Error("unknown object answered")
+	}
+}
+
+func TestHistory(t *testing.T) {
+	st := New(Options{})
+	feed(t, st, "car", trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 0), trajectory.S(10, 100, 0), trajectory.S(20, 200, 0),
+	}))
+	h, ok := st.History("car", 5, 15)
+	if !ok {
+		t.Fatal("object missing")
+	}
+	if h.Len() != 3 || h[0].T != 5 || h[2].T != 15 {
+		t.Errorf("History = %v", h)
+	}
+	if _, ok := st.History("ghost", 0, 1); ok {
+		t.Error("unknown object answered")
+	}
+	if h, _ := st.History("car", 100, 200); h.Len() != 0 {
+		t.Errorf("disjoint window returned %v", h)
+	}
+}
+
+// PositionBoundAt delivers the paper's "known margins of error": the true
+// (raw) position always lies within the reported radius of the answer.
+func TestPositionBoundAt(t *testing.T) {
+	const eps = 40.0
+	st := New(Options{
+		NewCompressor: func() stream.Compressor { return stream.NewOPWTR(eps, 0) },
+		ErrorBound:    eps,
+	})
+	g := gpsgen.New(7, gpsgen.Config{})
+	p := g.Trip(gpsgen.Urban, 1200)
+	feed(t, st, "car", p)
+
+	for _, tt := range []float64{100, 300, 500, 700, 900} {
+		pos, radius, ok := st.PositionBoundAt("car", tt)
+		if !ok {
+			t.Fatalf("no position at t=%v", tt)
+		}
+		if radius != eps {
+			t.Fatalf("radius = %v, want %v", radius, eps)
+		}
+		truth, ok := p.LocAt(tt)
+		if !ok {
+			t.Fatalf("no truth at t=%v", tt)
+		}
+		if d := truth.Dist(pos); d > radius+1e-9 {
+			t.Errorf("t=%v: true position %.2f m from answer, beyond radius %v", tt, d, radius)
+		}
+	}
+	if _, _, ok := st.PositionBoundAt("ghost", 0); ok {
+		t.Error("unknown object answered")
+	}
+}
+
+func TestQuery(t *testing.T) {
+	st := New(Options{CellSize: 100})
+	// Object A crosses the query window in space and time; B is elsewhere;
+	// C passes through the right place at the wrong time.
+	feed(t, st, "a", trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 0), trajectory.S(10, 500, 0),
+	}))
+	feed(t, st, "b", trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 5000), trajectory.S(10, 500, 5000),
+	}))
+	feed(t, st, "c", trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(100, 0, 0), trajectory.S(110, 500, 0),
+	}))
+	rect := geo.Rect{Min: geo.Pt(200, -50), Max: geo.Pt(300, 50)}
+
+	got := st.Query(rect, 0, 20)
+	if len(got) != 1 || got[0] != "a" {
+		t.Errorf("Query = %v, want [a]", got)
+	}
+	got = st.Query(rect, 90, 120)
+	if len(got) != 1 || got[0] != "c" {
+		t.Errorf("Query(later) = %v, want [c]", got)
+	}
+	if got = st.Query(rect, 30, 60); len(got) != 0 {
+		t.Errorf("Query(gap) = %v, want empty", got)
+	}
+	if got = st.Query(geo.EmptyRect(), 0, 20); len(got) != 0 {
+		t.Errorf("empty rect query = %v", got)
+	}
+}
+
+func TestQuerySeesBufferedTail(t *testing.T) {
+	st := New(Options{
+		NewCompressor: func() stream.Compressor { return stream.NewOPWTR(1e9, 0) },
+	})
+	// Everything after the first fix is buffered inside the compressor.
+	feed(t, st, "car", trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(0, 0, 0), trajectory.S(10, 1000, 0),
+	}))
+	rect := geo.Rect{Min: geo.Pt(900, -10), Max: geo.Pt(1100, 10)}
+	if got := st.Query(rect, 0, 20); len(got) != 1 || got[0] != "car" {
+		t.Errorf("buffered tail invisible to Query: %v", got)
+	}
+}
+
+func TestIDsAndStats(t *testing.T) {
+	st := New(Options{})
+	feed(t, st, "zebra", trajectory.MustNew([]trajectory.Sample{trajectory.S(0, 0, 0)}))
+	feed(t, st, "ant", trajectory.MustNew([]trajectory.Sample{trajectory.S(0, 0, 0)}))
+	ids := st.IDs()
+	if len(ids) != 2 || ids[0] != "ant" || ids[1] != "zebra" {
+		t.Errorf("IDs = %v", ids)
+	}
+	s := st.Stats()
+	if s.Objects != 2 || s.RawPoints != 2 {
+		t.Errorf("Stats = %+v", s)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	st := New(Options{})
+	g := gpsgen.New(3, gpsgen.Config{})
+	p1 := g.Trip(gpsgen.Urban, 600)
+	p2 := g.Trip(gpsgen.Rural, 600)
+	feed(t, st, "u", p1)
+	feed(t, st, "r", p2)
+
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st2 := New(Options{})
+	if err := st2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"u", "r"} {
+		a, _ := st.Snapshot(id)
+		b, ok := st2.Snapshot(id)
+		if !ok || a.Len() != b.Len() {
+			t.Errorf("object %q: %d vs %d points after load", id, a.Len(), b.Len())
+		}
+	}
+	// Loaded store stays queryable.
+	if len(st2.IDs()) != 2 {
+		t.Errorf("loaded IDs = %v", st2.IDs())
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	st := New(Options{})
+	if err := st.Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+}
+
+func TestConcurrentAppendAndQuery(t *testing.T) {
+	st := New(Options{
+		NewCompressor: func() stream.Compressor { return stream.NewOPWTR(30, 0) },
+	})
+	g := gpsgen.New(4, gpsgen.Config{})
+	trips := make([]trajectory.Trajectory, 8)
+	for i := range trips {
+		trips[i] = g.Trip(gpsgen.Urban, 300)
+	}
+	var wg sync.WaitGroup
+	for i, p := range trips {
+		wg.Add(1)
+		go func(id string, p trajectory.Trajectory) {
+			defer wg.Done()
+			for _, s := range p {
+				if err := st.Append(id, s); err != nil {
+					t.Errorf("append %s: %v", id, err)
+					return
+				}
+			}
+		}(fmt.Sprintf("car-%d", i), p)
+	}
+	// Concurrent readers.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				st.Query(geo.Rect{Min: geo.Pt(-1e4, -1e4), Max: geo.Pt(1e4, 1e4)}, 0, 1e6)
+				st.Stats()
+				st.IDs()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := st.Stats().Objects; got != len(trips) {
+		t.Errorf("objects = %d, want %d", got, len(trips))
+	}
+}

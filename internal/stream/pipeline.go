@@ -1,0 +1,43 @@
+package stream
+
+import (
+	"context"
+
+	"repro/internal/trajectory"
+)
+
+// Pipeline connects a compressor between two channels: samples received on
+// in are pushed through c and retained samples are sent on out. The pipeline
+// stops when in is closed (after flushing) or when ctx is cancelled; out is
+// closed before returning. A non-nil error is returned if a sample arrives
+// out of order or the context is cancelled.
+func Pipeline(ctx context.Context, c Compressor, in <-chan trajectory.Sample, out chan<- trajectory.Sample) error {
+	defer close(out)
+	send := func(samples []trajectory.Sample) error {
+		for _, s := range samples {
+			select {
+			case out <- s:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		return nil
+	}
+	for {
+		select {
+		case s, ok := <-in:
+			if !ok {
+				return send(c.Flush())
+			}
+			emitted, err := c.Push(s)
+			if err != nil {
+				return err
+			}
+			if err := send(emitted); err != nil {
+				return err
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

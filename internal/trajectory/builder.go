@@ -1,0 +1,54 @@
+package trajectory
+
+import "fmt"
+
+// Builder accumulates samples incrementally, enforcing the trajectory
+// invariants on every append. It is the ingestion-side counterpart of New:
+// use it when samples arrive one at a time (GPS fixes, stream replay).
+//
+// The zero value is ready to use. Builder is not safe for concurrent use.
+type Builder struct {
+	samples []Sample
+}
+
+// NewBuilder returns a builder with capacity preallocated for n samples.
+func NewBuilder(n int) *Builder {
+	return &Builder{samples: make([]Sample, 0, n)}
+}
+
+// Append adds one sample. It returns an error if the sample is non-finite or
+// its timestamp does not strictly increase.
+func (b *Builder) Append(s Sample) error {
+	if !s.IsFinite() {
+		return fmt.Errorf("%w: %v", ErrNotFinite, s)
+	}
+	if n := len(b.samples); n > 0 && s.T <= b.samples[n-1].T {
+		return fmt.Errorf("%w: t=%v after t=%v", ErrUnsorted, s.T, b.samples[n-1].T)
+	}
+	b.samples = append(b.samples, s)
+	return nil
+}
+
+// AppendPoint is Append with unpacked components.
+func (b *Builder) AppendPoint(t, x, y float64) error {
+	return b.Append(Sample{T: t, X: x, Y: y})
+}
+
+// Len returns the number of samples accumulated so far.
+func (b *Builder) Len() int { return len(b.samples) }
+
+// Last returns the most recently appended sample; ok is false when empty.
+func (b *Builder) Last() (Sample, bool) {
+	if len(b.samples) == 0 {
+		return Sample{}, false
+	}
+	return b.samples[len(b.samples)-1], true
+}
+
+// Trajectory returns the accumulated samples. The builder retains ownership
+// of the backing array until Reset; callers that keep building afterwards
+// should Clone the result.
+func (b *Builder) Trajectory() Trajectory { return Trajectory(b.samples) }
+
+// Reset discards all accumulated samples, retaining capacity.
+func (b *Builder) Reset() { b.samples = b.samples[:0] }

@@ -1,0 +1,124 @@
+package trajectory
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestBuilderAppend(t *testing.T) {
+	b := NewBuilder(4)
+	if _, ok := b.Last(); ok {
+		t.Error("empty builder has a Last sample")
+	}
+	for i := 0; i < 4; i++ {
+		if err := b.AppendPoint(float64(i), float64(i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Len() != 4 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	if last, ok := b.Last(); !ok || last.T != 3 {
+		t.Errorf("Last = %v, %v", last, ok)
+	}
+	if err := b.Trajectory().Validate(); err != nil {
+		t.Errorf("built trajectory invalid: %v", err)
+	}
+}
+
+func TestBuilderRejectsBadSamples(t *testing.T) {
+	var b Builder
+	if err := b.AppendPoint(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendPoint(0, 1, 1); !errors.Is(err, ErrUnsorted) {
+		t.Errorf("equal timestamp: got %v", err)
+	}
+	if err := b.AppendPoint(-1, 1, 1); !errors.Is(err, ErrUnsorted) {
+		t.Errorf("decreasing timestamp: got %v", err)
+	}
+	if err := b.AppendPoint(1, math.Inf(1), 0); !errors.Is(err, ErrNotFinite) {
+		t.Errorf("infinite coordinate: got %v", err)
+	}
+	if b.Len() != 1 {
+		t.Errorf("rejected samples were stored, Len = %d", b.Len())
+	}
+}
+
+func TestBuilderReset(t *testing.T) {
+	var b Builder
+	_ = b.AppendPoint(0, 0, 0)
+	_ = b.AppendPoint(1, 1, 1)
+	b.Reset()
+	if b.Len() != 0 {
+		t.Errorf("Len after Reset = %d", b.Len())
+	}
+	// After reset, earlier timestamps are acceptable again.
+	if err := b.AppendPoint(-100, 0, 0); err != nil {
+		t.Errorf("append after reset: %v", err)
+	}
+}
+
+func TestStatsTable2Shape(t *testing.T) {
+	// Two simple trajectories with known statistics.
+	p1 := line(11)                     // 10 s, 100 m
+	p2 := line(21).Shift(1000, 500, 0) // 20 s, 200 m
+	ds := SummarizeDataset([]Trajectory{p1, p2})
+	if ds.N != 2 {
+		t.Fatalf("N = %d", ds.N)
+	}
+	if !almostEq(ds.Mean.Duration, 15, 1e-9) {
+		t.Errorf("mean duration = %v", ds.Mean.Duration)
+	}
+	if !almostEq(ds.Mean.Length, 150, 1e-9) {
+		t.Errorf("mean length = %v", ds.Mean.Length)
+	}
+	if !almostEq(ds.StdDev.Duration, 5, 1e-9) {
+		t.Errorf("sd duration = %v", ds.StdDev.Duration)
+	}
+	if ds.Mean.NumPoints != 16 {
+		t.Errorf("mean points = %d", ds.Mean.NumPoints)
+	}
+	if got := SummarizeDataset(nil); got.N != 0 {
+		t.Errorf("empty dataset N = %d", got.N)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	tests := []struct {
+		sec  float64
+		want string
+	}{
+		{0, "00:00:00"},
+		{61, "00:01:01"},
+		{1936, "00:32:16"}, // the paper's Table 2 average
+		{3661, "01:01:01"},
+	}
+	for _, tc := range tests {
+		if got := FormatDuration(tc.sec); got != tc.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", tc.sec, got, tc.want)
+		}
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Summarize(line(11))
+	str := s.String()
+	if str == "" {
+		t.Error("empty Stats string")
+	}
+	// 10 m/s = 36 km/h should appear.
+	if want := "36.00 km/h"; !contains(str, want) {
+		t.Errorf("Stats string %q missing %q", str, want)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,96 @@
+package trajectory
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Stats summarizes one trajectory with the quantities reported in the
+// paper's Table 2.
+type Stats struct {
+	Duration     float64 // seconds
+	AvgSpeed     float64 // m/s
+	Length       float64 // metres
+	Displacement float64 // metres
+	NumPoints    int
+}
+
+// Summarize computes per-trajectory statistics.
+func Summarize(p Trajectory) Stats {
+	return Stats{
+		Duration:     p.Duration(),
+		AvgSpeed:     p.AvgSpeed(),
+		Length:       p.Length(),
+		Displacement: p.Displacement(),
+		NumPoints:    p.Len(),
+	}
+}
+
+// DatasetStats holds the mean and standard deviation of each Stats field
+// over a set of trajectories — the two columns of the paper's Table 2.
+type DatasetStats struct {
+	Mean, StdDev Stats
+	N            int
+}
+
+// SummarizeDataset computes dataset-level statistics over trajectories.
+// Standard deviations are population standard deviations over the set.
+func SummarizeDataset(ps []Trajectory) DatasetStats {
+	n := len(ps)
+	if n == 0 {
+		return DatasetStats{}
+	}
+	var mean Stats
+	for _, p := range ps {
+		s := Summarize(p)
+		mean.Duration += s.Duration
+		mean.AvgSpeed += s.AvgSpeed
+		mean.Length += s.Length
+		mean.Displacement += s.Displacement
+		mean.NumPoints += s.NumPoints
+	}
+	fn := float64(n)
+	mean.Duration /= fn
+	mean.AvgSpeed /= fn
+	mean.Length /= fn
+	mean.Displacement /= fn
+	meanPts := float64(mean.NumPoints) / fn
+
+	var sd Stats
+	var sdPts float64
+	for _, p := range ps {
+		s := Summarize(p)
+		sd.Duration += sq(s.Duration - mean.Duration)
+		sd.AvgSpeed += sq(s.AvgSpeed - mean.AvgSpeed)
+		sd.Length += sq(s.Length - mean.Length)
+		sd.Displacement += sq(s.Displacement - mean.Displacement)
+		sdPts += sq(float64(s.NumPoints) - meanPts)
+	}
+	sd.Duration = math.Sqrt(sd.Duration / fn)
+	sd.AvgSpeed = math.Sqrt(sd.AvgSpeed / fn)
+	sd.Length = math.Sqrt(sd.Length / fn)
+	sd.Displacement = math.Sqrt(sd.Displacement / fn)
+	sd.NumPoints = int(math.Round(math.Sqrt(sdPts / fn)))
+	mean.NumPoints = int(math.Round(meanPts))
+
+	return DatasetStats{Mean: mean, StdDev: sd, N: n}
+}
+
+func sq(v float64) float64 { return v * v }
+
+// FormatDuration renders seconds as hh:mm:ss, the paper's Table 2 format.
+func FormatDuration(seconds float64) string {
+	d := time.Duration(seconds * float64(time.Second)).Round(time.Second)
+	h := int(d.Hours())
+	m := int(d.Minutes()) % 60
+	s := int(d.Seconds()) % 60
+	return fmt.Sprintf("%02d:%02d:%02d", h, m, s)
+}
+
+// String renders the stats in Table 2 units (duration hh:mm:ss, speed km/h,
+// length and displacement km).
+func (s Stats) String() string {
+	return fmt.Sprintf("duration %s, speed %.2f km/h, length %.2f km, displacement %.2f km, %d points",
+		FormatDuration(s.Duration), s.AvgSpeed*3.6, s.Length/1000, s.Displacement/1000, s.NumPoints)
+}

@@ -1,0 +1,120 @@
+// Package tune automates threshold selection. The paper closes on exactly
+// this difficulty: "Obtained results strongly depend on the chosen threshold
+// values. Choosing a proper threshold is not easy and is
+// application-dependent." (§5). Given an application-level target — a
+// required compression rate, or a tolerable synchronized error — tune
+// searches the threshold that meets it on sample data.
+//
+// Compression rate and committed error both grow (near-)monotonically with
+// the distance threshold (the paper's observation on Fig. 7), so bisection
+// converges; small non-monotonicities (the paper sees them for NOPW) only
+// shift the result by a threshold step, which the achieved-value return
+// makes visible.
+package tune
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/sed"
+	"repro/internal/trajectory"
+)
+
+// Factory builds an algorithm for a candidate distance threshold.
+type Factory func(threshold float64) compress.Algorithm
+
+// Result reports a tuned threshold and what it achieves on the sample data.
+type Result struct {
+	Threshold      float64
+	CompressionPct float64 // mean % of points removed
+	AvgError       float64 // mean synchronized error α, metres
+}
+
+const bisectionSteps = 40
+
+// ForCompression returns the smallest threshold in [lo, hi] whose mean
+// compression rate over the sample trajectories reaches targetPct. It
+// returns an error if even hi cannot reach the target or the inputs are
+// invalid.
+func ForCompression(f Factory, sample []trajectory.Trajectory, targetPct, lo, hi float64) (Result, error) {
+	if err := validate(sample, lo, hi); err != nil {
+		return Result{}, err
+	}
+	if targetPct < 0 || targetPct > 100 {
+		return Result{}, fmt.Errorf("tune: target compression %v%% outside [0, 100]", targetPct)
+	}
+	if r := measure(f, sample, hi); r.CompressionPct < targetPct {
+		return Result{}, fmt.Errorf("tune: threshold %g reaches only %.1f%% compression, below target %.1f%%",
+			hi, r.CompressionPct, targetPct)
+	}
+	for i := 0; i < bisectionSteps; i++ {
+		mid := (lo + hi) / 2
+		if measure(f, sample, mid).CompressionPct >= targetPct {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return measure(f, sample, hi), nil
+}
+
+// ForError returns the largest threshold in [lo, hi] whose mean
+// synchronized error over the sample trajectories stays within maxErr
+// metres (maximizing compression subject to the error budget). It returns
+// an error if even lo exceeds the budget.
+func ForError(f Factory, sample []trajectory.Trajectory, maxErr, lo, hi float64) (Result, error) {
+	if err := validate(sample, lo, hi); err != nil {
+		return Result{}, err
+	}
+	if maxErr < 0 {
+		return Result{}, fmt.Errorf("tune: negative error budget %v", maxErr)
+	}
+	if r := measure(f, sample, lo); r.AvgError > maxErr {
+		return Result{}, fmt.Errorf("tune: threshold %g already commits %.1f m error, above budget %.1f m",
+			lo, r.AvgError, maxErr)
+	}
+	for i := 0; i < bisectionSteps; i++ {
+		mid := (lo + hi) / 2
+		if measure(f, sample, mid).AvgError <= maxErr {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return measure(f, sample, lo), nil
+}
+
+func validate(sample []trajectory.Trajectory, lo, hi float64) error {
+	if len(sample) == 0 {
+		return fmt.Errorf("tune: empty sample")
+	}
+	for i, p := range sample {
+		if p.Len() < 2 {
+			return fmt.Errorf("tune: sample trajectory %d has %d points, need ≥ 2", i, p.Len())
+		}
+	}
+	if !(lo >= 0) || !(hi > lo) {
+		return fmt.Errorf("tune: invalid threshold bounds [%v, %v]", lo, hi)
+	}
+	return nil
+}
+
+// measure evaluates the algorithm at one threshold over the sample.
+func measure(f Factory, sample []trajectory.Trajectory, threshold float64) Result {
+	r := Result{Threshold: threshold}
+	for _, p := range sample {
+		a := f(threshold).Compress(p)
+		r.CompressionPct += compress.Rate(p.Len(), a.Len())
+		e, err := sed.AvgError(p, a)
+		if err != nil {
+			// Sample validated to ≥ 2 points and compression preserves
+			// endpoints, so this indicates a broken Factory.
+			panic(fmt.Sprintf("tune: %v", err))
+		}
+		r.AvgError += e
+	}
+	n := float64(len(sample))
+	r.CompressionPct /= n
+	r.AvgError /= n
+	return r
+}

@@ -1,0 +1,110 @@
+package tune
+
+import (
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/gpsgen"
+	"repro/internal/trajectory"
+)
+
+func sample() []trajectory.Trajectory {
+	g := gpsgen.New(31, gpsgen.Config{})
+	return []trajectory.Trajectory{
+		g.Trip(gpsgen.Urban, 1200),
+		g.Trip(gpsgen.Mixed, 1500),
+		g.Trip(gpsgen.Rural, 900),
+	}
+}
+
+func tdtr(eps float64) compress.Algorithm { return compress.TDTR{Threshold: eps} }
+
+func TestForCompression(t *testing.T) {
+	ps := sample()
+	const target = 70.0
+	r, err := ForCompression(tdtr, ps, target, 0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CompressionPct < target {
+		t.Errorf("achieved %.1f%%, below target %.0f%%", r.CompressionPct, target)
+	}
+	// The tuned threshold should be near-minimal: backing off 20% should
+	// fall below target.
+	below := measure(tdtr, ps, r.Threshold*0.8)
+	if below.CompressionPct >= target {
+		t.Errorf("threshold %.1f not near-minimal: 0.8× still achieves %.1f%%",
+			r.Threshold, below.CompressionPct)
+	}
+}
+
+func TestForCompressionUnreachable(t *testing.T) {
+	if _, err := ForCompression(tdtr, sample(), 99.9, 0, 5); err == nil {
+		t.Error("unreachable target accepted")
+	}
+}
+
+func TestForError(t *testing.T) {
+	ps := sample()
+	const budget = 10.0
+	r, err := ForError(tdtr, ps, budget, 0.1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AvgError > budget {
+		t.Errorf("achieved error %.2f m above budget %.0f m", r.AvgError, budget)
+	}
+	// TD-TR guarantees error ≤ threshold, so the tuned threshold must be at
+	// least the budget (mean error is far below the max bound).
+	if r.Threshold < budget {
+		t.Errorf("tuned threshold %.1f below the error budget %.0f", r.Threshold, budget)
+	}
+	// The tuned threshold should be near-maximal within the budget.
+	above := measure(tdtr, ps, r.Threshold*1.3)
+	if above.AvgError <= budget {
+		t.Errorf("threshold %.1f not near-maximal: 1.3× still within budget (%.2f m)",
+			r.Threshold, above.AvgError)
+	}
+}
+
+func TestForErrorUnreachable(t *testing.T) {
+	// Even the smallest allowed threshold commits noise-level error; an
+	// absurd budget of 1 µm is unreachable.
+	if _, err := ForError(tdtr, sample(), 1e-6, 50, 100); err == nil {
+		t.Error("unreachable budget accepted")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	ps := sample()
+	if _, err := ForCompression(tdtr, nil, 50, 0, 100); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := ForCompression(tdtr, ps, -5, 0, 100); err == nil {
+		t.Error("negative target accepted")
+	}
+	if _, err := ForCompression(tdtr, ps, 50, 100, 100); err == nil {
+		t.Error("degenerate bounds accepted")
+	}
+	if _, err := ForError(tdtr, ps, -1, 0, 100); err == nil {
+		t.Error("negative budget accepted")
+	}
+	short := []trajectory.Trajectory{{trajectory.S(0, 0, 0)}}
+	if _, err := ForError(tdtr, short, 10, 0, 100); err == nil {
+		t.Error("degenerate sample accepted")
+	}
+}
+
+// Tuning also works for the opening-window family.
+func TestForCompressionOPWSP(t *testing.T) {
+	f := func(eps float64) compress.Algorithm {
+		return compress.OPWSP{DistThreshold: eps, SpeedThreshold: 5}
+	}
+	r, err := ForCompression(f, sample(), 50, 0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CompressionPct < 50 {
+		t.Errorf("achieved %.1f%%", r.CompressionPct)
+	}
+}

@@ -1,0 +1,148 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/store"
+	"repro/internal/trajectory"
+)
+
+// DurableStore couples a moving-object store with a write-ahead log. Raw
+// observations pass through the store's on-ingest compressor; the retained
+// stream is logged, so a reopened DurableStore recovers the identical
+// retained state. Samples still buffered in a compressor window are not yet
+// durable — except that Close seals each object's latest position into the
+// log before shutdown.
+type DurableStore struct {
+	*store.Store
+
+	mu         sync.Mutex
+	log        *Log
+	lastLogged map[string]float64 // last logged timestamp per object
+}
+
+// OpenDurable opens (or creates) a durable store backed by the log at path,
+// replaying any existing records into a fresh store built with opts.
+func OpenDurable(path string, opts store.Options) (*DurableStore, error) {
+	st := store.New(opts)
+	lastLogged := make(map[string]float64)
+	log, err := Open(path, func(rec Record) error {
+		lastLogged[rec.ID] = rec.Sample.T
+		return st.Restore(rec.ID, rec.Sample)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DurableStore{Store: st, log: log, lastLogged: lastLogged}, nil
+}
+
+// Append ingests one raw observation and logs whatever the store retained.
+// A sample is durable once logged (subject to the log's SyncEvery batching).
+func (d *DurableStore) Append(id string, s trajectory.Sample) error {
+	retained, err := d.Store.AppendObserved(id, s)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, r := range retained {
+		if err := d.log.Append(Record{ID: id, Sample: r}); err != nil {
+			return err
+		}
+		d.lastLogged[id] = r.T
+	}
+	return nil
+}
+
+// Flush forces all logged records to stable storage.
+func (d *DurableStore) Flush() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.log.Flush()
+}
+
+// LogSize returns the current log size in bytes.
+func (d *DurableStore) LogSize() (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.log.Size()
+}
+
+// Close seals each object's latest position into the log (if newer than the
+// last logged record, so replay order is preserved) and closes the log.
+// Sealing is safe only at shutdown: after a reopen every compressor window
+// is empty, so no later emission can precede the sealed sample in time.
+// The in-memory store remains usable read-only afterwards.
+func (d *DurableStore) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, id := range d.Store.IDs() {
+		snap, ok := d.Store.Snapshot(id)
+		if !ok || snap.Len() == 0 {
+			continue
+		}
+		last := snap[snap.Len()-1]
+		if last.T <= d.lastLogged[id] {
+			continue
+		}
+		if err := d.log.Append(Record{ID: id, Sample: last}); err != nil {
+			d.log.Close()
+			return err
+		}
+		d.lastLogged[id] = last.T
+	}
+	return d.log.Close()
+}
+
+// Compact rewrites the log to contain exactly the store's current retained
+// samples — dropping the accumulation of sealed tails from earlier sessions
+// and any superseded records. The rewrite is atomic: a temporary file is
+// written, synced, and renamed over the log.
+//
+// Only retained samples are written (never buffered tails): a live
+// compressor may still emit a cut point older than the buffered tail, and
+// replay requires per-object time order.
+func (d *DurableStore) Compact() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	tmpPath := d.log.path + ".compact"
+	if err := d.log.Close(); err != nil {
+		return err
+	}
+	tmp, err := Open(tmpPath, nil)
+	if err != nil {
+		return err
+	}
+	tmp.SyncEvery = 1 << 20 // one sync at close; the rename is the commit
+	for _, id := range d.Store.IDs() {
+		ret, _ := d.Store.Retained(id)
+		for _, s := range ret {
+			if err := tmp.Append(Record{ID: id, Sample: s}); err != nil {
+				tmp.Close()
+				os.Remove(tmpPath)
+				return err
+			}
+		}
+		if ret.Len() > 0 {
+			d.lastLogged[id] = ret[ret.Len()-1].T
+		} else {
+			delete(d.lastLogged, id)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, d.log.path); err != nil {
+		return fmt.Errorf("wal: compact rename: %w", err)
+	}
+	reopened, err := Open(d.log.path, nil)
+	if err != nil {
+		return err
+	}
+	d.log = reopened
+	return nil
+}

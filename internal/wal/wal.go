@@ -1,0 +1,221 @@
+// Package wal provides write-ahead-log durability for the moving-object
+// store: the retained (post-compression) sample stream of every object is
+// appended to an on-disk log, so a restarted process recovers the full
+// store state by replay. Logging the retained stream — rather than the raw
+// GPS feed — carries the paper's compression savings straight to disk: the
+// log grows with the compressed point count.
+//
+// Log format: a fixed header, then length-prefixed records each protected
+// by CRC-32. Recovery reads records until the end of the file; a torn or
+// corrupt tail record (a crash mid-write) ends replay at the last good
+// record, the standard WAL contract.
+//
+// Durability semantics: a sample becomes durable when its record is written
+// (and flushed, see SyncEvery). Samples still buffered inside an on-ingest
+// compressor window at crash time are lost except for the window anchor —
+// bounded by the compressor's window cap.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/trajectory"
+)
+
+const (
+	headerMagic = "TRJW\x01"
+	maxIDLen    = 1 << 10
+	recordFixed = 4 + 4 + 24 // length prefix + crc + three float64s (id extra)
+)
+
+// Record is one durable observation.
+type Record struct {
+	ID     string
+	Sample trajectory.Sample
+}
+
+// Log is an append-only record log. Not safe for concurrent use; callers
+// (DurableStore) serialize access.
+type Log struct {
+	f       *os.File
+	w       *bufio.Writer
+	path    string
+	pending int
+	// SyncEvery controls how many appended records may precede an fsync;
+	// 0 syncs on every append (slow, maximally durable). Flush always
+	// syncs.
+	SyncEvery int
+}
+
+// Open opens (creating if needed) the log at path, replays every intact
+// record through apply, and returns the log positioned for appending.
+// Replay stops silently at the first torn/corrupt record, truncating the
+// log there.
+func Open(path string, apply func(Record) error) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	good, err := replay(f, apply)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Truncate any torn tail and position for append.
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	l := &Log{f: f, w: bufio.NewWriter(f), path: path, SyncEvery: 64}
+	if good == 0 {
+		if _, err := l.w.WriteString(headerMagic); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: header: %w", err)
+		}
+		if err := l.flushSync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// replay reads the header and all intact records, returning the byte offset
+// just past the last good record.
+func replay(f *os.File, apply func(Record) error) (int64, error) {
+	r := bufio.NewReader(f)
+	head := make([]byte, len(headerMagic))
+	n, err := io.ReadFull(r, head)
+	if err == io.EOF && n == 0 {
+		return 0, nil // fresh file
+	}
+	if err != nil || string(head) != headerMagic {
+		return 0, errors.New("wal: not a trajectory WAL file")
+	}
+	offset := int64(len(headerMagic))
+	for {
+		rec, size, err := readRecord(r)
+		if err != nil {
+			return offset, nil // torn/corrupt/EOF tail: stop replay here
+		}
+		if apply != nil {
+			if aerr := apply(rec); aerr != nil {
+				return 0, fmt.Errorf("wal: replay: %w", aerr)
+			}
+		}
+		offset += size
+	}
+}
+
+func readRecord(r *bufio.Reader) (Record, int64, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Record{}, 0, err
+	}
+	payloadLen := binary.LittleEndian.Uint32(lenBuf[:])
+	if payloadLen < 25 || payloadLen > maxIDLen+25 {
+		return Record{}, 0, errors.New("wal: implausible record length")
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Record{}, 0, err
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+		return Record{}, 0, err
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(crcBuf[:]) {
+		return Record{}, 0, errors.New("wal: checksum mismatch")
+	}
+	idLen := int(payload[0])
+	if 1+idLen+24 != int(payloadLen) {
+		return Record{}, 0, errors.New("wal: inconsistent record framing")
+	}
+	rec := Record{
+		ID: string(payload[1 : 1+idLen]),
+		Sample: trajectory.Sample{
+			T: math.Float64frombits(binary.LittleEndian.Uint64(payload[1+idLen:])),
+			X: math.Float64frombits(binary.LittleEndian.Uint64(payload[1+idLen+8:])),
+			Y: math.Float64frombits(binary.LittleEndian.Uint64(payload[1+idLen+16:])),
+		},
+	}
+	return rec, int64(4 + payloadLen + 4), nil
+}
+
+// Append writes one record, syncing according to SyncEvery.
+func (l *Log) Append(rec Record) error {
+	if len(rec.ID) > maxIDLen || len(rec.ID) > 255 {
+		return fmt.Errorf("wal: object id longer than 255 bytes")
+	}
+	payload := make([]byte, 1+len(rec.ID)+24)
+	payload[0] = byte(len(rec.ID))
+	copy(payload[1:], rec.ID)
+	binary.LittleEndian.PutUint64(payload[1+len(rec.ID):], math.Float64bits(rec.Sample.T))
+	binary.LittleEndian.PutUint64(payload[1+len(rec.ID)+8:], math.Float64bits(rec.Sample.X))
+	binary.LittleEndian.PutUint64(payload[1+len(rec.ID)+16:], math.Float64bits(rec.Sample.Y))
+
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	if _, err := l.w.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(payload))
+	if _, err := l.w.Write(crcBuf[:]); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.pending++
+	if l.pending > l.SyncEvery {
+		return l.flushSync()
+	}
+	return nil
+}
+
+// Flush forces buffered records to stable storage.
+func (l *Log) Flush() error { return l.flushSync() }
+
+func (l *Log) flushSync() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.pending = 0
+	return nil
+}
+
+// Size returns the current log size in bytes.
+func (l *Log) Size() (int64, error) {
+	if err := l.w.Flush(); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	info, err := l.f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	return info.Size(), nil
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	if err := l.flushSync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}

@@ -1,0 +1,393 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gpsgen"
+	"repro/internal/sed"
+	"repro/internal/store"
+	"repro/internal/stream"
+	"repro/internal/trajectory"
+)
+
+func logPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "trips.wal")
+}
+
+func TestLogAppendReplay(t *testing.T) {
+	path := logPath(t)
+	l, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		{ID: "a", Sample: trajectory.S(0, 1, 2)},
+		{ID: "b", Sample: trajectory.S(5, -3, 4)},
+		{ID: "a", Sample: trajectory.S(10, 9, 9)},
+	}
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []Record
+	l2, err := Open(path, func(r Record) error { got = append(got, r); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLogTornTailRecovery(t *testing.T) {
+	path := logPath(t)
+	l, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Append(Record{ID: "x", Sample: trajectory.S(float64(i), 0, 0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record: chop a few bytes off the file.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []Record
+	l2, err := Open(path, func(r Record) error { got = append(got, r); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 9 {
+		t.Errorf("recovered %d records after torn tail, want 9", len(got))
+	}
+	// The log must accept appends after recovery.
+	if err := l2.Append(Record{ID: "x", Sample: trajectory.S(100, 0, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got = nil
+	l3, err := Open(path, func(r Record) error { got = append(got, r); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if len(got) != 10 {
+		t.Errorf("after repair+append: %d records, want 10", len(got))
+	}
+}
+
+func TestLogCorruptMiddleStopsReplay(t *testing.T) {
+	path := logPath(t)
+	l, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Append(Record{ID: "x", Sample: trajectory.S(float64(i), 0, 0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the middle of the file.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	l2, err := Open(path, func(Record) error { got++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got >= 10 {
+		t.Errorf("replayed %d records past corruption", got)
+	}
+}
+
+func TestLogRejectsForeignFile(t *testing.T) {
+	path := logPath(t)
+	if err := os.WriteFile(path, []byte("definitely not a WAL"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, nil); err == nil {
+		t.Error("foreign file accepted")
+	}
+}
+
+func TestLogRejectsLongID(t *testing.T) {
+	l, err := Open(logPath(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	long := make([]byte, 300)
+	for i := range long {
+		long[i] = 'x'
+	}
+	if err := l.Append(Record{ID: string(long)}); err == nil {
+		t.Error("256+ byte id accepted")
+	}
+}
+
+func TestLogSizeGrows(t *testing.T) {
+	l, err := Open(logPath(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	s0, err := l.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Append(Record{ID: "a", Sample: trajectory.S(float64(i), 0, 0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1, err := l.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 <= s0 {
+		t.Errorf("size did not grow: %d → %d", s0, s1)
+	}
+}
+
+func TestOpenRejectsDirectory(t *testing.T) {
+	if _, err := Open(t.TempDir(), nil); err == nil {
+		t.Error("directory path accepted")
+	}
+}
+
+func TestOpenPropagatesApplyError(t *testing.T) {
+	path := logPath(t)
+	l, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = l.Append(Record{ID: "a", Sample: trajectory.S(0, 0, 0)})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := func(Record) error { return errSentinel }
+	if _, err := Open(path, wantErr); err == nil {
+		t.Error("apply error swallowed")
+	}
+}
+
+var errSentinel = errTest{}
+
+type errTest struct{}
+
+func (errTest) Error() string { return "sentinel" }
+
+func TestDurableStoreRoundTrip(t *testing.T) {
+	path := logPath(t)
+	opts := store.Options{
+		NewCompressor: func() stream.Compressor { return stream.NewOPWTR(40, 0) },
+	}
+	d, err := OpenDurable(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := gpsgen.New(51, gpsgen.Config{}).Trip(gpsgen.Urban, 1200)
+	for _, s := range p {
+		if err := d.Append("car", s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := d.Snapshot("car")
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenDurable(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	after, ok := d2.Snapshot("car")
+	if !ok {
+		t.Fatal("object lost across restart")
+	}
+	// Close sealed the tail, so the recovered snapshot equals the
+	// pre-shutdown snapshot exactly.
+	if after.Len() != before.Len() {
+		t.Fatalf("recovered %d points, want %d", after.Len(), before.Len())
+	}
+	for i := range before {
+		if after[i] != before[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, after[i], before[i])
+		}
+	}
+	// And the recovered trajectory still honours the compressor's bound.
+	worst, err := sed.MaxError(p, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 40+1e-9 {
+		t.Errorf("recovered error %.2f exceeds bound", worst)
+	}
+}
+
+func TestDurableStoreAppendAfterReopen(t *testing.T) {
+	path := logPath(t)
+	opts := store.Options{
+		NewCompressor: func() stream.Compressor { return stream.NewOPWTR(40, 0) },
+	}
+	d, err := OpenDurable(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := d.Append("car", trajectory.S(float64(i*10), float64(i*100), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenDurable(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Continue the stream where it left off.
+	for i := 50; i < 100; i++ {
+		if err := d2.Append("car", trajectory.S(float64(i*10), float64(i*100), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d3, err := OpenDurable(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.Close()
+	snap, _ := d3.Snapshot("car")
+	if snap.Len() < 2 {
+		t.Fatalf("recovered only %d points", snap.Len())
+	}
+	if got := snap[snap.Len()-1].T; got != 990 {
+		t.Errorf("final recovered time %v, want 990", got)
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("recovered snapshot invalid: %v", err)
+	}
+}
+
+func TestDurableStoreCompact(t *testing.T) {
+	path := logPath(t)
+	d, err := OpenDurable(path, store.Options{}) // raw mode: every sample logged
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := gpsgen.New(52, gpsgen.Config{}).Trip(gpsgen.Urban, 900)
+	for _, s := range p {
+		if err := d.Append("car", s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sizeBefore, err := d.LogSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	sizeAfter, err := d.LogSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sizeAfter > sizeBefore {
+		t.Errorf("compaction grew the log: %d → %d", sizeBefore, sizeAfter)
+	}
+	// Appends continue to work after compaction...
+	last := p[p.Len()-1]
+	if err := d.Append("car", trajectory.S(last.T+10, last.X, last.Y)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// ...and the compacted log replays the full state.
+	d2, err := OpenDurable(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	snap, _ := d2.Snapshot("car")
+	if snap.Len() != p.Len()+1 {
+		t.Errorf("recovered %d points, want %d", snap.Len(), p.Len()+1)
+	}
+}
+
+// The WAL materializes the paper's storage claim: logging the compressed
+// stream shrinks the on-disk footprint by roughly the compression rate.
+func TestDurableStoreCompressionShrinksLog(t *testing.T) {
+	p := gpsgen.New(53, gpsgen.Config{}).Trip(gpsgen.Mixed, 1800)
+
+	run := func(opts store.Options) int64 {
+		path := logPath(t)
+		d, err := OpenDurable(path, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range p {
+			if err := d.Append("car", s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		size, err := d.LogSize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return size
+	}
+
+	raw := run(store.Options{})
+	compressed := run(store.Options{
+		NewCompressor: func() stream.Compressor { return stream.NewOPWTR(50, 0) },
+	})
+	if compressed >= raw/2 {
+		t.Errorf("compressed log %d not well below raw %d", compressed, raw)
+	}
+}

@@ -1,0 +1,597 @@
+// Package trajcomp is the public API of the spatiotemporal trajectory
+// compression library — a reproduction of Meratnia & de By,
+// "Spatiotemporal Compression Techniques for Moving Point Objects"
+// (EDBT 2004).
+//
+// The library compresses moving-object trajectories (finite series of
+// time-stamped positions) with the paper's algorithm families:
+//
+//   - classic line generalization: Douglas-Peucker (NDP) and the
+//     opening-window algorithms NOPW/BOPW, which use perpendicular distance
+//     and ignore time;
+//   - the paper's time-ratio algorithms TD-TR and OPW-TR, which replace the
+//     perpendicular distance with the time-synchronized distance;
+//   - the paper's spatiotemporal algorithms OPW-SP and TD-SP, which add a
+//     speed-difference criterion.
+//
+// Compression quality is measured with the paper's time-synchronized average
+// error α(p, a) (AvgError) alongside classic perpendicular measures
+// (Evaluate returns all of them).
+//
+// Quick start:
+//
+//	p := trajcomp.GenerateTrip(42, trajcomp.Urban, 30*60) // or build your own
+//	a := trajcomp.NewTDTR(30).Compress(p)                 // 30 m tolerance
+//	e, _ := trajcomp.AvgError(p, a)
+//	fmt.Printf("kept %d of %d points, α = %.1f m\n", a.Len(), p.Len(), e)
+//
+// Subsystems exposed here:
+//
+//   - online compression of live position streams (NewOnlineOPWTR and
+//     friends, Collect, Pipeline — see the stream types);
+//   - a moving-object store with on-ingest compression and spatiotemporal
+//     range queries (NewStore);
+//   - serialization: compact binary (EncodeFile/DecodeFile), CSV and
+//     GeoJSON;
+//   - the synthetic GPS workload generator used by the paper reproduction
+//     (GenerateTrip, PaperDataset);
+//   - the experiment harness regenerating the paper's Table 2 and
+//     Figures 7–11 (see cmd/experiments and the benchmarks).
+package trajcomp
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/cluster"
+	"repro/internal/codec"
+	"repro/internal/compress"
+	"repro/internal/geo"
+	"repro/internal/gpsgen"
+	"repro/internal/interp"
+	"repro/internal/mapmatch"
+	"repro/internal/quality"
+	"repro/internal/roadnet"
+	"repro/internal/sed"
+	"repro/internal/store"
+	"repro/internal/stream"
+	"repro/internal/trajectory"
+	"repro/internal/tune"
+	"repro/internal/wal"
+)
+
+// Core data types.
+type (
+	// Sample is one time-stamped position ⟨t, x, y⟩ (seconds, metres).
+	Sample = trajectory.Sample
+	// Trajectory is a series of samples with strictly increasing
+	// timestamps, interpreted as a piecewise-linear path.
+	Trajectory = trajectory.Trajectory
+	// Builder accumulates samples incrementally with validation.
+	Builder = trajectory.Builder
+	// Stats summarizes a trajectory (duration, speed, length, displacement,
+	// point count).
+	Stats = trajectory.Stats
+	// DatasetStats aggregates Stats over a set of trajectories.
+	DatasetStats = trajectory.DatasetStats
+
+	// Point is a planar position in metres.
+	Point = geo.Point
+	// Rect is an axis-aligned rectangle used in spatial queries.
+	Rect = geo.Rect
+	// LatLon is a WGS-84 coordinate.
+	LatLon = geo.LatLon
+	// Projector converts between WGS-84 and the local planar frame.
+	Projector = geo.Projector
+
+	// Algorithm is a batch trajectory compressor.
+	Algorithm = compress.Algorithm
+	// Report bundles the quality evaluation of one compression run.
+	Report = quality.Report
+
+	// Compressor is an online (push-based) trajectory compressor.
+	Compressor = stream.Compressor
+
+	// Store is an in-memory moving-object database with optional on-ingest
+	// compression and spatiotemporal queries.
+	Store = store.Store
+	// StoreOptions configures NewStore.
+	StoreOptions = store.Options
+	// StoreStats summarizes storage effectiveness.
+	StoreStats = store.Stats
+	// Neighbor is one nearest-neighbour query result.
+	Neighbor = store.Neighbor
+	// IndexKind selects the store's spatiotemporal index (grid or R-tree).
+	IndexKind = store.IndexKind
+	// DurableStore is a Store backed by a write-ahead log on disk.
+	DurableStore = wal.DurableStore
+
+	// TimeInterval is a closed time interval used by the analysis tools.
+	TimeInterval = analysis.Interval
+	// StopEvent is a detected stay of a moving object.
+	StopEvent = analysis.Stop
+	// ProfilePoint is one segment of a speed/heading profile.
+	ProfilePoint = analysis.ProfilePoint
+
+	// Named pairs a trajectory with its object identifier for serialization.
+	Named = codec.Named
+
+	// TripKind selects the road environment of a generated trip.
+	TripKind = gpsgen.TripKind
+	// GenConfig configures the synthetic GPS generator.
+	GenConfig = gpsgen.Config
+	// Generator produces synthetic car trips.
+	Generator = gpsgen.Generator
+)
+
+// Trip kinds for the synthetic generator.
+const (
+	Urban      = gpsgen.Urban
+	Rural      = gpsgen.Rural
+	Mixed      = gpsgen.Mixed
+	Pedestrian = gpsgen.Pedestrian
+)
+
+// Store index kinds.
+const (
+	// IndexGrid is the uniform-grid spatiotemporal index (default).
+	IndexGrid = store.IndexGrid
+	// IndexRTree is the 3D R-tree index.
+	IndexRTree = store.IndexRTree
+)
+
+// S is shorthand for Sample{T: t, X: x, Y: y}.
+func S(t, x, y float64) Sample { return trajectory.S(t, x, y) }
+
+// NewTrajectory validates samples and returns them as a Trajectory.
+func NewTrajectory(samples []Sample) (Trajectory, error) { return trajectory.New(samples) }
+
+// NewBuilder returns a trajectory builder with capacity for n samples.
+func NewBuilder(n int) *Builder { return trajectory.NewBuilder(n) }
+
+// Summarize computes per-trajectory statistics.
+func Summarize(p Trajectory) Stats { return trajectory.Summarize(p) }
+
+// SummarizeDataset computes mean/stddev statistics over trajectories.
+func SummarizeDataset(ps []Trajectory) DatasetStats { return trajectory.SummarizeDataset(ps) }
+
+// Batch compression algorithms (the paper's §2–3). Distance thresholds are
+// in metres; speed thresholds in m/s.
+
+// NewDouglasPeucker returns the classic top-down Douglas-Peucker algorithm
+// (the paper's NDP baseline) with a perpendicular-distance tolerance.
+func NewDouglasPeucker(threshold float64) Algorithm {
+	return compress.DouglasPeucker{Threshold: threshold}
+}
+
+// NewDouglasPeuckerHull returns the convex-hull-accelerated Douglas-Peucker.
+func NewDouglasPeuckerHull(threshold float64) Algorithm {
+	return compress.DouglasPeuckerHull{Threshold: threshold}
+}
+
+// NewNOPW returns the normal opening-window algorithm.
+func NewNOPW(threshold float64) Algorithm { return compress.NOPW{Threshold: threshold} }
+
+// NewBOPW returns the before-opening-window algorithm.
+func NewBOPW(threshold float64) Algorithm { return compress.BOPW{Threshold: threshold} }
+
+// NewTDTR returns the paper's top-down time-ratio algorithm.
+func NewTDTR(threshold float64) Algorithm { return compress.TDTR{Threshold: threshold} }
+
+// NewOPWTR returns the paper's opening-window time-ratio algorithm.
+func NewOPWTR(threshold float64) Algorithm { return compress.OPWTR{Threshold: threshold} }
+
+// NewOPWSP returns the paper's spatiotemporal opening-window algorithm
+// (pseudocode SPT), combining the synchronized distance and speed-difference
+// criteria.
+func NewOPWSP(distThreshold, speedThreshold float64) Algorithm {
+	return compress.OPWSP{DistThreshold: distThreshold, SpeedThreshold: speedThreshold}
+}
+
+// NewTDSP returns the top-down spatiotemporal algorithm.
+func NewTDSP(distThreshold, speedThreshold float64) Algorithm {
+	return compress.TDSP{DistThreshold: distThreshold, SpeedThreshold: speedThreshold}
+}
+
+// NewBottomUp returns the bottom-up merge algorithm under the perpendicular
+// distance (§2's bottom-up category).
+func NewBottomUp(threshold float64) Algorithm { return compress.BottomUp{Threshold: threshold} }
+
+// NewBottomUpTR returns the bottom-up merge algorithm under the
+// synchronized distance.
+func NewBottomUpTR(threshold float64) Algorithm { return compress.BottomUpTR{Threshold: threshold} }
+
+// NewSlidingWindow returns the fixed-window algorithm with Douglas-Peucker
+// inside each window of the given size (§2's sliding-window category).
+func NewSlidingWindow(threshold float64, window int) Algorithm {
+	return compress.SlidingWindow{Threshold: threshold, Window: window}
+}
+
+// NewSlidingWindowTR returns the fixed-window algorithm with TD-TR inside
+// each window.
+func NewSlidingWindowTR(threshold float64, window int) Algorithm {
+	return compress.SlidingWindowTR{Threshold: threshold, Window: window}
+}
+
+// NewDouglasPeuckerN returns the point-budget Douglas-Peucker: retain the N
+// most shape-relevant points.
+func NewDouglasPeuckerN(n int) Algorithm { return compress.DouglasPeuckerN{N: n} }
+
+// NewTDTRN returns the point-budget top-down time-ratio algorithm.
+func NewTDTRN(n int) Algorithm { return compress.TDTRN{N: n} }
+
+// NewSQUISH returns the SQUISH bounded-buffer online sketch of n points.
+func NewSQUISH(n int) Algorithm { return compress.SQUISH{Capacity: n} }
+
+// NewVisvalingam returns the Visvalingam–Whyatt effective-area baseline.
+func NewVisvalingam(areaThreshold float64) Algorithm {
+	return compress.Visvalingam{AreaThreshold: areaThreshold}
+}
+
+// NewUniform returns the every-K-th-point baseline.
+func NewUniform(k int) Algorithm { return compress.Uniform{K: k} }
+
+// NewRadial returns the neighbour-elimination baseline.
+func NewRadial(threshold float64) Algorithm { return compress.Radial{Threshold: threshold} }
+
+// NewDeadReckoning returns the dead-reckoning baseline.
+func NewDeadReckoning(threshold float64) Algorithm {
+	return compress.DeadReckoning{Threshold: threshold}
+}
+
+// ParseAlgorithm builds an algorithm from a textual spec such as "tdtr:30"
+// or "opwsp:30:5"; see the compress package documentation for the grammar.
+func ParseAlgorithm(spec string) (Algorithm, error) { return compress.Parse(spec) }
+
+// CompressionRate returns the percentage of points removed when reducing
+// origLen points to compLen.
+func CompressionRate(origLen, compLen int) float64 { return compress.Rate(origLen, compLen) }
+
+// Error metrics (the paper's §4).
+
+// AvgError computes the paper's time-synchronized average error α(p, a).
+func AvgError(p, a Trajectory) (float64, error) { return sed.AvgError(p, a) }
+
+// MaxError computes the maximum synchronized distance between p and a.
+func MaxError(p, a Trajectory) (float64, error) { return sed.MaxError(p, a) }
+
+// SyncDistance returns the synchronized (time-ratio) distance between data
+// point p and the segment from a to b — the paper's Eq. 1–2 discard
+// criterion.
+func SyncDistance(p, a, b Sample) float64 { return sed.Distance(p, a, b) }
+
+// Evaluate measures approximation a of original p under all error metrics.
+func Evaluate(name string, p, a Trajectory) (Report, error) { return quality.Evaluate(name, p, a) }
+
+// Online compression.
+
+// NewOnlineOPWTR returns an online OPW-TR compressor. maxWindow bounds the
+// buffered window (0 = unbounded, exactly matching the batch algorithm).
+func NewOnlineOPWTR(threshold float64, maxWindow int) Compressor {
+	return stream.NewOPWTR(threshold, maxWindow)
+}
+
+// NewOnlineOPWSP returns an online OPW-SP compressor.
+func NewOnlineOPWSP(distThreshold, speedThreshold float64, maxWindow int) Compressor {
+	return stream.NewOPWSP(distThreshold, speedThreshold, maxWindow)
+}
+
+// NewOnlineNOPW returns an online NOPW compressor.
+func NewOnlineNOPW(threshold float64, maxWindow int) Compressor {
+	return stream.NewNOPW(threshold, maxWindow)
+}
+
+// NewOnlineDeadReckoning returns an online dead-reckoning compressor.
+func NewOnlineDeadReckoning(threshold float64) Compressor {
+	return stream.NewDeadReckoning(threshold)
+}
+
+// Collect runs an online compressor over a whole trajectory.
+func Collect(c Compressor, p Trajectory) (Trajectory, error) { return stream.Collect(c, p) }
+
+// Pipeline connects an online compressor between two sample channels.
+func Pipeline(ctx context.Context, c Compressor, in <-chan Sample, out chan<- Sample) error {
+	return stream.Pipeline(ctx, c, in, out)
+}
+
+// Moving-object store.
+
+// NewStore returns an empty moving-object store.
+func NewStore(opts StoreOptions) *Store { return store.New(opts) }
+
+// OpenDurableStore opens (or creates) a store backed by the write-ahead log
+// at path, replaying any existing records.
+func OpenDurableStore(path string, opts StoreOptions) (*DurableStore, error) {
+	return wal.OpenDurable(path, opts)
+}
+
+// (Nearest, Query, QueryWithTolerance and EvictBefore are methods on Store;
+// see the store package for their semantics.)
+
+// Movement analysis (the paper's motivating "study, analyse and understand
+// these patterns").
+
+// DistanceBetweenAt returns the separation of two moving objects at time t.
+func DistanceBetweenAt(p, q Trajectory, t float64) (float64, bool) {
+	return analysis.DistanceAt(p, q, t)
+}
+
+// ClosestApproach returns the time and distance of two objects' minimal
+// separation over their overlapping time span.
+func ClosestApproach(p, q Trajectory) (at, dist float64, err error) {
+	return analysis.ClosestApproach(p, q)
+}
+
+// Within returns the time intervals during which two objects travel within
+// d metres of each other.
+func Within(p, q Trajectory, d float64) ([]TimeInterval, error) {
+	return analysis.Within(p, q, d)
+}
+
+// Meets reports whether two objects ever come within d metres, and when
+// first.
+func Meets(p, q Trajectory, d float64) (bool, float64, error) {
+	return analysis.Meets(p, q, d)
+}
+
+// Stops detects stays: maximal periods with derived speed below maxSpeed
+// lasting at least minDuration seconds.
+func Stops(p Trajectory, maxSpeed, minDuration float64) ([]StopEvent, error) {
+	return analysis.Stops(p, maxSpeed, minDuration)
+}
+
+// Profile derives the per-segment speed and heading series.
+func Profile(p Trajectory) []ProfilePoint { return analysis.Profile(p) }
+
+// SpeedPercentiles returns the requested percentiles of the time-weighted
+// derived-speed distribution.
+func SpeedPercentiles(p Trajectory, percentiles []float64) ([]float64, error) {
+	return analysis.SpeedPercentiles(p, percentiles)
+}
+
+// FlockEvent is a detected group of objects travelling together.
+type FlockEvent = analysis.Flock
+
+// Flocks detects groups of at least minSize objects moving within radius of
+// each other for at least minDuration seconds, examined every dt seconds.
+func Flocks(ps []Trajectory, radius float64, minSize int, minDuration, dt float64) ([]FlockEvent, error) {
+	return analysis.Flocks(ps, radius, minSize, minDuration, dt)
+}
+
+// ODMatrix aggregates trips between origin and destination zones.
+type ODMatrix = analysis.ODMatrix
+
+// ODFlow is one aggregated origin→destination movement.
+type ODFlow = analysis.Flow
+
+// OriginDestination bins trajectories' endpoints into zones of the given
+// size and counts the commuter flows.
+func OriginDestination(ps []Trajectory, zone float64) (*ODMatrix, error) {
+	return analysis.OriginDestination(ps, zone)
+}
+
+// DensityMap is a spatial density grid of object-seconds per cell.
+type DensityMap = analysis.Heatmap
+
+// Hotspot is one high-density cell of a DensityMap.
+type Hotspot = analysis.Hotspot
+
+// Density builds an object-seconds heatmap over the trajectories for the
+// window [t0, t1], sampled every dt seconds into square cells.
+func Density(ps []Trajectory, cell, t0, t1, dt float64) (*DensityMap, error) {
+	return analysis.Density(ps, cell, t0, t1, dt)
+}
+
+// ErrorPoint is the synchronized error at one instant.
+type ErrorPoint = quality.ErrorPoint
+
+// ErrorProfile samples the synchronized error between original and
+// approximation every dt seconds.
+func ErrorProfile(p, a Trajectory, dt float64) ([]ErrorPoint, error) {
+	return quality.ErrorProfile(p, a, dt)
+}
+
+// ErrorPercentiles returns percentiles of the synchronized error
+// distribution over time.
+func ErrorPercentiles(p, a Trajectory, dt float64, percentiles []float64) ([]float64, error) {
+	return quality.ErrorPercentiles(p, a, dt, percentiles)
+}
+
+// DTW returns the dynamic time warping distance between two trajectories'
+// positional sequences.
+func DTW(p, q Trajectory) (float64, error) { return analysis.DTW(p, q) }
+
+// Frechet returns the discrete Fréchet distance between two trajectories'
+// positional sequences.
+func Frechet(p, q Trajectory) (float64, error) { return analysis.Frechet(p, q) }
+
+// LCSS returns the longest-common-subsequence similarity in [0, 1] of two
+// trajectories, matching points within eps metres.
+func LCSS(p, q Trajectory, eps float64) (float64, error) { return analysis.LCSS(p, q, eps) }
+
+// Trajectory clustering.
+
+// ClusterResult is a clustering of trajectories into K groups.
+type ClusterResult = cluster.Result
+
+// Linkage selects the inter-cluster distance for AgglomerativeCluster.
+type Linkage = cluster.Linkage
+
+// Linkage strategies.
+const (
+	LinkageSingle   = cluster.Single
+	LinkageComplete = cluster.Complete
+	LinkageAverage  = cluster.Average
+)
+
+// DistanceMatrix computes the pairwise trajectory distance matrix under the
+// given metric (e.g. DTW or Frechet).
+func DistanceMatrix(ps []Trajectory, metric func(a, b Trajectory) (float64, error)) ([][]float64, error) {
+	return cluster.DistanceMatrix(ps, metric)
+}
+
+// KMedoids clusters a distance matrix into k groups around medoid items.
+func KMedoids(dist [][]float64, k int, seed int64, maxIter int) (ClusterResult, error) {
+	return cluster.KMedoids(dist, k, seed, maxIter)
+}
+
+// AgglomerativeCluster performs hierarchical clustering down to k groups.
+func AgglomerativeCluster(dist [][]float64, k int, linkage Linkage) (ClusterResult, error) {
+	return cluster.Agglomerative(dist, k, linkage)
+}
+
+// Silhouette scores a clustering in [-1, 1]; higher is better.
+func Silhouette(dist [][]float64, assignments []int) (float64, error) {
+	return cluster.Silhouette(dist, assignments)
+}
+
+// Serialization.
+
+// EncodeFile writes named trajectories in the compact binary format.
+func EncodeFile(w io.Writer, ts []Named) error { return codec.EncodeFile(w, ts) }
+
+// DecodeFile reads named trajectories written by EncodeFile.
+func DecodeFile(r io.Reader) ([]Named, error) { return codec.DecodeFile(r) }
+
+// EncodeFileCompressed writes named trajectories as a DEFLATE-compressed
+// binary container.
+func EncodeFileCompressed(w io.Writer, ts []Named) error {
+	return codec.EncodeFileCompressed(w, ts)
+}
+
+// DecodeFileCompressed reads a container written by EncodeFileCompressed.
+func DecodeFileCompressed(r io.Reader) ([]Named, error) {
+	return codec.DecodeFileCompressed(r)
+}
+
+// EncodeGPX writes named trajectories as GPX 1.1 tracks (proj required).
+func EncodeGPX(w io.Writer, ts []Named, proj *Projector) error {
+	return codec.EncodeGPX(w, ts, proj)
+}
+
+// DecodeGPX reads GPX tracks into planar trajectories; a nil proj selects a
+// projector centred on the first track point, which is returned.
+func DecodeGPX(r io.Reader, proj *Projector) ([]Named, *Projector, error) {
+	return codec.DecodeGPX(r, proj)
+}
+
+// DBSCANResult labels each trajectory with a cluster or cluster.Noise.
+type DBSCANResult = cluster.DBSCANResult
+
+// DBSCAN performs density-based clustering over a distance matrix.
+func DBSCAN(dist [][]float64, eps float64, minPts int) (DBSCANResult, error) {
+	return cluster.DBSCAN(dist, eps, minPts)
+}
+
+// EncodeCSV writes named trajectories as CSV (columns id,t,x,y).
+func EncodeCSV(w io.Writer, ts []Named) error { return codec.EncodeCSV(w, ts) }
+
+// DecodeCSV reads the CSV interchange format.
+func DecodeCSV(r io.Reader) ([]Named, error) { return codec.DecodeCSV(r) }
+
+// EncodeGeoJSON writes named trajectories as a GeoJSON FeatureCollection;
+// proj may be nil to emit raw planar coordinates.
+func EncodeGeoJSON(w io.Writer, ts []Named, proj *Projector) error {
+	return codec.EncodeGeoJSON(w, ts, proj)
+}
+
+// NewProjector returns a WGS-84 ↔ planar projector centred at origin.
+func NewProjector(origin LatLon) (*Projector, error) { return geo.NewProjector(origin) }
+
+// Threshold tuning (the paper's §5: "choosing a proper threshold is not
+// easy and is application-dependent").
+
+// TuneResult reports a tuned threshold and what it achieves.
+type TuneResult = tune.Result
+
+// TuneForCompression returns the smallest threshold in [lo, hi] whose mean
+// compression over the sample trajectories reaches targetPct.
+func TuneForCompression(factory func(threshold float64) Algorithm, sample []Trajectory, targetPct, lo, hi float64) (TuneResult, error) {
+	return tune.ForCompression(factory, sample, targetPct, lo, hi)
+}
+
+// TuneForError returns the largest threshold in [lo, hi] whose mean
+// synchronized error stays within maxErr metres.
+func TuneForError(factory func(threshold float64) Algorithm, sample []Trajectory, maxErr, lo, hi float64) (TuneResult, error) {
+	return tune.ForError(factory, sample, maxErr, lo, hi)
+}
+
+// Advanced interpolation (the paper's §5 future work).
+
+// Spline is a C¹ Catmull-Rom interpolation of a trajectory.
+type Spline = interp.Spline
+
+// NewSpline builds a cubic Hermite spline through the trajectory samples.
+func NewSpline(p Trajectory) (*Spline, error) { return interp.NewSpline(p) }
+
+// SplineAvgError computes the synchronized average error with both
+// trajectories reconstructed by spline interpolation instead of
+// piecewise-linear; tol is the quadrature tolerance in metres.
+func SplineAvgError(p, a Trajectory, tol float64) (float64, error) {
+	return interp.AvgError(p, a, tol)
+}
+
+// Road networks and map matching (the paper's "underlying transportation
+// infrastructure").
+
+// RoadGraph is an undirected road network with spatial and shortest-path
+// queries.
+type RoadGraph = roadnet.Graph
+
+// RoadProjection is a position on a road edge.
+type RoadProjection = roadnet.Projection
+
+// MatchOptions tunes the map-matching HMM.
+type MatchOptions = mapmatch.Options
+
+// RoadMatch is the matched road position of one sample.
+type RoadMatch = mapmatch.Match
+
+// NewRoadGraph returns an empty road network.
+func NewRoadGraph() *RoadGraph { return roadnet.NewGraph() }
+
+// NewRoadGrid builds an nx × ny junction grid with the given block length.
+func NewRoadGrid(nx, ny int, block float64) *RoadGraph { return roadnet.Grid(nx, ny, block) }
+
+// MapMatch snaps a noisy trajectory onto the road network, returning the
+// per-sample matches and the snapped trajectory.
+func MapMatch(g *RoadGraph, p Trajectory, opts MatchOptions) ([]RoadMatch, Trajectory, error) {
+	return mapmatch.Snap(g, p, opts)
+}
+
+// OnlineMatcher is a fixed-lag online map matcher.
+type OnlineMatcher = mapmatch.Matcher
+
+// NewOnlineMatcher returns an online matcher emitting matches lag samples
+// behind the newest input.
+func NewOnlineMatcher(g *RoadGraph, lag int, opts MatchOptions) (*OnlineMatcher, error) {
+	return mapmatch.NewMatcher(g, lag, opts)
+}
+
+// Synthetic workload generation.
+
+// NewGenerator returns a deterministic synthetic GPS trip generator.
+func NewGenerator(seed int64, cfg GenConfig) *Generator { return gpsgen.New(seed, cfg) }
+
+// GenerateTrip produces one synthetic car trip of roughly the given duration
+// in seconds — a convenience wrapper around NewGenerator.
+func GenerateTrip(seed int64, kind TripKind, duration float64) Trajectory {
+	return gpsgen.New(seed, gpsgen.Config{}).Trip(kind, duration)
+}
+
+// GenerateFleet simulates n simultaneous vehicles with scattered depots and
+// staggered departures over a spread × spread metre area.
+func GenerateFleet(seed int64, n int, spread, duration float64) []Trajectory {
+	return gpsgen.New(seed, gpsgen.Config{}).Fleet(n, spread, duration)
+}
+
+// GenerateCommute simulates days of home–work–home travel as one trajectory
+// with workday gaps (split with SplitGaps for per-leg analysis).
+func GenerateCommute(seed int64, days int, kind TripKind, tripDuration float64) Trajectory {
+	return gpsgen.New(seed, gpsgen.Config{}).Commute(days, kind, tripDuration)
+}
+
+// PaperDataset returns the fixed ten-trajectory dataset used to reproduce
+// the paper's evaluation (calibrated against Table 2).
+func PaperDataset() []Trajectory { return gpsgen.PaperDataset() }
