@@ -1,0 +1,175 @@
+// Command trajlint runs the repository's custom static-analysis suite
+// (internal/lint) over every non-test package in the module: layering,
+// floatcmp, nanguard, errcheck, lockcopy and goroleak.
+//
+// Usage:
+//
+//	trajlint [flags] [./... | dir ...]
+//
+//	-json            emit findings as a JSON array instead of text
+//	-allowlist file  suppression file of "analyzer file:line" entries
+//	                 (default .trajlint.allow at the module root, if present)
+//	-fix-allowlist   write every current finding into the allowlist file so
+//	                 the gate passes, then exit 0; prefer in-source
+//	                 //lint:allow annotations for anything long-lived
+//
+// With no arguments (or "./...") the whole module is linted; directory
+// arguments restrict which findings are reported (the whole module is
+// still loaded, since the analyzers need cross-package types).
+//
+// Exit status: 0 when clean, 1 when findings are reported, 2 on usage or
+// load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jsonOut   = flag.Bool("json", false, "emit findings as JSON")
+		allowPath = flag.String("allowlist", "", "allowlist file (default: .trajlint.allow at the module root, if present)")
+		fixAllow  = flag.Bool("fix-allowlist", false, "write current findings to the allowlist file and exit 0")
+	)
+	flag.Parse()
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trajlint:", err)
+		return 2
+	}
+	m, err := lint.Load(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trajlint:", err)
+		return 2
+	}
+
+	cfg := lint.DefaultConfig()
+	path := *allowPath
+	if path == "" {
+		path = filepath.Join(root, ".trajlint.allow")
+	}
+	if data, err := os.ReadFile(path); err == nil {
+		cfg.Allowlist, err = lint.ParseAllowlist(string(data))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trajlint:", err)
+			return 2
+		}
+	} else if *allowPath != "" {
+		fmt.Fprintln(os.Stderr, "trajlint:", err)
+		return 2
+	}
+
+	diags, err := filterByArgs(lint.Run(m, cfg), root, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trajlint:", err)
+		return 2
+	}
+
+	if *fixAllow {
+		if len(diags) == 0 {
+			fmt.Fprintln(os.Stderr, "trajlint: no findings; allowlist not written")
+			return 0
+		}
+		if err := os.WriteFile(path, []byte(lint.FormatAllowlist(diags)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "trajlint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "trajlint: wrote %d suppressions to %s\n", len(diags), path)
+		return 0
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "trajlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "trajlint: %d finding(s) in %d package(s)\n", len(diags), len(m.Packages))
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to the first go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// filterByArgs restricts findings to the given directories. "./...", "...",
+// or no arguments mean the whole module. An argument that does not exist or
+// lies outside the module is an error — a typo'd path must not read as a
+// clean run.
+func filterByArgs(diags []lint.Diagnostic, root string, args []string) ([]lint.Diagnostic, error) {
+	var prefixes []string
+	for _, a := range args {
+		if a == "./..." || a == "..." || a == "." {
+			return diags, nil
+		}
+		dir := strings.TrimSuffix(a, "/...")
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, fmt.Errorf("argument %q: %v", a, err)
+		}
+		if _, err := os.Stat(abs); err != nil {
+			return nil, fmt.Errorf("argument %q: %v", a, err)
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+			return nil, fmt.Errorf("argument %q is outside the module rooted at %s", a, root)
+		}
+		if rel == "." {
+			return diags, nil
+		}
+		prefixes = append(prefixes, filepath.ToSlash(rel))
+	}
+	if len(prefixes) == 0 {
+		return diags, nil
+	}
+	var out []lint.Diagnostic
+	for _, d := range diags {
+		for _, p := range prefixes {
+			if d.File == p || strings.HasPrefix(d.File, p+"/") {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out, nil
+}

@@ -95,7 +95,9 @@ func main() {
 	go func() {
 		<-sig
 		log.Print("shutting down")
-		srv.Close()
+		if err := srv.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
 	}()
 
 	if err := srv.Serve(l); err != server.ErrServerClosed {

@@ -91,6 +91,7 @@ func Flocks(ps []trajectory.Trajectory, radius float64, minSize int, minDuration
 	}
 
 	sort.Slice(out, func(i, j int) bool {
+		//lint:allow floatcmp deterministic sort tie-break on identical timestamps
 		if out[i].T0 != out[j].T0 {
 			return out[i].T0 < out[j].T0
 		}

@@ -80,6 +80,7 @@ func (h *Heatmap) Hotspots(k int) []Hotspot {
 		best := i
 		for j := i + 1; j < len(out); j++ {
 			if out[j].Weight > out[best].Weight ||
+				//lint:allow floatcmp deterministic top-k tie-break on identical weights
 				(out[j].Weight == out[best].Weight && less(out[j].Center, out[best].Center)) {
 				best = j
 			}
@@ -93,6 +94,7 @@ func (h *Heatmap) Hotspots(k int) []Hotspot {
 }
 
 func less(a, b geo.Point) bool {
+	//lint:allow floatcmp deterministic coordinate tie-break for stable ordering
 	if a.X != b.X {
 		return a.X < b.X
 	}

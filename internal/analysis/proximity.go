@@ -151,6 +151,7 @@ func (c quad) below(d2, t0, t1 float64) []Interval {
 	if lo >= hi {
 		// The below-region [r0, r1] misses the interval, except possibly a
 		// touching point.
+		//lint:allow floatcmp degenerate-case guard: lo == hi is a touching point after clamping
 		if lo == hi {
 			return []Interval{{lo, hi}}
 		}
@@ -224,6 +225,7 @@ func sharedCuts(p, q trajectory.Trajectory) ([]float64, error) {
 	sort.Float64s(cuts)
 	out := cuts[:1]
 	for _, c := range cuts[1:] {
+		//lint:allow floatcmp deduplication of exactly equal cut times
 		if c != out[len(out)-1] {
 			out = append(out, c)
 		}

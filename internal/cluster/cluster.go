@@ -97,6 +97,7 @@ func KMedoids(dist [][]float64, k int, seed int64, maxIter int) (Result, error) 
 			weights = append(weights, d)
 			total += d
 		}
+		//lint:allow floatcmp degenerate-case guard: total is exactly 0 only when every remaining item coincides with a medoid
 		if total == 0 {
 			// All remaining items coincide with medoids; pick arbitrarily.
 			for i := 0; i < n && len(medoids) < k; i++ {
@@ -272,6 +273,7 @@ func Silhouette(dist [][]float64, assign []int) (float64, error) {
 				o.n++
 			}
 		}
+		//lint:allow floatcmp degenerate-case guard: aCount accumulates exact small integers
 		if aCount == 0 || len(other) == 0 {
 			continue // singleton or single-cluster case contributes 0
 		}

@@ -43,7 +43,8 @@ type Algorithm interface {
 // Rate returns the compression rate achieved by reducing a trajectory of
 // origLen points to compLen points, as a percentage of points removed —
 // the quantity on the paper's "Compression (percent)" axes.
-// It returns 0 for empty input.
+// It returns 0 for the degenerate empty input (origLen 0), so the result
+// is always finite.
 func Rate(origLen, compLen int) float64 {
 	if origLen == 0 {
 		return 0

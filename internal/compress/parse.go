@@ -62,6 +62,7 @@ func Parse(spec string) (Algorithm, error) {
 		if err != nil {
 			return nil, err
 		}
+		//lint:allow floatcmp integrality check on a parsed numeric flag
 		if k < 1 || k != float64(int(k)) {
 			return nil, fmt.Errorf("compress: spec %q: stride must be a positive integer", spec)
 		}
@@ -111,6 +112,7 @@ func Parse(spec string) (Algorithm, error) {
 		if err != nil {
 			return nil, err
 		}
+		//lint:allow floatcmp integrality check on a parsed numeric flag
 		if n < 2 || n != float64(int(n)) {
 			return nil, fmt.Errorf("compress: spec %q: point budget must be an integer ≥ 2", spec)
 		}
@@ -134,6 +136,7 @@ func Parse(spec string) (Algorithm, error) {
 		if err != nil {
 			return nil, err
 		}
+		//lint:allow floatcmp integrality check on a parsed numeric flag
 		if d < 0 || w < 3 || w != float64(int(w)) {
 			return nil, fmt.Errorf("compress: spec %q: need threshold ≥ 0 and integer window ≥ 3", spec)
 		}

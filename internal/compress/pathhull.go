@@ -67,6 +67,7 @@ func hullIndices(p trajectory.Trajectory, lo, hi int) []int {
 	}
 	sort.Slice(idx, func(a, b int) bool {
 		pa, pb := p[idx[a]].Pos(), p[idx[b]].Pos()
+		//lint:allow floatcmp deterministic coordinate tie-break for the lexicographic sort
 		if pa.X != pb.X {
 			return pa.X < pb.X
 		}

@@ -54,7 +54,10 @@ func (p Point) Lerp(q Point, f float64) Point {
 	return Point{p.X + f*(q.X-p.X), p.Y + f*(q.Y-p.Y)}
 }
 
-// Equal reports whether p and q are exactly equal.
+// Equal reports whether p and q are exactly equal. Use AlmostEqual for
+// tolerance-based comparison of computed coordinates.
+//
+//lint:allow floatcmp exact bitwise equality is this method's contract
 func (p Point) Equal(q Point) bool { return p.X == q.X && p.Y == q.Y }
 
 // AlmostEqual reports whether p and q are within eps of each other in both
@@ -84,12 +87,14 @@ func (p Point) String() string { return fmt.Sprintf("(%.3f, %.3f)", p.X, p.Y) }
 
 // AngleBetween returns the absolute turning angle at point b when travelling
 // a → b → c, in radians in [0, π]. A straight continuation yields 0; a full
-// reversal yields π. Degenerate (zero-length) legs yield 0.
+// reversal yields π. Degenerate legs (shorter than MinSegLen) yield 0:
+// GPS jitter on a stopped object produces arbitrary turning angles between
+// near-coincident fixes, which must not register as turns.
 func AngleBetween(a, b, c Point) float64 {
 	u := b.Sub(a)
 	v := c.Sub(b)
 	nu, nv := u.Norm(), v.Norm()
-	if nu == 0 || nv == 0 {
+	if nu <= MinSegLen || nv <= MinSegLen {
 		return 0
 	}
 	cos := u.Dot(v) / (nu * nv)

@@ -20,7 +20,9 @@ func (ll LatLon) Valid() bool {
 }
 
 // Haversine returns the great-circle distance in metres between two
-// geographic coordinates.
+// geographic coordinates. The haversine intermediate is clamped to [0, 1]
+// before the square root and arcsine, so finite inputs (see LatLon.Valid)
+// never produce NaN.
 func Haversine(a, b LatLon) float64 {
 	const rad = math.Pi / 180
 	lat1, lat2 := a.Lat*rad, b.Lat*rad

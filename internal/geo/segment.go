@@ -2,6 +2,18 @@ package geo
 
 import "math"
 
+// MinSegLen is the segment length in metres below which geometric
+// operations treat a segment as degenerate (a repeated point). Real GPS
+// jitter produces near-zero-but-nonzero segment lengths; dividing by them
+// amplifies noise by many orders of magnitude, so the guards in
+// ProjectParam, PerpDist and AngleBetween compare against this epsilon
+// rather than exactly zero. At 1e-9 m the threshold is far below GPS
+// resolution yet far above float64 rounding at city-scale coordinates.
+const MinSegLen = 1e-9
+
+// minSegLen2 is MinSegLen squared, for guards on squared lengths.
+const minSegLen2 = MinSegLen * MinSegLen
+
 // Segment is the directed straight segment from A to B.
 type Segment struct {
 	A, B Point
@@ -24,11 +36,11 @@ func (s Segment) Midpoint() Point { return s.At(0.5) }
 
 // ProjectParam returns the parameter f of the orthogonal projection of p onto
 // the infinite line through the segment, such that the projection is At(f).
-// For a degenerate segment it returns 0.
+// For a degenerate segment (shorter than MinSegLen) it returns 0.
 func (s Segment) ProjectParam(p Point) float64 {
 	d := s.B.Sub(s.A)
 	l2 := d.Norm2()
-	if l2 == 0 {
+	if l2 <= minSegLen2 {
 		return 0
 	}
 	return p.Sub(s.A).Dot(d) / l2
@@ -39,7 +51,8 @@ func (s Segment) ProjectParam(p Point) float64 {
 func (s Segment) Project(p Point) Point { return s.At(s.ProjectParam(p)) }
 
 // PerpDist returns the perpendicular distance from p to the infinite line
-// through the segment. For a degenerate segment it returns the distance to A.
+// through the segment. For a degenerate segment (shorter than MinSegLen) it
+// returns the distance to A.
 //
 // This is the classic line-generalization discard criterion (Douglas-Peucker,
 // NOPW/BOPW); the paper argues it ignores time and proposes the synchronized
@@ -47,7 +60,7 @@ func (s Segment) Project(p Point) Point { return s.At(s.ProjectParam(p)) }
 func (s Segment) PerpDist(p Point) float64 {
 	d := s.B.Sub(s.A)
 	l := d.Norm()
-	if l == 0 {
+	if l <= MinSegLen {
 		return p.Dist(s.A)
 	}
 	return math.Abs(d.Cross(p.Sub(s.A))) / l

@@ -81,6 +81,7 @@ func (g *Generator) drive(route []waypoint, duration float64) trajectory.Traject
 		ve := endSpeed()
 		allowed := math.Sqrt(ve*ve + 2*cfg.Accel*rem)
 		v = math.Min(v+cfg.Accel*simStep, math.Min(target, allowed))
+		//lint:allow floatcmp degenerate-case guard: endSpeed is exactly 0 only at a planned stop waypoint
 		if ve == 0 && v < 0.5 {
 			v = 0.5
 		}
@@ -113,5 +114,6 @@ func turnsAt(route []waypoint, i int) bool {
 	}
 	in := route[i].pos.Sub(route[i-1].pos)
 	out := route[i+1].pos.Sub(route[i].pos)
+	//lint:allow floatcmp exact collinearity test on exact grid waypoint coordinates
 	return in.Cross(out) != 0 || in.Dot(out) < 0
 }

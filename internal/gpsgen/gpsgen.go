@@ -117,6 +117,7 @@ type Generator struct {
 func New(seed int64, cfg Config) *Generator {
 	def := DefaultConfig()
 	fill := func(v *float64, d float64) {
+		//lint:allow floatcmp zero-value config field selects the default
 		if *v == 0 {
 			*v = d
 		}

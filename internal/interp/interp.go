@@ -174,6 +174,7 @@ func mergeCuts(p, a trajectory.Trajectory, t0, t1 float64) []float64 {
 	}
 	out := cuts[:1]
 	for _, c := range cuts[1:] {
+		//lint:allow floatcmp deduplication of exactly equal cut times
 		if c != out[len(out)-1] {
 			out = append(out, c)
 		}

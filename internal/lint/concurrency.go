@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// lockcopy flags methods whose value receiver contains a sync lock
+// (sync.Mutex, RWMutex, WaitGroup, Once, Cond), directly or through nested
+// value fields, arrays, or embedding. Calling such a method copies the
+// lock, silently splitting the critical section — the classic cause of
+// "impossible" data races. Runs on every package: a copied lock is never
+// intentional here.
+func lockcopy(m *Module, p *Package, cfg *Config) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			recvType := p.Info.Types[fd.Recv.List[0].Type].Type
+			if recvType == nil {
+				continue
+			}
+			if _, isPtr := recvType.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			lock := findLock(recvType, make(map[types.Type]bool))
+			if lock == "" {
+				continue
+			}
+			file, line, col := m.position(fd.Name.Pos())
+			out = append(out, Diagnostic{
+				File: file, Line: line, Col: col,
+				Message: fmt.Sprintf("method %s has a value receiver of type %s which contains %s; each call copies the lock — use a pointer receiver", fd.Name.Name, types.TypeString(recvType, types.RelativeTo(p.Types)), lock),
+			})
+		}
+	}
+	return out
+}
+
+// findLock returns a description of the first sync lock reachable from t by
+// value, or "".
+func findLock(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond":
+				return "sync." + obj.Name()
+			}
+		}
+		return findLock(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lock := findLock(u.Field(i).Type(), seen); lock != "" {
+				return lock
+			}
+		}
+	case *types.Array:
+		return findLock(u.Elem(), seen)
+	}
+	return ""
+}
+
+// goroleak flags go statements in the serving-layer packages
+// (Config.GoroutinePkgs) that have no visible cancellation or tracking
+// path. A goroutine counts as tracked when its body (or the named function
+// it calls) references a sync.WaitGroup method, receives from a channel
+// (directly, via select, or via range), or uses a context.Context — the
+// mechanisms Close/shutdown paths use to terminate it. Anything else must
+// justify its lifetime with //lint:allow goroleak <reason>.
+func goroleak(m *Module, p *Package, cfg *Config) []Diagnostic {
+	if !cfg.GoroutinePkgs[p.Key] {
+		return nil
+	}
+	decls := funcDeclsByObj(p)
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			switch fun := ast.Unparen(g.Call.Fun).(type) {
+			case *ast.FuncLit:
+				body = fun.Body
+			default:
+				if fn := calleeFunc(p, g.Call); fn != nil {
+					if fd := decls[fn]; fd != nil {
+						body = fd.Body
+					}
+				}
+			}
+			if body != nil && hasCancellationPath(p, body) {
+				return true
+			}
+			file, line, col := m.position(g.Pos())
+			out = append(out, Diagnostic{
+				File: file, Line: line, Col: col,
+				Message: "goroutine has no visible cancellation path (no WaitGroup tracking, channel receive, select, or context); ensure shutdown terminates it or annotate with //lint:allow goroleak <reason>",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// funcDeclsByObj maps each function object declared in the package to its
+// declaration, so goroleak can look through `go name()` calls.
+func funcDeclsByObj(p *Package) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					out[fn] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+func hasCancellationPath(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := p.Info.Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if fn, ok := p.Info.Uses[n.Sel].(*types.Func); ok {
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					if findLock(derefType(sig.Recv().Type()), make(map[types.Type]bool)) == "sync.WaitGroup" {
+						found = true
+					}
+				}
+			}
+		case *ast.Ident:
+			if obj := p.Info.Uses[n]; obj != nil && isContextType(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func derefType(t types.Type) types.Type {
+	if ptr, ok := t.(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := derefType(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatcmp flags == and != where either operand is a floating-point value.
+// Exact float equality is almost always a bug in this codebase — GPS jitter
+// produces near-zero-but-nonzero segment lengths, and the closed-form SED
+// integral is evaluated with rounding — so every exact comparison must
+// either move to an epsilon (math.Abs(a-b) <= eps, or a scale-relative
+// bound) or be annotated as an intentional degenerate-case guard:
+//
+//	//lint:allow floatcmp <why exact comparison is correct here>
+func floatcmp(m *Module, p *Package, cfg *Config) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.Info.Types[be.X].Type) && !isFloat(p.Info.Types[be.Y].Type) {
+				return true
+			}
+			file, line, col := m.position(be.OpPos)
+			out = append(out, Diagnostic{
+				File: file, Line: line, Col: col,
+				Message: fmt.Sprintf("floating-point %s comparison; use an epsilon (math.Abs(a-b) <= eps) or annotate an intentional degenerate-case guard with //lint:allow floatcmp <reason>", be.Op),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

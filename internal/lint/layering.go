@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// layering enforces the declarative internal-package dependency table
+// (Config.LayerRules). Only packages under internal/ are constrained; the
+// facade, cmd/ and examples/ trees may import any internal package (the Go
+// toolchain already fences them from other modules).
+func layering(m *Module, p *Package, cfg *Config) []Diagnostic {
+	if !p.Internal() || len(cfg.LayerRules) == 0 {
+		return nil
+	}
+	allowed, registered := cfg.LayerRules[p.Key]
+	var out []Diagnostic
+	if !registered {
+		file, line, col := m.position(p.Files[0].Package)
+		out = append(out, Diagnostic{
+			File: file, Line: line, Col: col,
+			Message: fmt.Sprintf("internal package %q is not registered in the layering rules table; add it and its allowed dependencies to the LayerRules config", p.Key),
+		})
+		return out
+	}
+	allowedSet := make(map[string]bool, len(allowed))
+	for _, a := range allowed {
+		allowedSet[a] = true
+	}
+	prefix := m.Path + "/internal/"
+	for _, f := range p.Files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			dep, ok := strings.CutPrefix(path, prefix)
+			if !ok || allowedSet[dep] {
+				continue
+			}
+			file, line, col := m.position(spec.Pos())
+			out = append(out, Diagnostic{
+				File: file, Line: line, Col: col,
+				Message: fmt.Sprintf("layering violation: package %s may not import internal/%s (allowed: %s)",
+					p.Key, dep, formatAllowed(allowed)),
+			})
+		}
+	}
+	return out
+}
+
+func formatAllowed(allowed []string) string {
+	if len(allowed) == 0 {
+		return "no internal packages"
+	}
+	return strings.Join(allowed, ", ")
+}

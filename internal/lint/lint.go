@@ -1,0 +1,222 @@
+// Package lint implements trajlint, a repo-specific static-analysis suite
+// built only on the standard library's go/ast, go/parser, go/token,
+// go/types and go/importer packages.
+//
+// The paper's correctness story rests on delicate floating-point math (the
+// time-ratio synchronized distance, the closed-form ∫√(c1·t²+c2·t+c3) dt
+// integral with its case split) and, as the system grows into a concurrent
+// service, on locking and goroutine-lifetime discipline. These invariants
+// are easy to violate in refactors and invisible to the compiler, so this
+// package machine-enforces them:
+//
+//   - layering:  internal packages may only import the internal packages a
+//     declarative rules table allows (DESIGN.md dependency structure);
+//   - floatcmp:  == / != on floating-point operands must be annotated as
+//     intentional degenerate-case guards or rewritten with an epsilon;
+//   - nanguard:  exported float64-returning functions in the numeric core
+//     that call math.Sqrt/Asinh/... or divide must guard for NaN/Inf or
+//     document their precondition;
+//   - errcheck:  error results may not be silently dropped (`_ =` is an
+//     explicit, visible discard and is accepted); deferred Close on
+//     write-path files is flagged;
+//   - lockcopy:  methods may not take receivers that copy a sync.Mutex or
+//     similar lock by value;
+//   - goroleak:  goroutines in the serving layers must have a visible
+//     cancellation/tracking path (WaitGroup, channel receive, context).
+//
+// Findings are suppressed case-by-case with an in-source annotation on, or
+// in the comment block directly above, the offending line:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// or with an allowlist file (see cmd/trajlint -allowlist / -fix-allowlist).
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // module-root-relative, forward slashes
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+}
+
+// Key is the allowlist-file key for this diagnostic: "analyzer file:line".
+func (d Diagnostic) Key() string {
+	return d.Analyzer + " " + d.File + ":" + strconv.Itoa(d.Line)
+}
+
+// Config selects which packages each analyzer applies to and which findings
+// are suppressed. The zero value runs every analyzer with no layering table;
+// use DefaultConfig for this repository's rules.
+type Config struct {
+	// LayerRules maps a short internal package key ("geo", "sed", ...) to
+	// the set of short keys it may import. Internal packages absent from
+	// the table are themselves flagged, so new packages must be registered.
+	LayerRules map[string][]string
+
+	// NaNGuardPkgs are the short keys of the numeric-core packages subject
+	// to the nanguard analyzer.
+	NaNGuardPkgs map[string]bool
+
+	// GoroutinePkgs are the short keys of the serving-layer packages
+	// subject to the goroleak analyzer.
+	GoroutinePkgs map[string]bool
+
+	// Allowlist suppresses findings by Diagnostic.Key. Line-number based,
+	// so in-source //lint:allow annotations are preferred; this exists for
+	// bulk suppression via cmd/trajlint -fix-allowlist.
+	Allowlist map[string]bool
+}
+
+// DefaultConfig returns the rules for this repository.
+func DefaultConfig() *Config {
+	return &Config{
+		LayerRules:    DefaultLayerRules(),
+		NaNGuardPkgs:  map[string]bool{"geo": true, "sed": true, "compress": true},
+		GoroutinePkgs: map[string]bool{"server": true, "stream": true},
+	}
+}
+
+// DefaultLayerRules is the declarative dependency table for internal/*
+// (DESIGN.md §"Static analysis & invariants"). A package may import exactly
+// the internal packages listed; the substrate packages (geo, trajectory)
+// sit at the bottom, and the numeric core (sed, compress) must never reach
+// up into the service layers (store, wal, server).
+func DefaultLayerRules() map[string][]string {
+	return map[string][]string{
+		"geo":        {},
+		"trajectory": {"geo"},
+		"sed":        {"geo", "trajectory"},
+		"roadnet":    {"geo"},
+		"rtree":      {"geo"},
+		"interp":     {"geo", "trajectory", "sed"},
+		"compress":   {"geo", "trajectory", "sed"},
+		"quality":    {"geo", "trajectory", "sed", "compress"},
+		"gpsgen":     {"geo", "trajectory", "roadnet"},
+		"codec":      {"geo", "trajectory"},
+		"analysis":   {"geo", "trajectory", "sed"},
+		"cluster":    {"geo", "trajectory", "analysis"},
+		"mapmatch":   {"geo", "trajectory", "roadnet"},
+		"stream":     {"geo", "trajectory", "sed", "compress"},
+		"store":      {"geo", "trajectory", "sed", "codec", "rtree", "stream"},
+		"wal":        {"geo", "trajectory", "codec", "store", "stream"},
+		"server":     {"geo", "trajectory", "store", "stream", "wal"},
+		"tune":       {"geo", "trajectory", "sed", "compress"},
+		"plot":       {"geo", "trajectory"},
+		"experiments": {"geo", "trajectory", "sed", "compress", "gpsgen",
+			"quality", "mapmatch", "roadnet", "plot"},
+		"lint": {},
+	}
+}
+
+// An analyzer inspects one package and reports findings. Suppression is
+// handled centrally in Run.
+type analyzer struct {
+	name string
+	run  func(m *Module, p *Package, cfg *Config) []Diagnostic
+}
+
+func analyzers() []analyzer {
+	return []analyzer{
+		{"layering", layering},
+		{"floatcmp", floatcmp},
+		{"nanguard", nanguard},
+		{"errcheck", errcheck},
+		{"lockcopy", lockcopy},
+		{"goroleak", goroleak},
+	}
+}
+
+// AnalyzerNames lists every analyzer in the suite.
+func AnalyzerNames() []string {
+	as := analyzers()
+	names := make([]string, len(as))
+	for i, a := range as {
+		names[i] = a.name
+	}
+	return names
+}
+
+// Run executes the full analyzer suite over the module and returns the
+// unsuppressed findings sorted by position.
+func Run(m *Module, cfg *Config) []Diagnostic {
+	if cfg == nil {
+		cfg = &Config{}
+	}
+	var out []Diagnostic
+	for _, p := range m.Packages {
+		for _, a := range analyzers() {
+			for _, d := range a.run(m, p, cfg) {
+				d.Analyzer = a.name
+				if _, ok := m.allowed(d.File, d.Line, a.name); ok {
+					continue
+				}
+				if cfg.Allowlist[d.Key()] {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// ParseAllowlist parses the -allowlist file format: one entry per line,
+// "analyzer file:line [reason...]"; blank lines and lines starting with #
+// are skipped.
+func ParseAllowlist(data string) (map[string]bool, error) {
+	out := make(map[string]bool)
+	for i, line := range strings.Split(data, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 || !strings.Contains(fields[1], ":") {
+			return nil, fmt.Errorf("lint: allowlist line %d: want \"analyzer file:line [reason]\", got %q", i+1, line)
+		}
+		out[fields[0]+" "+fields[1]] = true
+	}
+	return out, nil
+}
+
+// FormatAllowlist renders diagnostics in the allowlist file format, one
+// entry per finding, with the message as the trailing comment.
+func FormatAllowlist(ds []Diagnostic) string {
+	var b strings.Builder
+	b.WriteString("# trajlint allowlist: \"analyzer file:line\" entries suppress matching findings.\n")
+	b.WriteString("# Prefer in-source //lint:allow annotations; regenerate with trajlint -fix-allowlist.\n")
+	for _, d := range ds {
+		fmt.Fprintf(&b, "%s %s\n", d.Key(), d.Message)
+	}
+	return b.String()
+}

@@ -1,0 +1,173 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden.txt from the current fixture findings")
+
+// fixtureConfig mirrors DefaultConfig for the fixture module under
+// testdata/src: srv is the serving layer, badmath and geo the numeric core.
+// The rules table deliberately omits package rogue and forbids srv→badmath,
+// so both layering branches have a seeded positive.
+func fixtureConfig() *lint.Config {
+	return &lint.Config{
+		LayerRules: map[string][]string{
+			"geo":     {},
+			"badmath": {"geo"},
+			"srv":     {"geo"},
+			"iox":     {},
+		},
+		NaNGuardPkgs:  map[string]bool{"badmath": true, "geo": true},
+		GoroutinePkgs: map[string]bool{"srv": true},
+	}
+}
+
+var (
+	fixtureOnce sync.Once
+	fixtureMod  *lint.Module
+	fixtureErr  error
+)
+
+func loadFixture(t *testing.T) *lint.Module {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureMod, fixtureErr = lint.Load(filepath.Join("testdata", "src"))
+	})
+	if fixtureErr != nil {
+		t.Fatalf("loading fixture module: %v", fixtureErr)
+	}
+	return fixtureMod
+}
+
+func fixtureFindings(t *testing.T) []lint.Diagnostic {
+	t.Helper()
+	return lint.Run(loadFixture(t), fixtureConfig())
+}
+
+// TestFixtureGolden pins the exact findings on the seeded-violation fixture
+// module. Regenerate with: go test ./internal/lint -run Golden -update
+func TestFixtureGolden(t *testing.T) {
+	ds := fixtureFindings(t)
+	var b strings.Builder
+	for _, d := range ds {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "golden.txt")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("fixture findings diverge from golden file\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestFixtureCoversEveryAnalyzer guarantees each analyzer family has at
+// least one positive case in the fixture — a fixture edit that silences a
+// family fails here, not silently.
+func TestFixtureCoversEveryAnalyzer(t *testing.T) {
+	seen := make(map[string]int)
+	for _, d := range fixtureFindings(t) {
+		seen[d.Analyzer]++
+	}
+	for _, name := range lint.AnalyzerNames() {
+		if seen[name] == 0 {
+			t.Errorf("analyzer %s has no positive case in the fixture module", name)
+		}
+	}
+}
+
+// TestFixtureNegatives: the geo fixture package is all negatives — an
+// annotated float comparison, a documented Sqrt, a guarded division, so any
+// finding there is an analyzer regression. Likewise the tracked and
+// channel-fed goroutines, the pointer-receiver method, the explicit `_ =`
+// discard and the fmt.Fprintln call must stay silent.
+func TestFixtureNegatives(t *testing.T) {
+	for _, d := range fixtureFindings(t) {
+		if strings.HasPrefix(d.File, "internal/geo/") {
+			t.Errorf("unexpected finding in all-negative fixture package geo: %s", d)
+		}
+		if d.Analyzer == "goroleak" && d.Line >= 39 {
+			t.Errorf("goroleak flagged a tracked goroutine: %s", d)
+		}
+		if d.Analyzer == "errcheck" && (strings.Contains(d.Message, "Fprintln") || d.Line == 17) {
+			t.Errorf("errcheck flagged a conventional discard: %s", d)
+		}
+	}
+}
+
+// TestAllowlistSuppression: formatting every finding into an allowlist file,
+// parsing it back, and re-running must suppress everything.
+func TestAllowlistSuppression(t *testing.T) {
+	ds := fixtureFindings(t)
+	if len(ds) == 0 {
+		t.Fatal("fixture produced no findings to suppress")
+	}
+	allow, err := lint.ParseAllowlist(lint.FormatAllowlist(ds))
+	if err != nil {
+		t.Fatalf("round-tripping allowlist: %v", err)
+	}
+	cfg := fixtureConfig()
+	cfg.Allowlist = allow
+	if left := lint.Run(loadFixture(t), cfg); len(left) != 0 {
+		t.Errorf("allowlist left %d findings unsuppressed, first: %s", len(left), left[0])
+	}
+}
+
+func TestParseAllowlistMalformed(t *testing.T) {
+	if _, err := lint.ParseAllowlist("floatcmp missing-line-number\n"); err == nil {
+		t.Error("ParseAllowlist accepted an entry without a file:line")
+	}
+	got, err := lint.ParseAllowlist("# comment\n\nfloatcmp internal/geo/point.go:42 reason text here\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got["floatcmp internal/geo/point.go:42"] {
+		t.Errorf("ParseAllowlist dropped a valid entry: %v", got)
+	}
+}
+
+func TestDiagnosticJSON(t *testing.T) {
+	d := lint.Diagnostic{Analyzer: "floatcmp", File: "internal/x/x.go", Line: 3, Col: 7, Message: "m"}
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"analyzer":"floatcmp","file":"internal/x/x.go","line":3,"col":7,"message":"m"}`
+	if string(b) != want {
+		t.Errorf("JSON shape changed:\n got %s\nwant %s", b, want)
+	}
+}
+
+// TestRepoIsClean is the acceptance gate: the real module must lint clean
+// under the default rules, so `go run ./cmd/trajlint ./...` exits zero.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	m, err := lint.Load(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("loading repository module: %v", err)
+	}
+	ds := lint.Run(m, lint.DefaultConfig())
+	for _, d := range ds {
+		t.Errorf("repository finding: %s", d)
+	}
+}

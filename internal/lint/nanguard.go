@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// riskyMathFuncs are math functions that return NaN (or ±Inf) for arguments
+// outside their domain — the exact failure mode of the paper's closed-form
+// integral when c1, the discriminant, or a time span degenerates.
+var riskyMathFuncs = map[string]bool{
+	"Sqrt": true, "Asinh": true, "Acosh": true, "Atanh": true,
+	"Asin": true, "Acos": true,
+	"Log": true, "Log2": true, "Log10": true, "Log1p": true,
+	"Pow": true,
+}
+
+// mitigationDoc matches doc-comment vocabulary that documents a NaN/Inf
+// precondition or degenerate-case contract.
+var mitigationDoc = regexp.MustCompile(`(?i)(\bnan\b|\binf\b|\binfinit|\bdegenerate\b|\bprecondition\b|\bfinite\b|\bpanics?\b)`)
+
+// nanguard flags exported functions in the numeric-core packages
+// (Config.NaNGuardPkgs) that return a float computed through a
+// NaN/Inf-capable operation — a risky math call or a division by a
+// non-constant — without either an explicit math.IsNaN/math.IsInf guard in
+// the body or a doc comment stating the precondition (mentioning NaN, Inf,
+// degenerate, finite, or panic behaviour). A silent NaN here becomes a
+// wrong compression ratio downstream, not a crash.
+func nanguard(m *Module, p *Package, cfg *Config) []Diagnostic {
+	if !cfg.NaNGuardPkgs[p.Key] {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !exportedFunc(p, fd) {
+				continue
+			}
+			if !returnsFloat(p, fd) {
+				continue
+			}
+			risk := riskyOp(p, fd.Body)
+			if risk == "" {
+				continue
+			}
+			if bodyGuardsNonFinite(p, fd.Body) || mitigationDoc.MatchString(fd.Doc.Text()) {
+				continue
+			}
+			file, line, col := m.position(fd.Name.Pos())
+			out = append(out, Diagnostic{
+				File: file, Line: line, Col: col,
+				Message: fmt.Sprintf("exported %s returns a float computed via %s without a NaN/Inf guard (math.IsNaN/math.IsInf) or a documented precondition (mention NaN/Inf/degenerate/finite/panics in the doc comment)", fd.Name.Name, risk),
+			})
+		}
+	}
+	return out
+}
+
+// exportedFunc reports whether fd is part of the package's exported
+// surface: an exported function, or an exported method on an exported type.
+func exportedFunc(p *Package, fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	t := p.Info.Types[fd.Recv.List[0].Type].Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return !ok || named.Obj().Exported()
+}
+
+func returnsFloat(p *Package, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, field := range fd.Type.Results.List {
+		if isFloat(p.Info.Types[field.Type].Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// riskyOp returns a description of the first NaN/Inf-capable operation in
+// body, or "" if there is none.
+func riskyOp(p *Package, body *ast.BlockStmt) string {
+	var risk string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if risk != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(p, n); fn != nil && isPkgFunc(fn, "math") && riskyMathFuncs[fn.Name()] {
+				risk = "math." + fn.Name()
+				return false
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.QUO && isFloat(p.Info.Types[n.X].Type) && !nonZeroConst(p, n.Y) {
+				risk = "division by a non-constant"
+				return false
+			}
+		}
+		return true
+	})
+	return risk
+}
+
+// nonZeroConst reports whether e is a compile-time constant other than zero
+// (dividing by it cannot produce NaN/Inf from the division itself).
+func nonZeroConst(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() != "0"
+}
+
+// bodyGuardsNonFinite reports whether the body inspects its values with
+// math.IsNaN or math.IsInf anywhere.
+func bodyGuardsNonFinite(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(p, call); fn != nil {
+			if isPkgFunc(fn, "math") && (fn.Name() == "IsNaN" || fn.Name() == "IsInf") {
+				found = true
+				return false
+			}
+			// Treat a call to a finiteness helper (e.g. geo.Point.IsFinite)
+			// as a guard too.
+			if strings.Contains(fn.Name(), "IsFinite") || strings.Contains(fn.Name(), "Finite") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for calls
+// through function values, conversions and built-ins.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+func isPkgFunc(fn *types.Func, pkgPath string) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}

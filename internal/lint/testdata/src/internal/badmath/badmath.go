@@ -1,0 +1,14 @@
+// Package badmath is a fixture package with seeded float-safety
+// violations: one floatcmp and two nanguard positives.
+package badmath
+
+import "math"
+
+// Same reports whether a equals b.
+func Same(a, b float64) bool { return a == b }
+
+// Ratio returns a/b.
+func Ratio(a, b float64) float64 { return a / b }
+
+// RootOf returns the square root of x.
+func RootOf(x float64) float64 { return math.Sqrt(x) }

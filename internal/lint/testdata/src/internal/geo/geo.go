@@ -1,0 +1,27 @@
+// Package geo is a fixture substrate package: it imports no internal
+// packages and holds the negative cases — annotated or mitigated code the
+// analyzers must accept.
+package geo
+
+import "math"
+
+// Point is a planar position.
+type Point struct{ X, Y float64 }
+
+// Equal reports exact coordinate equality.
+//
+//lint:allow floatcmp exact equality is this function's contract
+func Equal(a, b Point) bool { return a.X == b.X && a.Y == b.Y }
+
+// Norm returns the Euclidean norm of p. Coordinates must be finite; a NaN
+// coordinate yields NaN.
+func Norm(p Point) float64 { return math.Sqrt(p.X*p.X + p.Y*p.Y) }
+
+// SafeRatio returns a/b, mapping a non-finite result to 0.
+func SafeRatio(a, b float64) float64 {
+	r := a / b
+	if math.IsNaN(r) || math.IsInf(r, 0) {
+		return 0
+	}
+	return r
+}

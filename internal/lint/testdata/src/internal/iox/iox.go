@@ -1,0 +1,34 @@
+// Package iox is a fixture package with seeded error-hygiene violations.
+package iox
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Drop closes f and loses the error.
+func Drop(f *os.File) {
+	f.Close()
+}
+
+// Explicit discards the close error visibly.
+func Explicit(f *os.File) {
+	_ = f.Close()
+}
+
+// Save writes b to path with a deferred close on the write path.
+func Save(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(b)
+	return err
+}
+
+// Report prints via fmt, whose dropped error is conventional.
+func Report(w io.Writer, n int) {
+	fmt.Fprintln(w, "count", n)
+}

@@ -1,0 +1,6 @@
+// Package rogue is a fixture package that is deliberately absent from the
+// layering rules table.
+package rogue
+
+// N is a placeholder.
+const N = 1

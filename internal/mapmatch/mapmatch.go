@@ -35,12 +35,15 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
+	//lint:allow floatcmp zero-value option selects the default
 	if o.SearchRadius == 0 {
 		o.SearchRadius = 80
 	}
+	//lint:allow floatcmp zero-value option selects the default
 	if o.NoiseSigma == 0 {
 		o.NoiseSigma = 10
 	}
+	//lint:allow floatcmp zero-value option selects the default
 	if o.Beta == 0 {
 		o.Beta = 30
 	}

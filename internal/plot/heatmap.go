@@ -50,6 +50,7 @@ func (h Heatmap) RenderSVG(w io.Writer) error {
 		minY, maxY = min(minY, c.CY), max(maxY, c.CY)
 		maxW = math.Max(maxW, c.Weight)
 	}
+	//lint:allow floatcmp degenerate-case guard: every validated weight is exactly 0
 	if maxW == 0 {
 		maxW = 1
 	}

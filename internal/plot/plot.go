@@ -76,9 +76,11 @@ func (c Chart) RenderSVG(w io.Writer) error {
 	// Always include zero on the y axis for honest magnitude comparison,
 	// and pad degenerate ranges.
 	ymin = math.Min(ymin, 0)
+	//lint:allow floatcmp degenerate-case guard: pad an exactly empty axis range
 	if ymax == ymin {
 		ymax = ymin + 1
 	}
+	//lint:allow floatcmp degenerate-case guard: pad an exactly empty axis range
 	if xmax == xmin {
 		xmax = xmin + 1
 	}
@@ -136,6 +138,7 @@ func ticks(lo, hi float64, n int) []float64 {
 		switch {
 		case span/(step*2) <= float64(n):
 			step *= 2
+		//lint:allow floatcmp exact power-of-ten test: Log10 of a decade step is exact
 		case span/(step*2.5) <= float64(n) && math.Mod(math.Log10(step), 1) == 0:
 			step *= 2.5
 		case span/(step*5) <= float64(n):
@@ -152,6 +155,7 @@ func ticks(lo, hi float64, n int) []float64 {
 }
 
 func formatTick(v float64) string {
+	//lint:allow floatcmp integrality check chooses the tick label format
 	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
 		return fmt.Sprintf("%.0f", v)
 	}

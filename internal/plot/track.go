@@ -47,9 +47,11 @@ func (m TrackMap) RenderSVG(w io.Writer) error {
 		xmin, xmax = math.Min(xmin, b.Min.X), math.Max(xmax, b.Max.X)
 		ymin, ymax = math.Min(ymin, b.Min.Y), math.Max(ymax, b.Max.Y)
 	}
+	//lint:allow floatcmp degenerate-case guard: pad an exactly empty axis range
 	if xmax == xmin {
 		xmax = xmin + 1
 	}
+	//lint:allow floatcmp degenerate-case guard: pad an exactly empty axis range
 	if ymax == ymin {
 		ymax = ymin + 1
 	}

@@ -139,6 +139,7 @@ func (t *Tree) chooseLeaf(n *node, b Box) *node {
 		for i, e := range n.entries {
 			vol := e.box.volume()
 			enl := e.box.union(b).volume() - vol
+			//lint:allow floatcmp deterministic tie-break on equal bounding-box enlargement
 			if i == 0 || enl < bestEnl || (enl == bestEnl && vol < bestVol) {
 				best, bestEnl, bestVol = i, enl, vol
 			}

@@ -13,6 +13,21 @@ import (
 // share no time interval to compare over.
 var ErrNoOverlap = errors.New("sed: trajectories share no time overlap")
 
+// ErrNonFinite is returned when an error computation produces NaN or ±Inf —
+// in practice when an input sample carries non-finite coordinates or
+// timestamps. Surfacing this as an error keeps a poisoned sample from
+// silently corrupting a compression-quality figure.
+var ErrNonFinite = errors.New("sed: non-finite error (input contains NaN or Inf)")
+
+// finite returns v unchanged with a nil error, or 0 and ErrNonFinite when v
+// is NaN or ±Inf.
+func finite(v float64) (float64, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, ErrNonFinite
+	}
+	return v, nil
+}
+
 // AvgError computes the paper's time-synchronized average error α(p, a)
 // (§4.2): the time-weighted mean distance between the original object moving
 // along p and the approximation object moving along a, both travelling
@@ -26,19 +41,21 @@ var ErrNoOverlap = errors.New("sed: trajectories share no time overlap")
 // arcsinh case).
 //
 // Both trajectories must have at least 2 samples and overlap in time;
-// otherwise an error is returned.
+// otherwise an error is returned. A NaN/Inf result (non-finite input
+// coordinates) is reported as ErrNonFinite rather than returned as a value.
 func AvgError(p, a trajectory.Trajectory) (float64, error) {
 	total, span, err := integrateError(p, a)
 	if err != nil {
 		return 0, err
 	}
-	return total / span, nil
+	return finite(total / span)
 }
 
 // MaxError returns the maximum synchronized distance between p and a over
 // their overlapping time span. Because the squared distance is convex on
 // every elementary interval (both paths linear), the maximum is attained at
-// a vertex time of p or a.
+// a vertex time of p or a. A NaN/Inf distance (non-finite input
+// coordinates) is reported as ErrNonFinite.
 func MaxError(p, a trajectory.Trajectory) (float64, error) {
 	cuts, err := mergedCuts(p, a)
 	if err != nil {
@@ -51,11 +68,11 @@ func MaxError(p, a trajectory.Trajectory) (float64, error) {
 		if !ok1 || !ok2 {
 			return 0, fmt.Errorf("sed: internal: no position at merged cut t=%v", t)
 		}
-		if d := pp.Dist(pa); d > worst {
+		if d := pp.Dist(pa); d > worst || math.IsNaN(d) {
 			worst = d
 		}
 	}
-	return worst, nil
+	return finite(worst)
 }
 
 // integrateError returns (∫ dist dt, span) over the overlapping interval.
@@ -106,6 +123,7 @@ func mergedCuts(p, a trajectory.Trajectory) ([]float64, error) {
 	// Deduplicate exactly equal cut times.
 	out := cuts[:1]
 	for _, c := range cuts[1:] {
+		//lint:allow floatcmp deduplication of exactly equal cut times; near-equal cuts just yield a near-empty interval
 		if c != out[len(out)-1] {
 			out = append(out, c)
 		}
@@ -129,8 +147,11 @@ func meanDistLinear(dx0, dy0, dx1, dy1 float64) float64 {
 	C := dx0*dx0 + dy0*dy0
 
 	// Case c1 = 0: the offset is constant (the approximated segment is a
-	// translated copy); the mean distance is that constant.
+	// translated copy); the mean distance is that constant. The exact A == 0
+	// arm catches scale == 0 (both offsets exactly zero), where the relative
+	// test is 0 <= 0 only by convention.
 	scale := A + math.Abs(B) + C
+	//lint:allow floatcmp degenerate-case guard: A == 0 exactly when both offset deltas are 0
 	if A <= 1e-18*scale || A == 0 {
 		return math.Sqrt(C)
 	}
@@ -171,7 +192,8 @@ func meanDistLinear(dx0, dy0, dx1, dy1 float64) float64 {
 
 // AvgErrorNumeric computes α(p, a) by adaptive Simpson quadrature instead of
 // the closed form. It exists to cross-validate AvgError in tests and
-// benchmarks; production code should use AvgError.
+// benchmarks; production code should use AvgError. Like AvgError it reports
+// a NaN/Inf result as ErrNonFinite.
 func AvgErrorNumeric(p, a trajectory.Trajectory, tol float64) (float64, error) {
 	cuts, err := mergedCuts(p, a)
 	if err != nil {
@@ -186,7 +208,7 @@ func AvgErrorNumeric(p, a trajectory.Trajectory, tol float64) (float64, error) {
 	for i := 0; i+1 < len(cuts); i++ {
 		total += adaptiveSimpson(dist, cuts[i], cuts[i+1], tol, 24)
 	}
-	return total / (cuts[len(cuts)-1] - cuts[0]), nil
+	return finite(total / (cuts[len(cuts)-1] - cuts[0]))
 }
 
 func adaptiveSimpson(f func(float64) float64, a, b, tol float64, depth int) float64 {

@@ -24,6 +24,7 @@ import (
 // It panics if a and b carry the same timestamp.
 func SyncPosition(a, b trajectory.Sample, t float64) geo.Point {
 	de := b.T - a.T
+	//lint:allow floatcmp degenerate-case guard: trajectory validation enforces strictly increasing timestamps, so de == 0 only for programmer error
 	if de == 0 {
 		panic("sed: zero-duration segment")
 	}

@@ -39,7 +39,7 @@ func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	fmt.Fprintln(c.w, "QUIT")
-	c.w.Flush()
+	_ = c.w.Flush() // best-effort courtesy QUIT; Close reports the connection close
 	return c.conn.Close()
 }
 

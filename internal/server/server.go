@@ -123,7 +123,7 @@ func (s *Server) Serve(l net.Listener) error {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close() // best effort: the server is shutting down
 			return ErrServerClosed
 		}
 		s.conns[conn] = struct{}{}
@@ -133,7 +133,7 @@ func (s *Server) Serve(l net.Listener) error {
 		go func() {
 			defer s.wg.Done()
 			defer func() {
-				conn.Close()
+				_ = conn.Close() // handler exit: close error is unobservable by the client
 				s.mu.Lock()
 				delete(s.conns, conn)
 				s.mu.Unlock()
@@ -153,7 +153,7 @@ func (s *Server) Close() error {
 	s.closed = true
 	l := s.listener
 	for c := range s.conns {
-		c.Close()
+		_ = c.Close() // best effort: unblocks handler reads; Close reports the listener error
 	}
 	s.mu.Unlock()
 	var err error
@@ -198,8 +198,13 @@ func (s *Server) handle(conn net.Conn) {
 func (s *Server) stream(conn net.Conn, w *bufio.Writer, sub *subscriber) {
 	defer s.unsubscribe(sub)
 	// Detect client hangup: when the read side errors, unsubscribe, which
-	// closes the channel and ends the loop below.
+	// closes the channel and ends the loop below. The goroutine is tracked
+	// by s.wg (the counter is already positive: the handler holds a unit),
+	// and terminates when the handler's deferred conn.Close unblocks the
+	// read — so Close cannot return while it still runs.
+	s.wg.Add(1)
 	go func() {
+		defer s.wg.Done()
 		buf := make([]byte, 64)
 		for {
 			if s.IdleTimeout > 0 {

@@ -382,6 +382,7 @@ func (st *Store) Nearest(q geo.Point, t float64, k int) []Neighbor {
 	st.mu.RUnlock()
 
 	sort.Slice(all, func(i, j int) bool {
+		//lint:allow floatcmp deterministic sort tie-break on identical distances
 		if all[i].Dist != all[j].Dist {
 			return all[i].Dist < all[j].Dist
 		}

@@ -33,6 +33,7 @@ func ParseFactory(spec string) (func() Compressor, error) {
 			return 0, nil
 		}
 		w := args[idx]
+		//lint:allow floatcmp integrality check and zero sentinel on a parsed window flag
 		if w != float64(int(w)) || (w != 0 && w < 3) {
 			return 0, fmt.Errorf("stream: spec %q: window must be 0 or an integer ≥ 3", spec)
 		}

@@ -134,6 +134,7 @@ func (p Trajectory) Displacement() float64 {
 // 0 when duration is 0.
 func (p Trajectory) AvgSpeed() float64 {
 	d := p.Duration()
+	//lint:allow floatcmp degenerate-case guard: a validated trajectory has duration exactly 0 only when empty or single-sample
 	if d == 0 {
 		return 0
 	}
@@ -186,6 +187,7 @@ func (p Trajectory) SegmentIndexAt(t float64) (int, bool) {
 // fewer than 2 samples; a single-sample trajectory answers only its own
 // timestamp.
 func (p Trajectory) LocAt(t float64) (geo.Point, bool) {
+	//lint:allow floatcmp a single-sample trajectory answers only its exact timestamp
 	if len(p) == 1 && t == p[0].T {
 		return p[0].Pos(), true
 	}

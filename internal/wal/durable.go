@@ -88,7 +88,7 @@ func (d *DurableStore) Close() error {
 			continue
 		}
 		if err := d.log.Append(Record{ID: id, Sample: last}); err != nil {
-			d.log.Close()
+			_ = d.log.Close() // best effort: the append error is the one worth reporting
 			return err
 		}
 		d.lastLogged[id] = last.T
@@ -121,8 +121,8 @@ func (d *DurableStore) Compact() error {
 		ret, _ := d.Store.Retained(id)
 		for _, s := range ret {
 			if err := tmp.Append(Record{ID: id, Sample: s}); err != nil {
-				tmp.Close()
-				os.Remove(tmpPath)
+				_ = tmp.Close()        // best effort: the append error is the one worth reporting
+				_ = os.Remove(tmpPath) // the temp file is garbage either way
 				return err
 			}
 		}
@@ -133,7 +133,7 @@ func (d *DurableStore) Compact() error {
 		}
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpPath)
+		_ = os.Remove(tmpPath) // the temp file is garbage either way
 		return err
 	}
 	if err := os.Rename(tmpPath, d.log.path); err != nil {

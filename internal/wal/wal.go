@@ -65,26 +65,26 @@ func Open(path string, apply func(Record) error) (*Log, error) {
 	}
 	good, err := replay(f, apply)
 	if err != nil {
-		f.Close()
+		_ = f.Close() // the replay error is the one worth reporting
 		return nil, err
 	}
 	// Truncate any torn tail and position for append.
 	if err := f.Truncate(good); err != nil {
-		f.Close()
+		_ = f.Close() // the truncate error is the one worth reporting
 		return nil, fmt.Errorf("wal: truncate: %w", err)
 	}
 	if _, err := f.Seek(good, io.SeekStart); err != nil {
-		f.Close()
+		_ = f.Close() // the seek error is the one worth reporting
 		return nil, fmt.Errorf("wal: seek: %w", err)
 	}
 	l := &Log{f: f, w: bufio.NewWriter(f), path: path, SyncEvery: 64}
 	if good == 0 {
 		if _, err := l.w.WriteString(headerMagic); err != nil {
-			f.Close()
+			_ = f.Close() // the header write error is the one worth reporting
 			return nil, fmt.Errorf("wal: header: %w", err)
 		}
 		if err := l.flushSync(); err != nil {
-			f.Close()
+			_ = f.Close() // the sync error is the one worth reporting
 			return nil, err
 		}
 	}
@@ -214,7 +214,7 @@ func (l *Log) Size() (int64, error) {
 // Close flushes and closes the log.
 func (l *Log) Close() error {
 	if err := l.flushSync(); err != nil {
-		l.f.Close()
+		_ = l.f.Close() // the flush/sync error is the one worth reporting
 		return err
 	}
 	return l.f.Close()

@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# check.sh — the repo-wide verify gate.
+#
+# Runs, in order:
+#   1. go build ./...          compile everything
+#   2. gofmt -l               formatting (fails on any unformatted file)
+#   3. go vet ./...            the stock vet suite
+#   4. trajlint ./...          the repo-specific analyzers (internal/lint):
+#                              layering, floatcmp, nanguard, errcheck,
+#                              lockcopy, goroleak
+#   5. go test ./...           tier-1 tests
+#   6. go test -race ./...     tier-2: same tests under the race detector
+#
+# Any stage failing fails the script. Run from anywhere inside the repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> gofmt"
+unformatted=$(gofmt -l . | grep -v '/testdata/' || true)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> trajlint ./..."
+go run ./cmd/trajlint ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> all checks passed"
