@@ -1,0 +1,336 @@
+// Command trajload drives a running tracking server (cmd/trajserver) with a
+// deterministic synthetic GPS workload and measures what the paper's
+// transmission scenario cares about: ingest throughput, append round-trip
+// latency, and the live compression ratio the server achieves on the stream.
+//
+// It replays a seeded gpsgen fleet over N concurrent client connections
+// (objects are partitioned across clients so each object's fixes stay in
+// timestamp order), then reads the server's own METRICS/STATS view back and
+// writes a JSON report. When the server also exposes the HTTP /metrics
+// endpoint (trajserver -http), pass -http to cross-check that both
+// expositions agree.
+//
+// Usage:
+//
+//	trajload [flags]
+//
+//	-addr string     server address (default "127.0.0.1:7007")
+//	-http string     server observability address for the /metrics
+//	                 cross-check ("" = skip)
+//	-clients int     concurrent client connections (default 4)
+//	-objects int     simulated vehicles (default 16)
+//	-points int      total point budget across all objects (default 20000)
+//	-rate float      per-client appends/second, 0 = as fast as possible
+//	-seed int        workload seed (default 1)
+//	-spread float    fleet depot area edge in metres (default 20000)
+//	-duration float  per-vehicle trip duration in seconds (default 1800)
+//	-out string      JSON report path (default "BENCH_load.json")
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/gpsgen"
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/trajectory"
+)
+
+type fix struct {
+	id string
+	s  trajectory.Sample
+}
+
+// latencySummary is the append round-trip distribution, in seconds.
+type latencySummary struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// report is the BENCH_load.json document.
+type report struct {
+	Config struct {
+		Clients  int     `json:"clients"`
+		Objects  int     `json:"objects"`
+		Points   int     `json:"points"`
+		Rate     float64 `json:"rate"`
+		Seed     int64   `json:"seed"`
+		Spread   float64 `json:"spread"`
+		Duration float64 `json:"duration"`
+	} `json:"config"`
+	ElapsedSeconds     float64            `json:"elapsed_seconds"`
+	PointsSent         int                `json:"points_sent"`
+	ThroughputPerSec   float64            `json:"throughput_points_per_sec"`
+	AppendLatency      latencySummary     `json:"append_latency_seconds"`
+	Server             server.Stats       `json:"server_stats"`
+	ServerMetrics      map[string]float64 `json:"server_metrics"`
+	HTTPMetricsChecked bool               `json:"http_metrics_checked"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trajload: ")
+
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7007", "server address")
+		httpAddr = flag.String("http", "", "server observability address for the /metrics cross-check (empty = skip)")
+		clients  = flag.Int("clients", 4, "concurrent client connections")
+		objects  = flag.Int("objects", 16, "simulated vehicles")
+		points   = flag.Int("points", 20000, "total point budget across all objects")
+		rate     = flag.Float64("rate", 0, "per-client appends/second (0 = as fast as possible)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		spread   = flag.Float64("spread", 20000, "fleet depot area edge in metres")
+		duration = flag.Float64("duration", 1800, "per-vehicle trip duration in seconds")
+		out      = flag.String("out", "BENCH_load.json", "JSON report path")
+	)
+	flag.Parse()
+	if *clients <= 0 || *objects <= 0 || *points <= 0 {
+		log.Fatal("-clients, -objects and -points must be positive")
+	}
+
+	feeds := buildFeeds(*seed, *objects, *clients, *points, *spread, *duration)
+	total := 0
+	for _, f := range feeds {
+		total += len(f)
+	}
+	log.Printf("replaying %d points from %d objects over %d clients", total, *objects, len(feeds))
+
+	// One shared histogram collects append round-trip latency across all
+	// clients; a private registry keeps the load generator's own metrics out
+	// of any server-side exposition.
+	reg := metrics.NewRegistry()
+	lat := reg.Histogram("load_append_seconds", nil)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, len(feeds))
+	for _, feed := range feeds {
+		wg.Add(1)
+		go func(feed []fix) {
+			defer wg.Done()
+			errs <- runClient(*addr, feed, *rate, lat)
+		}(feed)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	rep := collect(*addr, *httpAddr, reg, total, elapsed)
+	rep.Config.Clients = *clients
+	rep.Config.Objects = *objects
+	rep.Config.Points = *points
+	rep.Config.Rate = *rate
+	rep.Config.Seed = *seed
+	rep.Config.Spread = *spread
+	rep.Config.Duration = *duration
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%d points in %s (%.0f pts/s), append p50=%s p99=%s — report in %s",
+		total, elapsed.Round(time.Millisecond), rep.ThroughputPerSec,
+		time.Duration(rep.AppendLatency.P50*float64(time.Second)).Round(time.Microsecond),
+		time.Duration(rep.AppendLatency.P99*float64(time.Second)).Round(time.Microsecond),
+		*out)
+}
+
+// buildFeeds generates the seeded fleet, truncates it to the point budget,
+// and partitions the objects round-robin across clients. Each feed is sorted
+// by timestamp, so every object's fixes arrive in order (an object never
+// spans two clients).
+func buildFeeds(seed int64, objects, clients, points int, spread, duration float64) [][]fix {
+	g := gpsgen.New(seed, gpsgen.DefaultConfig())
+	trips := g.Fleet(objects, spread, duration)
+
+	// Budget points per object so the cut is even rather than silencing the
+	// later vehicles entirely.
+	perObj := points / objects
+	if perObj < 2 {
+		perObj = 2
+	}
+	feeds := make([][]fix, clients)
+	budget := points
+	for i, trip := range trips {
+		if len(trip) > perObj {
+			trip = trip[:perObj]
+		}
+		if len(trip) > budget {
+			trip = trip[:budget]
+		}
+		budget -= len(trip)
+		id := fmt.Sprintf("veh-%03d", i)
+		c := i % clients
+		for _, s := range trip {
+			feeds[c] = append(feeds[c], fix{id: id, s: s})
+		}
+	}
+	for _, feed := range feeds {
+		sort.SliceStable(feed, func(i, j int) bool { return feed[i].s.T < feed[j].s.T })
+	}
+	// Drop empty feeds (more clients than objects).
+	out := feeds[:0]
+	for _, feed := range feeds {
+		if len(feed) > 0 {
+			out = append(out, feed)
+		}
+	}
+	return out
+}
+
+// runClient replays one feed over its own connection, observing each append
+// round trip in lat and pacing to rate when positive.
+func runClient(addr string, feed []fix, rate float64, lat *metrics.Histogram) error {
+	c, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	start := time.Now()
+	for i, f := range feed {
+		if rate > 0 {
+			due := start.Add(time.Duration(float64(i) / rate * float64(time.Second)))
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		t0 := time.Now()
+		if err := c.Append(f.id, f.s); err != nil {
+			return fmt.Errorf("after %d appends: %w", i, err)
+		}
+		lat.ObserveSince(t0)
+	}
+	return nil
+}
+
+// collect reads the results back: the local latency histogram, the server's
+// STATS snapshot, selected families from the METRICS exposition, and (when
+// requested) the HTTP /metrics cross-check.
+func collect(addr, httpAddr string, reg *metrics.Registry, total int, elapsed time.Duration) report {
+	var rep report
+	rep.ElapsedSeconds = elapsed.Seconds()
+	rep.PointsSent = total
+	if elapsed > 0 {
+		rep.ThroughputPerSec = float64(total) / elapsed.Seconds()
+	}
+	for _, m := range reg.Snapshot() {
+		if m.Name == "load_append_seconds" && m.Count > 0 {
+			rep.AppendLatency = latencySummary{
+				Mean: m.Sum / float64(m.Count),
+				P50:  m.Quantile(0.50),
+				P90:  m.Quantile(0.90),
+				P99:  m.Quantile(0.99),
+				Max:  m.Max,
+			}
+		}
+	}
+
+	c, err := server.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	rep.Server, err = c.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The per-object breakdown is large and reproducible from the summary;
+	// keep the report focused.
+	rep.Server.PointsPerObject = nil
+
+	text, err := c.Metrics()
+	if err != nil {
+		log.Fatal(err)
+	}
+	parsed := parsePrometheus(text)
+	rep.ServerMetrics = make(map[string]float64)
+	for _, key := range []string{
+		"store_appends_total", "store_objects", "store_retained_samples",
+		"stream_points_in_total", "stream_points_out_total",
+		"stream_compression_ratio_pct",
+		`server_commands_total{cmd="APPEND"}`,
+		"server_connections_total", "wal_records_total",
+	} {
+		if v, ok := parsed[key]; ok {
+			rep.ServerMetrics[key] = v
+		}
+	}
+
+	if httpAddr != "" {
+		checkHTTP(httpAddr, parsed)
+		rep.HTTPMetricsChecked = true
+	}
+	return rep
+}
+
+// checkHTTP fetches the HTTP /metrics exposition and verifies it agrees with
+// the TCP METRICS view on the load-independent counters (the ingest totals
+// stopped moving when the clients finished).
+func checkHTTP(httpAddr string, tcp map[string]float64) {
+	resp, err := http.Get("http://" + httpAddr + "/metrics")
+	if err != nil {
+		log.Fatalf("http metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("http metrics: %v", err)
+	}
+	web := parsePrometheus(string(body))
+	for _, key := range []string{"store_appends_total", "stream_points_in_total", "store_retained_samples"} {
+		tv, tok := tcp[key]
+		wv, wok := web[key]
+		if !tok || !wok {
+			log.Fatalf("http metrics: %s missing (tcp %v, http %v)", key, tok, wok)
+		}
+		if math.Abs(tv-wv) > 1e-9 {
+			log.Fatalf("http metrics: %s disagrees: tcp %v, http %v", key, tv, wv)
+		}
+	}
+	log.Printf("http /metrics agrees with METRICS on %s", httpAddr)
+}
+
+// parsePrometheus extracts "name[{labels}] value" samples from a text
+// exposition, keyed by the full series name including labels.
+func parsePrometheus(text string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	return out
+}

@@ -11,6 +11,9 @@
 //	-cell float       spatial index cell size in metres (default 1000)
 //	-index string     spatiotemporal index: grid or rtree (default "grid")
 //	-wal string       write-ahead log path for durability ("" = in-memory)
+//	-http string      observability listen address serving /metrics
+//	                  (Prometheus text format) and /debug/pprof/*
+//	                  ("" = disabled)
 //
 // Protocol (newline-delimited, see internal/server):
 //
@@ -30,14 +33,40 @@ import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 
+	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/stream"
 	"repro/internal/wal"
 )
+
+// serveHTTP starts the observability endpoint: Prometheus exposition at
+// /metrics and the stdlib pprof handlers at /debug/pprof/*. A private mux
+// keeps the handlers off http.DefaultServeMux.
+func serveHTTP(addr string) (net.Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler(metrics.Default()))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.Serve(l, mux); err != nil {
+			log.Printf("http: %v", err)
+		}
+	}()
+	return l, nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -49,6 +78,7 @@ func main() {
 		cell      = flag.Float64("cell", 1000, "spatial index cell size in metres")
 		indexName = flag.String("index", "grid", "spatiotemporal index: grid or rtree")
 		walPath   = flag.String("wal", "", "write-ahead log path for durability (empty = in-memory only)")
+		httpAddr  = flag.String("http", "", "observability listen address for /metrics and /debug/pprof (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -89,6 +119,17 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("listening on %s (compression %s)", l.Addr(), *compSpec)
+
+	if *httpAddr != "" {
+		hl, err := serveHTTP(*httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			_ = hl.Close() // best effort: the process is exiting
+		}()
+		log.Printf("metrics on http://%s/metrics (pprof at /debug/pprof/)", hl.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

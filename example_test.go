@@ -94,3 +94,30 @@ func ExampleStore() {
 	// Output:
 	// [bus]
 }
+
+// An embedded store exposes its observability through a metrics registry:
+// pass one in StoreOptions.Metrics and read a snapshot back. A perfectly
+// straight constant-speed stream compresses to its endpoints, and the live
+// counters show the compression happening.
+func ExampleNewStore_metrics() {
+	reg := trajcomp.NewMetricsRegistry()
+	st := trajcomp.NewStore(trajcomp.StoreOptions{
+		NewCompressor: func() trajcomp.Compressor { return trajcomp.NewOnlineOPWTR(25, 0) },
+		Metrics:       reg,
+	})
+	for i := 0; i < 100; i++ {
+		_ = st.Append("car", trajcomp.S(float64(i), float64(i*10), 0))
+	}
+	for _, m := range reg.Snapshot() {
+		switch m.Name {
+		case "store_appends_total", "stream_points_in_total",
+			"stream_points_out_total", "stream_buffered_samples":
+			fmt.Printf("%s %.0f\n", m.Name, m.Value)
+		}
+	}
+	// Output:
+	// store_appends_total 100
+	// stream_buffered_samples 100
+	// stream_points_in_total 100
+	// stream_points_out_total 1
+}

@@ -102,6 +102,7 @@ func DefaultLayerRules() map[string][]string {
 		"sed":        {"geo", "trajectory"},
 		"roadnet":    {"geo"},
 		"rtree":      {"geo"},
+		"metrics":    {},
 		"interp":     {"geo", "trajectory", "sed"},
 		"compress":   {"geo", "trajectory", "sed"},
 		"quality":    {"geo", "trajectory", "sed", "compress"},
@@ -110,10 +111,10 @@ func DefaultLayerRules() map[string][]string {
 		"analysis":   {"geo", "trajectory", "sed"},
 		"cluster":    {"geo", "trajectory", "analysis"},
 		"mapmatch":   {"geo", "trajectory", "roadnet"},
-		"stream":     {"geo", "trajectory", "sed", "compress"},
-		"store":      {"geo", "trajectory", "sed", "codec", "rtree", "stream"},
-		"wal":        {"geo", "trajectory", "codec", "store", "stream"},
-		"server":     {"geo", "trajectory", "store", "stream", "wal"},
+		"stream":     {"geo", "trajectory", "sed", "compress", "metrics"},
+		"store":      {"geo", "trajectory", "sed", "codec", "rtree", "stream", "metrics"},
+		"wal":        {"geo", "trajectory", "codec", "store", "stream", "metrics"},
+		"server":     {"geo", "trajectory", "store", "stream", "wal", "metrics"},
 		"tune":       {"geo", "trajectory", "sed", "compress"},
 		"plot":       {"geo", "trajectory"},
 		"experiments": {"geo", "trajectory", "sed", "compress", "gpsgen",

@@ -178,15 +178,64 @@ func (c *Client) EvictBefore(t float64) (int, error) {
 // IDs lists all stored object identifiers.
 func (c *Client) IDs() ([]string, error) { return c.readList("IDS") }
 
+// Stats is the client-side view of the STATS response: the storage summary
+// plus the per-object retained point breakdown, all captured server-side in
+// one consistent snapshot.
+type Stats struct {
+	Objects         int            `json:"objects"`
+	RawPoints       int            `json:"raw_points"`
+	RetainedPoints  int            `json:"retained_points"`
+	CompressionPct  float64        `json:"compression_pct"`
+	UptimeSeconds   float64        `json:"uptime_seconds"`
+	PointsPerObject map[string]int `json:"points_per_object,omitempty"`
+}
+
 // Stats reports server-side storage statistics.
-func (c *Client) Stats() (objects, raw, retained int, compressionPct float64, err error) {
-	resp, err := c.roundTrip("STATS")
+func (c *Client) Stats() (Stats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := fmt.Fprintln(c.w, "STATS"); err != nil {
+		return Stats{}, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return Stats{}, err
+	}
+	resp, err := c.r.ReadString('\n')
 	if err != nil {
-		return 0, 0, 0, 0, err
+		return Stats{}, err
 	}
-	if _, err := fmt.Sscanf(resp, "OK objects=%d raw=%d retained=%d compression=%g",
-		&objects, &raw, &retained, &compressionPct); err != nil {
-		return 0, 0, 0, 0, fmt.Errorf("server: bad STATS response %q", resp)
+	resp = strings.TrimSpace(resp)
+	var st Stats
+	if _, err := fmt.Sscanf(resp, "OK objects=%d raw=%d retained=%d compression=%g uptime=%g",
+		&st.Objects, &st.RawPoints, &st.RetainedPoints, &st.CompressionPct, &st.UptimeSeconds); err != nil {
+		return Stats{}, fmt.Errorf("server: bad STATS response %q", resp)
 	}
-	return objects, raw, retained, compressionPct, nil
+	st.PointsPerObject = make(map[string]int, st.Objects)
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return Stats{}, err
+		}
+		line = strings.TrimSpace(line)
+		if line == "END" {
+			return st, nil
+		}
+		var id string
+		var n int
+		if _, err := fmt.Sscanf(line, "obj %s points=%d", &id, &n); err != nil {
+			return Stats{}, fmt.Errorf("server: bad STATS line %q", line)
+		}
+		st.PointsPerObject[id] = n
+	}
+}
+
+// Metrics fetches the server's metrics registry in the Prometheus text
+// exposition format — the same document the optional HTTP /metrics endpoint
+// serves.
+func (c *Client) Metrics() (string, error) {
+	lines, err := c.readList("METRICS")
+	if err != nil {
+		return "", err
+	}
+	return strings.Join(lines, "\n") + "\n", nil
 }

@@ -1,0 +1,53 @@
+package server
+
+import (
+	"repro/internal/metrics"
+)
+
+// commands is the fixed protocol command set; instrumenting from a fixed
+// table keeps metric cardinality bounded no matter what clients send
+// (unknown commands share the "other" series).
+var commands = []string{
+	"PING", "QUIT", "SUBSCRIBE", "APPEND", "POSITION", "SNAPSHOT",
+	"QUERY", "QUERYTOL", "EVICT", "IDS", "STATS", "METRICS",
+}
+
+// instruments holds the server's registered metrics; see UseRegistry.
+type instruments struct {
+	registry *metrics.Registry
+
+	connsActive *metrics.Gauge
+	connsTotal  *metrics.Counter
+	subDrops    *metrics.Counter
+
+	cmds    map[string]*metrics.Counter   // per protocol command
+	cmdSecs map[string]*metrics.Histogram // dispatch latency per command
+}
+
+func newInstruments(r *metrics.Registry) *instruments {
+	if r == nil {
+		r = metrics.Default()
+	}
+	ins := &instruments{
+		registry:    r,
+		connsActive: r.Gauge("server_connections_active"),
+		connsTotal:  r.Counter("server_connections_total"),
+		subDrops:    r.Counter("server_subscribe_drops_total"),
+		cmds:        make(map[string]*metrics.Counter, len(commands)+1),
+		cmdSecs:     make(map[string]*metrics.Histogram, len(commands)+1),
+	}
+	for _, cmd := range append([]string{"other"}, commands...) {
+		ins.cmds[cmd] = r.Counter("server_commands_total", metrics.L("cmd", cmd))
+		ins.cmdSecs[cmd] = r.Histogram("server_command_seconds", nil, metrics.L("cmd", cmd))
+	}
+	return ins
+}
+
+// command resolves a wire command to its pre-registered counter and latency
+// histogram, folding unknown commands into "other".
+func (ins *instruments) command(cmd string) (*metrics.Counter, *metrics.Histogram) {
+	if c, ok := ins.cmds[cmd]; ok {
+		return c, ins.cmdSecs[cmd]
+	}
+	return ins.cmds["other"], ins.cmdSecs["other"]
+}

@@ -16,7 +16,13 @@
 //	                                          compressor's error bound)
 //	EVICT <t>                                 → OK removed=<n>
 //	IDS                                       → id lines, END
-//	STATS                                     → OK objects=… raw=… retained=… compression=…
+//	STATS                                     → OK objects=… raw=… retained=…
+//	                                          compression=… uptime=…, then one
+//	                                          "obj <id> points=<n>" line per
+//	                                          object, END
+//	METRICS                                   → Prometheus text exposition of
+//	                                          the server's metrics registry,
+//	                                          END
 //	SUBSCRIBE <id|*>                          → OK subscribed, then a live
 //	                                          "POS <id> <t> <x> <y>" line per
 //	                                          APPEND of a matching object
@@ -36,12 +42,14 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/geo"
+	"repro/internal/metrics"
 	"repro/internal/store"
 	"repro/internal/trajectory"
 )
@@ -77,6 +85,8 @@ type Server struct {
 
 	subsMu sync.Mutex
 	subs   map[*subscriber]struct{}
+
+	ins *instruments
 }
 
 // subscriber is one live position feed. Updates flow through a buffered
@@ -86,13 +96,22 @@ type subscriber struct {
 	ch chan string
 }
 
-// New returns a server over the given backend.
+// New returns a server over the given backend, instrumented in the default
+// metrics registry (see UseRegistry).
 func New(st Backend) *Server {
 	return &Server{
 		st:    st,
 		conns: make(map[net.Conn]struct{}),
 		subs:  make(map[*subscriber]struct{}),
+		ins:   newInstruments(nil),
 	}
+}
+
+// UseRegistry re-registers the server's instruments in r and makes METRICS
+// report r's snapshot. Call before Serve; pair it with the same registry in
+// store.Options.Metrics so one snapshot covers the whole stack.
+func (s *Server) UseRegistry(r *metrics.Registry) {
+	s.ins = newInstruments(r)
 }
 
 // ErrServerClosed is returned by Serve after Close.
@@ -165,6 +184,9 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) handle(conn net.Conn) {
+	s.ins.connsTotal.Inc()
+	s.ins.connsActive.Inc()
+	defer s.ins.connsActive.Dec()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 4096), 1<<20)
 	w := bufio.NewWriter(conn)
@@ -255,6 +277,7 @@ func (s *Server) publish(id string, smp trajectory.Sample) {
 		select {
 		case sub.ch <- line:
 		default: // feed saturated: drop rather than block ingest
+			s.ins.subDrops.Inc()
 		}
 	}
 }
@@ -266,6 +289,10 @@ func (s *Server) dispatch(w *bufio.Writer, line string) (quit bool, sub *subscri
 	fields := strings.Fields(line)
 	cmd := strings.ToUpper(fields[0])
 	args := fields[1:]
+
+	count, seconds := s.ins.command(cmd)
+	count.Inc()
+	defer seconds.ObserveSince(time.Now())
 
 	switch cmd {
 	case "PING":
@@ -302,9 +329,10 @@ func (s *Server) dispatch(w *bufio.Writer, line string) (quit bool, sub *subscri
 		}
 		fmt.Fprintln(w, "END")
 	case "STATS":
-		st := s.st.Stats()
-		fmt.Fprintf(w, "OK objects=%d raw=%d retained=%d compression=%.1f\n",
-			st.Objects, st.RawPoints, st.RetainedPoints, st.CompressionPct)
+		s.cmdStats(w)
+	case "METRICS":
+		metrics.WritePrometheus(w, s.ins.registry.Snapshot())
+		fmt.Fprintln(w, "END")
 	default:
 		fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
 	}
@@ -414,6 +442,26 @@ func (s *Server) cmdQueryTol(w *bufio.Writer, args []string) {
 	}
 	for _, id := range s.st.QueryWithTolerance(rect, v[4], v[5], v[6]) {
 		fmt.Fprintln(w, id)
+	}
+	fmt.Fprintln(w, "END")
+}
+
+// cmdStats reports storage statistics from one consistent store snapshot:
+// a summary line, then one "obj <id> points=<n>" line per object, then END.
+// Uptime comes from the metrics registry so STATS and METRICS agree on the
+// process start instant.
+func (s *Server) cmdStats(w *bufio.Writer) {
+	st := s.st.Stats()
+	fmt.Fprintf(w, "OK objects=%d raw=%d retained=%d compression=%.1f uptime=%.3f\n",
+		st.Objects, st.RawPoints, st.RetainedPoints, st.CompressionPct,
+		s.ins.registry.Uptime().Seconds())
+	ids := make([]string, 0, len(st.PointsPerObject))
+	for id := range st.PointsPerObject {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(w, "obj %s points=%d\n", id, st.PointsPerObject[id])
 	}
 	fmt.Fprintln(w, "END")
 }

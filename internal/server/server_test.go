@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/geo"
+	"repro/internal/metrics"
 	"repro/internal/store"
 	"repro/internal/stream"
 	"repro/internal/trajectory"
@@ -80,12 +81,18 @@ func TestClientServerBasics(t *testing.T) {
 	if len(ids) != 1 || ids[0] != "bus-7" {
 		t.Errorf("IDs = %v", ids)
 	}
-	objects, raw, retained, _, err := c.Stats()
+	stats, err := c.Stats()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if objects != 1 || raw != 10 || retained != 10 {
-		t.Errorf("Stats = %d, %d, %d", objects, raw, retained)
+	if stats.Objects != 1 || stats.RawPoints != 10 || stats.RetainedPoints != 10 {
+		t.Errorf("Stats = %d, %d, %d", stats.Objects, stats.RawPoints, stats.RetainedPoints)
+	}
+	if stats.PointsPerObject["bus-7"] != 10 {
+		t.Errorf("PointsPerObject = %v, want bus-7:10", stats.PointsPerObject)
+	}
+	if stats.UptimeSeconds <= 0 {
+		t.Errorf("UptimeSeconds = %v, want > 0", stats.UptimeSeconds)
 	}
 }
 
@@ -438,11 +445,74 @@ func TestServerWithCompressionAndConcurrency(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	objects, raw, _, _, err := c.Stats()
+	stats, err := c.Stats()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if objects != clients || raw != clients*60 {
-		t.Errorf("Stats objects=%d raw=%d, want %d and %d", objects, raw, clients, clients*60)
+	if stats.Objects != clients || stats.RawPoints != clients*60 {
+		t.Errorf("Stats objects=%d raw=%d, want %d and %d", stats.Objects, stats.RawPoints, clients, clients*60)
+	}
+}
+
+func TestServerMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	st := store.New(store.Options{
+		NewCompressor: func() stream.Compressor { return stream.NewOPWTR(25, 0) },
+		Metrics:       reg,
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(st)
+	srv.UseRegistry(reg)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		<-done
+	}()
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 20; i++ {
+		if err := c.Append("tram-1", trajectory.S(float64(i), float64(i*10), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.PositionAt("tram-1", 5); err != nil {
+		t.Fatal(err)
+	}
+
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE server_commands_total counter",
+		`server_commands_total{cmd="APPEND"} 20`,
+		`server_commands_total{cmd="POSITION"} 1`,
+		"server_connections_active 1",
+		"store_appends_total 20",
+		"stream_points_in_total 20",
+		`server_command_seconds_count{cmd="APPEND"} 20`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("METRICS missing %q in:\n%s", want, text)
+		}
+	}
+
+	// The counters behind the exposition are the registry's: the straight-line
+	// trajectory compresses, and the live ratio is visible in the snapshot.
+	for _, m := range reg.Snapshot() {
+		if m.Name == "stream_points_in_total" && m.Value != 20 {
+			t.Errorf("stream_points_in_total = %v, want 20", m.Value)
+		}
 	}
 }

@@ -17,9 +17,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/geo"
+	"repro/internal/metrics"
 	"repro/internal/stream"
 	"repro/internal/trajectory"
 )
@@ -53,6 +55,43 @@ type Options struct {
 	// "with known, small margins of error". Zero means exact (no
 	// compression or unknown bound).
 	ErrorBound float64
+	// Metrics selects the registry the store's instruments register in;
+	// nil selects metrics.Default(). Instruments are shared by every store
+	// on the same registry (process-wide totals, the usual monitoring
+	// contract).
+	Metrics *metrics.Registry
+}
+
+// instruments holds the store's registered metrics; see Options.Metrics.
+type instruments struct {
+	appends       *metrics.Counter
+	appendErrors  *metrics.Counter
+	objects       *metrics.Gauge
+	retained      *metrics.Gauge
+	indexSegments *metrics.Gauge
+	evictions     *metrics.Counter
+	evictedPts    *metrics.Counter
+	querySeconds  map[string]*metrics.Histogram // by query kind
+}
+
+func newInstruments(r *metrics.Registry) *instruments {
+	if r == nil {
+		r = metrics.Default()
+	}
+	kinds := make(map[string]*metrics.Histogram, 4)
+	for _, kind := range []string{"range", "tolerance", "nearest", "position"} {
+		kinds[kind] = r.Histogram("store_query_seconds", nil, metrics.L("kind", kind))
+	}
+	return &instruments{
+		appends:       r.Counter("store_appends_total"),
+		appendErrors:  r.Counter("store_append_errors_total"),
+		objects:       r.Gauge("store_objects"),
+		retained:      r.Gauge("store_retained_samples"),
+		indexSegments: r.Gauge("store_index_segments"),
+		evictions:     r.Counter("store_evictions_total"),
+		evictedPts:    r.Counter("store_evicted_samples_total"),
+		querySeconds:  kinds,
+	}
 }
 
 // Store is safe for concurrent use.
@@ -62,6 +101,8 @@ type Store struct {
 	objects map[string]*object
 	index   spatialIndex
 	rawPts  int
+	idxSegs int // segments currently in the index, mirrored to ins.indexSegments
+	ins     *instruments
 }
 
 type object struct {
@@ -83,10 +124,20 @@ func New(opts Options) *Store {
 	default:
 		idx = newGridIndex(opts.CellSize)
 	}
+	if opts.NewCompressor != nil {
+		// Wrap every per-object compressor so the live compression ratio
+		// and window occupancy are observable (internal/stream instruments).
+		inner := opts.NewCompressor
+		streamIns := stream.NewInstruments(opts.Metrics)
+		opts.NewCompressor = func() stream.Compressor {
+			return stream.Instrument(inner(), streamIns)
+		}
+	}
 	return &Store{
 		opts:    opts,
 		objects: make(map[string]*object),
 		index:   idx,
+		ins:     newInstruments(opts.Metrics),
 	}
 }
 
@@ -103,6 +154,7 @@ func (st *Store) Append(id string, s trajectory.Sample) error {
 // persist exactly the retained stream.
 func (st *Store) AppendObserved(id string, s trajectory.Sample) ([]trajectory.Sample, error) {
 	if !s.IsFinite() {
+		st.ins.appendErrors.Inc()
 		return nil, fmt.Errorf("store: object %q: %w", id, trajectory.ErrNotFinite)
 	}
 	st.mu.Lock()
@@ -115,8 +167,10 @@ func (st *Store) AppendObserved(id string, s trajectory.Sample) ([]trajectory.Sa
 			obj.comp = st.opts.NewCompressor()
 		}
 		st.objects[id] = obj
+		st.ins.objects.Inc()
 	}
 	if obj.rawSeen > 0 && s.T <= obj.lastRaw.T {
+		st.ins.appendErrors.Inc()
 		return nil, fmt.Errorf("store: object %q: %w: t=%v after t=%v", id, trajectory.ErrUnsorted, s.T, obj.lastRaw.T)
 	}
 
@@ -127,6 +181,7 @@ func (st *Store) AppendObserved(id string, s trajectory.Sample) ([]trajectory.Sa
 	} else {
 		emitted, err := obj.comp.Push(s)
 		if err != nil {
+			st.ins.appendErrors.Inc()
 			return nil, fmt.Errorf("store: object %q: %w", id, err)
 		}
 		for _, e := range emitted {
@@ -137,6 +192,7 @@ func (st *Store) AppendObserved(id string, s trajectory.Sample) ([]trajectory.Sa
 	obj.lastRaw = s
 	obj.rawSeen++
 	st.rawPts++
+	st.ins.appends.Inc()
 	return retained, nil
 }
 
@@ -157,6 +213,7 @@ func (st *Store) Restore(id string, s trajectory.Sample) error {
 			obj.comp = st.opts.NewCompressor()
 		}
 		st.objects[id] = obj
+		st.ins.objects.Inc()
 	}
 	if obj.rawSeen > 0 && s.T <= obj.lastRaw.T {
 		return fmt.Errorf("store: object %q: %w: t=%v after t=%v", id, trajectory.ErrUnsorted, s.T, obj.lastRaw.T)
@@ -165,6 +222,7 @@ func (st *Store) Restore(id string, s trajectory.Sample) error {
 	obj.lastRaw = s
 	obj.rawSeen++
 	st.rawPts++
+	st.ins.appends.Inc()
 	return nil
 }
 
@@ -173,8 +231,11 @@ func (st *Store) retain(id string, obj *object, s trajectory.Sample) {
 	if n := obj.retained.Len(); n > 0 {
 		prev := obj.retained[n-1]
 		st.index.insert(id, geo.Seg(prev.Pos(), s.Pos()).Bounds(), prev.T, s.T)
+		st.idxSegs++
+		st.ins.indexSegments.Inc()
 	}
 	obj.retained = append(obj.retained, s)
+	st.ins.retained.Inc()
 }
 
 // Retained returns only the finalized (post-compression) samples of an
@@ -229,6 +290,7 @@ func (st *Store) History(id string, t0, t1 float64) (trajectory.Trajectory, bool
 // The boolean is false for unknown objects or times outside the recorded
 // span.
 func (st *Store) PositionAt(id string, t float64) (geo.Point, bool) {
+	defer st.ins.querySeconds["position"].ObserveSince(time.Now())
 	snap, ok := st.Snapshot(id)
 	if !ok {
 		return geo.Point{}, false
@@ -268,6 +330,12 @@ func (st *Store) IDs() []string {
 // returned; an object whose segment box (but not the segment itself)
 // touches the rectangle may be included.
 func (st *Store) Query(rect geo.Rect, t0, t1 float64) []string {
+	defer st.ins.querySeconds["range"].ObserveSince(time.Now())
+	return st.queryIDs(rect, t0, t1)
+}
+
+// queryIDs is the shared, untimed range-query body.
+func (st *Store) queryIDs(rect geo.Rect, t0, t1 float64) []string {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	hits := st.index.query(rect, t0, t1)
@@ -310,6 +378,7 @@ func (st *Store) EvictBefore(t float64) int {
 	defer st.mu.Unlock()
 
 	removed := 0
+	dropped := 0
 	for id, obj := range st.objects {
 		n := obj.retained.Len()
 		cut := 0
@@ -322,6 +391,7 @@ func (st *Store) EvictBefore(t float64) int {
 		}
 		if obj.retained.Len() == 0 && obj.lastRaw.T < t {
 			delete(st.objects, id)
+			dropped++
 		}
 	}
 
@@ -332,12 +402,21 @@ func (st *Store) EvictBefore(t float64) int {
 	default:
 		st.index = newGridIndex(st.opts.CellSize)
 	}
+	segs := 0
 	for id, obj := range st.objects {
 		for i := 0; i+1 < obj.retained.Len(); i++ {
 			a, b := obj.retained[i], obj.retained[i+1]
 			st.index.insert(id, geo.Seg(a.Pos(), b.Pos()).Bounds(), a.T, b.T)
+			segs++
 		}
 	}
+
+	st.ins.evictions.Inc()
+	st.ins.evictedPts.Add(int64(removed))
+	st.ins.objects.Add(-float64(dropped))
+	st.ins.retained.Add(-float64(removed))
+	st.ins.indexSegments.Add(float64(segs - st.idxSegs))
+	st.idxSegs = segs
 	return removed
 }
 
@@ -349,10 +428,11 @@ func (st *Store) EvictBefore(t float64) int {
 // intersected the rectangle during [t0, t1]: compression introduces no
 // false negatives.
 func (st *Store) QueryWithTolerance(rect geo.Rect, t0, t1, eps float64) []string {
+	defer st.ins.querySeconds["tolerance"].ObserveSince(time.Now())
 	if eps < 0 {
 		eps = 0
 	}
-	return st.Query(rect.Expand(eps), t0, t1)
+	return st.queryIDs(rect.Expand(eps), t0, t1)
 }
 
 // Neighbor is one nearest-neighbour result.
@@ -366,6 +446,7 @@ type Neighbor struct {
 // position at t are skipped), ordered by increasing distance. Fewer than k
 // results are returned when fewer objects are live at t.
 func (st *Store) Nearest(q geo.Point, t float64, k int) []Neighbor {
+	defer st.ins.querySeconds["nearest"].ObserveSince(time.Now())
 	if k <= 0 {
 		return nil
 	}
@@ -400,15 +481,25 @@ type Stats struct {
 	RawPoints      int     // observations ingested
 	RetainedPoints int     // points kept after on-ingest compression
 	CompressionPct float64 // % of ingested points discarded
+	// PointsPerObject maps each object ID to its retained point count,
+	// captured in the same locked pass as the totals so the breakdown always
+	// sums to RetainedPoints.
+	PointsPerObject map[string]int
 }
 
-// Stats returns current storage statistics.
+// Stats returns current storage statistics from one consistent snapshot.
 func (st *Store) Stats() Stats {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	s := Stats{Objects: len(st.objects), RawPoints: st.rawPts}
-	for _, obj := range st.objects {
-		s.RetainedPoints += obj.retained.Len()
+	s := Stats{
+		Objects:         len(st.objects),
+		RawPoints:       st.rawPts,
+		PointsPerObject: make(map[string]int, len(st.objects)),
+	}
+	for id, obj := range st.objects {
+		n := obj.retained.Len()
+		s.RetainedPoints += n
+		s.PointsPerObject[id] = n
 	}
 	if st.rawPts > 0 {
 		s.CompressionPct = 100 * float64(st.rawPts-s.RetainedPoints) / float64(st.rawPts)

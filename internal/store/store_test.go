@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/gpsgen"
+	"repro/internal/metrics"
 	"repro/internal/sed"
 	"repro/internal/stream"
 	"repro/internal/trajectory"
@@ -315,5 +316,95 @@ func TestConcurrentAppendAndQuery(t *testing.T) {
 	wg.Wait()
 	if got := st.Stats().Objects; got != len(trips) {
 		t.Errorf("objects = %d, want %d", got, len(trips))
+	}
+}
+
+// TestStoreMetrics checks the store's instruments end to end against a
+// private registry: append/evict/query counters, the gauges' delta
+// discipline, and the per-kind query latency histograms.
+func TestStoreMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	st := New(Options{
+		NewCompressor: func() stream.Compressor { return stream.NewOPWTR(25, 0) },
+		Metrics:       reg,
+	})
+	for i := 0; i < 50; i++ {
+		feed(t, st, "a", trajectory.Trajectory{trajectory.S(float64(i), float64(i*10), 0)})
+	}
+	feed(t, st, "b", trajectory.Trajectory{trajectory.S(0, 5000, 5000), trajectory.S(10, 5100, 5000)})
+	if err := st.Append("a", trajectory.S(10, 0, 0)); err == nil {
+		t.Fatal("unsorted append did not fail")
+	}
+
+	st.Query(geo.Rect{Min: geo.Pt(-1, -1), Max: geo.Pt(1, 1)}, 0, 100)
+	st.QueryWithTolerance(geo.Rect{Min: geo.Pt(-1, -1), Max: geo.Pt(1, 1)}, 0, 100, 30)
+	st.PositionAt("a", 5)
+	st.Nearest(geo.Pt(0, 0), 5, 1)
+
+	want := map[string]float64{
+		"store_appends_total":       52,
+		"store_append_errors_total": 1,
+		"store_objects":             2,
+	}
+	counts := map[string]int64{}
+	for _, m := range reg.Snapshot() {
+		if v, ok := want[m.Name]; ok && m.Value != v {
+			t.Errorf("%s = %v, want %v", m.Name, m.Value, v)
+		}
+		if m.Name == "store_query_seconds" {
+			counts[m.Labels[0].Value] = m.Count
+		}
+	}
+	for _, kind := range []string{"range", "tolerance", "nearest", "position"} {
+		// Nearest and QueryWithTolerance route through PositionAt/queryIDs
+		// without re-timing, so each kind observes exactly once — except
+		// position, which Nearest's snapshot path does not touch.
+		if counts[kind] != 1 {
+			t.Errorf("store_query_seconds{kind=%q} count = %d, want 1", kind, counts[kind])
+		}
+	}
+
+	// Eviction publishes deltas: the retained gauge must equal the store's
+	// own accounting afterwards.
+	removed := st.EvictBefore(5)
+	stats := st.Stats()
+	for _, m := range reg.Snapshot() {
+		switch m.Name {
+		case "store_evictions_total":
+			if m.Value != 1 {
+				t.Errorf("store_evictions_total = %v, want 1", m.Value)
+			}
+		case "store_evicted_samples_total":
+			if int(m.Value) != removed {
+				t.Errorf("store_evicted_samples_total = %v, want %d", m.Value, removed)
+			}
+		case "store_retained_samples":
+			if int(m.Value) != stats.RetainedPoints {
+				t.Errorf("store_retained_samples = %v, want %d", m.Value, stats.RetainedPoints)
+			}
+		case "store_objects":
+			if int(m.Value) != stats.Objects {
+				t.Errorf("store_objects = %v, want %d", m.Value, stats.Objects)
+			}
+		}
+	}
+}
+
+// TestStatsPointsPerObject checks the per-object breakdown sums to the
+// retained total from the same snapshot.
+func TestStatsPointsPerObject(t *testing.T) {
+	st := New(Options{})
+	feed(t, st, "x", trajectory.Trajectory{trajectory.S(0, 0, 0), trajectory.S(1, 1, 0)})
+	feed(t, st, "y", trajectory.Trajectory{trajectory.S(0, 9, 9)})
+	s := st.Stats()
+	if s.PointsPerObject["x"] != 2 || s.PointsPerObject["y"] != 1 {
+		t.Errorf("PointsPerObject = %v, want x:2 y:1", s.PointsPerObject)
+	}
+	sum := 0
+	for _, n := range s.PointsPerObject {
+		sum += n
+	}
+	if sum != s.RetainedPoints {
+		t.Errorf("breakdown sums to %d, want %d", sum, s.RetainedPoints)
 	}
 }

@@ -20,22 +20,25 @@ type DurableStore struct {
 
 	mu         sync.Mutex
 	log        *Log
+	ins        *instruments
 	lastLogged map[string]float64 // last logged timestamp per object
 }
 
 // OpenDurable opens (or creates) a durable store backed by the log at path,
-// replaying any existing records into a fresh store built with opts.
+// replaying any existing records into a fresh store built with opts. The
+// WAL's instruments register in opts.Metrics alongside the store's.
 func OpenDurable(path string, opts store.Options) (*DurableStore, error) {
 	st := store.New(opts)
+	ins := newInstruments(opts.Metrics)
 	lastLogged := make(map[string]float64)
-	log, err := Open(path, func(rec Record) error {
+	log, err := openLog(path, func(rec Record) error {
 		lastLogged[rec.ID] = rec.Sample.T
 		return st.Restore(rec.ID, rec.Sample)
-	})
+	}, ins)
 	if err != nil {
 		return nil, err
 	}
-	return &DurableStore{Store: st, log: log, lastLogged: lastLogged}, nil
+	return &DurableStore{Store: st, log: log, ins: ins, lastLogged: lastLogged}, nil
 }
 
 // Append ingests one raw observation and logs whatever the store retained.
@@ -112,7 +115,7 @@ func (d *DurableStore) Compact() error {
 	if err := d.log.Close(); err != nil {
 		return err
 	}
-	tmp, err := Open(tmpPath, nil)
+	tmp, err := openLog(tmpPath, nil, d.ins)
 	if err != nil {
 		return err
 	}
@@ -139,10 +142,11 @@ func (d *DurableStore) Compact() error {
 	if err := os.Rename(tmpPath, d.log.path); err != nil {
 		return fmt.Errorf("wal: compact rename: %w", err)
 	}
-	reopened, err := Open(d.log.path, nil)
+	reopened, err := openLog(d.log.path, nil, d.ins)
 	if err != nil {
 		return err
 	}
 	d.log = reopened
+	d.ins.compactions.Inc()
 	return nil
 }

@@ -25,7 +25,9 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/trajectory"
 )
 
@@ -34,6 +36,34 @@ const (
 	maxIDLen    = 1 << 10
 	recordFixed = 4 + 4 + 24 // length prefix + crc + three float64s (id extra)
 )
+
+// instruments holds the WAL's registered metrics. Open registers in the
+// default registry; OpenDurable registers in store.Options.Metrics so an
+// embedded deployment keeps its WAL and store observability together.
+type instruments struct {
+	// records counts records written to the log, including compaction
+	// rewrites — it is a write counter, not a live record count.
+	records *metrics.Counter
+	// fsync is the latency distribution of the file sync on the flush path,
+	// the dominant cost of the durability guarantee.
+	fsync *metrics.Histogram
+	// tornTails counts recoveries that truncated a torn or corrupt tail.
+	tornTails *metrics.Counter
+	// compactions counts successful log compactions.
+	compactions *metrics.Counter
+}
+
+func newInstruments(r *metrics.Registry) *instruments {
+	if r == nil {
+		r = metrics.Default()
+	}
+	return &instruments{
+		records:     r.Counter("wal_records_total"),
+		fsync:       r.Histogram("wal_fsync_seconds", nil),
+		tornTails:   r.Counter("wal_torn_tail_recoveries_total"),
+		compactions: r.Counter("wal_compactions_total"),
+	}
+}
 
 // Record is one durable observation.
 type Record struct {
@@ -48,6 +78,7 @@ type Log struct {
 	w       *bufio.Writer
 	path    string
 	pending int
+	ins     *instruments
 	// SyncEvery controls how many appended records may precede an fsync;
 	// 0 syncs on every append (slow, maximally durable). Flush always
 	// syncs.
@@ -59,6 +90,10 @@ type Log struct {
 // Replay stops silently at the first torn/corrupt record, truncating the
 // log there.
 func Open(path string, apply func(Record) error) (*Log, error) {
+	return openLog(path, apply, newInstruments(nil))
+}
+
+func openLog(path string, apply func(Record) error, ins *instruments) (*Log, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
@@ -67,6 +102,11 @@ func Open(path string, apply func(Record) error) (*Log, error) {
 	if err != nil {
 		_ = f.Close() // the replay error is the one worth reporting
 		return nil, err
+	}
+	if info, serr := f.Stat(); serr == nil && info.Size() > good {
+		// Replay stopped before the end of the file: a torn or corrupt tail
+		// is about to be truncated away.
+		ins.tornTails.Inc()
 	}
 	// Truncate any torn tail and position for append.
 	if err := f.Truncate(good); err != nil {
@@ -77,7 +117,7 @@ func Open(path string, apply func(Record) error) (*Log, error) {
 		_ = f.Close() // the seek error is the one worth reporting
 		return nil, fmt.Errorf("wal: seek: %w", err)
 	}
-	l := &Log{f: f, w: bufio.NewWriter(f), path: path, SyncEvery: 64}
+	l := &Log{f: f, w: bufio.NewWriter(f), path: path, ins: ins, SyncEvery: 64}
 	if good == 0 {
 		if _, err := l.w.WriteString(headerMagic); err != nil {
 			_ = f.Close() // the header write error is the one worth reporting
@@ -179,6 +219,7 @@ func (l *Log) Append(rec Record) error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.pending++
+	l.ins.records.Inc()
 	if l.pending > l.SyncEvery {
 		return l.flushSync()
 	}
@@ -192,9 +233,11 @@ func (l *Log) flushSync() error {
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("wal: flush: %w", err)
 	}
+	t0 := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	l.ins.fsync.ObserveSince(t0)
 	l.pending = 0
 	return nil
 }

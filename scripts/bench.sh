@@ -1,0 +1,67 @@
+#!/usr/bin/env sh
+# bench.sh — load-test a local trajserver with the deterministic trajload
+# workload and write BENCH_load.json (throughput, append latency quantiles,
+# live compression ratio, server-side metrics).
+#
+# Usage:
+#   scripts/bench.sh                 full run (seeds the perf trajectory)
+#   scripts/bench.sh --smoke [out]   tiny point budget, report to a temp file
+#                                    (wired into scripts/check.sh)
+#
+# The server listens on random loopback ports; the script parses the actual
+# addresses from its log, runs trajload against both the TCP and HTTP
+# endpoints (so the /metrics cross-check executes), and shuts the server
+# down. Fixed seed: the workload is reproducible run to run.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+POINTS=50000
+CLIENTS=8
+OBJECTS=32
+DURATION=16000 # seconds per trip; at ~10 s sampling this fills the budget
+OUT=BENCH_load.json
+if [ "${1:-}" = "--smoke" ]; then
+    POINTS=800
+    CLIENTS=2
+    OBJECTS=4
+    DURATION=1800
+    OUT="${2:-$(mktemp -t bench_load.XXXXXX.json)}"
+fi
+
+workdir=$(mktemp -d -t trajbench.XXXXXX)
+bin="$workdir/bin"
+log="$workdir/server.log"
+mkdir -p "$bin"
+
+go build -o "$bin/trajserver" ./cmd/trajserver
+go build -o "$bin/trajload" ./cmd/trajload
+
+"$bin/trajserver" -addr 127.0.0.1:0 -http 127.0.0.1:0 >"$log" 2>&1 &
+srv=$!
+cleanup() {
+    kill "$srv" 2>/dev/null || true
+    wait "$srv" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+# Wait for both listen lines to appear in the log.
+i=0
+while [ "$(grep -c 'listening on\|metrics on' "$log" || true)" -lt 2 ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "bench.sh: server did not start; log:" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$log")
+http=$(sed -n 's|.*metrics on http://\([0-9.:]*\)/metrics.*|\1|p' "$log")
+
+"$bin/trajload" -addr "$addr" -http "$http" \
+    -clients "$CLIENTS" -objects "$OBJECTS" -points "$POINTS" \
+    -duration "$DURATION" -seed 1 -out "$OUT"
+
+echo "==> report in $OUT"

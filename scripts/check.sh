@@ -10,6 +10,10 @@
 #                              lockcopy, goroleak
 #   5. go test ./...           tier-1 tests
 #   6. go test -race ./...     tier-2: same tests under the race detector
+#   7. bench.sh --smoke        end-to-end: trajload against a live trajserver
+#                              with a tiny point budget (report to a temp
+#                              file; the committed BENCH_load.json comes from
+#                              a full scripts/bench.sh run)
 #
 # Any stage failing fails the script. Run from anywhere inside the repo.
 set -eu
@@ -38,5 +42,8 @@ go test ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> bench smoke (trajload against live trajserver)"
+sh scripts/bench.sh --smoke
 
 echo "==> all checks passed"

@@ -51,6 +51,7 @@ import (
 	"repro/internal/gpsgen"
 	"repro/internal/interp"
 	"repro/internal/mapmatch"
+	"repro/internal/metrics"
 	"repro/internal/quality"
 	"repro/internal/roadnet"
 	"repro/internal/sed"
@@ -308,6 +309,36 @@ func OpenDurableStore(path string, opts StoreOptions) (*DurableStore, error) {
 
 // (Nearest, Query, QueryWithTolerance and EvictBefore are methods on Store;
 // see the store package for their semantics.)
+
+// Observability.
+
+type (
+	// MetricsRegistry is a named set of counters, gauges and latency
+	// histograms; stores, servers and the WAL register their instruments in
+	// one. Pass a registry via StoreOptions.Metrics to observe an embedded
+	// store.
+	MetricsRegistry = metrics.Registry
+	// MetricsLabel is one name/value dimension of a metric.
+	MetricsLabel = metrics.Label
+	// MetricSnapshot is the point-in-time state of one instrument from
+	// MetricsRegistry.Snapshot.
+	MetricSnapshot = metrics.MetricSnapshot
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// DefaultMetrics returns the process-wide metrics registry — where stores,
+// servers and WALs register unless given an explicit registry.
+func DefaultMetrics() *MetricsRegistry { return metrics.Default() }
+
+// WriteMetricsText renders a registry snapshot as an aligned human-readable
+// table (histograms summarized as count/mean/p50/p99/max).
+func WriteMetricsText(w io.Writer, snaps []MetricSnapshot) { metrics.WriteText(w, snaps) }
+
+// WriteMetricsPrometheus renders a registry snapshot in the Prometheus text
+// exposition format — what trajserver serves at /metrics.
+func WriteMetricsPrometheus(w io.Writer, snaps []MetricSnapshot) { metrics.WritePrometheus(w, snaps) }
 
 // Movement analysis (the paper's motivating "study, analyse and understand
 // these patterns").
