@@ -204,7 +204,13 @@ func buildFeeds(seed int64, objects, clients, points int, spread, duration float
 // runClient replays one feed over its own connection, observing each append
 // round trip in lat and pacing to rate when positive.
 func runClient(addr string, feed []fix, rate float64, lat *metrics.Histogram) error {
-	c, err := server.Dial(addr)
+	// Resilient options with an isolated registry: a load generator should
+	// ride out transient server hiccups (idempotent commands retry), but
+	// its retry counters must not leak into the report's registry.
+	c, err := server.DialOptions(addr, server.ClientOptions{
+		IOTimeout: 30 * time.Second,
+		Metrics:   metrics.NewRegistry(),
+	})
 	if err != nil {
 		return err
 	}
@@ -272,7 +278,7 @@ func collect(addr, httpAddr string, reg *metrics.Registry, total int, elapsed ti
 		"stream_points_in_total", "stream_points_out_total",
 		"stream_compression_ratio_pct",
 		`server_commands_total{cmd="APPEND"}`,
-		"server_connections_total", "wal_records_total",
+		"server_connections_total", "server_sheds_total", "wal_records_total",
 	} {
 		if v, ok := parsed[key]; ok {
 			rep.ServerMetrics[key] = v
@@ -300,7 +306,7 @@ func checkHTTP(httpAddr string, tcp map[string]float64) {
 		log.Fatalf("http metrics: %v", err)
 	}
 	web := parsePrometheus(string(body))
-	for _, key := range []string{"store_appends_total", "stream_points_in_total", "store_retained_samples"} {
+	for _, key := range []string{"store_appends_total", "stream_points_in_total", "store_retained_samples", "server_sheds_total"} {
 		tv, tok := tcp[key]
 		wv, wok := web[key]
 		if !tok || !wok {

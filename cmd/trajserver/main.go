@@ -11,9 +11,18 @@
 //	-cell float       spatial index cell size in metres (default 1000)
 //	-index string     spatiotemporal index: grid or rtree (default "grid")
 //	-wal string       write-ahead log path for durability ("" = in-memory)
+//	-wal-sync int     records between WAL fsyncs; 0 syncs every append, so
+//	                  an OK reply implies the sample is on stable storage
+//	                  (default 64)
+//	-max-conns int    connection cap; excess connections get one "ERR busy"
+//	                  line and are closed (0 = unlimited)
 //	-http string      observability listen address serving /metrics
 //	                  (Prometheus text format) and /debug/pprof/*
 //	                  ("" = disabled)
+//
+// On SIGINT/SIGTERM the server drains: in-flight commands finish, then
+// the WAL seals and closes. SIGKILL is survivable by design — recovery
+// replays the log; see cmd/trajtorture.
 //
 // Protocol (newline-delimited, see internal/server):
 //
@@ -30,6 +39,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net"
@@ -37,6 +47,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/server"
@@ -78,6 +90,8 @@ func main() {
 		cell      = flag.Float64("cell", 1000, "spatial index cell size in metres")
 		indexName = flag.String("index", "grid", "spatiotemporal index: grid or rtree")
 		walPath   = flag.String("wal", "", "write-ahead log path for durability (empty = in-memory only)")
+		walSync   = flag.Int("wal-sync", 64, "records between WAL fsyncs (0 = fsync every append)")
+		maxConns  = flag.Int("max-conns", 0, "connection cap; excess connections are shed with ERR busy (0 = unlimited)")
 		httpAddr  = flag.String("http", "", "observability listen address for /metrics and /debug/pprof (empty = disabled)")
 	)
 	flag.Parse()
@@ -107,12 +121,15 @@ func main() {
 		}
 		backend = durable
 		st = durable.Store
-		log.Printf("durable: write-ahead log at %s", *walPath)
+		durable.SetSyncEvery(*walSync)
+		log.Printf("durable: write-ahead log at %s (sync every %d records)", *walPath, *walSync)
 	} else {
 		st = store.New(opts)
 		backend = st
 	}
 	srv := server.New(backend)
+	srv.MaxConns = *maxConns
+	srv.WriteTimeout = 30 * time.Second
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -132,12 +149,14 @@ func main() {
 	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		log.Print("shutting down")
-		if err := srv.Close(); err != nil {
-			log.Printf("close: %v", err)
+		log.Print("draining")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
 		}
 	}()
 

@@ -1,0 +1,289 @@
+// Command trajtorture is the crash-recovery torture harness: it runs a
+// trajserver child under seeded GPS load, SIGKILLs it at a random point in
+// each cycle, restarts it, and verifies the recovered state against the
+// acknowledgement log the harness kept.
+//
+// The invariant under test is the WAL's durability contract. The child runs
+// with -compress none (the store retains every sample, so a snapshot is the
+// exact append sequence) and -wal-sync 0 (an OK reply means the record was
+// fsynced before the reply was written). Therefore, after any SIGKILL:
+//
+//   - every acknowledged append must be present in the recovered snapshot
+//     (acknowledged-but-lost records are the fatal failure), and
+//   - the recovered snapshot must be an exact prefix of the sent sequence
+//     (sent-but-unacknowledged samples may or may not have landed; whatever
+//     landed must match what was sent, in order, with nothing invented).
+//
+// After verification the harness resumes the feed from the recovered
+// prefix, so every cycle exercises recovery-then-continue, not just
+// recovery. The final cycle ends with SIGTERM instead, asserting the
+// graceful drain path also exits cleanly.
+//
+// Usage:
+//
+//	trajtorture -bin ./trajserver [-cycles 5] [-objects 4] [-appends 400]
+//	            [-seed 1] [-addr host:port] [-wal path] [-v]
+//
+// Exit status 0 means every cycle held the invariant.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/gpsgen"
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/trajectory"
+)
+
+// object is one simulated vehicle: its full pre-generated trajectory and
+// how far into it the feed has durably progressed.
+type object struct {
+	id   string
+	traj trajectory.Trajectory
+	// next indexes the next sample to send; everything before next has been
+	// sent at least once.
+	next int
+	// acked counts samples the server acknowledged with OK — the durability
+	// floor recovery is held to.
+	acked int
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trajtorture: ")
+
+	var (
+		bin     = flag.String("bin", "", "path to a built trajserver binary (required)")
+		addr    = flag.String("addr", "127.0.0.1:7117", "address the child server listens on")
+		walPath = flag.String("wal", "", "WAL path (default: a fresh temp file)")
+		cycles  = flag.Int("cycles", 5, "SIGKILL/restart cycles")
+		objects = flag.Int("objects", 4, "simulated vehicles")
+		appends = flag.Int("appends", 400, "append budget per cycle (the kill lands at a random point inside it)")
+		seed    = flag.Int64("seed", 1, "RNG seed for load and kill points (a failing run replays exactly)")
+		verbose = flag.Bool("v", false, "pass the child's output through")
+	)
+	flag.Parse()
+	if *bin == "" {
+		log.Fatal("-bin is required (a built trajserver binary)")
+	}
+	if *walPath == "" {
+		dir, err := os.MkdirTemp("", "trajtorture-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			_ = os.RemoveAll(dir) // best effort: temp dir cleanup
+		}()
+		*walPath = filepath.Join(dir, "torture.wal")
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	// Pre-generate more samples than the whole run can consume, so the feed
+	// never runs dry mid-cycle.
+	perObject := (*cycles)*(*appends)/(*objects) + *appends
+	duration := float64(perObject+2) * gpsgen.DefaultConfig().SampleInterval
+	fleet := gpsgen.New(*seed, gpsgen.Config{}).Fleet(*objects, 5000, duration)
+	objs := make([]*object, *objects)
+	for i, traj := range fleet {
+		objs[i] = &object{id: fmt.Sprintf("veh-%d", i), traj: traj}
+	}
+
+	h := &harness{bin: *bin, addr: *addr, wal: *walPath, verbose: *verbose}
+	defer h.stop()
+
+	totalAcked := 0
+	for cycle := 1; cycle <= *cycles; cycle++ {
+		c, err := h.start()
+		if err != nil {
+			log.Fatalf("cycle %d: starting server: %v", cycle, err)
+		}
+		if err := verify(c, objs); err != nil {
+			log.Fatalf("cycle %d: RECOVERY VIOLATION: %v", cycle, err)
+		}
+
+		killAfter := 1 + rng.Intn(*appends)
+		sent := 0
+		for sent < killAfter {
+			o := objs[sent%len(objs)]
+			if o.next >= o.traj.Len() {
+				break // this vehicle's trip is over; others keep the load up
+			}
+			s := o.traj[o.next]
+			err := c.Append(o.id, s)
+			if err != nil {
+				// A refused append is harness trouble (the server is healthy
+				// until we kill it) — unless it raced an earlier kill's
+				// half-open socket, which the reconnect path absorbs.
+				log.Fatalf("cycle %d: append %d refused: %v", cycle, sent, err)
+			}
+			o.next++
+			o.acked = o.next
+			totalAcked++
+			sent++
+		}
+
+		if cycle < *cycles {
+			if err := h.kill(); err != nil {
+				log.Fatalf("cycle %d: kill: %v", cycle, err)
+			}
+			log.Printf("cycle %d: SIGKILL after %d appends (%d acked total)", cycle, sent, totalAcked)
+		} else {
+			// Last cycle: drain gracefully and make sure that path works too.
+			if err := h.terminate(); err != nil {
+				log.Fatalf("cycle %d: graceful shutdown: %v", cycle, err)
+			}
+			log.Printf("cycle %d: SIGTERM after %d appends (%d acked total)", cycle, sent, totalAcked)
+		}
+	}
+
+	// Post-mortem: one more restart proves the final state (including the
+	// gracefully sealed tail) recovers intact.
+	c, err := h.start()
+	if err != nil {
+		log.Fatalf("final verification: starting server: %v", err)
+	}
+	if err := verify(c, objs); err != nil {
+		log.Fatalf("final verification: RECOVERY VIOLATION: %v", err)
+	}
+	recovered := 0
+	for _, o := range objs {
+		recovered += o.acked
+	}
+	if err := h.terminate(); err != nil {
+		log.Fatalf("final shutdown: %v", err)
+	}
+	log.Printf("PASS: %d cycles, %d acknowledged appends, %d samples recovered, zero acknowledged records lost",
+		*cycles, totalAcked, recovered)
+}
+
+// verify holds the recovered server state against the invariant and
+// advances each object's cursors to the recovered prefix.
+func verify(c *server.Client, objs []*object) error {
+	for _, o := range objs {
+		snap, err := c.Snapshot(o.id)
+		if err != nil {
+			var remote *server.RemoteError
+			if errors.As(err, &remote) && o.acked == 0 {
+				// Never durably seen: legitimately unknown after recovery.
+				o.next = 0
+				continue
+			}
+			return fmt.Errorf("%s: snapshot: %w", o.id, err)
+		}
+		if snap.Len() < o.acked {
+			return fmt.Errorf("%s: %d acknowledged samples, only %d recovered — acknowledged data LOST",
+				o.id, o.acked, snap.Len())
+		}
+		if snap.Len() > o.next {
+			return fmt.Errorf("%s: recovered %d samples but only %d were ever sent",
+				o.id, snap.Len(), o.next)
+		}
+		for i, s := range snap {
+			if s != o.traj[i] {
+				return fmt.Errorf("%s: sample %d diverged: recovered %v, sent %v",
+					o.id, i, s, o.traj[i])
+			}
+		}
+		// Whatever landed is durable now; resume the feed right after it.
+		o.acked = snap.Len()
+		o.next = snap.Len()
+	}
+	return nil
+}
+
+// harness owns the trajserver child process across kill/restart cycles.
+type harness struct {
+	bin     string
+	addr    string
+	wal     string
+	verbose bool
+	cmd     *exec.Cmd
+}
+
+// start launches the child and waits until it answers PING.
+func (h *harness) start() (*server.Client, error) {
+	cmd := exec.Command(h.bin,
+		"-addr", h.addr,
+		"-compress", "none", // snapshot == append sequence, exactly
+		"-wal", h.wal,
+		"-wal-sync", "0", // OK reply ⇒ record fsynced
+	)
+	if h.verbose {
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	h.cmd = cmd
+
+	deadline := time.Now().Add(15 * time.Second)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		c, err := server.DialOptions(h.addr, server.ClientOptions{
+			DialTimeout: 500 * time.Millisecond,
+			IOTimeout:   5 * time.Second,
+			Metrics:     metrics.NewRegistry(),
+		})
+		if err == nil {
+			if err := c.Ping(); err == nil {
+				return c, nil
+			}
+			_ = c.Close() // not ready yet; retry with a fresh connection
+		}
+		lastErr = err
+		time.Sleep(50 * time.Millisecond)
+	}
+	_ = h.kill() // the unready child is useless; report the readiness error
+	return nil, fmt.Errorf("server never became ready: %v", lastErr)
+}
+
+// kill SIGKILLs the child — no warning, no flush, the crash under test.
+func (h *harness) kill() error {
+	if h.cmd == nil || h.cmd.Process == nil {
+		return nil
+	}
+	if err := h.cmd.Process.Kill(); err != nil && !errors.Is(err, os.ErrProcessDone) {
+		return err
+	}
+	_ = h.cmd.Wait() // reap; a killed child's exit error is expected
+	h.cmd = nil
+	return nil
+}
+
+// terminate asks the child to drain via SIGTERM and requires a clean exit.
+func (h *harness) terminate() error {
+	if h.cmd == nil || h.cmd.Process == nil {
+		return nil
+	}
+	if err := h.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- h.cmd.Wait() }()
+	select {
+	case err := <-done:
+		h.cmd = nil
+		if err != nil && !strings.Contains(err.Error(), "signal") {
+			return fmt.Errorf("child exited uncleanly: %v", err)
+		}
+		return nil
+	case <-time.After(15 * time.Second):
+		_ = h.kill()
+		return errors.New("child ignored SIGTERM for 15s")
+	}
+}
+
+// stop is the deferred cleanup: make sure no child outlives the harness.
+func (h *harness) stop() { _ = h.kill() }

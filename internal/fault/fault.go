@@ -1,0 +1,184 @@
+// Package fault is a stdlib-only fault-injection substrate for torture
+// testing the durable layers: a registry of named failpoint sites that
+// production code threads its risky operations through, plus an injectable
+// filesystem abstraction (FS/File) the write-ahead log performs all of its
+// I/O against.
+//
+// A failpoint is inert until a test enables it with a trigger policy
+// (nth call, every nth call, seeded probability) and an action (return an
+// error, panic, or — for writes — persist only a prefix of the buffer, the
+// torn-write shape a power cut leaves on disk). Sites that never fire cost
+// one mutex acquisition and a map lookup, so production binaries keep the
+// sites compiled in; every fired site increments the fault_hits_total
+// counter in the configured metrics registry.
+package fault
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// ErrInjected is the error failpoints return when their action does not
+// specify one.
+var ErrInjected = errors.New("fault: injected error")
+
+// Policy decides, per call, whether an enabled failpoint fires. The call
+// counter is 1-based and per-site. Policies returned by this package are
+// safe for concurrent use (the Set serializes evaluation).
+type Policy func(call uint64) bool
+
+// OnCall fires on exactly the n-th call through the site (1-based) — the
+// "fail the second fsync" shape crash tests want.
+func OnCall(n uint64) Policy {
+	return func(call uint64) bool { return call == n }
+}
+
+// EveryNth fires on every n-th call through the site.
+func EveryNth(n uint64) Policy {
+	if n == 0 {
+		n = 1
+	}
+	return func(call uint64) bool { return call%n == 0 }
+}
+
+// Probability fires each call independently with probability p, from a
+// seeded generator so a failing torture run replays exactly.
+func Probability(p float64, seed int64) Policy {
+	rng := rand.New(rand.NewSource(seed))
+	return func(uint64) bool { return rng.Float64() < p }
+}
+
+// Action is what a fired failpoint does to the operation at its site.
+type Action struct {
+	// Err is the error the failing operation returns; nil selects
+	// ErrInjected.
+	Err error
+	// PanicMsg, when non-empty, panics instead of returning an error —
+	// simulating a crash at exactly this site.
+	PanicMsg string
+	// Partial applies to write sites: the number of leading bytes actually
+	// written before the failure, simulating a torn write. Zero tears the
+	// write off entirely.
+	Partial int
+}
+
+func (a Action) err() error {
+	if a.Err == nil {
+		return ErrInjected
+	}
+	return a.Err
+}
+
+// point is one registered failpoint site.
+type point struct {
+	policy Policy
+	action Action
+	calls  uint64
+	hits   uint64
+}
+
+// Set is a registry of failpoint sites. The zero of *Set (nil) is valid and
+// never fires, so call sites need no guard. All methods are safe for
+// concurrent use.
+type Set struct {
+	mu     sync.Mutex
+	points map[string]*point
+	hits   *metrics.Counter
+}
+
+// NewSet returns an empty failpoint set whose fault_hits_total counter
+// registers in r (nil selects metrics.Default()).
+func NewSet(r *metrics.Registry) *Set {
+	if r == nil {
+		r = metrics.Default()
+	}
+	return &Set{
+		points: make(map[string]*point),
+		hits:   r.Counter("fault_hits_total"),
+	}
+}
+
+// Enable arms the named site with a trigger policy and an action,
+// resetting its call and hit counters. Enabling an armed site rearms it.
+func (s *Set) Enable(site string, p Policy, a Action) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.points[site] = &point{policy: p, action: a}
+}
+
+// Disable disarms the named site; later calls pass through untouched.
+func (s *Set) Disable(site string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.points, site)
+}
+
+// Hits reports how many times the named site has fired since it was armed.
+func (s *Set) Hits(site string) uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if pt := s.points[site]; pt != nil {
+		return pt.hits
+	}
+	return 0
+}
+
+// Calls reports how many times execution passed through the named site
+// since it was armed (fired or not).
+func (s *Set) Calls(site string) uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if pt := s.points[site]; pt != nil {
+		return pt.calls
+	}
+	return 0
+}
+
+// Eval records one call through the site and returns the action to apply
+// when the site fires. A panic action panics here. Nil sets and unarmed
+// sites never fire.
+func (s *Set) Eval(site string) (Action, bool) {
+	if s == nil {
+		return Action{}, false
+	}
+	s.mu.Lock()
+	pt := s.points[site]
+	if pt == nil {
+		s.mu.Unlock()
+		return Action{}, false
+	}
+	pt.calls++
+	fired := pt.policy(pt.calls)
+	if fired {
+		pt.hits++
+	}
+	a := pt.action
+	s.mu.Unlock()
+	if !fired {
+		return Action{}, false
+	}
+	s.hits.Inc()
+	if a.PanicMsg != "" {
+		panic("fault: " + site + ": " + a.PanicMsg)
+	}
+	return a, true
+}
+
+// Check is Eval for sites with no torn-write notion: it returns the
+// action's error when the site fires and nil otherwise.
+func (s *Set) Check(site string) error {
+	a, fired := s.Eval(site)
+	if !fired {
+		return nil
+	}
+	return a.err()
+}

@@ -1,0 +1,294 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestNilSetNeverFires(t *testing.T) {
+	var s *Set
+	if err := s.Check("anything"); err != nil {
+		t.Fatalf("nil set fired: %v", err)
+	}
+	if s.Hits("anything") != 0 || s.Calls("anything") != 0 {
+		t.Error("nil set reports activity")
+	}
+}
+
+func TestUnarmedSitePassesThrough(t *testing.T) {
+	s := NewSet(metrics.NewRegistry())
+	for i := 0; i < 10; i++ {
+		if err := s.Check("quiet"); err != nil {
+			t.Fatalf("unarmed site fired: %v", err)
+		}
+	}
+	if s.Calls("quiet") != 0 {
+		t.Error("unarmed site counted calls")
+	}
+}
+
+func TestOnCallFiresExactlyOnce(t *testing.T) {
+	s := NewSet(metrics.NewRegistry())
+	s.Enable("x", OnCall(3), Action{})
+	var errs []error
+	for i := 0; i < 6; i++ {
+		errs = append(errs, s.Check("x"))
+	}
+	for i, err := range errs {
+		want := i == 2 // third call, 0-indexed
+		if (err != nil) != want {
+			t.Errorf("call %d: err=%v, want fired=%v", i+1, err, want)
+		}
+	}
+	if !errors.Is(errs[2], ErrInjected) {
+		t.Errorf("default action error = %v, want ErrInjected", errs[2])
+	}
+	if s.Hits("x") != 1 || s.Calls("x") != 6 {
+		t.Errorf("hits=%d calls=%d, want 1 and 6", s.Hits("x"), s.Calls("x"))
+	}
+}
+
+func TestEveryNth(t *testing.T) {
+	s := NewSet(metrics.NewRegistry())
+	s.Enable("x", EveryNth(3), Action{})
+	fired := 0
+	for i := 0; i < 9; i++ {
+		if s.Check("x") != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Errorf("EveryNth(3) fired %d of 9, want 3", fired)
+	}
+}
+
+func TestProbabilitySeededAndReproducible(t *testing.T) {
+	run := func(seed int64) []bool {
+		s := NewSet(metrics.NewRegistry())
+		s.Enable("x", Probability(0.5, seed), Action{})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = s.Check("x") != nil
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Errorf("p=0.5 fired %d of %d — degenerate", fired, len(a))
+	}
+}
+
+func TestCustomErrorAndPanicActions(t *testing.T) {
+	s := NewSet(metrics.NewRegistry())
+	sentinel := errors.New("disk on fire")
+	s.Enable("x", OnCall(1), Action{Err: sentinel})
+	if err := s.Check("x"); !errors.Is(err, sentinel) {
+		t.Errorf("custom error not returned: %v", err)
+	}
+
+	s.Enable("boom", OnCall(1), Action{PanicMsg: "crash here"})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic action did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "crash here") {
+			t.Errorf("panic payload %v", r)
+		}
+	}()
+	_ = s.Check("boom")
+}
+
+func TestHitCounterExported(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := NewSet(reg)
+	s.Enable("x", EveryNth(1), Action{})
+	for i := 0; i < 5; i++ {
+		_ = s.Check("x")
+	}
+	for _, m := range reg.Snapshot() {
+		if m.Name == "fault_hits_total" {
+			if m.Value != 5 {
+				t.Errorf("fault_hits_total = %v, want 5", m.Value)
+			}
+			return
+		}
+	}
+	t.Error("fault_hits_total not registered")
+}
+
+func TestDisableAndRearm(t *testing.T) {
+	s := NewSet(metrics.NewRegistry())
+	s.Enable("x", EveryNth(1), Action{})
+	if s.Check("x") == nil {
+		t.Fatal("armed site did not fire")
+	}
+	s.Disable("x")
+	if err := s.Check("x"); err != nil {
+		t.Fatalf("disabled site fired: %v", err)
+	}
+	s.Enable("x", OnCall(1), Action{})
+	if s.Check("x") == nil {
+		t.Error("rearmed site did not fire (counter not reset)")
+	}
+}
+
+func TestSetConcurrentHammer(t *testing.T) {
+	s := NewSet(metrics.NewRegistry())
+	s.Enable("x", EveryNth(2), Action{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				_ = s.Check("x")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Calls("x"); got != 8000 {
+		t.Errorf("calls = %d, want 8000", got)
+	}
+	if got := s.Hits("x"); got != 4000 {
+		t.Errorf("hits = %d, want 4000", got)
+	}
+}
+
+func TestOSFSRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := OS.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := f.Read(buf); err != nil || string(buf) != "hello" {
+		t.Fatalf("read %q, %v", buf, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OS.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Rename(path, path+"2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Remove(path + "2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectFSTornWrite(t *testing.T) {
+	set := NewSet(metrics.NewRegistry())
+	fsys := NewFS(OS, set)
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set.Enable(SiteWrite, OnCall(2), Action{Partial: 3})
+	if _, err := f.Write([]byte("first")); err != nil {
+		t.Fatalf("pre-fault write failed: %v", err)
+	}
+	n, err := f.Write([]byte("second"))
+	if err == nil {
+		t.Fatal("torn write did not error")
+	}
+	if n != 3 {
+		t.Errorf("torn write reported %d bytes, want 3", n)
+	}
+	set.Disable(SiteWrite)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "firstsec" {
+		t.Errorf("on-disk state %q, want %q (prefix persisted, tail torn)", data, "firstsec")
+	}
+}
+
+func TestInjectFSOperationSites(t *testing.T) {
+	set := NewSet(metrics.NewRegistry())
+	fsys := NewFS(OS, set)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+
+	set.Enable(SiteOpen, OnCall(1), Action{})
+	if _, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644); err == nil {
+		t.Error("open fault not injected")
+	}
+	set.Disable(SiteOpen)
+
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set.Enable(SiteSync, OnCall(1), Action{})
+	if err := f.Sync(); err == nil {
+		t.Error("sync fault not injected")
+	}
+	set.Enable(SiteTruncate, OnCall(1), Action{})
+	if err := f.Truncate(0); err == nil {
+		t.Error("truncate fault not injected")
+	}
+	set.Enable(SiteSeek, OnCall(1), Action{})
+	if _, err := f.Seek(0, 0); err == nil {
+		t.Error("seek fault not injected")
+	}
+	set.Enable(SiteRead, OnCall(1), Action{})
+	if _, err := f.Read(make([]byte, 1)); err == nil {
+		t.Error("read fault not injected")
+	}
+	set.Enable(SiteClose, OnCall(1), Action{})
+	if err := f.Close(); err == nil {
+		t.Error("close fault not injected")
+	}
+
+	set.Enable(SiteRename, OnCall(1), Action{})
+	if err := fsys.Rename(path, path+"2"); err == nil {
+		t.Error("rename fault not injected")
+	}
+	set.Enable(SiteStat, OnCall(1), Action{})
+	if _, err := fsys.Stat(path); err == nil {
+		t.Error("stat fault not injected")
+	}
+	set.Enable(SiteRemove, OnCall(1), Action{})
+	if err := fsys.Remove(path); err == nil {
+		t.Error("remove fault not injected")
+	}
+
+	// Everything disarmed again: the wrapper is transparent.
+	if _, err := fsys.Stat(path); err != nil {
+		t.Errorf("stat after disarm: %v", err)
+	}
+}

@@ -1,0 +1,166 @@
+package fault
+
+import (
+	"io"
+	"os"
+)
+
+// File is the filesystem surface the durable layers need from one open
+// file. *os.File implements it.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Seek(offset int64, whence int) (int64, error)
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+}
+
+// FS is the filesystem surface the durable layers perform all their I/O
+// against, so tests can swap in an injecting implementation.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Stat(name string) (os.FileInfo, error)
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) Stat(name string) (os.FileInfo, error) {
+	return os.Stat(name)
+}
+
+// The failpoint sites an injecting filesystem consults, one per operation.
+// Write is evaluated through Eval so its action's Partial byte count can
+// tear the write; the rest go through Check.
+const (
+	SiteOpen     = "fs.open"
+	SiteRead     = "fs.read"
+	SiteWrite    = "fs.write"
+	SiteSync     = "fs.sync"
+	SiteClose    = "fs.close"
+	SiteSeek     = "fs.seek"
+	SiteTruncate = "fs.truncate"
+	SiteStat     = "fs.stat"
+	SiteRename   = "fs.rename"
+	SiteRemove   = "fs.remove"
+)
+
+// NewFS wraps base so every operation consults set at the Site* failpoints
+// first. With a nil or fully disarmed set the wrapper is transparent.
+func NewFS(base FS, set *Set) FS {
+	return &injectFS{base: base, set: set}
+}
+
+type injectFS struct {
+	base FS
+	set  *Set
+}
+
+func (fs *injectFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := fs.set.Check(SiteOpen); err != nil {
+		return nil, err
+	}
+	f, err := fs.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{File: f, set: fs.set}, nil
+}
+
+func (fs *injectFS) Rename(oldpath, newpath string) error {
+	if err := fs.set.Check(SiteRename); err != nil {
+		return err
+	}
+	return fs.base.Rename(oldpath, newpath)
+}
+
+func (fs *injectFS) Remove(name string) error {
+	if err := fs.set.Check(SiteRemove); err != nil {
+		return err
+	}
+	return fs.base.Remove(name)
+}
+
+func (fs *injectFS) Stat(name string) (os.FileInfo, error) {
+	if err := fs.set.Check(SiteStat); err != nil {
+		return nil, err
+	}
+	return fs.base.Stat(name)
+}
+
+type injectFile struct {
+	File
+	set *Set
+}
+
+func (f *injectFile) Read(p []byte) (int, error) {
+	if err := f.set.Check(SiteRead); err != nil {
+		return 0, err
+	}
+	return f.File.Read(p)
+}
+
+// Write applies a fired action as a torn write: the action's Partial
+// leading bytes reach the underlying file, the rest never happen, and the
+// caller sees the injected error — the on-disk state a crash mid-write
+// leaves behind.
+func (f *injectFile) Write(p []byte) (int, error) {
+	a, fired := f.set.Eval(SiteWrite)
+	if !fired {
+		return f.File.Write(p)
+	}
+	n := 0
+	if a.Partial > 0 {
+		k := a.Partial
+		if k > len(p) {
+			k = len(p)
+		}
+		n, _ = f.File.Write(p[:k]) // best effort: the injected error wins
+	}
+	return n, a.err()
+}
+
+func (f *injectFile) Sync() error {
+	if err := f.set.Check(SiteSync); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}
+
+func (f *injectFile) Close() error {
+	if err := f.set.Check(SiteClose); err != nil {
+		_ = f.File.Close() // the injected error is the one under test
+		return err
+	}
+	return f.File.Close()
+}
+
+func (f *injectFile) Seek(offset int64, whence int) (int64, error) {
+	if err := f.set.Check(SiteSeek); err != nil {
+		return 0, err
+	}
+	return f.File.Seek(offset, whence)
+}
+
+func (f *injectFile) Truncate(size int64) error {
+	if err := f.set.Check(SiteTruncate); err != nil {
+		return err
+	}
+	return f.File.Truncate(size)
+}

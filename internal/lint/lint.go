@@ -103,6 +103,7 @@ func DefaultLayerRules() map[string][]string {
 		"roadnet":    {"geo"},
 		"rtree":      {"geo"},
 		"metrics":    {},
+		"fault":      {"metrics"},
 		"interp":     {"geo", "trajectory", "sed"},
 		"compress":   {"geo", "trajectory", "sed"},
 		"quality":    {"geo", "trajectory", "sed", "compress"},
@@ -113,7 +114,7 @@ func DefaultLayerRules() map[string][]string {
 		"mapmatch":   {"geo", "trajectory", "roadnet"},
 		"stream":     {"geo", "trajectory", "sed", "compress", "metrics"},
 		"store":      {"geo", "trajectory", "sed", "codec", "rtree", "stream", "metrics"},
-		"wal":        {"geo", "trajectory", "codec", "store", "stream", "metrics"},
+		"wal":        {"geo", "trajectory", "codec", "store", "stream", "metrics", "fault"},
 		"server":     {"geo", "trajectory", "store", "stream", "wal", "metrics"},
 		"tune":       {"geo", "trajectory", "sed", "compress"},
 		"plot":       {"geo", "trajectory"},

@@ -2,117 +2,302 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/geo"
+	"repro/internal/metrics"
 	"repro/internal/trajectory"
 )
 
-// Client is a synchronous client for the tracking protocol. It is safe for
-// concurrent use; requests are serialized over one connection.
+// RemoteError is a reply the server delivered and rejected ("ERR ..."). It
+// is never retried: the request reached the server, which answered — the
+// failure is semantic, not transport.
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "server: " + e.Msg }
+
+// ClientOptions tunes the client's resilience. The zero value selects sane
+// defaults throughout, so Dial(addr) behaves like a robust client out of
+// the box.
+type ClientOptions struct {
+	// DialTimeout bounds each connection attempt. Default 5s.
+	DialTimeout time.Duration
+	// IOTimeout bounds each request round trip (write + full response read)
+	// via a connection deadline, so a silent or wedged server surfaces as a
+	// timeout error instead of a hang. Default 10s; negative disables.
+	IOTimeout time.Duration
+	// MaxRetries is how many times a failed request may be retried after
+	// the first attempt (reconnecting as needed). Only idempotent commands
+	// are ever re-sent; see Append. Default 2; negative disables retries.
+	MaxRetries int
+	// BackoffBase and BackoffMax shape the exponential reconnect backoff:
+	// attempt n waits jittered base·2ⁿ capped at max. Defaults 50ms and 2s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed seeds the backoff jitter, so a failing run replays exactly.
+	Seed int64
+	// Metrics receives the client_retries_total and client_reconnects_total
+	// counters (nil selects metrics.Default()).
+	Metrics *metrics.Registry
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.IOTimeout == 0 {
+		o.IOTimeout = 10 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	return o
+}
+
+// Client is a synchronous, self-healing client for the tracking protocol:
+// on transport errors it reconnects with seeded exponential backoff and
+// retries idempotent commands. It is safe for concurrent use; requests are
+// serialized over one connection.
 type Client struct {
+	addr string
+	opts ClientOptions
+
 	mu   sync.Mutex
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+	rng  *rand.Rand
+	ever bool // a connection has succeeded before (reconnects vs first dial)
+
+	retries    *metrics.Counter
+	reconnects *metrics.Counter
 }
 
-// Dial connects to a tracking server.
+// Dial connects to a tracking server with default resilience options.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("server: dial: %w", err)
+	return DialOptions(addr, ClientOptions{})
+}
+
+// DialTimeout is Dial with an explicit bound on the connection attempt.
+func DialTimeout(addr string, d time.Duration) (*Client, error) {
+	return DialOptions(addr, ClientOptions{DialTimeout: d})
+}
+
+// DialOptions connects to a tracking server with explicit resilience
+// options. The initial connection is attempted once, without retries, so a
+// wrong address fails fast.
+func DialOptions(addr string, opts ClientOptions) (*Client, error) {
+	opts = opts.withDefaults()
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.Default()
 	}
-	return &Client{
-		conn: conn,
-		r:    bufio.NewReader(conn),
-		w:    bufio.NewWriter(conn),
-	}, nil
+	c := &Client{
+		addr:       addr,
+		opts:       opts,
+		rng:        rand.New(rand.NewSource(opts.Seed)),
+		retries:    reg.Counter("client_retries_total"),
+		reconnects: reg.Counter("client_reconnects_total"),
+	}
+	if err := c.connectLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connectLocked dials (or re-dials) the server. Callers hold c.mu, except
+// DialOptions before the client escapes.
+func (c *Client) connectLocked() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("server: dial: %w", err)
+	}
+	if c.ever {
+		c.reconnects.Inc()
+	}
+	c.ever = true
+	c.conn = conn
+	c.r = bufio.NewReader(conn)
+	c.w = bufio.NewWriter(conn)
+	return nil
+}
+
+func (c *Client) dropLocked() {
+	if c.conn != nil {
+		_ = c.conn.Close() // already failing; the request error is the one reported
+		c.conn = nil
+	}
+}
+
+// backoff sleeps the jittered exponential delay for retry number n (0-based).
+func (c *Client) backoffLocked(n int) {
+	d := c.opts.BackoffBase << uint(n)
+	if d > c.opts.BackoffMax || d <= 0 {
+		d = c.opts.BackoffMax
+	}
+	// Jitter to [d/2, d): concurrent clients retrying a restarted server
+	// spread out instead of stampeding in lockstep.
+	time.Sleep(d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1)))
 }
 
 // Close sends QUIT (best effort) and closes the connection.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
 	fmt.Fprintln(c.w, "QUIT")
 	_ = c.w.Flush() // best-effort courtesy QUIT; Close reports the connection close
-	return c.conn.Close()
+	err := c.conn.Close()
+	c.conn = nil
+	return err
 }
 
-// roundTrip sends one command and reads a single-line response.
-func (c *Client) roundTrip(cmd string) (string, error) {
+// do runs one request: send cmd, parse the response with read. Transport
+// failures drop the connection; idempotent requests are then retried (up to
+// MaxRetries) over a fresh connection after a backoff. Non-idempotent
+// requests are never re-sent once any bytes may have reached the server —
+// an APPEND whose reply was lost might have been applied, and blind resend
+// would be rejected as a duplicate timestamp at best and double-apply at
+// worst. A RemoteError is final regardless: the server answered.
+func (c *Client) do(cmd string, idempotent bool, read func(r *bufio.Reader) error) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.roundTripLocked(cmd)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if c.conn == nil {
+			if err := c.connectLocked(); err != nil {
+				lastErr = err
+				if attempt >= c.opts.MaxRetries {
+					return err
+				}
+				// Nothing has been sent, so waiting out a restart is safe
+				// for every command class.
+				c.retries.Inc()
+				c.backoffLocked(attempt)
+				continue
+			}
+		}
+		err := c.sendRecvLocked(cmd, read)
+		if err == nil {
+			return nil
+		}
+		var remote *RemoteError
+		if errors.As(err, &remote) {
+			return err
+		}
+		c.dropLocked()
+		lastErr = err
+		if !idempotent || attempt >= c.opts.MaxRetries {
+			return lastErr
+		}
+		c.retries.Inc()
+		c.backoffLocked(attempt)
+	}
 }
 
-func (c *Client) roundTripLocked(cmd string) (string, error) {
+func (c *Client) sendRecvLocked(cmd string, read func(r *bufio.Reader) error) error {
+	if c.opts.IOTimeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.opts.IOTimeout)); err != nil {
+			return fmt.Errorf("server: deadline: %w", err)
+		}
+	}
 	if _, err := fmt.Fprintln(c.w, cmd); err != nil {
-		return "", err
+		return err
 	}
 	if err := c.w.Flush(); err != nil {
-		return "", err
+		return err
 	}
-	line, err := c.r.ReadString('\n')
+	return read(c.r)
+}
+
+// readLine reads one response line, converting ERR replies to RemoteError.
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
 	if err != nil {
 		return "", err
 	}
 	line = strings.TrimSpace(line)
 	if strings.HasPrefix(line, "ERR ") {
-		return "", fmt.Errorf("server: %s", strings.TrimPrefix(line, "ERR "))
+		return "", &RemoteError{Msg: strings.TrimPrefix(line, "ERR ")}
 	}
 	return line, nil
 }
 
-// readList reads data lines up to END after a command.
+// roundTrip sends one command and reads a single-line response.
+func (c *Client) roundTrip(cmd string, idempotent bool) (string, error) {
+	var resp string
+	err := c.do(cmd, idempotent, func(r *bufio.Reader) error {
+		var rerr error
+		resp, rerr = readLine(r)
+		return rerr
+	})
+	return resp, err
+}
+
+// readList sends one command and reads data lines up to END.
 func (c *Client) readList(cmd string) ([]string, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, err := fmt.Fprintln(c.w, cmd); err != nil {
-		return nil, err
-	}
-	if err := c.w.Flush(); err != nil {
-		return nil, err
-	}
 	var out []string
-	for {
-		line, err := c.r.ReadString('\n')
-		if err != nil {
-			return nil, err
+	err := c.do(cmd, true, func(r *bufio.Reader) error {
+		out = out[:0]
+		for {
+			line, err := readLine(r)
+			if err != nil {
+				return err
+			}
+			if line == "END" {
+				return nil
+			}
+			out = append(out, line)
 		}
-		line = strings.TrimSpace(line)
-		if line == "END" {
-			return out, nil
-		}
-		if strings.HasPrefix(line, "ERR ") {
-			return nil, fmt.Errorf("server: %s", strings.TrimPrefix(line, "ERR "))
-		}
-		out = append(out, line)
+	})
+	if err != nil {
+		return nil, err
 	}
+	return out, nil
 }
 
 // Ping checks connectivity.
 func (c *Client) Ping() error {
-	_, err := c.roundTrip("PING")
+	_, err := c.roundTrip("PING", true)
 	return err
 }
 
-// Append ingests one observation.
+// Append ingests one observation. Append is NOT idempotent — the store
+// rejects duplicate timestamps, and a lost reply leaves the outcome unknown
+// — so a transport failure here is returned rather than blindly retried;
+// the caller decides whether re-sending the sample is safe (it is when the
+// caller tracks acknowledgements, as the torture harness does).
 func (c *Client) Append(id string, s trajectory.Sample) error {
 	if strings.ContainsAny(id, " \t\n") {
 		return fmt.Errorf("server: object id %q contains whitespace", id)
 	}
-	_, err := c.roundTrip(fmt.Sprintf("APPEND %s %g %g %g", id, s.T, s.X, s.Y))
+	_, err := c.roundTrip(fmt.Sprintf("APPEND %s %g %g %g", id, s.T, s.X, s.Y), false)
 	return err
 }
 
 // PositionAt queries the interpolated position of an object at time t.
 func (c *Client) PositionAt(id string, t float64) (geo.Point, error) {
-	resp, err := c.roundTrip(fmt.Sprintf("POSITION %s %g", id, t))
+	resp, err := c.roundTrip(fmt.Sprintf("POSITION %s %g", id, t), true)
 	if err != nil {
 		return geo.Point{}, err
 	}
@@ -162,9 +347,10 @@ func (c *Client) QueryWithTolerance(rect geo.Rect, t0, t1, eps float64) ([]strin
 }
 
 // EvictBefore removes server-side data older than t, returning the number
-// of removed samples.
+// of removed samples. Like Append it mutates server state, so it is not
+// retried past a transport failure.
 func (c *Client) EvictBefore(t float64) (int, error) {
-	resp, err := c.roundTrip(fmt.Sprintf("EVICT %g", t))
+	resp, err := c.roundTrip(fmt.Sprintf("EVICT %g", t), false)
 	if err != nil {
 		return 0, err
 	}
@@ -192,41 +378,38 @@ type Stats struct {
 
 // Stats reports server-side storage statistics.
 func (c *Client) Stats() (Stats, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, err := fmt.Fprintln(c.w, "STATS"); err != nil {
-		return Stats{}, err
-	}
-	if err := c.w.Flush(); err != nil {
-		return Stats{}, err
-	}
-	resp, err := c.r.ReadString('\n')
+	var st Stats
+	err := c.do("STATS", true, func(r *bufio.Reader) error {
+		st = Stats{}
+		resp, err := readLine(r)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Sscanf(resp, "OK objects=%d raw=%d retained=%d compression=%g uptime=%g",
+			&st.Objects, &st.RawPoints, &st.RetainedPoints, &st.CompressionPct, &st.UptimeSeconds); err != nil {
+			return fmt.Errorf("server: bad STATS response %q", resp)
+		}
+		st.PointsPerObject = make(map[string]int, st.Objects)
+		for {
+			line, err := readLine(r)
+			if err != nil {
+				return err
+			}
+			if line == "END" {
+				return nil
+			}
+			var id string
+			var n int
+			if _, err := fmt.Sscanf(line, "obj %s points=%d", &id, &n); err != nil {
+				return fmt.Errorf("server: bad STATS line %q", line)
+			}
+			st.PointsPerObject[id] = n
+		}
+	})
 	if err != nil {
 		return Stats{}, err
 	}
-	resp = strings.TrimSpace(resp)
-	var st Stats
-	if _, err := fmt.Sscanf(resp, "OK objects=%d raw=%d retained=%d compression=%g uptime=%g",
-		&st.Objects, &st.RawPoints, &st.RetainedPoints, &st.CompressionPct, &st.UptimeSeconds); err != nil {
-		return Stats{}, fmt.Errorf("server: bad STATS response %q", resp)
-	}
-	st.PointsPerObject = make(map[string]int, st.Objects)
-	for {
-		line, err := c.r.ReadString('\n')
-		if err != nil {
-			return Stats{}, err
-		}
-		line = strings.TrimSpace(line)
-		if line == "END" {
-			return st, nil
-		}
-		var id string
-		var n int
-		if _, err := fmt.Sscanf(line, "obj %s points=%d", &id, &n); err != nil {
-			return Stats{}, fmt.Errorf("server: bad STATS line %q", line)
-		}
-		st.PointsPerObject[id] = n
-	}
+	return st, nil
 }
 
 // Metrics fetches the server's metrics registry in the Prometheus text

@@ -19,6 +19,7 @@ type instruments struct {
 	connsActive *metrics.Gauge
 	connsTotal  *metrics.Counter
 	subDrops    *metrics.Counter
+	sheds       *metrics.Counter
 
 	cmds    map[string]*metrics.Counter   // per protocol command
 	cmdSecs map[string]*metrics.Histogram // dispatch latency per command
@@ -33,6 +34,7 @@ func newInstruments(r *metrics.Registry) *instruments {
 		connsActive: r.Gauge("server_connections_active"),
 		connsTotal:  r.Counter("server_connections_total"),
 		subDrops:    r.Counter("server_subscribe_drops_total"),
+		sheds:       r.Counter("server_sheds_total"),
 		cmds:        make(map[string]*metrics.Counter, len(commands)+1),
 		cmdSecs:     make(map[string]*metrics.Histogram, len(commands)+1),
 	}

@@ -39,6 +39,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -69,13 +70,24 @@ type Backend interface {
 }
 
 // Server serves the protocol over a listener. Create with New, start with
-// Serve, stop with Close.
+// Serve, stop with Close (abrupt) or Shutdown (draining).
 type Server struct {
 	st Backend
 
 	// IdleTimeout closes connections that send no command for the given
 	// duration; 0 (the default) disables the limit. Set before Serve.
 	IdleTimeout time.Duration
+
+	// MaxConns caps concurrently served connections; excess connections are
+	// shed with a one-line "ERR busy" and closed, counted in
+	// server_sheds_total, instead of degrading every established session.
+	// 0 (the default) means unlimited. Set before Serve.
+	MaxConns int
+
+	// WriteTimeout bounds each response write (and each streamed update),
+	// so one wedged client cannot pin a handler forever. 0 (the default)
+	// disables the limit. Set before Serve.
+	WriteTimeout time.Duration
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -145,6 +157,11 @@ func (s *Server) Serve(l net.Listener) error {
 			_ = conn.Close() // best effort: the server is shutting down
 			return ErrServerClosed
 		}
+		if s.MaxConns > 0 && len(s.conns) >= s.MaxConns {
+			s.mu.Unlock()
+			s.shed(conn)
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 
@@ -159,6 +176,71 @@ func (s *Server) Serve(l net.Listener) error {
 			}()
 			s.handle(conn)
 		}()
+	}
+}
+
+// shed refuses one connection over the MaxConns cap: a polite ERR line so
+// the client knows to back off, then close. The write carries a short
+// deadline so a black-holed client cannot stall the accept loop.
+func (s *Server) shed(conn net.Conn) {
+	s.ins.sheds.Inc()
+	_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+	fmt.Fprintln(conn, "ERR busy: connection limit reached, retry later")
+	_ = conn.Close() // the client sees the ERR (or a reset); nothing to report
+}
+
+// Shutdown drains the server: it stops accepting, lets every in-flight
+// command finish and flush its response, ends streaming feeds, and waits
+// for all handlers to exit. If ctx expires first the remaining connections
+// are force-closed, Close-style. Safe to call concurrently with Close;
+// whichever runs first wins.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	for c := range s.conns {
+		// Unpark idle command readers so their handlers observe the drain;
+		// a read deadline does not disturb in-flight response writes.
+		_ = c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	// Close every subscriber feed: streaming handlers drain their channel
+	// and exit once the final updates are written.
+	s.subsMu.Lock()
+	for sub := range s.subs {
+		delete(s.subs, sub)
+		close(sub.ch)
+	}
+	s.subsMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.wg.Wait()
+	}()
+	select {
+	case <-done:
+		return err
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			_ = c.Close() // drain deadline expired: force-close stragglers
+		}
+		s.mu.Unlock()
+		<-done
+		if err == nil {
+			err = ctx.Err()
+		}
+		return err
 	}
 }
 
@@ -191,6 +273,14 @@ func (s *Server) handle(conn net.Conn) {
 	sc.Buffer(make([]byte, 0, 4096), 1<<20)
 	w := bufio.NewWriter(conn)
 	for {
+		s.mu.Lock()
+		draining := s.closed
+		s.mu.Unlock()
+		if draining {
+			// Shutdown in progress: the in-flight command (if any) has been
+			// answered and flushed; stop reading new ones.
+			return
+		}
 		if s.IdleTimeout > 0 {
 			if err := conn.SetReadDeadline(time.Now().Add(s.IdleTimeout)); err != nil {
 				return
@@ -204,7 +294,7 @@ func (s *Server) handle(conn net.Conn) {
 			continue
 		}
 		quit, sub := s.dispatch(w, line)
-		if w.Flush() != nil || quit {
+		if s.flush(conn, w) != nil || quit {
 			return
 		}
 		if sub != nil {
@@ -212,6 +302,16 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// flush writes out the buffered response under the configured WriteTimeout.
+func (s *Server) flush(conn net.Conn, w *bufio.Writer) error {
+	if s.WriteTimeout > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout)); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
 }
 
 // stream pumps a subscriber's feed to the connection until the feed drains
@@ -246,7 +346,7 @@ func (s *Server) stream(conn net.Conn, w *bufio.Writer, sub *subscriber) {
 		if _, err := w.WriteString(line + "\n"); err != nil {
 			return
 		}
-		if err := w.Flush(); err != nil {
+		if err := s.flush(conn, w); err != nil {
 			return
 		}
 	}

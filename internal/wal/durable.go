@@ -1,12 +1,29 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
-	"os"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/store"
 	"repro/internal/trajectory"
+)
+
+// ErrPoisoned is the sticky error the durable store returns after a
+// mid-batch log failure left the in-memory store ahead of the log.
+// Accepting further appends would widen that divergence silently, so every
+// write-path call fails with this error until a successful Compact rewrites
+// the log from the store state and heals it.
+var ErrPoisoned = errors.New("wal: log poisoned by earlier append failure")
+
+// Compaction file extensions. A ".compact.tmp" is a replacement log still
+// being written — garbage after a crash. A ".compact" is by construction
+// fully written and synced (Compact renames tmp to it only after a clean
+// close), so recovery prefers it over the log it was about to replace.
+const (
+	compactTmpExt  = ".compact.tmp"
+	compactDoneExt = ".compact"
 )
 
 // DurableStore couples a moving-object store with a write-ahead log. Raw
@@ -19,40 +36,94 @@ type DurableStore struct {
 	*store.Store
 
 	mu         sync.Mutex
+	fs         fault.FS
 	log        *Log
 	ins        *instruments
 	lastLogged map[string]float64 // last logged timestamp per object
+	syncEvery  int                // sticky across compaction reopens
+	poisoned   error              // sticky divergence error; see ErrPoisoned
 }
 
 // OpenDurable opens (or creates) a durable store backed by the log at path,
 // replaying any existing records into a fresh store built with opts. The
-// WAL's instruments register in opts.Metrics alongside the store's.
+// WAL's instruments — and the fault-injection hit counter — register in
+// opts.Metrics alongside the store's.
 func OpenDurable(path string, opts store.Options) (*DurableStore, error) {
+	return OpenDurableFS(fault.NewFS(fault.OS, fault.NewSet(opts.Metrics)), path, opts)
+}
+
+// OpenDurableFS is OpenDurable over an explicit filesystem, the entry point
+// of the fault-injection tests.
+func OpenDurableFS(fsys fault.FS, path string, opts store.Options) (*DurableStore, error) {
+	// Finish a compaction that crashed between completing its replacement
+	// and committing it: the ".compact" file is fully written and synced,
+	// and it supersedes the old log (every old record is either in it or
+	// was superseded). A ".compact.tmp" is a half-written replacement from
+	// a crash mid-compaction — remove it.
+	if _, err := fsys.Stat(path + compactDoneExt); err == nil {
+		if err := fsys.Rename(path+compactDoneExt, path); err != nil {
+			return nil, fmt.Errorf("wal: finishing interrupted compaction: %w", err)
+		}
+	}
+	_ = fsys.Remove(path + compactTmpExt) // best effort: usually absent
+
 	st := store.New(opts)
 	ins := newInstruments(opts.Metrics)
 	lastLogged := make(map[string]float64)
-	log, err := openLog(path, func(rec Record) error {
+	log, err := openLog(fsys, path, func(rec Record) error {
 		lastLogged[rec.ID] = rec.Sample.T
 		return st.Restore(rec.ID, rec.Sample)
 	}, ins)
 	if err != nil {
 		return nil, err
 	}
-	return &DurableStore{Store: st, log: log, ins: ins, lastLogged: lastLogged}, nil
+	return &DurableStore{
+		Store: st, fs: fsys, log: log, ins: ins,
+		lastLogged: lastLogged, syncEvery: log.SyncEvery,
+	}, nil
+}
+
+// SetSyncEvery sets how many records may be appended between fsyncs; 0
+// syncs on every append, the strict mode under which an acknowledged
+// append is durable before its caller hears OK. The setting survives
+// compaction.
+func (d *DurableStore) SetSyncEvery(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	d.syncEvery = n
+	d.log.SyncEvery = n
+}
+
+// Poisoned reports the sticky divergence error, or nil while the log and
+// store agree.
+func (d *DurableStore) Poisoned() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.poisoned
 }
 
 // Append ingests one raw observation and logs whatever the store retained.
-// A sample is durable once logged (subject to the log's SyncEvery batching).
+// A sample is durable once logged (subject to the log's SyncEvery
+// batching). A log failure mid-batch poisons the store: the in-memory state
+// is ahead of the log, so every subsequent write-path call returns
+// ErrPoisoned until Compact rewrites the log and heals the divergence.
 func (d *DurableStore) Append(id string, s trajectory.Sample) error {
-	retained, err := d.Store.AppendObserved(id, s)
-	if err != nil {
-		return err
-	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.poisoned != nil {
+		return d.poisoned
+	}
+	retained, err := d.Store.AppendObserved(id, s)
+	if err != nil {
+		return err // rejected before any state change: not poisonous
+	}
 	for _, r := range retained {
 		if err := d.log.Append(Record{ID: id, Sample: r}); err != nil {
-			return err
+			d.poisoned = fmt.Errorf("%w (object %q: %v)", ErrPoisoned, id, err)
+			return fmt.Errorf("wal: append %q: %w", id, err)
 		}
 		d.lastLogged[id] = r.T
 	}
@@ -63,6 +134,9 @@ func (d *DurableStore) Append(id string, s trajectory.Sample) error {
 func (d *DurableStore) Flush() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.poisoned != nil {
+		return d.poisoned
+	}
 	return d.log.Flush()
 }
 
@@ -77,10 +151,15 @@ func (d *DurableStore) LogSize() (int64, error) {
 // last logged record, so replay order is preserved) and closes the log.
 // Sealing is safe only at shutdown: after a reopen every compressor window
 // is empty, so no later emission can precede the sealed sample in time.
-// The in-memory store remains usable read-only afterwards.
+// The in-memory store remains usable read-only afterwards. A poisoned store
+// skips sealing — the log's tail state is unknown — and reports the poison.
 func (d *DurableStore) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.poisoned != nil {
+		_ = d.log.Close() // best effort: the poison is the error worth reporting
+		return d.poisoned
+	}
 	for _, id := range d.Store.IDs() {
 		snap, ok := d.Store.Snapshot(id)
 		if !ok || snap.Len() == 0 {
@@ -101,8 +180,18 @@ func (d *DurableStore) Close() error {
 
 // Compact rewrites the log to contain exactly the store's current retained
 // samples — dropping the accumulation of sealed tails from earlier sessions
-// and any superseded records. The rewrite is atomic: a temporary file is
-// written, synced, and renamed over the log.
+// and any superseded records. A successful compaction also heals a poisoned
+// store, since the rewritten log mirrors the store state exactly.
+//
+// The rewrite is crash-atomic, in three phases:
+//
+//  1. The replacement is written and synced beside the live log as
+//     ".compact.tmp"; any failure aborts with the old log untouched.
+//  2. The finished replacement is renamed to ".compact" — the completeness
+//     marker. A crash after this point recovers from the replacement
+//     (OpenDurableFS finishes the rename).
+//  3. The old log is closed and the replacement renamed over it. A rename
+//     failure rolls the marker back so the old log stays authoritative.
 //
 // Only retained samples are written (never buffered tails): a live
 // compressor may still emit a cut point older than the buffered tail, and
@@ -111,42 +200,77 @@ func (d *DurableStore) Compact() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 
-	tmpPath := d.log.path + ".compact"
-	if err := d.log.Close(); err != nil {
-		return err
-	}
-	tmp, err := openLog(tmpPath, nil, d.ins)
+	path := d.log.path
+	tmpPath := path + compactTmpExt
+	donePath := path + compactDoneExt
+
+	// Phase 1: build the replacement. The live log stays open and
+	// authoritative until phase 2 completes.
+	_ = d.fs.Remove(tmpPath) // a leftover from an earlier crash is garbage
+	tmp, err := openLog(d.fs, tmpPath, nil, d.ins)
 	if err != nil {
 		return err
 	}
 	tmp.SyncEvery = 1 << 20 // one sync at close; the rename is the commit
+	newLast := make(map[string]float64)
 	for _, id := range d.Store.IDs() {
 		ret, _ := d.Store.Retained(id)
 		for _, s := range ret {
 			if err := tmp.Append(Record{ID: id, Sample: s}); err != nil {
-				_ = tmp.Close()        // best effort: the append error is the one worth reporting
-				_ = os.Remove(tmpPath) // the temp file is garbage either way
+				_ = tmp.Close()          // best effort: the append error is the one worth reporting
+				_ = d.fs.Remove(tmpPath) // the temp file is garbage either way
 				return err
 			}
 		}
 		if ret.Len() > 0 {
-			d.lastLogged[id] = ret[ret.Len()-1].T
-		} else {
-			delete(d.lastLogged, id)
+			newLast[id] = ret[ret.Len()-1].T
 		}
 	}
 	if err := tmp.Close(); err != nil {
-		_ = os.Remove(tmpPath) // the temp file is garbage either way
+		_ = d.fs.Remove(tmpPath) // the temp file is garbage either way
 		return err
 	}
-	if err := os.Rename(tmpPath, d.log.path); err != nil {
+
+	// Phase 2: mark the replacement complete.
+	if err := d.fs.Rename(tmpPath, donePath); err != nil {
+		_ = d.fs.Remove(tmpPath) // the temp file is garbage either way
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+
+	// Phase 3: commit.
+	closeErr := d.log.Close()
+	if err := d.fs.Rename(donePath, path); err != nil {
+		// Roll the marker back so the old log stays authoritative; leaving
+		// it would make the next open recover from the replacement while
+		// this process keeps appending to the old log.
+		if rerr := d.fs.Remove(donePath); rerr != nil {
+			d.poisoned = fmt.Errorf("%w (compact commit: %v; rollback: %v)", ErrPoisoned, err, rerr)
+			return d.poisoned
+		}
+		if closeErr != nil {
+			// The old log's final flush failed too: its tail may lag the
+			// store, so refuse further writes rather than diverge.
+			d.poisoned = fmt.Errorf("%w (compact aborted: %v; old log close: %v)", ErrPoisoned, err, closeErr)
+			return d.poisoned
+		}
+		reopened, oerr := openLog(d.fs, path, nil, d.ins)
+		if oerr != nil {
+			d.poisoned = fmt.Errorf("%w (compact aborted: %v; reopen: %v)", ErrPoisoned, err, oerr)
+			return d.poisoned
+		}
+		reopened.SyncEvery = d.syncEvery
+		d.log = reopened
 		return fmt.Errorf("wal: compact rename: %w", err)
 	}
-	reopened, err := openLog(d.log.path, nil, d.ins)
+	reopened, err := openLog(d.fs, path, nil, d.ins)
 	if err != nil {
-		return err
+		d.poisoned = fmt.Errorf("%w (reopen after compaction: %v)", ErrPoisoned, err)
+		return d.poisoned
 	}
+	reopened.SyncEvery = d.syncEvery
 	d.log = reopened
+	d.lastLogged = newLast
 	d.ins.compactions.Inc()
+	d.poisoned = nil // the log now mirrors the store exactly
 	return nil
 }

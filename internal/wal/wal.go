@@ -8,12 +8,18 @@
 // Log format: a fixed header, then length-prefixed records each protected
 // by CRC-32. Recovery reads records until the end of the file; a torn or
 // corrupt tail record (a crash mid-write) ends replay at the last good
-// record, the standard WAL contract.
+// record, the standard WAL contract. Recovery tolerates truncation at any
+// byte offset — including inside the header — and always reopens with a
+// prefix of the logged records.
 //
 // Durability semantics: a sample becomes durable when its record is written
 // (and flushed, see SyncEvery). Samples still buffered inside an on-ingest
 // compressor window at crash time are lost except for the window anchor —
 // bounded by the compressor's window cap.
+//
+// All file operations go through an injectable fault.FS, so the
+// fault-injection tests can fail any write, sync, close, or rename — and
+// tear writes at any byte offset — without touching the real disk path.
 package wal
 
 import (
@@ -27,6 +33,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/trajectory"
 )
@@ -74,7 +81,8 @@ type Record struct {
 // Log is an append-only record log. Not safe for concurrent use; callers
 // (DurableStore) serialize access.
 type Log struct {
-	f       *os.File
+	f       fault.File
+	fs      fault.FS
 	w       *bufio.Writer
 	path    string
 	pending int
@@ -90,11 +98,17 @@ type Log struct {
 // Replay stops silently at the first torn/corrupt record, truncating the
 // log there.
 func Open(path string, apply func(Record) error) (*Log, error) {
-	return openLog(path, apply, newInstruments(nil))
+	return OpenFS(fault.OS, path, apply)
 }
 
-func openLog(path string, apply func(Record) error, ins *instruments) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+// OpenFS is Open over an explicit filesystem — fault.NewFS in the
+// fault-injection tests, fault.OS in production.
+func OpenFS(fsys fault.FS, path string, apply func(Record) error) (*Log, error) {
+	return openLog(fsys, path, apply, newInstruments(nil))
+}
+
+func openLog(fsys fault.FS, path string, apply func(Record) error, ins *instruments) (*Log, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -117,7 +131,7 @@ func openLog(path string, apply func(Record) error, ins *instruments) (*Log, err
 		_ = f.Close() // the seek error is the one worth reporting
 		return nil, fmt.Errorf("wal: seek: %w", err)
 	}
-	l := &Log{f: f, w: bufio.NewWriter(f), path: path, ins: ins, SyncEvery: 64}
+	l := &Log{f: f, fs: fsys, w: bufio.NewWriter(f), path: path, ins: ins, SyncEvery: 64}
 	if good == 0 {
 		if _, err := l.w.WriteString(headerMagic); err != nil {
 			_ = f.Close() // the header write error is the one worth reporting
@@ -133,14 +147,20 @@ func openLog(path string, apply func(Record) error, ins *instruments) (*Log, err
 
 // replay reads the header and all intact records, returning the byte offset
 // just past the last good record.
-func replay(f *os.File, apply func(Record) error) (int64, error) {
+func replay(f fault.File, apply func(Record) error) (int64, error) {
 	r := bufio.NewReader(f)
 	head := make([]byte, len(headerMagic))
 	n, err := io.ReadFull(r, head)
-	if err == io.EOF && n == 0 {
-		return 0, nil // fresh file
+	if err != nil {
+		// A file shorter than the header is either brand new (n == 0) or a
+		// crash tore the very first header write; both recover as an empty
+		// log. Anything that is not a prefix of the magic is a foreign file.
+		if n == 0 || string(head[:n]) == headerMagic[:n] {
+			return 0, nil
+		}
+		return 0, errors.New("wal: not a trajectory WAL file")
 	}
-	if err != nil || string(head) != headerMagic {
+	if string(head) != headerMagic {
 		return 0, errors.New("wal: not a trajectory WAL file")
 	}
 	offset := int64(len(headerMagic))

@@ -14,6 +14,9 @@
 #                              with a tiny point budget (report to a temp
 #                              file; the committed BENCH_load.json comes from
 #                              a full scripts/bench.sh run)
+#   8. torture.sh --smoke      crash-recovery: SIGKILL a WAL-backed
+#                              trajserver mid-load five times and verify no
+#                              acknowledged append is ever lost
 #
 # Any stage failing fails the script. Run from anywhere inside the repo.
 set -eu
@@ -45,5 +48,8 @@ go test -race ./...
 
 echo "==> bench smoke (trajload against live trajserver)"
 sh scripts/bench.sh --smoke
+
+echo "==> torture smoke (SIGKILL crash-recovery cycles)"
+sh scripts/torture.sh --smoke
 
 echo "==> all checks passed"

@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# torture.sh — crash-recovery torture: run trajtorture against a built
+# trajserver, SIGKILLing it mid-load and verifying the WAL recovers every
+# acknowledged append (see cmd/trajtorture for the invariant).
+#
+# Usage:
+#   scripts/torture.sh             full run (8 kill cycles, bigger budget)
+#   scripts/torture.sh --smoke     5 kill cycles, small budget
+#                                  (wired into scripts/check.sh)
+#
+# Fixed seed: a failing run replays exactly.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+CYCLES=8
+APPENDS=1200
+OBJECTS=6
+if [ "${1:-}" = "--smoke" ]; then
+    CYCLES=5
+    APPENDS=300
+    OBJECTS=4
+fi
+
+workdir=$(mktemp -d -t trajtorture.XXXXXX)
+cleanup() {
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$workdir/trajserver" ./cmd/trajserver
+go build -o "$workdir/trajtorture" ./cmd/trajtorture
+
+"$workdir/trajtorture" \
+    -bin "$workdir/trajserver" \
+    -addr 127.0.0.1:7117 \
+    -wal "$workdir/torture.wal" \
+    -cycles "$CYCLES" -appends "$APPENDS" -objects "$OBJECTS" -seed 1
