@@ -5,9 +5,13 @@
 // Usage:
 //
 //	experiments [-run all|table2|fig7|fig8|fig9|fig10|fig11|ablations] [-svg dir]
+//	            [-parallel n]
 //
 // With -svg, every regenerated figure is also written as SVG line charts
-// (one error chart and one compression chart per figure) into dir.
+// (one error chart and one compression chart per figure) into dir. The
+// sweep grid (algorithm × threshold cells over the 10-trajectory dataset)
+// runs on a bounded worker pool; -parallel overrides its width (0 =
+// GOMAXPROCS, 1 = serial).
 package main
 
 import (
@@ -27,7 +31,9 @@ func main() {
 	log.SetPrefix("experiments: ")
 	run := flag.String("run", "all", "which artifact to regenerate: all, table2, fig7, fig8, fig9, fig10, fig11, ablations, verify")
 	svgDir := flag.String("svg", "", "directory to also write figures as SVG charts (empty = off)")
+	parallel := flag.Int("parallel", 0, "worker-pool width for the sweep grid (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+	experiments.SetDefaultGridParallelism(*parallel)
 	if *svgDir != "" {
 		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
 			log.Fatal(err)

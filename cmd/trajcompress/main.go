@@ -17,9 +17,12 @@
 //	                planar input (default "52.22,6.89"); gpx input supplies
 //	                its own origin
 //	-quiet          suppress the per-trajectory quality report on stderr
+//	-parallel int   worker-pool width for batch compression over the file's
+//	                trajectories (default 0 = GOMAXPROCS)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -34,13 +37,14 @@ func main() {
 	log.SetPrefix("trajcompress: ")
 
 	var (
-		algSpec = flag.String("alg", "", "algorithm spec (required), e.g. tdtr:30 or opwsp:30:5")
-		in      = flag.String("in", "", "input file (default stdin)")
-		out     = flag.String("out", "", "output file (default stdout)")
-		from    = flag.String("from", "csv", "input format: csv, bin or gpx")
-		to      = flag.String("to", "", "output format: csv, bin, geojson or gpx (default: same as input)")
-		origin  = flag.String("origin", "52.22,6.89", "lat,lon projection origin for gpx/geojson output")
-		quiet   = flag.Bool("quiet", false, "suppress the quality report")
+		algSpec  = flag.String("alg", "", "algorithm spec (required), e.g. tdtr:30 or opwsp:30:5")
+		in       = flag.String("in", "", "input file (default stdin)")
+		out      = flag.String("out", "", "output file (default stdout)")
+		from     = flag.String("from", "csv", "input format: csv, bin or gpx")
+		to       = flag.String("to", "", "output format: csv, bin, geojson or gpx (default: same as input)")
+		origin   = flag.String("origin", "52.22,6.89", "lat,lon projection origin for gpx/geojson output")
+		quiet    = flag.Bool("quiet", false, "suppress the quality report")
+		parallel = flag.Int("parallel", 0, "worker-pool width for batch compression (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -90,9 +94,21 @@ func main() {
 		}
 	}
 
+	// Compress the whole file on a bounded worker pool (one trajectory per
+	// worker — the algorithms are embarrassingly parallel across objects),
+	// then report per-trajectory quality in input order.
+	trajs := make([]trajcomp.Trajectory, len(named))
+	for i, n := range named {
+		trajs[i] = n.Traj
+	}
+	results, err := trajcomp.CompressAll(context.Background(), alg,
+		trajcomp.BatchOptions{Parallelism: *parallel}, trajs)
+	if err != nil {
+		log.Fatal(err)
+	}
 	compressed := make([]trajcomp.Named, len(named))
 	for i, n := range named {
-		kept := alg.Compress(n.Traj)
+		kept := results[i]
 		compressed[i] = trajcomp.Named{ID: n.ID, Traj: kept}
 		if !*quiet {
 			if rep, err := trajcomp.Evaluate(alg.Name(), n.Traj, kept); err == nil {

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// loadReport reads a report written by this command.
+func loadReport(path string) (report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return report{}, err
+	}
+	var rep report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// compareRow is one metric's old-versus-new comparison. higherBetter
+// selects the regression direction: throughput regresses downward, latency
+// upward.
+type compareRow struct {
+	name         string
+	old, new     float64
+	higherBetter bool
+}
+
+// regressed reports whether new is worse than old by more than tolPct
+// percent. Rows with a zero/absent old value never regress (no baseline).
+func (r compareRow) regressed(tolPct float64) bool {
+	if r.old <= 0 {
+		return false
+	}
+	if r.higherBetter {
+		return r.new < r.old*(1-tolPct/100)
+	}
+	return r.new > r.old*(1+tolPct/100)
+}
+
+// deltaPct is the signed relative change from old to new in percent.
+func (r compareRow) deltaPct() float64 {
+	if r.old <= 0 {
+		return 0
+	}
+	return 100 * (r.new - r.old) / r.old
+}
+
+// sweepThroughput extracts the sweep throughput at the given shard count,
+// or 0 when the report carries no such run.
+func sweepThroughput(rep report, shards int) float64 {
+	if rep.ShardSweep == nil {
+		return 0
+	}
+	for _, r := range rep.ShardSweep.Runs {
+		if r.Shards == shards {
+			return r.ThroughputPerSec
+		}
+	}
+	return 0
+}
+
+// runCompare loads two reports and fails (exit code 1, table on stdout)
+// when the new one regresses by more than tolPct percent on append
+// throughput or p50 append latency; the 8-shard sweep throughput is
+// compared too when both reports carry it. This is the CI bench-regression
+// gate (scripts/bench_compare.sh).
+func runCompare(oldPath, newPath string, tolPct float64) int {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trajload:", err)
+		return 2
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trajload:", err)
+		return 2
+	}
+
+	rows := []compareRow{
+		{"append_throughput_pts_per_sec", oldRep.ThroughputPerSec, newRep.ThroughputPerSec, true},
+		{"append_p50_latency_seconds", oldRep.AppendLatency.P50, newRep.AppendLatency.P50, false},
+	}
+	if o, n := sweepThroughput(oldRep, 8), sweepThroughput(newRep, 8); o > 0 && n > 0 {
+		rows = append(rows, compareRow{"sweep_8_shards_pts_per_sec", o, n, true})
+	}
+
+	fmt.Printf("bench compare: %s (old) vs %s (new), tolerance %.0f%%\n", oldPath, newPath, tolPct)
+	fmt.Printf("%-32s %14s %14s %9s  %s\n", "metric", "old", "new", "delta", "verdict")
+	failed := 0
+	for _, r := range rows {
+		verdict := "ok"
+		switch {
+		case r.old <= 0:
+			verdict = "no baseline"
+		case r.regressed(tolPct):
+			verdict = "REGRESSION"
+			failed++
+		}
+		fmt.Printf("%-32s %14.6g %14.6g %+8.1f%%  %s\n", r.name, r.old, r.new, r.deltaPct(), verdict)
+	}
+	if failed > 0 {
+		fmt.Printf("%d metric(s) regressed more than %.0f%% — bless a new baseline by re-running scripts/bench.sh and committing BENCH_load.json if this is expected\n", failed, tolPct)
+		return 1
+	}
+	fmt.Println("no regressions beyond tolerance")
+	return 0
+}

@@ -13,8 +13,10 @@
 // Usage:
 //
 //	trajload [flags]
+//	trajload -compare old.json new.json
 //
-//	-addr string     server address (default "127.0.0.1:7007")
+//	-addr string     server address (default "127.0.0.1:7007"; "" skips the
+//	                 TCP load phase, e.g. for a sweep-only run)
 //	-http string     server observability address for the /metrics
 //	                 cross-check ("" = skip)
 //	-clients int     concurrent client connections (default 4)
@@ -25,6 +27,34 @@
 //	-spread float    fleet depot area edge in metres (default 20000)
 //	-duration float  per-vehicle trip duration in seconds (default 1800)
 //	-out string      JSON report path (default "BENCH_load.json")
+//
+// # Shard sweep
+//
+//	-shards string        comma-separated store shard counts, e.g. "1,2,4,8";
+//	                      non-empty runs the in-process shard sweep and adds
+//	                      a "shard_sweep" section to the report
+//	-sweep-workers int    concurrent appenders per sweep run (default 16)
+//	-sweep-points int     point budget per sweep run (default: -points)
+//
+// The sweep bypasses TCP entirely: it replays the same seeded fleet
+// directly into a fresh in-process store per shard count (no on-ingest
+// compression, so the store's lock + index hot path dominates), measuring
+// append throughput and latency quantiles per shard count plus the speedup
+// versus the 1-shard (global lock) configuration. This isolates the store's
+// concurrency behaviour from protocol and syscall overhead; the win scales
+// with real core count, so expect ~1× on a single-CPU container and the
+// full effect on multicore hardware.
+//
+// # Regression compare
+//
+//	-compare             compare two reports: trajload -compare old.json new.json
+//	-regress-pct float   tolerated regression percentage (default 20)
+//
+// Compare mode reads two reports written by this command and fails (exit 1,
+// table on stderr) when the new report's append throughput or p50 append
+// latency regresses by more than -regress-pct versus the old one; the shard
+// sweep's 8-shard throughput is compared too when both reports carry one.
+// Used by scripts/bench_compare.sh to gate perf regressions in CI.
 package main
 
 import (
@@ -80,6 +110,24 @@ type report struct {
 	Server             server.Stats       `json:"server_stats"`
 	ServerMetrics      map[string]float64 `json:"server_metrics"`
 	HTTPMetricsChecked bool               `json:"http_metrics_checked"`
+	ShardSweep         *shardSweep        `json:"shard_sweep,omitempty"`
+}
+
+// shardRun is one shard count's measurement in the sweep.
+type shardRun struct {
+	Shards           int            `json:"shards"`
+	ElapsedSeconds   float64        `json:"elapsed_seconds"`
+	ThroughputPerSec float64        `json:"throughput_points_per_sec"`
+	AppendLatency    latencySummary `json:"append_latency_seconds"`
+	SpeedupVs1Shard  float64        `json:"speedup_vs_1_shard,omitempty"`
+}
+
+// shardSweep is the in-process store scaling section of the report.
+type shardSweep struct {
+	Workers int        `json:"workers"`
+	Points  int        `json:"points"`
+	CPUs    int        `json:"cpus"`
+	Runs    []shardRun `json:"runs"`
 }
 
 func main() {
@@ -87,28 +135,81 @@ func main() {
 	log.SetPrefix("trajload: ")
 
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7007", "server address")
-		httpAddr = flag.String("http", "", "server observability address for the /metrics cross-check (empty = skip)")
-		clients  = flag.Int("clients", 4, "concurrent client connections")
-		objects  = flag.Int("objects", 16, "simulated vehicles")
-		points   = flag.Int("points", 20000, "total point budget across all objects")
-		rate     = flag.Float64("rate", 0, "per-client appends/second (0 = as fast as possible)")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		spread   = flag.Float64("spread", 20000, "fleet depot area edge in metres")
-		duration = flag.Float64("duration", 1800, "per-vehicle trip duration in seconds")
-		out      = flag.String("out", "BENCH_load.json", "JSON report path")
+		addr         = flag.String("addr", "127.0.0.1:7007", "server address (empty = skip the TCP load phase)")
+		httpAddr     = flag.String("http", "", "server observability address for the /metrics cross-check (empty = skip)")
+		clients      = flag.Int("clients", 4, "concurrent client connections")
+		objects      = flag.Int("objects", 16, "simulated vehicles")
+		points       = flag.Int("points", 20000, "total point budget across all objects")
+		rate         = flag.Float64("rate", 0, "per-client appends/second (0 = as fast as possible)")
+		seed         = flag.Int64("seed", 1, "workload seed")
+		spread       = flag.Float64("spread", 20000, "fleet depot area edge in metres")
+		duration     = flag.Float64("duration", 1800, "per-vehicle trip duration in seconds")
+		out          = flag.String("out", "BENCH_load.json", "JSON report path")
+		shardsFlag   = flag.String("shards", "", "comma-separated store shard counts for the in-process sweep (empty = skip)")
+		sweepWorkers = flag.Int("sweep-workers", 16, "concurrent appenders per shard-sweep run")
+		sweepPoints  = flag.Int("sweep-points", 0, "point budget per shard-sweep run (0 = -points)")
+		compare      = flag.Bool("compare", false, "compare two reports: trajload -compare old.json new.json")
+		regressPct   = flag.Float64("regress-pct", 20, "tolerated regression percentage in compare mode")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			log.Fatal("compare mode needs exactly two arguments: trajload -compare old.json new.json")
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *regressPct))
+	}
 	if *clients <= 0 || *objects <= 0 || *points <= 0 {
 		log.Fatal("-clients, -objects and -points must be positive")
 	}
+	if *addr == "" && *shardsFlag == "" {
+		log.Fatal("nothing to do: -addr is empty and no -shards sweep requested")
+	}
 
-	feeds := buildFeeds(*seed, *objects, *clients, *points, *spread, *duration)
+	var rep report
+	if *addr != "" {
+		rep = runLoad(*addr, *httpAddr, *seed, *objects, *clients, *points, *spread, *duration, *rate)
+	}
+	rep.Config.Clients = *clients
+	rep.Config.Objects = *objects
+	rep.Config.Points = *points
+	rep.Config.Rate = *rate
+	rep.Config.Seed = *seed
+	rep.Config.Spread = *spread
+	rep.Config.Duration = *duration
+
+	if *shardsFlag != "" {
+		counts, err := parseShardCounts(*shardsFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		budget := *sweepPoints
+		if budget <= 0 {
+			budget = *points
+		}
+		sweep := runShardSweep(counts, *sweepWorkers, *objects, budget, *seed, *spread, *duration)
+		rep.ShardSweep = &sweep
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("report in %s", *out)
+}
+
+// runLoad replays the seeded fleet against the live server over TCP and
+// collects the report's load section.
+func runLoad(addr, httpAddr string, seed int64, objects, clients, points int, spread, duration, rate float64) report {
+	feeds := buildFeeds(seed, objects, clients, points, spread, duration)
 	total := 0
 	for _, f := range feeds {
 		total += len(f)
 	}
-	log.Printf("replaying %d points from %d objects over %d clients", total, *objects, len(feeds))
+	log.Printf("replaying %d points from %d objects over %d clients", total, objects, len(feeds))
 
 	// One shared histogram collects append round-trip latency across all
 	// clients; a private registry keeps the load generator's own metrics out
@@ -123,7 +224,7 @@ func main() {
 		wg.Add(1)
 		go func(feed []fix) {
 			defer wg.Done()
-			errs <- runClient(*addr, feed, *rate, lat)
+			errs <- runClient(addr, feed, rate, lat)
 		}(feed)
 	}
 	wg.Wait()
@@ -135,27 +236,12 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
-	rep := collect(*addr, *httpAddr, reg, total, elapsed)
-	rep.Config.Clients = *clients
-	rep.Config.Objects = *objects
-	rep.Config.Points = *points
-	rep.Config.Rate = *rate
-	rep.Config.Seed = *seed
-	rep.Config.Spread = *spread
-	rep.Config.Duration = *duration
-
-	buf, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("%d points in %s (%.0f pts/s), append p50=%s p99=%s — report in %s",
+	rep := collect(addr, httpAddr, reg, total, elapsed)
+	log.Printf("%d points in %s (%.0f pts/s), append p50=%s p99=%s",
 		total, elapsed.Round(time.Millisecond), rep.ThroughputPerSec,
 		time.Duration(rep.AppendLatency.P50*float64(time.Second)).Round(time.Microsecond),
-		time.Duration(rep.AppendLatency.P99*float64(time.Second)).Round(time.Microsecond),
-		*out)
+		time.Duration(rep.AppendLatency.P99*float64(time.Second)).Round(time.Microsecond))
+	return rep
 }
 
 // buildFeeds generates the seeded fleet, truncates it to the point budget,

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/store"
+)
+
+// parseShardCounts parses the -shards spec ("1,2,4,8") into shard counts.
+func parseShardCounts(spec string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("trajload: bad -shards entry %q (want positive integers)", part)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("trajload: -shards %q selects no shard counts", spec)
+	}
+	return counts, nil
+}
+
+// sweepBuckets is the latency scale for in-process appends: 100 ns to
+// 10 ms. Direct store appends are microsecond-scale, well below the TCP
+// round-trip scale of metrics.DefBuckets.
+func sweepBuckets() []float64 {
+	return []float64{
+		1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6,
+		1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2,
+	}
+}
+
+// runShardSweep replays the same seeded fleet directly into a fresh
+// in-process store per shard count and measures the append path under
+// concurrency: workers goroutines append their partition of the fleet as
+// fast as possible (no on-ingest compression, so the shard lock + index
+// insert dominate). The 1-shard run, when present, is the global-lock
+// baseline the speedups are reported against.
+func runShardSweep(counts []int, workers, objects, points int, seed int64, spread, duration float64) shardSweep {
+	if workers <= 0 {
+		workers = 16
+	}
+	feeds := buildFeeds(seed, objects, workers, points, spread, duration)
+	total := 0
+	for _, f := range feeds {
+		total += len(f)
+	}
+	sweep := shardSweep{Workers: len(feeds), Points: total, CPUs: runtime.NumCPU()}
+	log.Printf("shard sweep: %d points, %d workers, shard counts %v", total, len(feeds), counts)
+
+	for _, n := range counts {
+		run := sweepOnce(n, feeds, total)
+		sweep.Runs = append(sweep.Runs, run)
+		log.Printf("shard sweep: %2d shards: %.0f appends/s, p50=%s p99=%s",
+			run.Shards, run.ThroughputPerSec,
+			time.Duration(run.AppendLatency.P50*float64(time.Second)).Round(100*time.Nanosecond),
+			time.Duration(run.AppendLatency.P99*float64(time.Second)).Round(100*time.Nanosecond))
+	}
+
+	// Speedups versus the 1-shard (single global lock) run, when swept.
+	for _, r := range sweep.Runs {
+		if r.Shards == 1 && r.ThroughputPerSec > 0 {
+			base := r.ThroughputPerSec
+			for i := range sweep.Runs {
+				sweep.Runs[i].SpeedupVs1Shard = sweep.Runs[i].ThroughputPerSec / base
+			}
+			break
+		}
+	}
+	return sweep
+}
+
+// sweepOnce measures one shard count: a fresh store, a start barrier, and
+// one goroutine per feed appending its objects' fixes in timestamp order.
+func sweepOnce(shards int, feeds [][]fix, total int) shardRun {
+	reg := metrics.NewRegistry()
+	lat := reg.Histogram("sweep_append_seconds", sweepBuckets())
+	st := store.New(store.Options{Shards: shards, Metrics: reg})
+
+	startGate := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, len(feeds))
+	for _, feed := range feeds {
+		wg.Add(1)
+		go func(feed []fix) {
+			defer wg.Done()
+			<-startGate
+			for i, f := range feed {
+				t0 := time.Now()
+				if err := st.Append(f.id, f.s); err != nil {
+					errs <- fmt.Errorf("shard sweep: after %d appends: %w", i, err)
+					return
+				}
+				lat.ObserveSince(t0)
+			}
+			errs <- nil
+		}(feed)
+	}
+	start := time.Now()
+	close(startGate)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	run := shardRun{Shards: st.NumShards(), ElapsedSeconds: elapsed.Seconds()}
+	if elapsed > 0 {
+		run.ThroughputPerSec = float64(total) / elapsed.Seconds()
+	}
+	for _, m := range reg.Snapshot() {
+		if m.Name == "sweep_append_seconds" && m.Count > 0 {
+			run.AppendLatency = latencySummary{
+				Mean: m.Sum / float64(m.Count),
+				P50:  m.Quantile(0.50),
+				P90:  m.Quantile(0.90),
+				P99:  m.Quantile(0.99),
+				Max:  m.Max,
+			}
+		}
+	}
+	return run
+}

@@ -10,6 +10,9 @@
 //	                  opwsp:D:V[:W], dr:D (default "opwtr:30")
 //	-cell float       spatial index cell size in metres (default 1000)
 //	-index string     spatiotemporal index: grid or rtree (default "grid")
+//	-shards int       store shards (object-ID hash partitions, each with its
+//	                  own lock and index segment), rounded up to a power of
+//	                  two; 0 selects max(8, 2×GOMAXPROCS)
 //	-wal string       write-ahead log path for durability ("" = in-memory)
 //	-wal-sync int     records between WAL fsyncs; 0 syncs every append, so
 //	                  an OK reply implies the sample is on stable storage
@@ -89,6 +92,7 @@ func main() {
 		compSpec  = flag.String("compress", "opwtr:30", "online compression spec (none, nopw:D, opwtr:D, opwsp:D:V, dr:D)")
 		cell      = flag.Float64("cell", 1000, "spatial index cell size in metres")
 		indexName = flag.String("index", "grid", "spatiotemporal index: grid or rtree")
+		shards    = flag.Int("shards", 0, "store shards, rounded up to a power of two (0 = max(8, 2×GOMAXPROCS))")
 		walPath   = flag.String("wal", "", "write-ahead log path for durability (empty = in-memory only)")
 		walSync   = flag.Int("wal-sync", 64, "records between WAL fsyncs (0 = fsync every append)")
 		maxConns  = flag.Int("max-conns", 0, "connection cap; excess connections are shed with ERR busy (0 = unlimited)")
@@ -109,7 +113,7 @@ func main() {
 	default:
 		log.Fatalf("unknown index %q (want grid or rtree)", *indexName)
 	}
-	opts := store.Options{NewCompressor: factory, CellSize: *cell, Index: index}
+	opts := store.Options{NewCompressor: factory, CellSize: *cell, Index: index, Shards: *shards}
 
 	var backend server.Backend
 	var durable *wal.DurableStore
@@ -135,7 +139,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening on %s (compression %s)", l.Addr(), *compSpec)
+	log.Printf("listening on %s (compression %s, %d store shards)", l.Addr(), *compSpec, st.NumShards())
 
 	if *httpAddr != "" {
 		hl, err := serveHTTP(*httpAddr)

@@ -1,0 +1,456 @@
+// Package ciyaml parses the subset of YAML used by this repository's GitHub
+// Actions workflows and validates their structure, so a malformed workflow
+// edit fails `go test ./...` locally instead of being discovered after push.
+//
+// This is deliberately not a general YAML parser. It supports exactly the
+// constructs the workflows use — block mappings, block sequences, flow
+// sequences ([a, b]), quoted and plain scalars, literal block scalars (|),
+// and full-line comments — and rejects everything else loudly. Anchors,
+// aliases, multi-document streams, flow mappings, and folded scalars are out
+// of scope; if a workflow grows one of those, extend the subset here first
+// so the in-repo validation stays meaningful.
+package ciyaml
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates the three node shapes the subset produces.
+type Kind int
+
+const (
+	// ScalarNode is a leaf string value.
+	ScalarNode Kind = iota
+	// MapNode is a key→node block or the synthesized map of a "- key: v"
+	// sequence item.
+	MapNode
+	// SeqNode is a block or flow sequence.
+	SeqNode
+)
+
+// Node is one parsed YAML value. Map preserves no order beyond Keys, which
+// records keys in source order for deterministic iteration.
+type Node struct {
+	Kind   Kind
+	Scalar string
+	Keys   []string
+	Map    map[string]*Node
+	Seq    []*Node
+	Line   int
+}
+
+// Get returns the value for key in a mapping node, or nil when the node is
+// not a mapping or lacks the key.
+func (n *Node) Get(key string) *Node {
+	if n == nil || n.Kind != MapNode {
+		return nil
+	}
+	return n.Map[key]
+}
+
+// Str returns the scalar value, or "" for nil / non-scalar nodes.
+func (n *Node) Str() string {
+	if n == nil || n.Kind != ScalarNode {
+		return ""
+	}
+	return n.Scalar
+}
+
+// line is one significant source line after comment/blank stripping.
+type line struct {
+	indent int
+	text   string
+	num    int
+}
+
+// Parse parses a workflow document into its root node. The root of every
+// workflow is a mapping; anything else is an error.
+func Parse(src []byte) (*Node, error) {
+	lines, err := splitLines(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("ciyaml: empty document")
+	}
+	if lines[0].indent != 0 {
+		return nil, fmt.Errorf("ciyaml: line %d: document must start at column 0", lines[0].num)
+	}
+	p := &parser{lines: lines}
+	root, err := p.parseBlock(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		return nil, fmt.Errorf("ciyaml: line %d: unexpected content after document", p.lines[p.pos].num)
+	}
+	if root.Kind != MapNode {
+		return nil, fmt.Errorf("ciyaml: line %d: workflow root must be a mapping", root.Line)
+	}
+	return root, nil
+}
+
+func splitLines(src []byte) ([]line, error) {
+	var out []line
+	for i, raw := range strings.Split(string(src), "\n") {
+		num := i + 1
+		trimmed := strings.TrimRight(raw, " \r")
+		indent := 0
+		for indent < len(trimmed) && trimmed[indent] == ' ' {
+			indent++
+		}
+		rest := trimmed[indent:]
+		if rest == "" || strings.HasPrefix(rest, "#") {
+			continue
+		}
+		if strings.ContainsRune(trimmed[:indent], '\t') || strings.HasPrefix(rest, "\t") {
+			return nil, fmt.Errorf("ciyaml: line %d: tab in indentation", num)
+		}
+		out = append(out, line{indent: indent, text: rest, num: num})
+	}
+	return out, nil
+}
+
+type parser struct {
+	lines []line
+	pos   int
+}
+
+// parseBlock parses the block starting at the current line, which must sit
+// exactly at indent; it is a sequence if the first line is a dash item and a
+// mapping otherwise.
+func (p *parser) parseBlock(indent int) (*Node, error) {
+	ln := p.lines[p.pos]
+	if ln.indent != indent {
+		return nil, fmt.Errorf("ciyaml: line %d: expected indent %d, got %d", ln.num, indent, ln.indent)
+	}
+	if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+		return p.parseSeq(indent)
+	}
+	return p.parseMap(indent)
+}
+
+func (p *parser) parseMap(indent int) (*Node, error) {
+	node := &Node{Kind: MapNode, Map: map[string]*Node{}, Line: p.lines[p.pos].num}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, fmt.Errorf("ciyaml: line %d: unexpected indent %d inside mapping at %d", ln.num, ln.indent, indent)
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			return nil, fmt.Errorf("ciyaml: line %d: sequence item inside mapping", ln.num)
+		}
+		key, rest, err := splitKey(ln)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := node.Map[key]; dup {
+			return nil, fmt.Errorf("ciyaml: line %d: duplicate key %q", ln.num, key)
+		}
+		p.pos++
+		val, err := p.parseValue(rest, indent, ln.num)
+		if err != nil {
+			return nil, err
+		}
+		node.Keys = append(node.Keys, key)
+		node.Map[key] = val
+	}
+	return node, nil
+}
+
+func (p *parser) parseSeq(indent int) (*Node, error) {
+	node := &Node{Kind: SeqNode, Line: p.lines[p.pos].num}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent != indent || !(strings.HasPrefix(ln.text, "- ") || ln.text == "-") {
+			if ln.indent > indent {
+				return nil, fmt.Errorf("ciyaml: line %d: unexpected indent inside sequence", ln.num)
+			}
+			break
+		}
+		item := strings.TrimPrefix(strings.TrimPrefix(ln.text, "-"), " ")
+		if item == "" {
+			return nil, fmt.Errorf("ciyaml: line %d: empty sequence item", ln.num)
+		}
+		if isMapStart(item) {
+			// "- key: value" starts an inline mapping whose further keys
+			// align under the item content (indent+2). Rewriting the line in
+			// place lets parseMap consume it like any other first pair; the
+			// parser only ever moves forward, so the mutation is safe.
+			p.lines[p.pos] = line{indent: indent + 2, text: item, num: ln.num}
+			m, err := p.parseMap(indent + 2)
+			if err != nil {
+				return nil, err
+			}
+			node.Seq = append(node.Seq, m)
+			continue
+		}
+		p.pos++
+		node.Seq = append(node.Seq, &Node{Kind: ScalarNode, Scalar: unquote(item), Line: ln.num})
+	}
+	return node, nil
+}
+
+// parseValue parses what follows "key:" — an inline scalar, a flow sequence,
+// a literal block scalar, or (when rest is empty) a nested block.
+func (p *parser) parseValue(rest string, indent, num int) (*Node, error) {
+	switch {
+	case rest == "":
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			return p.parseBlock(p.lines[p.pos].indent)
+		}
+		return &Node{Kind: ScalarNode, Scalar: "", Line: num}, nil
+	case rest == "|" || rest == "|-":
+		return p.parseLiteral(indent, num)
+	case strings.HasPrefix(rest, "["):
+		return parseFlowSeq(rest, num)
+	case strings.HasPrefix(rest, "{"):
+		return nil, fmt.Errorf("ciyaml: line %d: flow mappings are outside the supported subset", num)
+	case strings.HasPrefix(rest, "&") || strings.HasPrefix(rest, "*"):
+		return nil, fmt.Errorf("ciyaml: line %d: anchors/aliases are outside the supported subset", num)
+	default:
+		return &Node{Kind: ScalarNode, Scalar: unquote(rest), Line: num}, nil
+	}
+}
+
+// parseLiteral consumes a "|" block scalar: every following line more
+// indented than the key, dedented to the block's minimum indentation.
+func (p *parser) parseLiteral(indent, num int) (*Node, error) {
+	start := p.pos
+	end := start
+	minIndent := -1
+	for end < len(p.lines) && p.lines[end].indent > indent {
+		if minIndent == -1 || p.lines[end].indent < minIndent {
+			minIndent = p.lines[end].indent
+		}
+		end++
+	}
+	if end == start {
+		return nil, fmt.Errorf("ciyaml: line %d: empty literal block", num)
+	}
+	var b strings.Builder
+	for _, ln := range p.lines[start:end] {
+		b.WriteString(strings.Repeat(" ", ln.indent-minIndent))
+		b.WriteString(ln.text)
+		b.WriteString("\n")
+	}
+	p.pos = end
+	return &Node{Kind: ScalarNode, Scalar: b.String(), Line: num}, nil
+}
+
+func parseFlowSeq(rest string, num int) (*Node, error) {
+	if !strings.HasSuffix(rest, "]") {
+		return nil, fmt.Errorf("ciyaml: line %d: unterminated flow sequence", num)
+	}
+	inner := strings.TrimSpace(rest[1 : len(rest)-1])
+	node := &Node{Kind: SeqNode, Line: num}
+	if inner == "" {
+		return node, nil
+	}
+	for _, part := range strings.Split(inner, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("ciyaml: line %d: empty element in flow sequence", num)
+		}
+		node.Seq = append(node.Seq, &Node{Kind: ScalarNode, Scalar: unquote(part), Line: num})
+	}
+	return node, nil
+}
+
+// splitKey separates "key: rest" / "key:", respecting that ${{ ... }}
+// expressions never appear in keys in this subset.
+func splitKey(ln line) (key, rest string, err error) {
+	idx := strings.Index(ln.text, ":")
+	if idx <= 0 {
+		return "", "", fmt.Errorf("ciyaml: line %d: expected \"key: value\"", ln.num)
+	}
+	key = unquote(strings.TrimSpace(ln.text[:idx]))
+	rest = strings.TrimSpace(ln.text[idx+1:])
+	if key == "" {
+		return "", "", fmt.Errorf("ciyaml: line %d: empty key", ln.num)
+	}
+	return key, rest, nil
+}
+
+func isMapStart(item string) bool {
+	idx := strings.Index(item, ": ")
+	if idx <= 0 {
+		idx = len(item) - 1
+		if !strings.HasSuffix(item, ":") {
+			return false
+		}
+	}
+	head := item[:idx]
+	// A scalar like "127.0.0.1:0" is not a map start: keys in this subset
+	// are bare identifiers (letters, digits, dash, underscore).
+	for _, r := range head {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			return s[1 : len(s)-1]
+		}
+	}
+	return s
+}
+
+// Problem is one structural defect found by CheckWorkflow.
+type Problem struct {
+	Line int
+	Msg  string
+}
+
+func (p Problem) String() string { return fmt.Sprintf("line %d: %s", p.Line, p.Msg) }
+
+// knownEvents are the trigger names the validator accepts under "on:".
+var knownEvents = map[string]bool{
+	"push": true, "pull_request": true, "schedule": true,
+	"workflow_dispatch": true, "workflow_call": true,
+}
+
+// CheckWorkflow validates the structural invariants every workflow in this
+// repo must satisfy: a name, at least one known trigger, and jobs that each
+// declare runs-on and a non-empty steps list where every step either `uses`
+// a version-pinned action or `run`s a command.
+func CheckWorkflow(doc *Node) []Problem {
+	var probs []Problem
+	bad := func(n *Node, format string, args ...any) {
+		ln := 0
+		if n != nil {
+			ln = n.Line
+		}
+		probs = append(probs, Problem{Line: ln, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	if doc.Get("name").Str() == "" {
+		bad(doc, "workflow has no name")
+	}
+	checkTriggers(doc, bad)
+
+	jobs := doc.Get("jobs")
+	if jobs == nil || jobs.Kind != MapNode || len(jobs.Keys) == 0 {
+		bad(doc, "workflow declares no jobs")
+		return probs
+	}
+	for _, id := range jobs.Keys {
+		checkJob(id, jobs.Map[id], bad)
+	}
+	return probs
+}
+
+func checkTriggers(doc *Node, bad func(*Node, string, ...any)) {
+	on := doc.Get("on")
+	if on == nil {
+		bad(doc, "workflow has no \"on:\" triggers")
+		return
+	}
+	var events []string
+	switch on.Kind {
+	case ScalarNode:
+		events = []string{on.Scalar}
+	case SeqNode:
+		for _, e := range on.Seq {
+			events = append(events, e.Str())
+		}
+	case MapNode:
+		events = on.Keys
+	}
+	if len(events) == 0 {
+		bad(on, "\"on:\" lists no events")
+	}
+	for _, e := range events {
+		if !knownEvents[e] {
+			bad(on, "unknown trigger event %q", e)
+		}
+	}
+}
+
+func checkJob(id string, job *Node, bad func(*Node, string, ...any)) {
+	if job == nil || job.Kind != MapNode {
+		bad(job, "job %q is not a mapping", id)
+		return
+	}
+	if job.Get("runs-on").Str() == "" {
+		bad(job, "job %q has no runs-on", id)
+	}
+	if m := job.Get("strategy").Get("matrix"); job.Get("strategy") != nil && (m == nil || m.Kind != MapNode || len(m.Keys) == 0) {
+		bad(job.Get("strategy"), "job %q: strategy without a matrix mapping", id)
+	}
+	steps := job.Get("steps")
+	if steps == nil || steps.Kind != SeqNode || len(steps.Seq) == 0 {
+		bad(job, "job %q has no steps", id)
+		return
+	}
+	for i, step := range steps.Seq {
+		checkStep(id, i, step, bad)
+	}
+}
+
+func checkStep(job string, i int, step *Node, bad func(*Node, string, ...any)) {
+	if step.Kind != MapNode {
+		bad(step, "job %q step %d is not a mapping", job, i+1)
+		return
+	}
+	uses, run := step.Get("uses"), step.Get("run")
+	switch {
+	case uses == nil && run == nil:
+		bad(step, "job %q step %d has neither uses nor run", job, i+1)
+	case uses != nil && run != nil:
+		bad(step, "job %q step %d has both uses and run", job, i+1)
+	case uses != nil:
+		ref := uses.Str()
+		at := strings.LastIndex(ref, "@")
+		if !strings.Contains(ref, "/") || at <= 0 || at == len(ref)-1 {
+			bad(uses, "job %q step %d: uses %q is not pinned as owner/repo@ref", job, i+1, ref)
+		}
+	}
+}
+
+// ScriptRefs returns every repo script path (scripts/*.sh) mentioned in any
+// run step of the workflow, sorted and deduplicated, so callers can verify
+// the referenced files exist.
+func ScriptRefs(doc *Node) []string {
+	seen := map[string]bool{}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		switch n.Kind {
+		case ScalarNode:
+			for _, f := range strings.Fields(n.Scalar) {
+				if strings.HasPrefix(f, "scripts/") && strings.HasSuffix(f, ".sh") {
+					seen[f] = true
+				}
+			}
+		case MapNode:
+			for _, k := range n.Keys {
+				walk(n.Map[k])
+			}
+		case SeqNode:
+			for _, e := range n.Seq {
+				walk(e)
+			}
+		}
+	}
+	walk(doc)
+	refs := make([]string, 0, len(seen))
+	for r := range seen {
+		refs = append(refs, r)
+	}
+	sort.Strings(refs)
+	return refs
+}

@@ -1,0 +1,212 @@
+package ciyaml
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Node {
+	t.Helper()
+	doc, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return doc
+}
+
+func TestParseScalarAndNesting(t *testing.T) {
+	doc := mustParse(t, `
+name: demo
+on:
+  push:
+    branches: [main, "release"]
+jobs:
+  build:
+    runs-on: ubuntu-latest
+    steps:
+      - uses: actions/checkout@v4
+      - name: go
+        run: |
+          go build ./...
+          go test ./...
+`)
+	if got := doc.Get("name").Str(); got != "demo" {
+		t.Errorf("name = %q, want demo", got)
+	}
+	branches := doc.Get("on").Get("push").Get("branches")
+	if branches == nil || branches.Kind != SeqNode || len(branches.Seq) != 2 {
+		t.Fatalf("branches = %+v, want 2-element seq", branches)
+	}
+	if branches.Seq[1].Str() != "release" {
+		t.Errorf("quoted flow element = %q, want release", branches.Seq[1].Str())
+	}
+	steps := doc.Get("jobs").Get("build").Get("steps")
+	if len(steps.Seq) != 2 {
+		t.Fatalf("steps = %d, want 2", len(steps.Seq))
+	}
+	if got := steps.Seq[0].Get("uses").Str(); got != "actions/checkout@v4" {
+		t.Errorf("step 0 uses = %q", got)
+	}
+	run := steps.Seq[1].Get("run").Str()
+	if run != "go build ./...\ngo test ./...\n" {
+		t.Errorf("literal block = %q", run)
+	}
+}
+
+func TestParseSequenceItemScalars(t *testing.T) {
+	doc := mustParse(t, "xs:\n  - one\n  - 127.0.0.1:0\n")
+	xs := doc.Get("xs")
+	if len(xs.Seq) != 2 {
+		t.Fatalf("len = %d, want 2", len(xs.Seq))
+	}
+	// "127.0.0.1:0" contains a colon but is not a mapping key.
+	if got := xs.Seq[1].Str(); got != "127.0.0.1:0" {
+		t.Errorf("scalar item = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"tab indent":     "a:\n\tb: 1\n",
+		"duplicate key":  "a: 1\na: 2\n",
+		"root sequence":  "- a\n- b\n",
+		"flow mapping":   "a: {b: 1}\n",
+		"anchor":         "a: &x 1\n",
+		"bad indent":     "a:\n    b: 1\n  c: 2\n",
+		"unclosed flow":  "a: [1, 2\n",
+		"missing colon":  "just words\n",
+		"empty literal":  "a: |\nb: 1\n",
+		"seq in map":     "a: 1\n- b\n",
+		"empty seq item": "xs:\n  -\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("%s: Parse accepted invalid input", name)
+		}
+	}
+}
+
+func TestCheckWorkflowCatchesDefects(t *testing.T) {
+	cases := map[string]string{
+		"no name":       "on: push\njobs:\n  a:\n    runs-on: x\n    steps:\n      - run: true\n",
+		"no triggers":   "name: x\njobs:\n  a:\n    runs-on: x\n    steps:\n      - run: true\n",
+		"bad trigger":   "name: x\non: pushh\njobs:\n  a:\n    runs-on: x\n    steps:\n      - run: true\n",
+		"no jobs":       "name: x\non: push\njobs:\n",
+		"no runs-on":    "name: x\non: push\njobs:\n  a:\n    steps:\n      - run: true\n",
+		"no steps":      "name: x\non: push\njobs:\n  a:\n    runs-on: x\n",
+		"bare step":     "name: x\non: push\njobs:\n  a:\n    runs-on: x\n    steps:\n      - name: hm\n",
+		"unpinned uses": "name: x\non: push\njobs:\n  a:\n    runs-on: x\n    steps:\n      - uses: actions/checkout\n",
+		"empty matrix":  "name: x\non: push\njobs:\n  a:\n    runs-on: x\n    strategy:\n      fail-fast: false\n    steps:\n      - run: true\n",
+		"uses plus run": "name: x\non: push\njobs:\n  a:\n    runs-on: x\n    steps:\n      - uses: a/b@v1\n        run: true\n",
+	}
+	for name, src := range cases {
+		doc := mustParse(t, src)
+		if probs := CheckWorkflow(doc); len(probs) == 0 {
+			t.Errorf("%s: CheckWorkflow found no problems", name)
+		}
+	}
+}
+
+// repoRoot walks up from the package directory to the directory holding
+// go.mod, so the test finds the real workflow file regardless of cwd.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above package directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoWorkflowsValid is the point of this package: every committed
+// workflow parses, passes the structural checks, and only references repo
+// scripts that actually exist.
+func TestRepoWorkflowsValid(t *testing.T) {
+	root := repoRoot(t)
+	pattern := filepath.Join(root, ".github", "workflows", "*.yml")
+	files, err := filepath.Glob(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no workflow files match %s", pattern)
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, err := Parse(src)
+		if err != nil {
+			t.Errorf("%s: %v", filepath.Base(f), err)
+			continue
+		}
+		for _, p := range CheckWorkflow(doc) {
+			t.Errorf("%s: %s", filepath.Base(f), p)
+		}
+		for _, ref := range ScriptRefs(doc) {
+			if _, err := os.Stat(filepath.Join(root, ref)); err != nil {
+				t.Errorf("%s: references missing script %s", filepath.Base(f), ref)
+			}
+		}
+	}
+}
+
+// TestCIWorkflowShape pins the specifics ISSUE-level requirements of
+// ci.yml: a blocking check job on the two most recent Go releases with
+// caching, and a non-blocking bench-compare job.
+func TestCIWorkflowShape(t *testing.T) {
+	root := repoRoot(t)
+	src, err := os.ReadFile(filepath.Join(root, ".github", "workflows", "ci.yml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := doc.Get("jobs")
+
+	check := jobs.Get("check")
+	if check == nil {
+		t.Fatal("ci.yml has no check job")
+	}
+	goVers := check.Get("strategy").Get("matrix").Get("go")
+	if goVers == nil || len(goVers.Seq) != 2 {
+		t.Fatalf("check matrix go = %+v, want [oldstable stable]", goVers)
+	}
+	want := map[string]bool{"oldstable": true, "stable": true}
+	for _, v := range goVers.Seq {
+		if !want[v.Str()] {
+			t.Errorf("unexpected matrix go version %q", v.Str())
+		}
+	}
+	cached := false
+	for _, step := range check.Get("steps").Seq {
+		if step.Get("uses") != nil && step.Get("with").Get("cache").Str() == "true" {
+			cached = true
+		}
+	}
+	if !cached {
+		t.Error("check job does not enable setup-go caching")
+	}
+
+	bench := jobs.Get("bench-compare")
+	if bench == nil {
+		t.Fatal("ci.yml has no bench-compare job")
+	}
+	if bench.Get("continue-on-error").Str() != "true" {
+		t.Error("bench-compare must be non-blocking (continue-on-error: true)")
+	}
+}

@@ -1,0 +1,88 @@
+package compress
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/internal/trajectory"
+)
+
+// BatchOptions configures the batch compression worker pool.
+type BatchOptions struct {
+	// Parallelism bounds the number of concurrent workers; values ≤ 0
+	// select GOMAXPROCS. The pool never spawns more workers than there are
+	// trajectories.
+	Parallelism int
+}
+
+// workers resolves the effective worker count for n items.
+func (o BatchOptions) workers(n int) int {
+	w := o.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// CompressAll compresses every trajectory with alg on a bounded worker
+// pool, preserving input order — the batch path for archival jobs over
+// large fleets and for the paper's experiment grid. The paper's algorithms
+// are embarrassingly parallel across objects: one trajectory per worker.
+// Algorithms are pure and value-typed, so one instance is shared safely
+// across workers.
+//
+// Cancelling ctx abandons trajectories not yet started and returns
+// ctx.Err(); in-flight compressions finish first (Compress is not
+// interruptible). On success the result has exactly one output per input,
+// identical to the serial loop's.
+func CompressAll(ctx context.Context, alg Algorithm, opts BatchOptions, ps []trajectory.Trajectory) ([]trajectory.Trajectory, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]trajectory.Trajectory, len(ps))
+	workers := opts.workers(len(ps))
+	if workers <= 1 {
+		for i, p := range ps {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			out[i] = alg.Compress(p)
+		}
+		return out, nil
+	}
+
+	// errgroup-style bounded pool on the stdlib: a dispatch channel feeds
+	// indices to workers; cancellation stops dispatch, workers drain, and
+	// the first context error is returned.
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = alg.Compress(ps[i])
+			}
+		}()
+	}
+	err := func() error {
+		defer close(next)
+		for i := range ps {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		return nil
+	}()
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -24,8 +24,6 @@ package compress
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/trajectory"
 )
@@ -50,41 +48,6 @@ func Rate(origLen, compLen int) float64 {
 		return 0
 	}
 	return 100 * float64(origLen-compLen) / float64(origLen)
-}
-
-// CompressAll compresses every trajectory with alg concurrently (a worker
-// per CPU), preserving input order — the batch path for archival jobs over
-// large fleets. Algorithms are pure and value-typed, so one instance is
-// shared safely across workers.
-func CompressAll(alg Algorithm, ps []trajectory.Trajectory) []trajectory.Trajectory {
-	out := make([]trajectory.Trajectory, len(ps))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(ps) {
-		workers = len(ps)
-	}
-	if workers <= 1 {
-		for i, p := range ps {
-			out[i] = alg.Compress(p)
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i] = alg.Compress(ps[i])
-			}
-		}()
-	}
-	for i := range ps {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return out
 }
 
 // small returns p unchanged when it is too short to compress (fewer than 3

@@ -1,6 +1,7 @@
 package compress
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -267,7 +268,10 @@ func TestCompressAll(t *testing.T) {
 		ps[i] = randomTrack(rng, 30+rng.Intn(150))
 	}
 	alg := TDTR{Threshold: 40}
-	got := CompressAll(alg, ps)
+	got, err := CompressAll(context.Background(), alg, BatchOptions{Parallelism: 4}, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != len(ps) {
 		t.Fatalf("got %d results", len(got))
 	}
@@ -282,11 +286,11 @@ func TestCompressAll(t *testing.T) {
 			}
 		}
 	}
-	if out := CompressAll(alg, nil); len(out) != 0 {
-		t.Errorf("empty input gave %d results", len(out))
+	if out, err := CompressAll(context.Background(), alg, BatchOptions{}, nil); err != nil || len(out) != 0 {
+		t.Errorf("empty input gave %d results, err %v", len(out), err)
 	}
-	if out := CompressAll(alg, ps[:1]); len(out) != 1 {
-		t.Errorf("single input gave %d results", len(out))
+	if out, err := CompressAll(context.Background(), alg, BatchOptions{}, ps[:1]); err != nil || len(out) != 1 {
+		t.Errorf("single input gave %d results, err %v", len(out), err)
 	}
 }
 

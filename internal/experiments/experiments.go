@@ -11,8 +11,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/compress"
 	"repro/internal/gpsgen"
@@ -68,6 +71,44 @@ type Factory struct {
 	New  func(distThreshold float64) compress.Algorithm
 }
 
+// GridOptions configures SweepGrid's worker pool.
+type GridOptions struct {
+	// Parallelism bounds the number of grid cells evaluated concurrently
+	// (one cell = one algorithm at one threshold over the whole dataset);
+	// values ≤ 0 select the package default (see SetDefaultGridParallelism),
+	// which itself defaults to GOMAXPROCS.
+	Parallelism int
+	// CellParallelism is handed to compress.CompressAll as the per-cell
+	// trajectory worker bound; values ≤ 0 compress each cell's trajectories
+	// serially (the grid-level fan-out already saturates the CPUs; raise
+	// this only for few-cell sweeps over large fleets).
+	CellParallelism int
+}
+
+// defaultGridPar is the pool width the convenience wrappers (Sweep, SweepOn,
+// SweepAll and the Figure regenerators) use; ≤ 0 means GOMAXPROCS.
+var defaultGridPar atomic.Int64
+
+// SetDefaultGridParallelism sets the worker-pool width used when
+// GridOptions.Parallelism is not supplied explicitly; n ≤ 0 restores the
+// GOMAXPROCS default. It exists for cmd/experiments' -parallel flag and
+// should be set before sweeps start.
+func SetDefaultGridParallelism(n int) { defaultGridPar.Store(int64(n)) }
+
+func (o GridOptions) workers(cells int) int {
+	w := o.Parallelism
+	if w <= 0 {
+		w = int(defaultGridPar.Load())
+	}
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > cells {
+		w = cells
+	}
+	return w
+}
+
 // Sweep runs one algorithm family over all thresholds and the standard
 // dataset.
 func Sweep(f Factory) Series { return SweepOn(Dataset(), f) }
@@ -76,31 +117,110 @@ func Sweep(f Factory) Series { return SweepOn(Dataset(), f) }
 // dataset — used by robustness checks that re-run the evaluation on
 // different synthetic seeds.
 func SweepOn(ds []trajectory.Trajectory, f Factory) Series {
-	ths := Thresholds()
-	s := Series{Name: f.Name, Thresholds: ths}
-	for _, th := range ths {
-		comp, errAvg := runPointOn(ds, f.New(th))
-		s.Compression = append(s.Compression, comp)
-		s.Error = append(s.Error, errAvg)
+	out, err := SweepGrid(context.Background(), ds, []Factory{f}, GridOptions{})
+	if err != nil {
+		panic(err) // unreachable: the background context is never cancelled
 	}
-	return s
+	return out[0]
 }
 
-// SweepAll runs several families concurrently (the sweeps are pure and the
-// dataset is shared read-only), preserving input order in the result.
+// SweepAll runs several families over the standard dataset on one shared
+// worker pool (the sweeps are pure and the dataset is read-only),
+// preserving input order in the result.
 func SweepAll(fs ...Factory) []Series {
-	Dataset() // materialize once before fanning out
-	out := make([]Series, len(fs))
-	var wg sync.WaitGroup
-	for i, f := range fs {
-		wg.Add(1)
-		go func(i int, f Factory) {
-			defer wg.Done()
-			out[i] = Sweep(f)
-		}(i, f)
+	out, err := SweepGrid(context.Background(), Dataset(), fs, GridOptions{})
+	if err != nil {
+		panic(err) // unreachable: the background context is never cancelled
 	}
-	wg.Wait()
 	return out
+}
+
+// SweepGrid evaluates the full (factory × threshold) grid of the paper's
+// evaluation — e.g. 10 trajectories × 15 thresholds × several algorithm
+// families — on a bounded worker pool: the algorithms are embarrassingly
+// parallel across grid cells, so cells are dispatched errgroup-style to
+// Parallelism workers. Per-cell compression flows through
+// compress.CompressAll. Cancelling ctx abandons cells not yet started and
+// returns ctx.Err(); otherwise one Series per factory is returned in input
+// order.
+func SweepGrid(ctx context.Context, ds []trajectory.Trajectory, fs []Factory, opts GridOptions) ([]Series, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ths := Thresholds()
+	out := make([]Series, len(fs))
+	for i, f := range fs {
+		out[i] = Series{
+			Name:        f.Name,
+			Thresholds:  ths,
+			Compression: make([]float64, len(ths)),
+			Error:       make([]float64, len(ths)),
+		}
+	}
+
+	type cell struct{ fi, ti int }
+	cells := make([]cell, 0, len(fs)*len(ths))
+	for fi := range fs {
+		for ti := range ths {
+			cells = append(cells, cell{fi, ti})
+		}
+	}
+	run := func(c cell) error {
+		comp, errAvg, err := runPointCtx(ctx, ds, fs[c.fi].New(ths[c.ti]), opts.CellParallelism)
+		if err != nil {
+			return err
+		}
+		out[c.fi].Compression[c.ti] = comp
+		out[c.fi].Error[c.ti] = errAvg
+		return nil
+	}
+
+	workers := opts.workers(len(cells))
+	if workers <= 1 {
+		for _, c := range cells {
+			if err := run(c); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
+	next := make(chan cell)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range next {
+				if err := run(c); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+			}
+		}()
+	}
+	dispatchErr := func() error {
+		defer close(next)
+		for _, c := range cells {
+			select {
+			case next <- c:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		return nil
+	}()
+	wg.Wait()
+	if dispatchErr != nil {
+		return nil, dispatchErr
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
 }
 
 // runPoint compresses every dataset trajectory with alg and returns the
@@ -110,8 +230,26 @@ func runPoint(alg compress.Algorithm) (compPct, errAvg float64) {
 }
 
 func runPointOn(ds []trajectory.Trajectory, alg compress.Algorithm) (compPct, errAvg float64) {
-	for _, p := range ds {
-		a := alg.Compress(p)
+	compPct, errAvg, err := runPointCtx(context.Background(), ds, alg, 1)
+	if err != nil {
+		panic(err) // unreachable: the background context is never cancelled
+	}
+	return compPct, errAvg
+}
+
+// runPointCtx evaluates one grid cell: it batch-compresses the dataset with
+// alg (compress.CompressAll, cellPar workers) and averages the compression
+// rate and synchronized error over the trajectories.
+func runPointCtx(ctx context.Context, ds []trajectory.Trajectory, alg compress.Algorithm, cellPar int) (compPct, errAvg float64, _ error) {
+	if cellPar <= 0 {
+		cellPar = 1
+	}
+	outs, err := compress.CompressAll(ctx, alg, compress.BatchOptions{Parallelism: cellPar}, ds)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i, p := range ds {
+		a := outs[i]
 		compPct += compress.Rate(p.Len(), a.Len())
 		e, err := sed.AvgError(p, a)
 		if err != nil {
@@ -122,7 +260,7 @@ func runPointOn(ds []trajectory.Trajectory, alg compress.Algorithm) (compPct, er
 		errAvg += e
 	}
 	n := float64(len(ds))
-	return compPct / n, errAvg / n
+	return compPct / n, errAvg / n, nil
 }
 
 // Standard factories for the algorithms the paper compares.

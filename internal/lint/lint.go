@@ -120,7 +120,8 @@ func DefaultLayerRules() map[string][]string {
 		"plot":       {"geo", "trajectory"},
 		"experiments": {"geo", "trajectory", "sed", "compress", "gpsgen",
 			"quality", "mapmatch", "roadnet", "plot"},
-		"lint": {},
+		"lint":   {},
+		"ciyaml": {},
 	}
 }
 

@@ -11,12 +11,29 @@
 // hence index size and snapshot size — drops by the compression rates of the
 // paper's experiments while queries keep working within the configured
 // error bound.
+//
+// # Sharding and consistency
+//
+// The store is partitioned into a power-of-two number of shards
+// (Options.Shards) by the FNV-1a hash of the object ID. Each shard owns its
+// objects, their retained trajectories, and its segment of the
+// spatiotemporal index, under its own lock — so appends to objects on
+// different shards never contend, and eviction sweeps one shard at a time
+// instead of stalling every writer.
+//
+// Per-object operations (Append, Snapshot, PositionAt, History, Retained)
+// are atomic: they touch exactly one shard. Cross-object operations (Query,
+// QueryWithTolerance, Nearest, IDs, Stats, EvictBefore, Save) visit the
+// shards in a fixed order, locking one at a time; each shard's contribution
+// is internally consistent, but there is no global snapshot lock, so an
+// append racing such an operation may be reflected on some shards and not
+// others. For a quiescent store (no concurrent writers) every result is
+// exact, and results never mix two states of the same object.
 package store
 
 import (
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/codec"
@@ -48,6 +65,12 @@ type Options struct {
 	// CellSize is the spatial grid cell edge in metres for IndexGrid;
 	// 0 selects 1000 m. Ignored by IndexRTree.
 	CellSize float64
+	// Shards selects the number of independent store shards. Values ≤ 0
+	// select the default max(8, 2×GOMAXPROCS); any other value is rounded
+	// up to the next power of two. One shard reproduces the old
+	// single-lock store. See the package comment for the consistency
+	// model.
+	Shards int
 	// ErrorBound records the on-ingest compressor's synchronized max-error
 	// guarantee in metres (e.g. the distance threshold of an OPW-TR or
 	// OPW-SP compressor). It is informational: PositionBoundAt reports it
@@ -63,6 +86,8 @@ type Options struct {
 }
 
 // instruments holds the store's registered metrics; see Options.Metrics.
+// All counters and gauges are updated with per-shard deltas, so the totals
+// stay additive regardless of the shard count.
 type instruments struct {
 	appends       *metrics.Counter
 	appendErrors  *metrics.Counter
@@ -71,6 +96,7 @@ type instruments struct {
 	indexSegments *metrics.Gauge
 	evictions     *metrics.Counter
 	evictedPts    *metrics.Counter
+	shards        *metrics.Gauge
 	querySeconds  map[string]*metrics.Histogram // by query kind
 }
 
@@ -90,19 +116,18 @@ func newInstruments(r *metrics.Registry) *instruments {
 		indexSegments: r.Gauge("store_index_segments"),
 		evictions:     r.Counter("store_evictions_total"),
 		evictedPts:    r.Counter("store_evicted_samples_total"),
+		shards:        r.Gauge("store_shards"),
 		querySeconds:  kinds,
 	}
 }
 
-// Store is safe for concurrent use.
+// Store is safe for concurrent use. See the package comment for the
+// sharding and consistency model.
 type Store struct {
-	mu      sync.RWMutex
-	opts    Options
-	objects map[string]*object
-	index   spatialIndex
-	rawPts  int
-	idxSegs int // segments currently in the index, mirrored to ins.indexSegments
-	ins     *instruments
+	opts   Options
+	shards []*shard
+	mask   uint32
+	ins    *instruments
 }
 
 type object struct {
@@ -117,13 +142,6 @@ func New(opts Options) *Store {
 	if opts.CellSize <= 0 {
 		opts.CellSize = 1000
 	}
-	var idx spatialIndex
-	switch opts.Index {
-	case IndexRTree:
-		idx = newRTreeIndex()
-	default:
-		idx = newGridIndex(opts.CellSize)
-	}
 	if opts.NewCompressor != nil {
 		// Wrap every per-object compressor so the live compression ratio
 		// and window occupancy are observable (internal/stream instruments).
@@ -133,13 +151,27 @@ func New(opts Options) *Store {
 			return stream.Instrument(inner(), streamIns)
 		}
 	}
-	return &Store{
-		opts:    opts,
-		objects: make(map[string]*object),
-		index:   idx,
-		ins:     newInstruments(opts.Metrics),
+	n := normalizeShards(opts.Shards)
+	shards := make([]*shard, n)
+	for i := range shards {
+		shards[i] = &shard{
+			objects: make(map[string]*object),
+			index:   newIndex(opts),
+		}
 	}
+	st := &Store{
+		opts:   opts,
+		shards: shards,
+		mask:   uint32(n - 1),
+		ins:    newInstruments(opts.Metrics),
+	}
+	st.ins.shards.Set(float64(n))
+	return st
 }
+
+// NumShards returns the number of shards the store actually uses (the
+// normalized power of two; see Options.Shards).
+func (st *Store) NumShards() int { return len(st.shards) }
 
 // Append ingests one observation for the given object. Observations must
 // arrive in strictly increasing time order per object.
@@ -157,16 +189,17 @@ func (st *Store) AppendObserved(id string, s trajectory.Sample) ([]trajectory.Sa
 		st.ins.appendErrors.Inc()
 		return nil, fmt.Errorf("store: object %q: %w", id, trajectory.ErrNotFinite)
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	sh := st.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 
-	obj := st.objects[id]
+	obj := sh.objects[id]
 	if obj == nil {
 		obj = &object{}
 		if st.opts.NewCompressor != nil {
 			obj.comp = st.opts.NewCompressor()
 		}
-		st.objects[id] = obj
+		sh.objects[id] = obj
 		st.ins.objects.Inc()
 	}
 	if obj.rawSeen > 0 && s.T <= obj.lastRaw.T {
@@ -176,7 +209,7 @@ func (st *Store) AppendObserved(id string, s trajectory.Sample) ([]trajectory.Sa
 
 	var retained []trajectory.Sample
 	if obj.comp == nil {
-		st.retain(id, obj, s)
+		st.retain(sh, id, obj, s)
 		retained = []trajectory.Sample{s}
 	} else {
 		emitted, err := obj.comp.Push(s)
@@ -185,13 +218,13 @@ func (st *Store) AppendObserved(id string, s trajectory.Sample) ([]trajectory.Sa
 			return nil, fmt.Errorf("store: object %q: %w", id, err)
 		}
 		for _, e := range emitted {
-			st.retain(id, obj, e)
+			st.retain(sh, id, obj, e)
 		}
 		retained = emitted
 	}
 	obj.lastRaw = s
 	obj.rawSeen++
-	st.rawPts++
+	sh.rawPts++
 	st.ins.appends.Inc()
 	return retained, nil
 }
@@ -204,34 +237,36 @@ func (st *Store) Restore(id string, s trajectory.Sample) error {
 	if !s.IsFinite() {
 		return fmt.Errorf("store: object %q: %w", id, trajectory.ErrNotFinite)
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	obj := st.objects[id]
+	sh := st.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	obj := sh.objects[id]
 	if obj == nil {
 		obj = &object{}
 		if st.opts.NewCompressor != nil {
 			obj.comp = st.opts.NewCompressor()
 		}
-		st.objects[id] = obj
+		sh.objects[id] = obj
 		st.ins.objects.Inc()
 	}
 	if obj.rawSeen > 0 && s.T <= obj.lastRaw.T {
 		return fmt.Errorf("store: object %q: %w: t=%v after t=%v", id, trajectory.ErrUnsorted, s.T, obj.lastRaw.T)
 	}
-	st.retain(id, obj, s)
+	st.retain(sh, id, obj, s)
 	obj.lastRaw = s
 	obj.rawSeen++
-	st.rawPts++
+	sh.rawPts++
 	st.ins.appends.Inc()
 	return nil
 }
 
-// retain appends a finalized sample and indexes the new segment.
-func (st *Store) retain(id string, obj *object, s trajectory.Sample) {
+// retain appends a finalized sample and indexes the new segment in the
+// object's shard. The shard's lock must be held.
+func (st *Store) retain(sh *shard, id string, obj *object, s trajectory.Sample) {
 	if n := obj.retained.Len(); n > 0 {
 		prev := obj.retained[n-1]
-		st.index.insert(id, geo.Seg(prev.Pos(), s.Pos()).Bounds(), prev.T, s.T)
-		st.idxSegs++
+		sh.index.insert(id, geo.Seg(prev.Pos(), s.Pos()).Bounds(), prev.T, s.T)
+		sh.idxSegs++
 		st.ins.indexSegments.Inc()
 	}
 	obj.retained = append(obj.retained, s)
@@ -242,9 +277,10 @@ func (st *Store) retain(id string, obj *object, s trajectory.Sample) {
 // object, without the buffered tail. This is the stream write-ahead logging
 // persists. The boolean is false for unknown objects.
 func (st *Store) Retained(id string) (trajectory.Trajectory, bool) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	obj := st.objects[id]
+	sh := st.shardOf(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	obj := sh.objects[id]
 	if obj == nil {
 		return nil, false
 	}
@@ -256,16 +292,19 @@ func (st *Store) Retained(id string) (trajectory.Trajectory, bool) {
 // recent raw observation (so the present position is always visible). The
 // boolean is false for unknown objects.
 func (st *Store) Snapshot(id string) (trajectory.Trajectory, bool) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	obj := st.objects[id]
+	sh := st.shardOf(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	obj := sh.objects[id]
 	if obj == nil {
 		return nil, false
 	}
-	return st.snapshotLocked(obj), true
+	return obj.snapshot(), true
 }
 
-func (st *Store) snapshotLocked(obj *object) trajectory.Trajectory {
+// snapshot builds the queryable trajectory of the object; the owning
+// shard's lock must be held.
+func (obj *object) snapshot() trajectory.Trajectory {
 	out := obj.retained.Clone()
 	if obj.rawSeen > 0 {
 		if n := out.Len(); n == 0 || obj.lastRaw.T > out[n-1].T {
@@ -312,13 +351,16 @@ func (st *Store) PositionBoundAt(id string, t float64) (pos geo.Point, radius fl
 	return pos, st.opts.ErrorBound, ok
 }
 
-// IDs returns the identifiers of all stored objects, sorted.
+// IDs returns the identifiers of all stored objects, sorted. Shards are
+// visited in order; see the package comment for the consistency model.
 func (st *Store) IDs() []string {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	out := make([]string, 0, len(st.objects))
-	for id := range st.objects {
-		out = append(out, id)
+	var out []string
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+		for id := range sh.objects {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -334,32 +376,36 @@ func (st *Store) Query(rect geo.Rect, t0, t1 float64) []string {
 	return st.queryIDs(rect, t0, t1)
 }
 
-// queryIDs is the shared, untimed range-query body.
+// queryIDs is the shared, untimed range-query body: an ordered sweep over
+// the shards, merging each shard's index hits and buffered-tail checks.
 func (st *Store) queryIDs(rect geo.Rect, t0, t1 float64) []string {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	hits := st.index.query(rect, t0, t1)
-	// The buffered tail segment (last retained → last raw) is not indexed;
-	// check it directly so freshly ingested movement is queryable.
-	for id, obj := range st.objects {
-		if hits[id] || obj.rawSeen == 0 {
-			continue
-		}
-		if n := obj.retained.Len(); n > 0 && obj.lastRaw.T > obj.retained[n-1].T {
-			prev := obj.retained[n-1]
-			box := geo.Seg(prev.Pos(), obj.lastRaw.Pos()).Bounds()
-			if box.Intersects(rect) && overlaps(prev.T, obj.lastRaw.T, t0, t1) {
-				hits[id] = true
+	var out []string
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+		hits := sh.index.query(rect, t0, t1)
+		// The buffered tail segment (last retained → last raw) is not
+		// indexed; check it directly so freshly ingested movement is
+		// queryable.
+		for id, obj := range sh.objects {
+			if hits[id] || obj.rawSeen == 0 {
+				continue
 			}
-		} else if n == 0 {
-			if rect.Contains(obj.lastRaw.Pos()) && overlaps(obj.lastRaw.T, obj.lastRaw.T, t0, t1) {
-				hits[id] = true
+			if n := obj.retained.Len(); n > 0 && obj.lastRaw.T > obj.retained[n-1].T {
+				prev := obj.retained[n-1]
+				box := geo.Seg(prev.Pos(), obj.lastRaw.Pos()).Bounds()
+				if box.Intersects(rect) && overlaps(prev.T, obj.lastRaw.T, t0, t1) {
+					hits[id] = true
+				}
+			} else if n == 0 {
+				if rect.Contains(obj.lastRaw.Pos()) && overlaps(obj.lastRaw.T, obj.lastRaw.T, t0, t1) {
+					hits[id] = true
+				}
 			}
 		}
-	}
-	out := make([]string, 0, len(hits))
-	for id := range hits {
-		out = append(out, id)
+		sh.mu.RUnlock()
+		for id := range hits {
+			out = append(out, id)
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -372,14 +418,28 @@ func (st *Store) queryIDs(rect geo.Rect, t0, t1 float64) []string {
 // (including their newest observation) predates t are removed outright.
 // Samples still buffered inside an on-ingest compressor are untouched, so t
 // should lag the newest data by more than the compressor's window span.
+//
+// The sweep proceeds shard by shard, holding only one shard's lock at a
+// time: appends to other shards are never stalled behind an index rebuild.
 // It returns the number of retained samples removed.
 func (st *Store) EvictBefore(t float64) int {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	removed := 0
+	for _, sh := range st.shards {
+		removed += st.evictShard(sh, t)
+	}
+	st.ins.evictions.Inc()
+	st.ins.evictedPts.Add(int64(removed))
+	return removed
+}
+
+// evictShard ages out one shard and rebuilds its index segment.
+func (st *Store) evictShard(sh *shard, t float64) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 
 	removed := 0
 	dropped := 0
-	for id, obj := range st.objects {
+	for id, obj := range sh.objects {
 		n := obj.retained.Len()
 		cut := 0
 		for cut < n && obj.retained[cut].T < t {
@@ -390,33 +450,26 @@ func (st *Store) EvictBefore(t float64) int {
 			obj.retained = append(trajectory.Trajectory(nil), obj.retained[cut:]...)
 		}
 		if obj.retained.Len() == 0 && obj.lastRaw.T < t {
-			delete(st.objects, id)
+			delete(sh.objects, id)
 			dropped++
 		}
 	}
 
-	// Rebuild the index over the surviving segments.
-	switch st.opts.Index {
-	case IndexRTree:
-		st.index = newRTreeIndex()
-	default:
-		st.index = newGridIndex(st.opts.CellSize)
-	}
+	// Rebuild this shard's index over its surviving segments.
+	sh.index = newIndex(st.opts)
 	segs := 0
-	for id, obj := range st.objects {
+	for id, obj := range sh.objects {
 		for i := 0; i+1 < obj.retained.Len(); i++ {
 			a, b := obj.retained[i], obj.retained[i+1]
-			st.index.insert(id, geo.Seg(a.Pos(), b.Pos()).Bounds(), a.T, b.T)
+			sh.index.insert(id, geo.Seg(a.Pos(), b.Pos()).Bounds(), a.T, b.T)
 			segs++
 		}
 	}
 
-	st.ins.evictions.Inc()
-	st.ins.evictedPts.Add(int64(removed))
 	st.ins.objects.Add(-float64(dropped))
 	st.ins.retained.Add(-float64(removed))
-	st.ins.indexSegments.Add(float64(segs - st.idxSegs))
-	st.idxSegs = segs
+	st.ins.indexSegments.Add(float64(segs - sh.idxSegs))
+	sh.idxSegs = segs
 	return removed
 }
 
@@ -444,23 +497,26 @@ type Neighbor struct {
 
 // Nearest returns the k objects closest to q at time t (objects without a
 // position at t are skipped), ordered by increasing distance. Fewer than k
-// results are returned when fewer objects are live at t.
+// results are returned when fewer objects are live at t. Shards are visited
+// in order; see the package comment for the consistency model.
 func (st *Store) Nearest(q geo.Point, t float64, k int) []Neighbor {
 	defer st.ins.querySeconds["nearest"].ObserveSince(time.Now())
 	if k <= 0 {
 		return nil
 	}
-	st.mu.RLock()
 	var all []Neighbor
-	for id, obj := range st.objects {
-		snap := st.snapshotLocked(obj)
-		pos, ok := snap.LocAt(t)
-		if !ok {
-			continue
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+		for id, obj := range sh.objects {
+			snap := obj.snapshot()
+			pos, ok := snap.LocAt(t)
+			if !ok {
+				continue
+			}
+			all = append(all, Neighbor{ID: id, Pos: pos, Dist: pos.Dist(q)})
 		}
-		all = append(all, Neighbor{ID: id, Pos: pos, Dist: pos.Dist(q)})
+		sh.mu.RUnlock()
 	}
-	st.mu.RUnlock()
 
 	sort.Slice(all, func(i, j int) bool {
 		//lint:allow floatcmp deterministic sort tie-break on identical distances
@@ -482,45 +538,48 @@ type Stats struct {
 	RetainedPoints int     // points kept after on-ingest compression
 	CompressionPct float64 // % of ingested points discarded
 	// PointsPerObject maps each object ID to its retained point count,
-	// captured in the same locked pass as the totals so the breakdown always
-	// sums to RetainedPoints.
+	// captured in the same locked pass as that object's shard totals, so
+	// the breakdown always sums to RetainedPoints.
 	PointsPerObject map[string]int
 }
 
-// Stats returns current storage statistics from one consistent snapshot.
+// Stats returns current storage statistics. Each shard contributes one
+// internally consistent snapshot; shards are visited in order without a
+// global lock (see the package comment), so under concurrent appends the
+// totals may straddle shard states while still summing consistently per
+// shard.
 func (st *Store) Stats() Stats {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	s := Stats{
-		Objects:         len(st.objects),
-		RawPoints:       st.rawPts,
-		PointsPerObject: make(map[string]int, len(st.objects)),
+	s := Stats{PointsPerObject: make(map[string]int)}
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+		s.Objects += len(sh.objects)
+		s.RawPoints += sh.rawPts
+		for id, obj := range sh.objects {
+			n := obj.retained.Len()
+			s.RetainedPoints += n
+			s.PointsPerObject[id] = n
+		}
+		sh.mu.RUnlock()
 	}
-	for id, obj := range st.objects {
-		n := obj.retained.Len()
-		s.RetainedPoints += n
-		s.PointsPerObject[id] = n
-	}
-	if st.rawPts > 0 {
-		s.CompressionPct = 100 * float64(st.rawPts-s.RetainedPoints) / float64(st.rawPts)
+	if s.RawPoints > 0 {
+		s.CompressionPct = 100 * float64(s.RawPoints-s.RetainedPoints) / float64(s.RawPoints)
 	}
 	return s
 }
 
 // Save writes a snapshot of every object (retained samples plus buffered
-// tail) in the binary codec format.
+// tail) in the binary codec format. Each shard is captured consistently in
+// one locked pass; the shards are captured in order (no global lock).
 func (st *Store) Save(w interface{ Write([]byte) (int, error) }) error {
-	st.mu.RLock()
-	named := make([]codec.Named, 0, len(st.objects))
-	ids := make([]string, 0, len(st.objects))
-	for id := range st.objects {
-		ids = append(ids, id)
+	var named []codec.Named
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+		for id, obj := range sh.objects {
+			named = append(named, codec.Named{ID: id, Traj: obj.snapshot()})
+		}
+		sh.mu.RUnlock()
 	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		named = append(named, codec.Named{ID: id, Traj: st.snapshotLocked(st.objects[id])})
-	}
-	st.mu.RUnlock()
+	sort.Slice(named, func(i, j int) bool { return named[i].ID < named[j].ID })
 	return codec.EncodeFile(w, named)
 }
 

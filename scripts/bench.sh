@@ -1,18 +1,21 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # bench.sh — load-test a local trajserver with the deterministic trajload
 # workload and write BENCH_load.json (throughput, append latency quantiles,
-# live compression ratio, server-side metrics).
+# live compression ratio, server-side metrics, store shard sweep).
 #
 # Usage:
-#   scripts/bench.sh                 full run (seeds the perf trajectory)
+#   scripts/bench.sh [out]           full run (seeds the perf trajectory;
+#                                    out defaults to BENCH_load.json)
 #   scripts/bench.sh --smoke [out]   tiny point budget, report to a temp file
 #                                    (wired into scripts/check.sh)
 #
 # The server listens on random loopback ports; the script parses the actual
 # addresses from its log, runs trajload against both the TCP and HTTP
-# endpoints (so the /metrics cross-check executes), and shuts the server
-# down. Fixed seed: the workload is reproducible run to run.
-set -eu
+# endpoints (so the /metrics cross-check executes), runs the in-process
+# store shard sweep, and shuts the server down gracefully, failing if the
+# server crashed during the load or refuses a clean SIGTERM drain. Fixed
+# seed: the workload is reproducible run to run.
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
@@ -20,13 +23,21 @@ POINTS=50000
 CLIENTS=8
 OBJECTS=32
 DURATION=16000 # seconds per trip; at ~10 s sampling this fills the budget
+SHARDS="1,2,4,8"
+SWEEP_WORKERS=16
 OUT=BENCH_load.json
 if [ "${1:-}" = "--smoke" ]; then
     POINTS=800
     CLIENTS=2
     OBJECTS=4
     DURATION=1800
-    OUT="${2:-$(mktemp -t bench_load.XXXXXX.json)}"
+    SHARDS="1,8"
+    OUT="${2:-}"
+    if [ -z "$OUT" ]; then
+        OUT=$(mktemp -t bench_load.XXXXXX.json)
+    fi
+elif [ -n "${1:-}" ]; then
+    OUT="$1"
 fi
 
 workdir=$(mktemp -d -t trajbench.XXXXXX)
@@ -46,9 +57,15 @@ cleanup() {
 }
 trap cleanup EXIT INT TERM
 
-# Wait for both listen lines to appear in the log.
+# Wait for both listen lines to appear in the log; fail fast if the server
+# process died instead of reaching them.
 i=0
 while [ "$(grep -c 'listening on\|metrics on' "$log" || true)" -lt 2 ]; do
+    if ! kill -0 "$srv" 2>/dev/null; then
+        echo "bench.sh: server exited during startup; log:" >&2
+        cat "$log" >&2
+        exit 1
+    fi
     i=$((i + 1))
     if [ "$i" -gt 50 ]; then
         echo "bench.sh: server did not start; log:" >&2
@@ -62,6 +79,27 @@ http=$(sed -n 's|.*metrics on http://\([0-9.:]*\)/metrics.*|\1|p' "$log")
 
 "$bin/trajload" -addr "$addr" -http "$http" \
     -clients "$CLIENTS" -objects "$OBJECTS" -points "$POINTS" \
-    -duration "$DURATION" -seed 1 -out "$OUT"
+    -duration "$DURATION" -seed 1 \
+    -shards "$SHARDS" -sweep-workers "$SWEEP_WORKERS" \
+    -out "$OUT"
+
+# The server must still be the same live process after the load: a crash
+# mid-bench would have been papered over by the resilient client's
+# reconnect, so a dead PID here means the numbers are not trustworthy.
+if ! kill -0 "$srv" 2>/dev/null; then
+    echo "bench.sh: server died during the load; log:" >&2
+    cat "$log" >&2
+    exit 1
+fi
+
+# Graceful drain must work and exit 0.
+kill -TERM "$srv"
+status=0
+wait "$srv" || status=$?
+if [ "$status" -ne 0 ]; then
+    echo "bench.sh: server exited with status $status on SIGTERM drain; log:" >&2
+    cat "$log" >&2
+    exit 1
+fi
 
 echo "==> report in $OUT"

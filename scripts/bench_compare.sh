@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# bench_compare.sh — the bench-regression gate: re-run the full seeded
+# trajload workload and compare the fresh report against the committed
+# baseline BENCH_load.json.
+#
+# Usage:
+#   scripts/bench_compare.sh [baseline.json]
+#
+# Exit status: 0 when within tolerance, 1 when append throughput or p50
+# append latency (or the 8-shard sweep throughput, when both reports carry
+# one) regresses by more than 20% (trajload -compare prints the table), 2 on
+# usage errors.
+#
+# Wired into .github/workflows/ci.yml as a NON-BLOCKING job: shared CI
+# runners have noisy neighbours, so a red bench-compare is a prompt to look,
+# not a merge blocker.
+#
+# Blessing a new baseline: when a change legitimately shifts performance
+# (better or worse), regenerate and commit the baseline:
+#
+#   scripts/bench.sh            # writes BENCH_load.json (fixed seed)
+#   git add BENCH_load.json && git commit
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+baseline="${1:-BENCH_load.json}"
+if [ ! -f "$baseline" ]; then
+    echo "bench_compare.sh: baseline $baseline not found" >&2
+    exit 2
+fi
+
+fresh=$(mktemp -t bench_fresh.XXXXXX.json)
+trap 'rm -f "$fresh"' EXIT INT TERM
+
+# Full-budget run with the same fixed seed as the committed baseline, into a
+# separate file so the baseline itself is never clobbered.
+bash scripts/bench.sh "$fresh"
+
+go run ./cmd/trajload -compare "$baseline" "$fresh"

@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # check.sh — the repo-wide verify gate.
 #
 # Runs, in order:
@@ -12,14 +12,20 @@
 #   6. go test -race ./...     tier-2: same tests under the race detector
 #   7. bench.sh --smoke        end-to-end: trajload against a live trajserver
 #                              with a tiny point budget (report to a temp
-#                              file; the committed BENCH_load.json comes from
-#                              a full scripts/bench.sh run)
+#                              file — or $BENCH_SMOKE_OUT when set, so CI can
+#                              upload it; the committed BENCH_load.json comes
+#                              from a full scripts/bench.sh run)
 #   8. torture.sh --smoke      crash-recovery: SIGKILL a WAL-backed
 #                              trajserver mid-load five times and verify no
 #                              acknowledged append is ever lost
 #
-# Any stage failing fails the script. Run from anywhere inside the repo.
-set -eu
+# Failure propagation: bash with -e -u and -o pipefail, so a failure in any
+# pipeline stage — not just the last command — fails the script, and the
+# smoke scripts themselves verify their background server PIDs (bench.sh
+# checks the server survived the load and drains cleanly; torture.sh
+# supervises every server generation it kills). Nothing here can green-wash
+# a failed stage. Run from anywhere inside the repo.
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
@@ -27,6 +33,8 @@ echo "==> go build ./..."
 go build ./...
 
 echo "==> gofmt"
+# gofmt -l always exits 0; the grep only filters paths, and its no-match
+# exit 1 is expected, so it is the one deliberately forgiven pipeline step.
 unformatted=$(gofmt -l . | grep -v '/testdata/' || true)
 if [ -n "$unformatted" ]; then
     echo "gofmt: the following files need formatting:" >&2
@@ -47,9 +55,9 @@ echo "==> go test -race ./..."
 go test -race ./...
 
 echo "==> bench smoke (trajload against live trajserver)"
-sh scripts/bench.sh --smoke
+bash scripts/bench.sh --smoke "${BENCH_SMOKE_OUT:-}"
 
 echo "==> torture smoke (SIGKILL crash-recovery cycles)"
-sh scripts/torture.sh --smoke
+bash scripts/torture.sh --smoke
 
 echo "==> all checks passed"

@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # torture.sh — crash-recovery torture: run trajtorture against a built
 # trajserver, SIGKILLing it mid-load and verifying the WAL recovers every
 # acknowledged append (see cmd/trajtorture for the invariant).
@@ -8,8 +8,10 @@
 #   scripts/torture.sh --smoke     5 kill cycles, small budget
 #                                  (wired into scripts/check.sh)
 #
-# Fixed seed: a failing run replays exactly.
-set -eu
+# Fixed seed: a failing run replays exactly. On failure, the working
+# directory (WAL, server logs) is preserved into $TRAJ_ARTIFACT_DIR when
+# that variable is set — CI uploads it as a build artifact.
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
@@ -24,6 +26,12 @@ fi
 
 workdir=$(mktemp -d -t trajtorture.XXXXXX)
 cleanup() {
+    status=$?
+    if [ "$status" -ne 0 ] && [ -n "${TRAJ_ARTIFACT_DIR:-}" ]; then
+        mkdir -p "$TRAJ_ARTIFACT_DIR"
+        cp -r "$workdir" "$TRAJ_ARTIFACT_DIR/torture-workdir" 2>/dev/null || true
+        echo "torture.sh: preserved failing workdir in $TRAJ_ARTIFACT_DIR/torture-workdir" >&2
+    fi
     rm -rf "$workdir"
 }
 trap cleanup EXIT INT TERM

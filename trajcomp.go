@@ -88,6 +88,8 @@ type (
 
 	// Algorithm is a batch trajectory compressor.
 	Algorithm = compress.Algorithm
+	// BatchOptions configures CompressAll's bounded worker pool.
+	BatchOptions = compress.BatchOptions
 	// Report bundles the quality evaluation of one compression run.
 	Report = quality.Report
 
@@ -244,6 +246,14 @@ func NewDeadReckoning(threshold float64) Algorithm {
 // ParseAlgorithm builds an algorithm from a textual spec such as "tdtr:30"
 // or "opwsp:30:5"; see the compress package documentation for the grammar.
 func ParseAlgorithm(spec string) (Algorithm, error) { return compress.Parse(spec) }
+
+// CompressAll compresses every trajectory with alg on a bounded worker pool
+// (opts.Parallelism workers; 0 = GOMAXPROCS), preserving input order — the
+// batch path for archival jobs over large fleets. Cancelling ctx abandons
+// trajectories not yet started and returns ctx.Err().
+func CompressAll(ctx context.Context, alg Algorithm, opts BatchOptions, ps []Trajectory) ([]Trajectory, error) {
+	return compress.CompressAll(ctx, alg, opts, ps)
+}
 
 // CompressionRate returns the percentage of points removed when reducing
 // origLen points to compLen.
