@@ -48,6 +48,15 @@ func (r compareRow) deltaPct() float64 {
 	return 100 * (r.new - r.old) / r.old
 }
 
+// batchThroughput extracts the batched ingest throughput, or 0 when the
+// report carries no batch phase.
+func batchThroughput(rep report) float64 {
+	if rep.Batch == nil {
+		return 0
+	}
+	return rep.Batch.ThroughputPerSec
+}
+
 // sweepThroughput extracts the sweep throughput at the given shard count,
 // or 0 when the report carries no such run.
 func sweepThroughput(rep report, shards int) float64 {
@@ -82,6 +91,10 @@ func runCompare(oldPath, newPath string, tolPct float64) int {
 	rows := []compareRow{
 		{"append_throughput_pts_per_sec", oldRep.ThroughputPerSec, newRep.ThroughputPerSec, true},
 		{"append_p50_latency_seconds", oldRep.AppendLatency.P50, newRep.AppendLatency.P50, false},
+	}
+	if o, n := batchThroughput(oldRep), batchThroughput(newRep); o > 0 && n > 0 {
+		rows = append(rows, compareRow{"batch_throughput_pts_per_sec", o, n, true})
+		rows = append(rows, compareRow{"batch_p50_latency_seconds", oldRep.Batch.BatchLatency.P50, newRep.Batch.BatchLatency.P50, false})
 	}
 	if o, n := sweepThroughput(oldRep, 8), sweepThroughput(newRep, 8); o > 0 && n > 0 {
 		rows = append(rows, compareRow{"sweep_8_shards_pts_per_sec", o, n, true})

@@ -26,6 +26,10 @@
 //	-seed int        workload seed (default 1)
 //	-spread float    fleet depot area edge in metres (default 20000)
 //	-duration float  per-vehicle trip duration in seconds (default 1800)
+//	-batch int       after the single-append phase, replay the same workload
+//	                 again as MAPPEND batches of this size against fresh
+//	                 object IDs and report batched throughput and per-batch
+//	                 latency plus the speedup over single appends (0 = skip)
 //	-out string      JSON report path (default "BENCH_load.json")
 //
 // # Shard sweep
@@ -107,10 +111,22 @@ type report struct {
 	PointsSent         int                `json:"points_sent"`
 	ThroughputPerSec   float64            `json:"throughput_points_per_sec"`
 	AppendLatency      latencySummary     `json:"append_latency_seconds"`
+	Batch              *batchRun          `json:"batch,omitempty"`
 	Server             server.Stats       `json:"server_stats"`
 	ServerMetrics      map[string]float64 `json:"server_metrics"`
 	HTTPMetricsChecked bool               `json:"http_metrics_checked"`
 	ShardSweep         *shardSweep        `json:"shard_sweep,omitempty"`
+}
+
+// batchRun is the MAPPEND bulk-ingest phase of the report: the same seeded
+// workload replayed as batches, against fresh object IDs.
+type batchRun struct {
+	BatchSize        int            `json:"batch_size"`
+	PointsSent       int            `json:"points_sent"`
+	ElapsedSeconds   float64        `json:"elapsed_seconds"`
+	ThroughputPerSec float64        `json:"throughput_points_per_sec"`
+	BatchLatency     latencySummary `json:"batch_latency_seconds"`
+	SpeedupVsSingle  float64        `json:"speedup_vs_single,omitempty"`
 }
 
 // shardRun is one shard count's measurement in the sweep.
@@ -120,6 +136,10 @@ type shardRun struct {
 	ThroughputPerSec float64        `json:"throughput_points_per_sec"`
 	AppendLatency    latencySummary `json:"append_latency_seconds"`
 	SpeedupVs1Shard  float64        `json:"speedup_vs_1_shard,omitempty"`
+
+	// Batched counterpart (store.AppendBatch), present when -batch > 1.
+	BatchThroughputPerSec float64         `json:"batch_throughput_points_per_sec,omitempty"`
+	BatchAppendLatency    *latencySummary `json:"batch_latency_seconds,omitempty"`
 }
 
 // shardSweep is the in-process store scaling section of the report.
@@ -144,6 +164,7 @@ func main() {
 		seed         = flag.Int64("seed", 1, "workload seed")
 		spread       = flag.Float64("spread", 20000, "fleet depot area edge in metres")
 		duration     = flag.Float64("duration", 1800, "per-vehicle trip duration in seconds")
+		batch        = flag.Int("batch", 0, "MAPPEND batch size for the batched ingest phase (0 = skip)")
 		out          = flag.String("out", "BENCH_load.json", "JSON report path")
 		shardsFlag   = flag.String("shards", "", "comma-separated store shard counts for the in-process sweep (empty = skip)")
 		sweepWorkers = flag.Int("sweep-workers", 16, "concurrent appenders per shard-sweep run")
@@ -166,9 +187,19 @@ func main() {
 		log.Fatal("nothing to do: -addr is empty and no -shards sweep requested")
 	}
 
+	if *batch < 0 || *batch == 1 {
+		log.Fatal("-batch must be 0 (skip) or at least 2")
+	}
 	var rep report
 	if *addr != "" {
 		rep = runLoad(*addr, *httpAddr, *seed, *objects, *clients, *points, *spread, *duration, *rate)
+		if *batch > 1 {
+			b := runBatchLoad(*addr, *seed, *objects, *clients, *points, *spread, *duration, *batch)
+			if rep.ThroughputPerSec > 0 {
+				b.SpeedupVsSingle = b.ThroughputPerSec / rep.ThroughputPerSec
+			}
+			rep.Batch = &b
+		}
 	}
 	rep.Config.Clients = *clients
 	rep.Config.Objects = *objects
@@ -187,7 +218,7 @@ func main() {
 		if budget <= 0 {
 			budget = *points
 		}
-		sweep := runShardSweep(counts, *sweepWorkers, *objects, budget, *seed, *spread, *duration)
+		sweep := runShardSweep(counts, *sweepWorkers, *objects, budget, *seed, *spread, *duration, *batch)
 		rep.ShardSweep = &sweep
 	}
 
@@ -242,6 +273,106 @@ func runLoad(addr, httpAddr string, seed int64, objects, clients, points int, sp
 		time.Duration(rep.AppendLatency.P50*float64(time.Second)).Round(time.Microsecond),
 		time.Duration(rep.AppendLatency.P99*float64(time.Second)).Round(time.Microsecond))
 	return rep
+}
+
+// runBatchLoad replays the same seeded workload as MAPPEND batches against
+// fresh object IDs (suffix "-mb": the single-append phase already owns the
+// plain IDs and per-object timestamps must keep increasing). Each client
+// drains its objects round-robin, one batch at a time, so the interleaving
+// matches a fleet of vehicles uploading buffered fixes.
+func runBatchLoad(addr string, seed int64, objects, clients, points int, spread, duration float64, batch int) batchRun {
+	feeds := buildFeeds(seed, objects, clients, points, spread, duration)
+	total := 0
+	for _, f := range feeds {
+		total += len(f)
+	}
+	log.Printf("batched replay: %d points in MAPPEND batches of %d over %d clients", total, batch, len(feeds))
+
+	reg := metrics.NewRegistry()
+	lat := reg.Histogram("load_batch_seconds", nil)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, len(feeds))
+	for _, feed := range feeds {
+		wg.Add(1)
+		go func(feed []fix) {
+			defer wg.Done()
+			errs <- runBatchClient(addr, feed, batch, lat)
+		}(feed)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	run := batchRun{BatchSize: batch, PointsSent: total, ElapsedSeconds: elapsed.Seconds()}
+	if elapsed > 0 {
+		run.ThroughputPerSec = float64(total) / elapsed.Seconds()
+	}
+	for _, m := range reg.Snapshot() {
+		if m.Name == "load_batch_seconds" && m.Count > 0 {
+			run.BatchLatency = latencySummary{
+				Mean: m.Sum / float64(m.Count),
+				P50:  m.Quantile(0.50),
+				P90:  m.Quantile(0.90),
+				P99:  m.Quantile(0.99),
+				Max:  m.Max,
+			}
+		}
+	}
+	log.Printf("batched: %d points in %s (%.0f pts/s), batch p50=%s",
+		total, elapsed.Round(time.Millisecond), run.ThroughputPerSec,
+		time.Duration(run.BatchLatency.P50*float64(time.Second)).Round(time.Microsecond))
+	return run
+}
+
+// runBatchClient splits its feed back into per-object queues and sends them
+// as MAPPEND batches, round-robin across objects.
+func runBatchClient(addr string, feed []fix, batch int, lat *metrics.Histogram) error {
+	c, err := server.DialOptions(addr, server.ClientOptions{
+		IOTimeout: 30 * time.Second,
+		Metrics:   metrics.NewRegistry(),
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	var order []string
+	queues := make(map[string][]trajectory.Sample)
+	for _, f := range feed {
+		if _, ok := queues[f.id]; !ok {
+			order = append(order, f.id)
+		}
+		queues[f.id] = append(queues[f.id], f.s)
+	}
+	sent := 0
+	for remaining := len(feed); remaining > 0; {
+		for _, id := range order {
+			q := queues[id]
+			if len(q) == 0 {
+				continue
+			}
+			n := batch
+			if n > len(q) {
+				n = len(q)
+			}
+			t0 := time.Now()
+			if err := c.AppendBatch(id+"-mb", q[:n]); err != nil {
+				return fmt.Errorf("after %d batched points: %w", sent, err)
+			}
+			lat.ObserveSince(t0)
+			queues[id] = q[n:]
+			remaining -= n
+			sent += n
+		}
+	}
+	return nil
 }
 
 // buildFeeds generates the seeded fleet, truncates it to the point budget,
@@ -364,6 +495,7 @@ func collect(addr, httpAddr string, reg *metrics.Registry, total int, elapsed ti
 		"stream_points_in_total", "stream_points_out_total",
 		"stream_compression_ratio_pct",
 		`server_commands_total{cmd="APPEND"}`,
+		`server_commands_total{cmd="MAPPEND"}`, "server_batch_appends_total",
 		"server_connections_total", "server_sheds_total", "wal_records_total",
 	} {
 		if v, ok := parsed[key]; ok {

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/store"
+	"repro/internal/trajectory"
 )
 
 // parseShardCounts parses the -shards spec ("1,2,4,8") into shard counts.
@@ -49,7 +50,7 @@ func sweepBuckets() []float64 {
 // fast as possible (no on-ingest compression, so the shard lock + index
 // insert dominate). The 1-shard run, when present, is the global-lock
 // baseline the speedups are reported against.
-func runShardSweep(counts []int, workers, objects, points int, seed int64, spread, duration float64) shardSweep {
+func runShardSweep(counts []int, workers, objects, points int, seed int64, spread, duration float64, batch int) shardSweep {
 	if workers <= 0 {
 		workers = 16
 	}
@@ -63,11 +64,19 @@ func runShardSweep(counts []int, workers, objects, points int, seed int64, sprea
 
 	for _, n := range counts {
 		run := sweepOnce(n, feeds, total)
+		if batch > 1 {
+			sweepBatchOnce(n, feeds, total, batch, &run)
+		}
 		sweep.Runs = append(sweep.Runs, run)
 		log.Printf("shard sweep: %2d shards: %.0f appends/s, p50=%s p99=%s",
 			run.Shards, run.ThroughputPerSec,
 			time.Duration(run.AppendLatency.P50*float64(time.Second)).Round(100*time.Nanosecond),
 			time.Duration(run.AppendLatency.P99*float64(time.Second)).Round(100*time.Nanosecond))
+		if run.BatchAppendLatency != nil {
+			log.Printf("shard sweep: %2d shards: batched %.0f appends/s, batch p50=%s",
+				run.Shards, run.BatchThroughputPerSec,
+				time.Duration(run.BatchAppendLatency.P50*float64(time.Second)).Round(100*time.Nanosecond))
+		}
 	}
 
 	// Speedups versus the 1-shard (single global lock) run, when swept.
@@ -136,4 +145,80 @@ func sweepOnce(shards int, feeds [][]fix, total int) shardRun {
 		}
 	}
 	return run
+}
+
+// sweepBatchOnce repeats the measurement with store.AppendBatch: each worker
+// splits its feed into per-object queues and appends them in chunks of
+// batch, round-robin across its objects, into a fresh store. Results land
+// in run's batch fields.
+func sweepBatchOnce(shards int, feeds [][]fix, total, batch int, run *shardRun) {
+	reg := metrics.NewRegistry()
+	lat := reg.Histogram("sweep_batch_seconds", sweepBuckets())
+	st := store.New(store.Options{Shards: shards, Metrics: reg})
+
+	startGate := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, len(feeds))
+	for _, feed := range feeds {
+		wg.Add(1)
+		go func(feed []fix) {
+			defer wg.Done()
+			var order []string
+			queues := make(map[string][]trajectory.Sample)
+			for _, f := range feed {
+				if _, ok := queues[f.id]; !ok {
+					order = append(order, f.id)
+				}
+				queues[f.id] = append(queues[f.id], f.s)
+			}
+			<-startGate
+			for remaining := len(feed); remaining > 0; {
+				for _, id := range order {
+					q := queues[id]
+					if len(q) == 0 {
+						continue
+					}
+					n := batch
+					if n > len(q) {
+						n = len(q)
+					}
+					t0 := time.Now()
+					applied, err := st.AppendBatch(id, q[:n])
+					if err != nil {
+						errs <- fmt.Errorf("shard sweep: batched append (applied %d of %d): %w", applied, n, err)
+						return
+					}
+					lat.ObserveSince(t0)
+					queues[id] = q[n:]
+					remaining -= n
+				}
+			}
+			errs <- nil
+		}(feed)
+	}
+	start := time.Now()
+	close(startGate)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if elapsed > 0 {
+		run.BatchThroughputPerSec = float64(total) / elapsed.Seconds()
+	}
+	for _, m := range reg.Snapshot() {
+		if m.Name == "sweep_batch_seconds" && m.Count > 0 {
+			run.BatchAppendLatency = &latencySummary{
+				Mean: m.Sum / float64(m.Count),
+				P50:  m.Quantile(0.50),
+				P90:  m.Quantile(0.90),
+				P99:  m.Quantile(0.99),
+				Max:  m.Max,
+			}
+		}
+	}
 }

@@ -30,6 +30,9 @@
 // Protocol (newline-delimited, see internal/server):
 //
 //	APPEND <id> <t> <x> <y>
+//	MAPPEND <id> <n>        (followed by n "<t> <x> <y>" lines: one batched
+//	                        append, one "OK appended=<n>" reply — the bulk
+//	                        ingest fast path; commands may be pipelined)
 //	POSITION <id> <t>
 //	SNAPSHOT <id>
 //	QUERY <minx> <miny> <maxx> <maxy> <t0> <t1>

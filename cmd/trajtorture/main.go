@@ -22,7 +22,12 @@
 // Usage:
 //
 //	trajtorture -bin ./trajserver [-cycles 5] [-objects 4] [-appends 400]
-//	            [-seed 1] [-addr host:port] [-wal path] [-v]
+//	            [-seed 1] [-addr host:port] [-wal path] [-batch N] [-v]
+//
+// With -batch N > 1, the feed randomly mixes MAPPEND batches (2..N samples,
+// sized by the seeded RNG) in with single appends, so the group-commit batch
+// path faces the same SIGKILL schedule as the single-append path: an
+// "OK appended=n" reply promises all n samples are durable.
 //
 // Exit status 0 means every cycle held the invariant.
 package main
@@ -71,6 +76,7 @@ func main() {
 		objects = flag.Int("objects", 4, "simulated vehicles")
 		appends = flag.Int("appends", 400, "append budget per cycle (the kill lands at a random point inside it)")
 		seed    = flag.Int64("seed", 1, "RNG seed for load and kill points (a failing run replays exactly)")
+		batch   = flag.Int("batch", 0, "mix MAPPEND batches of up to this many samples into the feed (0 = singles only)")
 		verbose = flag.Bool("v", false, "pass the child's output through")
 	)
 	flag.Parse()
@@ -114,23 +120,38 @@ func main() {
 
 		killAfter := 1 + rng.Intn(*appends)
 		sent := 0
-		for sent < killAfter {
-			o := objs[sent%len(objs)]
+		for round := 0; sent < killAfter; round++ {
+			o := objs[round%len(objs)]
 			if o.next >= o.traj.Len() {
 				break // this vehicle's trip is over; others keep the load up
 			}
-			s := o.traj[o.next]
-			err := c.Append(o.id, s)
+			// Mix batched and single appends: roughly half the rounds send
+			// an MAPPEND batch of 2..batch samples when -batch is set.
+			n := 1
+			if *batch > 1 && rng.Intn(2) == 0 {
+				n = 2 + rng.Intn(*batch-1)
+				if rest := o.traj.Len() - o.next; n > rest {
+					n = rest
+				}
+			}
+			var err error
+			if n == 1 {
+				err = c.Append(o.id, o.traj[o.next])
+			} else {
+				err = c.AppendBatch(o.id, o.traj[o.next:o.next+n])
+			}
 			if err != nil {
 				// A refused append is harness trouble (the server is healthy
 				// until we kill it) — unless it raced an earlier kill's
 				// half-open socket, which the reconnect path absorbs.
 				log.Fatalf("cycle %d: append %d refused: %v", cycle, sent, err)
 			}
-			o.next++
+			// An OK (or "OK appended=n") reply acknowledges all n samples:
+			// every one of them is held to the durability invariant.
+			o.next += n
 			o.acked = o.next
-			totalAcked++
-			sent++
+			totalAcked += n
+			sent += n
 		}
 
 		if cycle < *cycles {

@@ -67,7 +67,14 @@ func Flocks(ps []trajectory.Trajectory, radius float64, minSize int, minDuration
 		}
 	}
 
-	for t := t0; t <= t1+dt/2; t += dt {
+	// Step by index (t = t0 + i·dt): accumulating t += dt drifts at
+	// Unix-epoch-scale timestamps; the dt/2 slack still admits a final
+	// instant that only just reaches t1.
+	for i := 0; ; i++ {
+		t := t0 + float64(i)*dt
+		if t > t1+dt/2 {
+			break
+		}
 		comps := componentsAt(ps, t, radius, minSize)
 		seen := map[string]bool{}
 		for _, members := range comps {

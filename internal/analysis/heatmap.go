@@ -32,7 +32,13 @@ func Density(ps []trajectory.Trajectory, cell, t0, t1, dt float64) (*Heatmap, er
 		}
 		lo := math.Max(t0, p.StartTime())
 		hi := math.Min(t1, p.EndTime())
-		for t := lo; t <= hi; t += dt {
+		// Step by index: accumulating t += dt drifts at Unix-epoch-scale
+		// timestamps and can drop the final deposit of the window.
+		for i := 0; ; i++ {
+			t := lo + float64(i)*dt
+			if t > hi {
+				break
+			}
 			pos, ok := p.LocAt(t)
 			if !ok {
 				continue

@@ -3,6 +3,7 @@ package ciyaml
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -208,5 +209,18 @@ func TestCIWorkflowShape(t *testing.T) {
 	}
 	if bench.Get("continue-on-error").Str() != "true" {
 		t.Error("bench-compare must be non-blocking (continue-on-error: true)")
+	}
+	// The job must run the regression gate script: that script re-runs
+	// scripts/bench.sh (single-append AND -batch MAPPEND phases) and feeds
+	// both reports to trajload -compare, so dropping it would silently
+	// un-gate the ingest fast path.
+	runsGate := false
+	for _, step := range bench.Get("steps").Seq {
+		if strings.Contains(step.Get("run").Str(), "scripts/bench_compare.sh") {
+			runsGate = true
+		}
+	}
+	if !runsGate {
+		t.Error("bench-compare job does not run scripts/bench_compare.sh")
 	}
 }

@@ -221,6 +221,9 @@ func decodeTrajectory(br *bufio.Reader) (trajectory.Trajectory, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: sample %d: %v", ErrFormat, i, err)
 		}
+		// int64 delta accumulation is exact (unlike float stepping): each
+		// encoded delta is an integer, so the running sums reproduce the
+		// quantized values bit-for-bit.
 		pt += dt
 		px += dx
 		py += dy

@@ -27,8 +27,8 @@ import (
 // steps.
 func Thresholds() []float64 {
 	out := make([]float64, 0, 15)
-	for d := 30.0; d <= 100; d += 5 {
-		out = append(out, d)
+	for i := 0; i < 15; i++ {
+		out = append(out, 30+float64(i)*5)
 	}
 	return out
 }

@@ -69,6 +69,7 @@ func (g *Generator) route(kind TripKind, duration float64) []waypoint {
 		segSpeed := speed * (0.88 + 0.24*g.rng.Float64())
 
 		pos = pos.Add(dirs[dir].Scale(block))
+		//lint:allow floatstep variable-step route accumulator from 0: block lengths differ per segment, so index stepping cannot express it
 		planned += block
 
 		// Urban junctions carry traffic lights; rural junctions only rarely

@@ -1,0 +1,38 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/trajectory"
+)
+
+// TestSplineResampleEpochTimestamps: spline resampling shares the fixed-dt
+// sweep, so at Unix-epoch-scale timestamps the old accumulating loop
+// drifts off the grid t0 + i·dt (see trajectory.TestResampleEpochTimestamps).
+func TestSplineResampleEpochTimestamps(t *testing.T) {
+	const t0 = 1.7e9
+	p := trajectory.MustNew([]trajectory.Sample{
+		trajectory.S(t0, 0, 0),
+		trajectory.S(t0+2, 20, 5),
+		trajectory.S(t0+4, 40, 0),
+	})
+	sp, err := NewSpline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sp.Resample(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 41 {
+		t.Fatalf("Resample(0.1) yields %d samples, want 41", r.Len())
+	}
+	for i, s := range r {
+		if want := t0 + float64(i)*0.1; s.T != want {
+			t.Errorf("sample %d at %.9f, want exactly %.9f (off-grid by %g)", i, s.T, want, s.T-want)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("resampled trajectory invalid: %v", err)
+	}
+}

@@ -112,7 +112,13 @@ func (sp *Spline) Resample(dt float64) (trajectory.Trajectory, error) {
 	}
 	start, end := sp.p.StartTime(), sp.p.EndTime()
 	out := make(trajectory.Trajectory, 0, int((end-start)/dt)+2)
-	for t := start; t < end; t += dt {
+	// Index stepping: t += dt accumulates rounding error at epoch-scale
+	// timestamps (see trajectory.Resample).
+	for i := 0; ; i++ {
+		t := start + float64(i)*dt
+		if t >= end {
+			break
+		}
 		pt, _ := sp.At(t)
 		out = append(out, trajectory.Sample{T: t, X: pt.X, Y: pt.Y})
 	}

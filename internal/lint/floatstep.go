@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatstep flags loops that advance a floating-point loop variable by
+// accumulation — `for t := t0; t <= t1; t += dt` and the equivalent
+// in-body `t += dt` / `t = t + dt` forms — when that variable also appears
+// in the loop condition. Each iteration adds about half an ulp of rounding
+// error, which is invisible on toy data but shifts or drops the final
+// iterations once the variable carries Unix-epoch-scale timestamps
+// (ulp(1.7e9) ≈ 2.4e-7 s). Step by index instead:
+//
+//	for i := 0; ; i++ {
+//	    t := t0 + float64(i)*dt
+//	    if t > t1 { break }
+//	    ...
+//	}
+//
+// Genuine integrators (state advanced by a variable step, magnitudes that
+// stay small) are annotated in place:
+//
+//	//lint:allow floatstep <why accumulation is benign here>
+func floatstep(m *Module, p *Package, cfg *Config) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fs, ok := n.(*ast.ForStmt)
+			if !ok || fs.Cond == nil {
+				return true
+			}
+			condVars := floatVarsIn(p, fs.Cond)
+			if len(condVars) == 0 {
+				return true
+			}
+			report := func(pos token.Pos, name string) {
+				file, line, col := m.position(pos)
+				out = append(out, Diagnostic{
+					File: file, Line: line, Col: col,
+					Message: fmt.Sprintf("loop advances float variable %s by accumulation while it bounds the loop; rounding drift shifts or drops the final iterations at epoch-scale magnitudes — step by index (%s = start + float64(i)*step) or annotate //lint:allow floatstep <reason>", name, name),
+				})
+			}
+			if name, pos, ok := floatStepAssign(p, fs.Post, condVars); ok {
+				report(pos, name)
+			}
+			ast.Inspect(fs.Body, func(b ast.Node) bool {
+				if inner, ok := b.(*ast.ForStmt); ok && inner != fs {
+					// An inner loop gets its own visit; only its own
+					// condition variables apply there.
+					return false
+				}
+				if st, ok := b.(ast.Stmt); ok {
+					if name, pos, ok := floatStepAssign(p, st, condVars); ok {
+						report(pos, name)
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// floatVarsIn collects the objects of float-typed identifiers mentioned in
+// an expression.
+func floatVarsIn(p *Package, e ast.Expr) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			obj = p.Info.Defs[id]
+		}
+		if _, isVar := obj.(*types.Var); isVar && isFloat(obj.Type()) {
+			vars[obj] = true
+		}
+		return true
+	})
+	return vars
+}
+
+// floatStepAssign reports whether st accumulates into one of vars:
+// `v += d`, `v -= d`, or `v = v ± d` (either operand order for +).
+func floatStepAssign(p *Package, st ast.Stmt, vars map[types.Object]bool) (string, token.Pos, bool) {
+	as, ok := st.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 {
+		return "", token.NoPos, false
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return "", token.NoPos, false
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil || !vars[obj] {
+		return "", token.NoPos, false
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		return id.Name, as.Pos(), true
+	case token.ASSIGN:
+		be, ok := as.Rhs[0].(*ast.BinaryExpr)
+		if !ok || (be.Op != token.ADD && be.Op != token.SUB) {
+			return "", token.NoPos, false
+		}
+		if x, ok := be.X.(*ast.Ident); ok && p.Info.Uses[x] == obj {
+			return id.Name, as.Pos(), true
+		}
+		if be.Op == token.ADD {
+			if y, ok := be.Y.(*ast.Ident); ok && p.Info.Uses[y] == obj {
+				return id.Name, as.Pos(), true
+			}
+		}
+	}
+	return "", token.NoPos, false
+}

@@ -13,6 +13,10 @@
 //     declarative rules table allows (DESIGN.md dependency structure);
 //   - floatcmp:  == / != on floating-point operands must be annotated as
 //     intentional degenerate-case guards or rewritten with an epsilon;
+//   - floatstep: loops may not advance a float loop variable by
+//     accumulation (t += dt) while it bounds the loop — rounding drift
+//     shifts or drops the final iterations at Unix-epoch-scale
+//     timestamps; step by index (t = t0 + float64(i)·dt) instead;
 //   - nanguard:  exported float64-returning functions in the numeric core
 //     that call math.Sqrt/Asinh/... or divide must guard for NaN/Inf or
 //     document their precondition;
@@ -136,6 +140,7 @@ func analyzers() []analyzer {
 	return []analyzer{
 		{"layering", layering},
 		{"floatcmp", floatcmp},
+		{"floatstep", floatstep},
 		{"nanguard", nanguard},
 		{"errcheck", errcheck},
 		{"lockcopy", lockcopy},

@@ -1,5 +1,5 @@
 // Package badmath is a fixture package with seeded float-safety
-// violations: one floatcmp and two nanguard positives.
+// violations: one floatcmp, two nanguard and three floatstep positives.
 package badmath
 
 import "math"
@@ -12,3 +12,32 @@ func Ratio(a, b float64) float64 { return a / b }
 
 // RootOf returns the square root of x.
 func RootOf(x float64) float64 { return math.Sqrt(x) }
+
+// Sweep counts sampling instants by accumulating the loop variable in the
+// post statement (floatstep positive; int return keeps nanguard silent).
+func Sweep(t0, t1, dt float64) int {
+	n := 0
+	for t := t0; t <= t1; t += dt {
+		n++
+	}
+	return n
+}
+
+// SweepBody accumulates inside the body instead (floatstep positive).
+func SweepBody(t0, t1, dt float64) int {
+	n := 0
+	for t := t0; t <= t1; {
+		n++
+		t += dt
+	}
+	return n
+}
+
+// SweepAssign uses the spelled-out t = t + dt form (floatstep positive).
+func SweepAssign(t0, t1, dt float64) int {
+	n := 0
+	for t := t0; t <= t1; t = t + dt {
+		n++
+	}
+	return n
+}

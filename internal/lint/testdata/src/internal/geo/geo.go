@@ -25,3 +25,30 @@ func SafeRatio(a, b float64) float64 {
 	}
 	return r
 }
+
+// IndexStepped sweeps [t0, t1] by index — the drift-free pattern the
+// floatstep analyzer must accept: the float time value is derived, never
+// accumulated, and the loop is bounded by the int counter.
+func IndexStepped(t0, t1, dt float64) int {
+	n := 0
+	for i := 0; ; i++ {
+		t := t0 + float64(i)*dt
+		if t > t1 {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// Integrate is a genuine integrator: the step varies per iteration, so
+// index stepping cannot express it and accumulation is annotated.
+func Integrate(steps []float64, limit float64) int {
+	n := 0
+	for t, i := 0.0, 0; t <= limit && i < len(steps); i++ {
+		n++
+		//lint:allow floatstep variable-step integrator from t=0: accumulation is the algorithm
+		t += steps[i]
+	}
+	return n
+}

@@ -148,7 +148,14 @@ func ticks(lo, hi float64, n int) []float64 {
 		}
 	}
 	var out []float64
-	for t := math.Ceil(lo/step) * step; t <= hi+step/1e6; t += step {
+	// Step by index: accumulating t += step drifts when the axis covers
+	// Unix-epoch-scale values and can lose the final tick.
+	base := math.Ceil(lo/step) * step
+	for i := 0; ; i++ {
+		t := base + float64(i)*step
+		if t > hi+step/1e6 {
+			break
+		}
 		out = append(out, t)
 	}
 	return out

@@ -127,7 +127,15 @@ func PerpAreaError(p, a trajectory.Trajectory, dt float64) (float64, error) {
 	// which keeps the measure finite at strong corners.
 	var sum float64
 	var n int
-	for t := p.StartTime(); t <= p.EndTime(); t += dt {
+	// Step by index, not by accumulating t += dt: at Unix-epoch-scale
+	// timestamps the accumulated rounding error shifts or drops the final
+	// instants of the sweep.
+	ts, te := p.StartTime(), p.EndTime()
+	for i := 0; ; i++ {
+		t := ts + float64(i)*dt
+		if t > te {
+			break
+		}
 		pp, ok := p.LocAt(t)
 		if !ok {
 			continue
@@ -174,7 +182,12 @@ func ErrorProfile(p, a trajectory.Trajectory, dt float64) ([]ErrorPoint, error) 
 		return nil, fmt.Errorf("quality: trajectories share no time overlap")
 	}
 	var out []ErrorPoint
-	for t := t0; t <= t1; t += dt {
+	// Index stepping: see PerpAreaError.
+	for i := 0; ; i++ {
+		t := t0 + float64(i)*dt
+		if t > t1 {
+			break
+		}
 		pp, ok1 := p.LocAt(t)
 		pa, ok2 := a.LocAt(t)
 		if !ok1 || !ok2 {
@@ -202,8 +215,17 @@ func ErrorPercentiles(p, a trajectory.Trajectory, dt float64, percentiles []floa
 		if pc < 0 || pc > 100 {
 			return nil, fmt.Errorf("quality: percentile %v outside [0, 100]", pc)
 		}
-		idx := int(pc / 100 * float64(len(dists)-1))
-		out[k] = dists[idx]
+		// Interpolated quantile over the order statistics (the convention
+		// internal/metrics' histogram quantiles follow): rank pc/100·(n−1),
+		// linear between the adjacent samples. Truncating the rank to an
+		// integer index would bias every percentile low.
+		rank := pc / 100 * float64(len(dists)-1)
+		lo := int(rank)
+		v := dists[lo]
+		if frac := rank - float64(lo); frac > 0 && lo+1 < len(dists) {
+			v += frac * (dists[lo+1] - v)
+		}
+		out[k] = v
 	}
 	return out, nil
 }

@@ -295,6 +295,33 @@ func (c *Client) Append(id string, s trajectory.Sample) error {
 	return err
 }
 
+// AppendBatch ingests a batch of observations for one object with a single
+// MAPPEND round trip — the command line plus the data lines leave in one
+// buffered write, and one reply answers the whole batch. Like Append it is
+// NOT idempotent: a transport failure leaves the batch outcome unknown
+// (possibly an applied prefix) and is returned rather than retried.
+func (c *Client) AppendBatch(id string, ss []trajectory.Sample) error {
+	if len(ss) == 0 {
+		return nil
+	}
+	if strings.ContainsAny(id, " \t\n") {
+		return fmt.Errorf("server: object id %q contains whitespace", id)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "MAPPEND %s %d", id, len(ss))
+	for _, s := range ss {
+		fmt.Fprintf(&b, "\n%g %g %g", s.T, s.X, s.Y)
+	}
+	resp, err := c.roundTrip(b.String(), false)
+	if err != nil {
+		return err
+	}
+	if want := fmt.Sprintf("OK appended=%d", len(ss)); resp != want {
+		return fmt.Errorf("server: bad MAPPEND response %q", resp)
+	}
+	return nil
+}
+
 // PositionAt queries the interpolated position of an object at time t.
 func (c *Client) PositionAt(id string, t float64) (geo.Point, error) {
 	resp, err := c.roundTrip(fmt.Sprintf("POSITION %s %g", id, t), true)

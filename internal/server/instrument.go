@@ -8,7 +8,7 @@ import (
 // table keeps metric cardinality bounded no matter what clients send
 // (unknown commands share the "other" series).
 var commands = []string{
-	"PING", "QUIT", "SUBSCRIBE", "APPEND", "POSITION", "SNAPSHOT",
+	"PING", "QUIT", "SUBSCRIBE", "APPEND", "MAPPEND", "POSITION", "SNAPSHOT",
 	"QUERY", "QUERYTOL", "EVICT", "IDS", "STATS", "METRICS",
 }
 
@@ -21,6 +21,11 @@ type instruments struct {
 	subDrops    *metrics.Counter
 	sheds       *metrics.Counter
 
+	// batchAppends counts MAPPEND commands; batchSize is the distribution
+	// of samples per batch, so the payoff of pipelined ingest is visible.
+	batchAppends *metrics.Counter
+	batchSize    *metrics.Histogram
+
 	cmds    map[string]*metrics.Counter   // per protocol command
 	cmdSecs map[string]*metrics.Histogram // dispatch latency per command
 }
@@ -30,13 +35,16 @@ func newInstruments(r *metrics.Registry) *instruments {
 		r = metrics.Default()
 	}
 	ins := &instruments{
-		registry:    r,
-		connsActive: r.Gauge("server_connections_active"),
-		connsTotal:  r.Counter("server_connections_total"),
-		subDrops:    r.Counter("server_subscribe_drops_total"),
-		sheds:       r.Counter("server_sheds_total"),
-		cmds:        make(map[string]*metrics.Counter, len(commands)+1),
-		cmdSecs:     make(map[string]*metrics.Histogram, len(commands)+1),
+		registry:     r,
+		connsActive:  r.Gauge("server_connections_active"),
+		connsTotal:   r.Counter("server_connections_total"),
+		subDrops:     r.Counter("server_subscribe_drops_total"),
+		sheds:        r.Counter("server_sheds_total"),
+		batchAppends: r.Counter("server_batch_appends_total"),
+		batchSize: r.Histogram("server_batch_append_size",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}),
+		cmds:    make(map[string]*metrics.Counter, len(commands)+1),
+		cmdSecs: make(map[string]*metrics.Histogram, len(commands)+1),
 	}
 	for _, cmd := range append([]string{"other"}, commands...) {
 		ins.cmds[cmd] = r.Counter("server_commands_total", metrics.L("cmd", cmd))

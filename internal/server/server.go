@@ -7,6 +7,14 @@
 // "OK ..."/"ERR ..." line, or data lines terminated by "END"):
 //
 //	APPEND <id> <t> <x> <y>                   → OK
+//	MAPPEND <id> <n>                          → OK appended=<n> after n further
+//	                                          "<t> <x> <y>" data lines: one
+//	                                          batch append, one reply. A
+//	                                          malformed data line rejects the
+//	                                          whole batch; a store rejection
+//	                                          (e.g. out-of-order time) applies
+//	                                          an intact prefix and reports it
+//	                                          as "ERR applied=<k> ..."
 //	POSITION <id> <t>                         → OK <x> <y>
 //	SNAPSHOT <id>                             → <t> <x> <y> lines, END
 //	QUERY <minx> <miny> <maxx> <maxy> <t0> <t1> → id lines, END
@@ -35,6 +43,11 @@
 //	QUIT                                      → OK bye (connection closes)
 //
 // Object identifiers must not contain whitespace.
+//
+// Pipelining: clients may send many commands without waiting for replies.
+// The server defers its response flush while more input is already
+// buffered, so a pipelined batch costs one write syscall instead of one per
+// command; replies always come back in command order.
 package server
 
 import (
@@ -42,6 +55,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sort"
 	"strconv"
@@ -60,6 +74,10 @@ import (
 // appends.
 type Backend interface {
 	Append(id string, s trajectory.Sample) error
+	// AppendBatch ingests samples for one object in one store round trip.
+	// On error the first `applied` samples were ingested (an intact
+	// prefix) and the rest were not.
+	AppendBatch(id string, ss []trajectory.Sample) (applied int, err error)
 	Snapshot(id string) (trajectory.Trajectory, bool)
 	PositionAt(id string, t float64) (geo.Point, bool)
 	Query(rect geo.Rect, t0, t1 float64) []string
@@ -265,12 +283,46 @@ func (s *Server) Close() error {
 	return err
 }
 
+// maxLineLen bounds a single protocol line, matching the Scanner buffer cap
+// this reader replaced: a client cannot make the server buffer unbounded
+// garbage.
+const maxLineLen = 1 << 20
+
+var errLineTooLong = errors.New("server: line exceeds 1 MiB")
+
+// readCommandLine reads one newline-terminated line with the trailing
+// newline (and any \r) stripped, enforcing maxLineLen. A final unterminated
+// line before EOF is returned as-is, Scanner-style.
+func readCommandLine(br *bufio.Reader) (string, error) {
+	var long []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		switch {
+		case err == nil:
+			if long == nil {
+				return strings.TrimRight(string(frag), "\r\n"), nil
+			}
+			long = append(long, frag...)
+			return strings.TrimRight(string(long), "\r\n"), nil
+		case errors.Is(err, bufio.ErrBufferFull):
+			long = append(long, frag...)
+			if len(long) > maxLineLen {
+				return "", errLineTooLong
+			}
+		default:
+			if len(long)+len(frag) > 0 && errors.Is(err, io.EOF) {
+				return string(append(long, frag...)), nil
+			}
+			return "", err
+		}
+	}
+}
+
 func (s *Server) handle(conn net.Conn) {
 	s.ins.connsTotal.Inc()
 	s.ins.connsActive.Inc()
 	defer s.ins.connsActive.Dec()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	br := bufio.NewReaderSize(conn, 4096)
 	w := bufio.NewWriter(conn)
 	for {
 		s.mu.Lock()
@@ -286,14 +338,20 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 		}
-		if !sc.Scan() {
+		line, err := readCommandLine(br)
+		if err != nil {
 			return
 		}
-		line := strings.TrimSpace(sc.Text())
+		line = strings.TrimSpace(line)
 		if line == "" {
 			continue
 		}
-		quit, sub := s.dispatch(w, line)
+		quit, sub := s.dispatch(w, br, line)
+		// Pipelining fast path: while more input is already buffered, defer
+		// the flush — the whole pipelined batch answers in one syscall.
+		if br.Buffered() > 0 && !quit && sub == nil {
+			continue
+		}
 		if s.flush(conn, w) != nil || quit {
 			return
 		}
@@ -384,8 +442,8 @@ func (s *Server) publish(id string, smp trajectory.Sample) {
 
 // dispatch executes one command line; it reports whether the connection
 // should close, and a non-nil subscriber when the connection switches to
-// streaming mode.
-func (s *Server) dispatch(w *bufio.Writer, line string) (quit bool, sub *subscriber) {
+// streaming mode. MAPPEND additionally reads its data lines from br.
+func (s *Server) dispatch(w *bufio.Writer, br *bufio.Reader, line string) (quit bool, sub *subscriber) {
 	fields := strings.Fields(line)
 	cmd := strings.ToUpper(fields[0])
 	args := fields[1:]
@@ -413,6 +471,10 @@ func (s *Server) dispatch(w *bufio.Writer, line string) (quit bool, sub *subscri
 		return false, sub
 	case "APPEND":
 		s.cmdAppend(w, args)
+	case "MAPPEND":
+		if err := s.cmdBatchAppend(w, br, args); err != nil {
+			return true, nil // torn mid-batch: no way back to command framing
+		}
 	case "POSITION":
 		s.cmdPosition(w, args)
 	case "SNAPSHOT":
@@ -468,6 +530,59 @@ func (s *Server) cmdAppend(w *bufio.Writer, args []string) {
 	}
 	s.publish(args[0], smp)
 	fmt.Fprintln(w, "OK")
+}
+
+// maxBatchAppend caps MAPPEND batch sizes; a batch is buffered in memory
+// before it is applied, so the cap bounds per-connection memory.
+const maxBatchAppend = 10000
+
+// cmdBatchAppend handles MAPPEND <id> <n>: n further "<t> <x> <y>" data
+// lines belong to the command, and one line answers the whole batch. All n
+// lines are consumed even when one is malformed, so the connection never
+// desynchronizes into interpreting samples as commands. A returned error
+// means the data lines could not be read and the connection must close.
+func (s *Server) cmdBatchAppend(w *bufio.Writer, br *bufio.Reader, args []string) error {
+	if len(args) != 2 {
+		fmt.Fprintln(w, "ERR usage: MAPPEND <id> <n>")
+		return nil
+	}
+	n, err := strconv.Atoi(args[1])
+	if err != nil || n <= 0 || n > maxBatchAppend {
+		fmt.Fprintf(w, "ERR batch size must be 1..%d\n", maxBatchAppend)
+		return nil
+	}
+	samples := make([]trajectory.Sample, 0, n)
+	var badLine error
+	for i := 0; i < n; i++ {
+		line, err := readCommandLine(br)
+		if err != nil {
+			return err
+		}
+		v, perr := parseFloats(strings.Fields(strings.TrimSpace(line)))
+		if perr != nil || len(v) != 3 {
+			if badLine == nil {
+				badLine = fmt.Errorf("batch sample %d: want <t> <x> <y>", i+1)
+			}
+			continue
+		}
+		samples = append(samples, trajectory.S(v[0], v[1], v[2]))
+	}
+	if badLine != nil {
+		fmt.Fprintf(w, "ERR %v\n", badLine)
+		return nil
+	}
+	s.ins.batchAppends.Inc()
+	s.ins.batchSize.Observe(float64(len(samples)))
+	applied, err := s.st.AppendBatch(args[0], samples)
+	for _, smp := range samples[:applied] {
+		s.publish(args[0], smp)
+	}
+	if err != nil {
+		fmt.Fprintf(w, "ERR applied=%d: %v\n", applied, err)
+		return nil
+	}
+	fmt.Fprintf(w, "OK appended=%d\n", applied)
+	return nil
 }
 
 func (s *Server) cmdPosition(w *bufio.Writer, args []string) {

@@ -185,14 +185,51 @@ func (st *Store) Append(id string, s trajectory.Sample) error {
 // on-ingest compressor is buffering). Write-ahead logging uses this to
 // persist exactly the retained stream.
 func (st *Store) AppendObserved(id string, s trajectory.Sample) ([]trajectory.Sample, error) {
-	if !s.IsFinite() {
-		st.ins.appendErrors.Inc()
-		return nil, fmt.Errorf("store: object %q: %w", id, trajectory.ErrNotFinite)
+	sh := st.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return st.appendLocked(sh, id, s)
+}
+
+// AppendBatch ingests a batch of observations for one object, taking the
+// object's shard lock once instead of once per sample — the store half of
+// the MAPPEND fast path. Samples must be strictly increasing in time and
+// follow any earlier observation. On error the first `applied` samples were
+// ingested and the rest were not: an intact prefix, never a gap.
+func (st *Store) AppendBatch(id string, ss []trajectory.Sample) (int, error) {
+	applied, _, err := st.AppendBatchObserved(id, ss)
+	return applied, err
+}
+
+// AppendBatchObserved is AppendBatch, additionally returning the samples
+// whose retention became definite, in emission order — the write-ahead
+// logging hook, exactly as in AppendObserved.
+func (st *Store) AppendBatchObserved(id string, ss []trajectory.Sample) (int, []trajectory.Sample, error) {
+	if len(ss) == 0 {
+		return 0, nil, nil
 	}
 	sh := st.shardOf(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	var retained []trajectory.Sample
+	for k, s := range ss {
+		emitted, err := st.appendLocked(sh, id, s)
+		if err != nil {
+			return k, retained, err
+		}
+		retained = append(retained, emitted...)
+	}
+	return len(ss), retained, nil
+}
 
+// appendLocked is the single-observation ingest body; the shard lock must
+// be held. Validation happens before any state change, so a rejected sample
+// leaves the object exactly as it was.
+func (st *Store) appendLocked(sh *shard, id string, s trajectory.Sample) ([]trajectory.Sample, error) {
+	if !s.IsFinite() {
+		st.ins.appendErrors.Inc()
+		return nil, fmt.Errorf("store: object %q: %w", id, trajectory.ErrNotFinite)
+	}
 	obj := sh.objects[id]
 	if obj == nil {
 		obj = &object{}

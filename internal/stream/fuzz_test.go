@@ -1,0 +1,89 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/trajectory"
+)
+
+// fuzzTrack derives a deterministic pseudo-random trajectory from a seed
+// using a simple LCG, mirroring internal/compress's fuzz target.
+func fuzzTrack(seed int64, n int) trajectory.Trajectory {
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / (1 << 53)
+	}
+	p := make(trajectory.Trajectory, n)
+	t, x, y := 0.0, 0.0, 0.0
+	for i := 0; i < n; i++ {
+		p[i] = trajectory.S(t, x, y)
+		t += 0.1 + next()*20
+		x += (next() - 0.5) * 500
+		y += (next() - 0.5) * 500
+	}
+	return p
+}
+
+// FuzzOPWSPStreamMatchesBatch drives the online OPW-SP engine over
+// fuzz-shaped trajectories and checks it against the batch algorithm:
+//
+//   - unbounded window: the emitted stream must equal the batch output
+//     bit-for-bit (the package's core contract);
+//   - bounded window: forced cuts may retain extra points, but the output
+//     must stay a valid vertex subsequence with both endpoints, and no two
+//     consecutive retained points may span more than maxWindow input
+//     samples (the memory bound the cap exists to enforce).
+func FuzzOPWSPStreamMatchesBatch(f *testing.F) {
+	f.Add(int64(1), uint8(40), float64(50), float64(5), uint8(0))
+	f.Add(int64(7), uint8(3), float64(0), float64(1), uint8(3))
+	f.Add(int64(11), uint8(200), float64(30), float64(15), uint8(4))
+	f.Add(int64(42), uint8(120), float64(1e6), float64(0.5), uint8(64))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8, dist, speed float64, win uint8) {
+		if n < 3 || !(dist >= 0) || math.IsInf(dist, 0) || !(speed > 0) || math.IsInf(speed, 0) {
+			return
+		}
+		p := fuzzTrack(seed, int(n))
+
+		// Unbounded: online == batch, exactly.
+		got, err := Collect(NewOPWSP(dist, speed, 0), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := compress.OPWSP{DistThreshold: dist, SpeedThreshold: speed}.Compress(p)
+		if !sameTrajectory(got, want) {
+			t.Fatalf("unbounded online OPW-SP diverges from batch: %d vs %d points", got.Len(), want.Len())
+		}
+
+		// Bounded: clamp the fuzzed cap into the legal range [3, 64].
+		maxWindow := 3 + int(win)%62
+		bounded, err := Collect(NewOPWSP(dist, speed, maxWindow), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bounded.Validate(); err != nil {
+			t.Fatalf("bounded output invalid: %v", err)
+		}
+		if !bounded.IsVertexSubsetOf(p) {
+			t.Fatal("bounded output is not a vertex subsequence of the input")
+		}
+		if bounded[0] != p[0] || bounded[bounded.Len()-1] != p[p.Len()-1] {
+			t.Fatal("bounded output dropped an endpoint")
+		}
+		// Forced cuts must actually bound the buffered window: consecutive
+		// retained points can be at most maxWindow input samples apart.
+		idx := 0
+		prev := -1
+		for _, s := range bounded {
+			for p[idx] != s {
+				idx++
+			}
+			if prev >= 0 && idx-prev > maxWindow {
+				t.Fatalf("retained points %d and %d are %d input samples apart, window cap %d", prev, idx, idx-prev, maxWindow)
+			}
+			prev = idx
+		}
+	})
+}

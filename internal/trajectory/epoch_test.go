@@ -1,0 +1,40 @@
+package trajectory
+
+import "testing"
+
+// TestResampleEpochTimestamps is the regression test for float-accumulation
+// time stepping: at t0 = 1.7e9 a float64 ulp is ≈ 2.4e-7 s, so the old
+// `for t := t0; t < end; t += dt` loop drifts off the sampling grid.
+//
+//   - dt = 0.1 over 4 s: the accumulated loop variable under-shoots, so an
+//     extra interior point squeezes in just before the end (42 samples
+//     instead of 41) at t ≈ end − 3.8e-6.
+//   - dt = 0.7 over 7 s: the counts agree but the interior timestamps sit
+//     off the exact grid t0 + i·dt by several ulps.
+func TestResampleEpochTimestamps(t *testing.T) {
+	const t0 = 1.7e9
+	p := MustNew([]Sample{S(t0, 0, 0), S(t0+4, 40, 0)})
+	r := p.Resample(0.1)
+	if len(r) != 41 {
+		t.Fatalf("Resample(0.1) yields %d samples, want 41 (duplicate near-end sample from accumulated rounding?)", len(r))
+	}
+	for i, s := range r {
+		if want := t0 + float64(i)*0.1; s.T != want {
+			t.Errorf("sample %d at %.9f, want exactly %.9f (off-grid by %g)", i, s.T, want, s.T-want)
+		}
+	}
+
+	p = MustNew([]Sample{S(t0, 0, 0), S(t0+7, 70, 0)})
+	r = p.Resample(0.7)
+	if len(r) != 11 {
+		t.Fatalf("Resample(0.7) yields %d samples, want 11", len(r))
+	}
+	for i, s := range r {
+		if want := t0 + float64(i)*0.7; s.T != want {
+			t.Errorf("sample %d at %.9f, want exactly %.9f (off-grid by %g)", i, s.T, want, s.T-want)
+		}
+	}
+	if r[len(r)-1].T != t0+7 {
+		t.Errorf("final sample at %.9f, want the end instant exactly", r[len(r)-1].T)
+	}
+}

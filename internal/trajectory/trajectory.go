@@ -266,7 +266,14 @@ func (p Trajectory) Resample(dt float64) Trajectory {
 		return nil
 	}
 	var out Trajectory
-	for t := p[0].T; t < p[len(p)-1].T; t += dt {
+	// Step by index so sample i sits at exactly t0 + i·dt: accumulating
+	// t += dt drifts at Unix-epoch-scale timestamps and can shift or drop
+	// the final samples.
+	for i := 0; ; i++ {
+		t := p[0].T + float64(i)*dt
+		if t >= p[len(p)-1].T {
+			break
+		}
 		s, _ := p.SampleAt(t)
 		out = append(out, s)
 	}

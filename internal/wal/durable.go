@@ -94,7 +94,7 @@ func (d *DurableStore) SetSyncEvery(n int) {
 		n = 0
 	}
 	d.syncEvery = n
-	d.log.SyncEvery = n
+	d.log.SetSyncEvery(n)
 }
 
 // Poisoned reports the sticky divergence error, or nil while the log and
@@ -110,24 +110,96 @@ func (d *DurableStore) Poisoned() error {
 // batching). A log failure mid-batch poisons the store: the in-memory state
 // is ahead of the log, so every subsequent write-path call returns
 // ErrPoisoned until Compact rewrites the log and heals the divergence.
+//
+// Only the store update and the buffered log write happen under the store
+// lock (they must, so per-object log order matches store-accept order); the
+// group-commit durability wait runs after it is released, so concurrent
+// appenders share one fsync instead of serializing behind each other's.
 func (d *DurableStore) Append(id string, s trajectory.Sample) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.poisoned != nil {
-		return d.poisoned
+		err := d.poisoned
+		d.mu.Unlock()
+		return err
 	}
 	retained, err := d.Store.AppendObserved(id, s)
 	if err != nil {
+		d.mu.Unlock()
 		return err // rejected before any state change: not poisonous
 	}
-	for _, r := range retained {
-		if err := d.log.Append(Record{ID: id, Sample: r}); err != nil {
-			d.poisoned = fmt.Errorf("%w (object %q: %v)", ErrPoisoned, id, err)
-			return fmt.Errorf("wal: append %q: %w", id, err)
-		}
-		d.lastLogged[id] = r.T
+	log, lastSeq, err := d.stageLocked(id, retained)
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if lastSeq == 0 {
+		return nil // nothing retained: the sample sits in a compressor window
+	}
+	if cerr := log.commit(lastSeq); cerr != nil {
+		return d.poisonCommit(log, id, cerr)
 	}
 	return nil
+}
+
+// AppendBatch ingests a batch of raw observations for one object with one
+// shard-lock acquisition and at most one group-commit wait. On error the
+// first `applied` samples were ingested and the rest were not — an intact
+// prefix, the batch analogue of the acknowledged-prefix guarantee. Any
+// non-nil error means the caller must not acknowledge the batch: a commit
+// failure leaves even the applied prefix's durability unknown and poisons
+// the store.
+func (d *DurableStore) AppendBatch(id string, ss []trajectory.Sample) (int, error) {
+	d.mu.Lock()
+	if d.poisoned != nil {
+		err := d.poisoned
+		d.mu.Unlock()
+		return 0, err
+	}
+	applied, retained, err := d.Store.AppendBatchObserved(id, ss)
+	log, lastSeq, serr := d.stageLocked(id, retained)
+	d.mu.Unlock()
+	if serr != nil {
+		return applied, serr
+	}
+	if lastSeq != 0 {
+		if cerr := log.commit(lastSeq); cerr != nil {
+			return applied, d.poisonCommit(log, id, cerr)
+		}
+	}
+	return applied, err
+}
+
+// stageLocked buffers the retained samples into the log and returns the log
+// and the last staged sequence number (0 if nothing was staged) for the
+// commit the caller performs after releasing d.mu. A staging failure
+// poisons the store: the in-memory state is ahead of the log. Caller holds
+// d.mu.
+func (d *DurableStore) stageLocked(id string, retained []trajectory.Sample) (*Log, uint64, error) {
+	var lastSeq uint64
+	for _, r := range retained {
+		seq, err := d.log.stage(Record{ID: id, Sample: r})
+		if err != nil {
+			d.poisoned = fmt.Errorf("%w (object %q: %v)", ErrPoisoned, id, err)
+			return nil, 0, fmt.Errorf("wal: append %q: %w", id, err)
+		}
+		d.lastLogged[id] = r.T
+		lastSeq = seq
+	}
+	return d.log, lastSeq, nil
+}
+
+// poisonCommit records the sticky divergence after a group-commit failure:
+// samples the store already accepted may never have reached stable storage.
+// If a concurrent Compact already replaced the log, the rewrite covered
+// every retained sample from the store state, so the stale log's failure is
+// moot and no poison is set.
+func (d *DurableStore) poisonCommit(log *Log, id string, err error) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.log == log && d.poisoned == nil {
+		d.poisoned = fmt.Errorf("%w (object %q: %v)", ErrPoisoned, id, err)
+	}
+	return fmt.Errorf("wal: append %q: %w", id, err)
 }
 
 // Flush forces all logged records to stable storage.

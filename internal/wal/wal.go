@@ -17,6 +17,14 @@
 // compressor window at crash time are lost except for the window anchor —
 // bounded by the compressor's window cap.
 //
+// Concurrency and group commit: the log is safe for concurrent appenders.
+// Records are staged into the write buffer under the log's lock; fsyncs are
+// group-committed: the first appender that needs durability becomes the
+// leader, flushes everything staged so far, and runs the single fsync
+// outside the lock while later appenders queue behind it. One fsync
+// therefore covers every record staged before it started, so N concurrent
+// appends cost O(1) fsyncs per round instead of N.
+//
 // All file operations go through an injectable fault.FS, so the
 // fault-injection tests can fail any write, sync, close, or rename — and
 // tear writes at any byte offset — without touching the real disk path.
@@ -31,6 +39,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/fault"
@@ -54,6 +63,9 @@ type instruments struct {
 	// fsync is the latency distribution of the file sync on the flush path,
 	// the dominant cost of the durability guarantee.
 	fsync *metrics.Histogram
+	// groupSize is the distribution of records covered per group-commit
+	// fsync; values above 1 are appends that shared a sync with a neighbour.
+	groupSize *metrics.Histogram
 	// tornTails counts recoveries that truncated a torn or corrupt tail.
 	tornTails *metrics.Counter
 	// compactions counts successful log compactions.
@@ -67,6 +79,7 @@ func newInstruments(r *metrics.Registry) *instruments {
 	return &instruments{
 		records:     r.Counter("wal_records_total"),
 		fsync:       r.Histogram("wal_fsync_seconds", nil),
+		groupSize:   r.Histogram("wal_group_commit_records", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
 		tornTails:   r.Counter("wal_torn_tail_recoveries_total"),
 		compactions: r.Counter("wal_compactions_total"),
 	}
@@ -78,18 +91,31 @@ type Record struct {
 	Sample trajectory.Sample
 }
 
-// Log is an append-only record log. Not safe for concurrent use; callers
-// (DurableStore) serialize access.
+// Log is an append-only record log, safe for concurrent appenders. Staged
+// writes go into one buffered writer under the log's lock; durability is
+// provided by the group committer in syncLocked. A write, flush, or sync
+// failure is sticky: the buffer (or the file tail) is torn at an unknown
+// byte, so every later operation fails until the log is rebuilt
+// (DurableStore heals by Compact, which opens a fresh Log).
 type Log struct {
-	f       fault.File
-	fs      fault.FS
-	w       *bufio.Writer
-	path    string
-	pending int
-	ins     *instruments
-	// SyncEvery controls how many appended records may precede an fsync;
-	// 0 syncs on every append (slow, maximally durable). Flush always
-	// syncs.
+	fs   fault.FS
+	path string
+	ins  *instruments
+
+	mu       sync.Mutex
+	synced   *sync.Cond // signalled whenever a leader's sync round finishes
+	f        fault.File
+	w        *bufio.Writer
+	writeSeq uint64 // records staged into the buffer
+	syncSeq  uint64 // records covered by a completed fsync
+	syncing  bool   // a leader's flush+fsync round is in flight
+	sticky   error  // first write/flush/sync failure; the log is torn
+
+	// SyncEvery controls how many staged records may precede an fsync; 0
+	// syncs on every append (slow, maximally durable: Append returning nil
+	// means the record is on stable storage). Flush always syncs. The field
+	// is read under the log's lock: direct assignment is safe only before
+	// the log is shared; use SetSyncEvery when appenders may be running.
 	SyncEvery int
 }
 
@@ -132,12 +158,13 @@ func openLog(fsys fault.FS, path string, apply func(Record) error, ins *instrume
 		return nil, fmt.Errorf("wal: seek: %w", err)
 	}
 	l := &Log{f: f, fs: fsys, w: bufio.NewWriter(f), path: path, ins: ins, SyncEvery: 64}
+	l.synced = sync.NewCond(&l.mu)
 	if good == 0 {
 		if _, err := l.w.WriteString(headerMagic); err != nil {
 			_ = f.Close() // the header write error is the one worth reporting
 			return nil, fmt.Errorf("wal: header: %w", err)
 		}
-		if err := l.flushSync(); err != nil {
+		if err := l.Flush(); err != nil {
 			_ = f.Close() // the sync error is the one worth reporting
 			return nil, err
 		}
@@ -213,59 +240,152 @@ func readRecord(r *bufio.Reader) (Record, int64, error) {
 	return rec, int64(4 + payloadLen + 4), nil
 }
 
-// Append writes one record, syncing according to SyncEvery.
-func (l *Log) Append(rec Record) error {
+// encode renders the record in its on-disk framing: length prefix, payload
+// (id length, id, three float64s), CRC-32 of the payload.
+func encode(rec Record) ([]byte, error) {
 	if len(rec.ID) > maxIDLen || len(rec.ID) > 255 {
-		return fmt.Errorf("wal: object id longer than 255 bytes")
+		return nil, fmt.Errorf("wal: object id longer than 255 bytes")
 	}
-	payload := make([]byte, 1+len(rec.ID)+24)
+	buf := make([]byte, recordFixed+1+len(rec.ID)) // fixed parts + idLen byte + id
+	payload := buf[4 : 4+1+len(rec.ID)+24]
 	payload[0] = byte(len(rec.ID))
 	copy(payload[1:], rec.ID)
 	binary.LittleEndian.PutUint64(payload[1+len(rec.ID):], math.Float64bits(rec.Sample.T))
 	binary.LittleEndian.PutUint64(payload[1+len(rec.ID)+8:], math.Float64bits(rec.Sample.X))
 	binary.LittleEndian.PutUint64(payload[1+len(rec.ID)+16:], math.Float64bits(rec.Sample.Y))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[len(buf)-4:], crc32.ChecksumIEEE(payload))
+	return buf, nil
+}
 
-	var lenBuf [4]byte
-	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(payload)))
-	if _, err := l.w.Write(lenBuf[:]); err != nil {
-		return fmt.Errorf("wal: %w", err)
+// Append writes one record and waits for durability per SyncEvery: it
+// returns once an fsync covers the record, or immediately while the number
+// of unsynced records is within the SyncEvery allowance.
+func (l *Log) Append(rec Record) error {
+	seq, err := l.stage(rec)
+	if err != nil {
+		return err
 	}
-	if _, err := l.w.Write(payload); err != nil {
-		return fmt.Errorf("wal: %w", err)
+	return l.commit(seq)
+}
+
+// stage buffers one record without waiting for durability and returns its
+// sequence number for commit. DurableStore stages under its own lock (so
+// per-object log order matches store-accept order) and commits after
+// releasing it, which is what lets concurrent appenders share fsyncs.
+func (l *Log) stage(rec Record) (uint64, error) {
+	buf, err := encode(rec)
+	if err != nil {
+		return 0, err
 	}
-	var crcBuf [4]byte
-	binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(payload))
-	if _, err := l.w.Write(crcBuf[:]); err != nil {
-		return fmt.Errorf("wal: %w", err)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sticky != nil {
+		return 0, l.sticky
 	}
-	l.pending++
+	if _, err := l.w.Write(buf); err != nil {
+		// The buffered writer may have spilled part of the record: the file
+		// tail is torn at an unknown byte, so the log is done for.
+		l.sticky = fmt.Errorf("wal: %w", err)
+		l.synced.Broadcast()
+		return 0, l.sticky
+	}
+	l.writeSeq++
 	l.ins.records.Inc()
-	if l.pending > l.SyncEvery {
-		return l.flushSync()
+	return l.writeSeq, nil
+}
+
+// commit applies the SyncEvery policy to a staged record: if the unsynced
+// record count exceeds SyncEvery the caller joins the group commit and
+// blocks until an fsync covers seq; otherwise durability stays deferred and
+// commit returns immediately.
+func (l *Log) commit(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.syncSeq >= seq {
+		return nil
 	}
-	return nil
+	if l.sticky != nil {
+		return l.sticky
+	}
+	if l.writeSeq-l.syncSeq <= uint64(l.SyncEvery) {
+		return nil // within the allowed unsynced window
+	}
+	return l.syncLocked(seq, false)
+}
+
+// syncLocked is the group committer: it runs (or waits behind) leader
+// flush+fsync rounds until an fsync covers seq. The leader flushes the
+// write buffer under the lock — a cheap page-cache copy — then releases it
+// for the fsync itself, so appenders keep staging records that the next
+// round will cover. With force, at least one full round runs even if seq is
+// already covered (Flush's contract, and how the header reaches disk).
+// Caller holds l.mu.
+func (l *Log) syncLocked(seq uint64, force bool) error {
+	for {
+		if l.sticky != nil {
+			return l.sticky
+		}
+		if !force && l.syncSeq >= seq {
+			return nil
+		}
+		if l.syncing {
+			l.synced.Wait()
+			continue
+		}
+		l.syncing = true
+		force = false
+		if err := l.w.Flush(); err != nil {
+			l.syncing = false
+			l.sticky = fmt.Errorf("wal: flush: %w", err)
+			l.synced.Broadcast()
+			return l.sticky
+		}
+		target := l.writeSeq
+		l.mu.Unlock()
+		t0 := time.Now()
+		err := l.f.Sync()
+		l.mu.Lock()
+		l.syncing = false
+		if err != nil {
+			l.sticky = fmt.Errorf("wal: sync: %w", err)
+			l.synced.Broadcast()
+			return l.sticky
+		}
+		l.ins.fsync.ObserveSince(t0)
+		if target > l.syncSeq {
+			l.ins.groupSize.Observe(float64(target - l.syncSeq))
+			l.syncSeq = target
+		}
+		l.synced.Broadcast()
+	}
+}
+
+// SetSyncEvery adjusts the sync policy while appenders may be running.
+func (l *Log) SetSyncEvery(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.SyncEvery = n
 }
 
 // Flush forces buffered records to stable storage.
-func (l *Log) Flush() error { return l.flushSync() }
-
-func (l *Log) flushSync() error {
-	if err := l.w.Flush(); err != nil {
-		return fmt.Errorf("wal: flush: %w", err)
-	}
-	t0 := time.Now()
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: sync: %w", err)
-	}
-	l.ins.fsync.ObserveSince(t0)
-	l.pending = 0
-	return nil
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked(l.writeSeq, true)
 }
 
 // Size returns the current log size in bytes.
 func (l *Log) Size() (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sticky != nil {
+		return 0, l.sticky
+	}
 	if err := l.w.Flush(); err != nil {
-		return 0, fmt.Errorf("wal: %w", err)
+		l.sticky = fmt.Errorf("wal: %w", err)
+		l.synced.Broadcast()
+		return 0, l.sticky
 	}
 	info, err := l.f.Stat()
 	if err != nil {
@@ -274,10 +394,12 @@ func (l *Log) Size() (int64, error) {
 	return info.Size(), nil
 }
 
-// Close flushes and closes the log.
+// Close flushes, syncs, and closes the log. Callers must have quiesced
+// stage/Append; commit waiters are fine — the closing sync covers every
+// staged record, so they wake before the file handle goes away.
 func (l *Log) Close() error {
-	if err := l.flushSync(); err != nil {
-		_ = l.f.Close() // the flush/sync error is the one worth reporting
+	if err := l.Flush(); err != nil {
+		_ = l.f.Close() // best effort: the flush/sync error is the one worth reporting
 		return err
 	}
 	return l.f.Close()

@@ -25,6 +25,7 @@ OBJECTS=32
 DURATION=16000 # seconds per trip; at ~10 s sampling this fills the budget
 SHARDS="1,2,4,8"
 SWEEP_WORKERS=16
+BATCH=64 # MAPPEND batch size for the batched ingest phase
 OUT=BENCH_load.json
 if [ "${1:-}" = "--smoke" ]; then
     POINTS=800
@@ -32,6 +33,7 @@ if [ "${1:-}" = "--smoke" ]; then
     OBJECTS=4
     DURATION=1800
     SHARDS="1,8"
+    BATCH=16
     OUT="${2:-}"
     if [ -z "$OUT" ]; then
         OUT=$(mktemp -t bench_load.XXXXXX.json)
@@ -79,7 +81,7 @@ http=$(sed -n 's|.*metrics on http://\([0-9.:]*\)/metrics.*|\1|p' "$log")
 
 "$bin/trajload" -addr "$addr" -http "$http" \
     -clients "$CLIENTS" -objects "$OBJECTS" -points "$POINTS" \
-    -duration "$DURATION" -seed 1 \
+    -duration "$DURATION" -seed 1 -batch "$BATCH" \
     -shards "$SHARDS" -sweep-workers "$SWEEP_WORKERS" \
     -out "$OUT"
 

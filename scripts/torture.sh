@@ -43,4 +43,5 @@ go build -o "$workdir/trajtorture" ./cmd/trajtorture
     -bin "$workdir/trajserver" \
     -addr 127.0.0.1:7117 \
     -wal "$workdir/torture.wal" \
-    -cycles "$CYCLES" -appends "$APPENDS" -objects "$OBJECTS" -seed 1
+    -cycles "$CYCLES" -appends "$APPENDS" -objects "$OBJECTS" -seed 1 \
+    -batch 16
