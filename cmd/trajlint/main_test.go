@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes run() in-process and returns the exit code plus captured
+// stdout/stderr.
+func runCLI(t *testing.T, workdir string, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr, workdir)
+	return code, stdout.String(), stderr.String()
+}
+
+func cleanModule(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", "clean"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func fixtureModule(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("..", "..", "internal", "lint", "testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// TestExitCodeClean: a module with no findings exits 0 and prints nothing.
+func TestExitCodeClean(t *testing.T) {
+	code, stdout, stderr := runCLI(t, cleanModule(t))
+	if code != 0 {
+		t.Fatalf("clean module exited %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run wrote to stdout: %q", stdout)
+	}
+}
+
+// TestExitCodeFindings: the seeded-violation fixture module exits 1 and
+// reports findings on stdout.
+func TestExitCodeFindings(t *testing.T) {
+	code, stdout, _ := runCLI(t, fixtureModule(t))
+	if code != 1 {
+		t.Fatalf("fixture module exited %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "[floatcmp]") {
+		t.Errorf("findings output missing the seeded floatcmp positive:\n%s", stdout)
+	}
+}
+
+// TestExitCodeUsageError: load and usage failures exit 2, distinct from
+// "findings reported".
+func TestExitCodeUsageError(t *testing.T) {
+	if code, _, _ := runCLI(t, t.TempDir()); code != 2 {
+		t.Errorf("no go.mod above workdir: exited %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, cleanModule(t), "-no-such-flag"); code != 2 {
+		t.Errorf("unknown flag: exited %d, want 2", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.allow")
+	if err := os.WriteFile(bad, []byte("malformed entry without location\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runCLI(t, cleanModule(t), "-allowlist", bad); code != 2 {
+		t.Errorf("malformed allowlist: exited %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, cleanModule(t), "-allowlist", filepath.Join(t.TempDir(), "missing")); code != 2 {
+		t.Errorf("explicitly named missing allowlist: exited %d, want 2", code)
+	}
+}
+
+// TestJSONOutputShape: -json over a clean module emits an empty JSON array,
+// so artifact consumers never parse "null".
+func TestJSONOutputShape(t *testing.T) {
+	code, stdout, _ := runCLI(t, cleanModule(t), "-json")
+	if code != 0 {
+		t.Fatalf("clean -json run exited %d, want 0", code)
+	}
+	if strings.TrimSpace(stdout) != "[]" {
+		t.Errorf("clean -json output = %q, want []", stdout)
+	}
+}
+
+// TestPruneAllowlistCLI covers the staleness workflow: a stale entry exits
+// 1 and is listed, -fix-allowlist rewrites the file keeping live entries,
+// and a module without an allowlist prunes as a no-op.
+func TestPruneAllowlistCLI(t *testing.T) {
+	allow := filepath.Join(t.TempDir(), "trajlint.allow")
+	content := "# pinned\nfloatcmp internal/geo/geo.go:8 long gone\n"
+	if err := os.WriteFile(allow, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, stdout, _ := runCLI(t, cleanModule(t), "-prune-allowlist", "-allowlist", allow)
+	if code != 1 {
+		t.Fatalf("stale allowlist exited %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "stale: floatcmp internal/geo/geo.go:8") {
+		t.Errorf("stale entry not reported:\n%s", stdout)
+	}
+
+	code, _, _ = runCLI(t, cleanModule(t), "-prune-allowlist", "-fix-allowlist", "-allowlist", allow)
+	if code != 0 {
+		t.Fatalf("prune -fix-allowlist exited %d, want 0", code)
+	}
+	rewritten, err := os.ReadFile(allow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(rewritten), "floatcmp") {
+		t.Errorf("stale entry survived -fix-allowlist:\n%s", rewritten)
+	}
+	if !strings.Contains(string(rewritten), "# pinned") {
+		t.Errorf("comment dropped by -fix-allowlist:\n%s", rewritten)
+	}
+
+	code, _, stderr := runCLI(t, cleanModule(t), "-prune-allowlist", "-fix-allowlist", "-allowlist", allow)
+	if code != 0 {
+		t.Fatalf("pruning a clean allowlist exited %d, want 0\nstderr: %s", code, stderr)
+	}
+}

@@ -1,0 +1,9 @@
+// Package geo is a minimal clean module for the trajlint CLI tests: it
+// satisfies every default-on analyzer, so a run over this module must exit
+// zero.
+package geo
+
+// Dims is the number of spatial dimensions handled here.
+func Dims() int {
+	return 2
+}

@@ -127,6 +127,7 @@ func main() {
 			log.Fatal(err)
 		}
 		backend = durable
+		//lint:allow mutexguard single-threaded setup: no goroutine shares the store until Serve starts
 		st = durable.Store
 		durable.SetSyncEvery(*walSync)
 		log.Printf("durable: write-ahead log at %s (sync every %d records)", *walPath, *walSync)
@@ -135,6 +136,7 @@ func main() {
 		backend = st
 	}
 	srv := server.New(backend)
+	//lint:allow mutexguard single-threaded setup: Serve has not started, no connection can race this write
 	srv.MaxConns = *maxConns
 	srv.WriteTimeout = 30 * time.Second
 

@@ -203,6 +203,35 @@ func TestCIWorkflowShape(t *testing.T) {
 		t.Error("check job does not enable setup-go caching")
 	}
 
+	lintJob := jobs.Get("lint")
+	if lintJob == nil {
+		t.Fatal("ci.yml has no lint job")
+	}
+	var runsLint, runsPrune, uploadsFindings bool
+	for _, step := range lintJob.Get("steps").Seq {
+		run := step.Get("run").Str()
+		if strings.Contains(run, "cmd/trajlint") && strings.Contains(run, "-json") && strings.Contains(run, "-tests") {
+			runsLint = true
+		}
+		if strings.Contains(run, "-prune-allowlist") {
+			runsPrune = true
+		}
+		if strings.Contains(step.Get("uses").Str(), "upload-artifact") &&
+			step.Get("if").Str() == "always()" &&
+			strings.Contains(step.Get("with").Get("path").Str(), "trajlint.json") {
+			uploadsFindings = true
+		}
+	}
+	if !runsLint {
+		t.Error("lint job does not run trajlint -tests -json")
+	}
+	if !runsPrune {
+		t.Error("lint job does not check allowlist staleness (-prune-allowlist)")
+	}
+	if !uploadsFindings {
+		t.Error("lint job does not upload trajlint.json unconditionally (if: always())")
+	}
+
 	bench := jobs.Get("bench-compare")
 	if bench == nil {
 		t.Fatal("ci.yml has no bench-compare job")

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomicmix flags variables and struct fields that are accessed both
+// through the sync/atomic package-level functions (atomic.AddInt64(&x, 1))
+// and through plain loads or stores. Mixing the two voids the atomicity
+// guarantee: the plain access races with the atomic one, and the race
+// detector only catches it when the schedule cooperates. The typed atomics
+// (atomic.Int64 and friends) make this mistake impossible and are the
+// preferred fix; a deliberately-unsynchronized access (a read after every
+// writer goroutine has been joined) is annotated
+// //lint:allow atomicmix <reason>.
+func atomicmix(m *Module, p *Package, cfg *Config) []Diagnostic {
+	// Pass 1: every variable whose address flows into a sync/atomic call.
+	atomicObjs := make(map[types.Object]token.Pos)
+	exempt := make(map[ast.Node]bool) // the &x nodes inside atomic calls
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, _ := fn.Type().(*types.Signature); sig != nil && sig.Recv() != nil {
+				return true // typed atomic method: inherently safe
+			}
+			for _, arg := range call.Args {
+				ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || ue.Op != token.AND {
+					continue
+				}
+				target := ast.Unparen(ue.X)
+				if obj := addressableObj(p, target); obj != nil {
+					if _, seen := atomicObjs[obj]; !seen {
+						atomicObjs[obj] = call.Pos()
+					}
+					exempt[target] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other use of those objects is a plain access.
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var id *ast.Ident
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if exempt[x] {
+					return false
+				}
+				id = x.Sel
+			case *ast.Ident:
+				id = x
+			default:
+				return true
+			}
+			if exempt[n] {
+				return false
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if _, atomicUse := atomicObjs[obj]; !atomicUse {
+				return true
+			}
+			file, line, col := m.position(id.Pos())
+			out = append(out, Diagnostic{
+				File: file, Line: line, Col: col,
+				Message: fmt.Sprintf("%s is updated with sync/atomic elsewhere but accessed plainly here; mixing atomic and plain access races — use the typed atomic.%s or annotate with //lint:allow atomicmix <reason>", obj.Name(), typedAtomicFor(obj.Type())),
+			})
+			// Stop descending so the Sel ident of a flagged selector does
+			// not report the same access twice.
+			return false
+		})
+	}
+	return out
+}
+
+// addressableObj resolves &target to the variable or field object whose
+// address is taken, or nil when it is not a plain variable/field chain.
+func addressableObj(p *Package, target ast.Expr) types.Object {
+	switch x := target.(type) {
+	case *ast.Ident:
+		if v, ok := p.Info.Uses[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := p.Info.Uses[x.Sel].(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// typedAtomicFor suggests the typed sync/atomic replacement for t.
+func typedAtomicFor(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			return "Pointer"
+		}
+		return "Value"
+	}
+	switch b.Kind() {
+	case types.Int32:
+		return "Int32"
+	case types.Int64, types.Int:
+		return "Int64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint64, types.Uint:
+		return "Uint64"
+	case types.Uintptr:
+		return "Uintptr"
+	case types.Bool:
+		return "Bool"
+	}
+	return "Value"
+}

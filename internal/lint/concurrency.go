@@ -74,10 +74,12 @@ func findLock(t types.Type, seen map[types.Type]bool) string {
 // goroleak flags go statements in the serving-layer packages
 // (Config.GoroutinePkgs) that have no visible cancellation or tracking
 // path. A goroutine counts as tracked when its body (or the named function
-// it calls) references a sync.WaitGroup method, receives from a channel
-// (directly, via select, or via range), or uses a context.Context — the
-// mechanisms Close/shutdown paths use to terminate it. Anything else must
-// justify its lifetime with //lint:allow goroleak <reason>.
+// it calls) references a sync.WaitGroup method, receives from or sends on
+// a channel (directly, via select, or via range), closes one (the
+// done-channel idiom: `go func() { done <- srv.Serve(l) }()`), or uses a
+// context.Context — the mechanisms Close/shutdown paths use to observe or
+// terminate it. Anything else must justify its lifetime with
+// //lint:allow goroleak <reason>.
 func goroleak(m *Module, p *Package, cfg *Config) []Diagnostic {
 	if !cfg.GoroutinePkgs[p.Key] {
 		return nil
@@ -140,6 +142,14 @@ func hasCancellationPath(p *Package, body *ast.BlockStmt) bool {
 		switch n := n.(type) {
 		case *ast.SelectStmt:
 			found = true
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, builtin := p.Info.Uses[id].(*types.Builtin); builtin {
+					found = true
+				}
+			}
 		case *ast.UnaryExpr:
 			if n.Op.String() == "<-" {
 				found = true

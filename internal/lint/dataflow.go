@@ -1,0 +1,646 @@
+package lint
+
+// dataflow.go is the shared substrate for the type-aware concurrency
+// analyzers (mutexguard, lockorder, atomicmix). It computes, per function,
+// a conservative lock-set at every interesting program point:
+//
+//   - a syntax-directed walk over each function body tracks which
+//     sync.Mutex / sync.RWMutex instances are held after every statement
+//     (Lock/RLock add, Unlock/RUnlock remove, defer Unlock holds to the
+//     end, branches merge by intersection, branches that terminate in
+//     return/panic/break do not leak their lock-state into the join);
+//   - a module-level fixpoint propagates "ambient" locks through private
+//     helpers: if every call site of an unexported function holds lock L
+//     on the receiver/argument it passes, the helper's body is re-walked
+//     with L held on entry — this is what lets xxxLocked helpers see the
+//     lock their callers took;
+//   - per-function transitive summaries (locks acquired, locks released,
+//     blocking operations performed) let the analyzers reason about calls
+//     whose bodies live in other packages.
+//
+// Everything is intersection-based (may-hold becomes must-hold only when
+// every path agrees), so the substrate under-approximates the held set and
+// the analyzers built on it err toward reporting, never toward silently
+// passing a real race.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// lockMode distinguishes exclusive from shared (RLock) acquisition.
+type lockMode int
+
+const (
+	modeShared lockMode = iota + 1
+	modeExcl
+)
+
+// lockRef names one lock instance inside a function scope: the variable the
+// lock is reached from plus the dotted field path to it ("mu", "log.mu", or
+// "" when the variable itself is the mutex).
+type lockRef struct {
+	root types.Object
+	path string
+}
+
+// lockClass names a lock at type granularity, e.g.
+// "repro/internal/wal.Log.mu" or "repro/internal/store.shard.mu"; package
+// level mutex variables use "pkgpath.varname". The empty class means the
+// instance could not be classified (e.g. a local mutex variable).
+type lockClass string
+
+// heldSet is the set of locks held at a program point.
+type heldSet map[lockRef]lockMode
+
+func (h heldSet) clone() heldSet {
+	out := make(heldSet, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// intersectHeld keeps locks held on both paths; when the modes disagree the
+// weaker (shared) mode survives.
+func intersectHeld(a, b heldSet) heldSet {
+	out := make(heldSet)
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			if vb < va {
+				out[k] = vb
+			} else {
+				out[k] = va
+			}
+		}
+	}
+	return out
+}
+
+// replaceHeld overwrites dst's contents with src, in place.
+func replaceHeld(dst, src heldSet) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func unionHeld(a, b heldSet) heldSet {
+	out := a.clone()
+	for k, v := range b {
+		if cur, ok := out[k]; !ok || v > cur {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// accessEvent is one read or write of a struct field.
+type accessEvent struct {
+	root  types.Object
+	path  string       // dotted path from root, e.g. "objects" or "log.path"
+	owner *types.Named // struct type that declares the final field
+	field *types.Var
+	write bool
+	pos   token.Pos
+	held  heldSet
+	// compositeLocal marks accesses through a local variable initialized
+	// from a composite literal in the same function: the object is still
+	// under construction and not yet shared, so lock discipline does not
+	// apply.
+	compositeLocal bool
+}
+
+// acquireEvent is one Lock/RLock call; held is the set held just before.
+type acquireEvent struct {
+	ref   lockRef
+	class lockClass
+	mode  lockMode
+	pos   token.Pos
+	held  heldSet
+}
+
+// binding maps a caller-side lock root onto a callee parameter: index -1 is
+// the receiver, otherwise the flattened parameter index.
+type binding struct {
+	index  int
+	root   types.Object
+	prefix string // field path from root the callee sees as its parameter
+}
+
+// callEvent is one statically-resolved call to a module-internal function.
+type callEvent struct {
+	callee   *types.Func
+	pos      token.Pos
+	held     heldSet
+	bindings []binding
+	async    bool // go statement: the callee runs outside this lock scope
+	// construction marks method calls whose receiver is a local freshly
+	// built from a composite literal: the object is not shared yet, so the
+	// lock-free call site must not weaken the callee's ambient inference.
+	construction bool
+}
+
+// blockEvent is one potentially-blocking operation (fsync, channel send).
+type blockEvent struct {
+	kind string // "fsync" or "send"
+	desc string
+	pos  token.Pos
+	held heldSet
+}
+
+// funcFlow is the per-function analysis result.
+type funcFlow struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+
+	accesses []accessEvent
+	acquires []acquireEvent
+	calls    []callEvent
+	blocks   []blockEvent
+	releases map[lockClass]bool
+
+	ambient heldSet // locks held at every call site, in this fn's scope
+
+	recvObj   types.Object
+	paramObjs []types.Object
+
+	compositeLocals map[types.Object]bool
+}
+
+func (ff *funcFlow) reset() {
+	ff.accesses, ff.acquires, ff.calls, ff.blocks = nil, nil, nil, nil
+	ff.releases = make(map[lockClass]bool)
+	ff.compositeLocals = make(map[types.Object]bool)
+}
+
+// bindTarget resolves a binding index to this function's receiver or
+// parameter object (nil for anonymous parameters).
+func (ff *funcFlow) bindTarget(index int) types.Object {
+	if index == -1 {
+		return ff.recvObj
+	}
+	if index >= 0 && index < len(ff.paramObjs) {
+		return ff.paramObjs[index]
+	}
+	return nil
+}
+
+type callSite struct {
+	caller *funcFlow
+	ev     *callEvent
+}
+
+// moduleFlow caches the whole-module dataflow results on the Module.
+type moduleFlow struct {
+	m         *Module
+	funcs     map[*types.Func]*funcFlow
+	addrTaken map[*types.Func]bool
+	callers   map[*types.Func][]callSite
+
+	acquiredTrans map[*types.Func]map[lockClass]bool
+	releasesTrans map[*types.Func]map[lockClass]bool
+	blocksTrans   map[*types.Func]map[string]bool
+
+	classCache map[lockRef]lockClass
+
+	guardStats map[string]*guardStat // built lazily by mutexguard
+	lockGraph  *lockGraph            // built lazily by lockorder
+}
+
+// flow computes (once) and returns the module-wide dataflow results.
+func (m *Module) flow() *moduleFlow {
+	if m.df == nil {
+		m.df = buildFlow(m)
+	}
+	return m.df
+}
+
+func buildFlow(m *Module) *moduleFlow {
+	mf := &moduleFlow{
+		m:          m,
+		funcs:      make(map[*types.Func]*funcFlow),
+		addrTaken:  make(map[*types.Func]bool),
+		classCache: make(map[lockRef]lockClass),
+	}
+	for _, p := range m.Packages {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				ff := &funcFlow{fn: fn, decl: fd, pkg: p}
+				if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+					ff.recvObj = p.Info.Defs[fd.Recv.List[0].Names[0]]
+				}
+				for _, field := range fd.Type.Params.List {
+					if len(field.Names) == 0 {
+						ff.paramObjs = append(ff.paramObjs, nil)
+						continue
+					}
+					for _, name := range field.Names {
+						ff.paramObjs = append(ff.paramObjs, p.Info.Defs[name])
+					}
+				}
+				mf.funcs[fn] = ff
+			}
+		}
+	}
+	// Phase 1: walk every body with an empty entry lock-set to discover the
+	// call graph and the per-call held sets.
+	mf.walkAll(false)
+	mf.collectCallers()
+	mf.solveAmbient()
+	// Phase 2: re-walk with the ambient locks seeded on entry, so mid-body
+	// releases of an ambient lock (the group-commit fsync pattern) are
+	// tracked precisely.
+	mf.walkAll(true)
+	mf.collectCallers()
+	mf.solveSummaries()
+	return mf
+}
+
+func (mf *moduleFlow) walkAll(seedAmbient bool) {
+	for _, ff := range mf.funcs {
+		ff.reset()
+		held := make(heldSet)
+		if seedAmbient {
+			for k, v := range ff.ambient {
+				held[k] = v
+			}
+		}
+		w := &flowWalker{mf: mf, ff: ff, p: ff.pkg}
+		w.stmts(ff.decl.Body.List, held)
+	}
+}
+
+func (mf *moduleFlow) collectCallers() {
+	mf.callers = make(map[*types.Func][]callSite)
+	for _, ff := range mf.funcs {
+		for i := range ff.calls {
+			ev := &ff.calls[i]
+			mf.callers[ev.callee] = append(mf.callers[ev.callee], callSite{caller: ff, ev: ev})
+		}
+	}
+}
+
+// propagatable reports whether ambient-lock inference is sound for fn: the
+// function must be unexported (all call sites visible), never used as a
+// value, and actually called somewhere.
+func (mf *moduleFlow) propagatable(ff *funcFlow) bool {
+	name := ff.fn.Name()
+	if ast.IsExported(name) || name == "init" || name == "main" {
+		return false
+	}
+	if mf.addrTaken[ff.fn] {
+		return false
+	}
+	return len(mf.callers[ff.fn]) > 0
+}
+
+// solveAmbient runs the descending fixpoint: ambient(fn) is the
+// intersection over all call sites of the caller's effective held set
+// mapped through the argument/receiver bindings into fn's scope. nil means
+// "not yet known" (top); non-propagatable functions are pinned at empty.
+func (mf *moduleFlow) solveAmbient() {
+	for _, ff := range mf.funcs {
+		if mf.propagatable(ff) {
+			ff.ambient = nil // top
+		} else {
+			ff.ambient = make(heldSet)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, ff := range mf.funcs {
+			if !mf.propagatable(ff) {
+				continue
+			}
+			var newAmb heldSet // nil = top
+			resolved := true
+			for _, site := range mf.callers[ff.fn] {
+				if site.ev.construction {
+					continue // unshared receiver: lock discipline not needed
+				}
+				callerAmb := site.caller.ambient
+				if callerAmb == nil {
+					resolved = false
+					continue
+				}
+				eff := unionHeld(site.ev.held, callerAmb)
+				mapped := mapHeldToCallee(eff, site.ev, ff)
+				if newAmb == nil {
+					newAmb = mapped
+				} else {
+					newAmb = intersectHeld(newAmb, mapped)
+				}
+			}
+			if newAmb == nil {
+				if resolved {
+					newAmb = make(heldSet)
+				} else {
+					continue // every site still top; try next round
+				}
+			}
+			if !sameHeld(ff.ambient, newAmb) {
+				ff.ambient = newAmb
+				changed = true
+			}
+		}
+	}
+	// Anything still top after the fixpoint sits on a call cycle with no
+	// resolved entry point; pin it at empty (conservative).
+	for _, ff := range mf.funcs {
+		if ff.ambient == nil {
+			ff.ambient = make(heldSet)
+		}
+	}
+}
+
+func sameHeld(a, b heldSet) bool {
+	if a == nil || len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// mapHeldToCallee translates caller-scope held locks into callee scope via
+// the call's receiver/argument bindings.
+func mapHeldToCallee(eff heldSet, ev *callEvent, callee *funcFlow) heldSet {
+	out := make(heldSet)
+	for ref, mode := range eff {
+		for _, b := range ev.bindings {
+			if ref.root != b.root {
+				continue
+			}
+			rest, ok := cutPathPrefix(ref.path, b.prefix)
+			if !ok {
+				continue
+			}
+			target := callee.bindTarget(b.index)
+			if target == nil {
+				continue
+			}
+			key := lockRef{root: target, path: rest}
+			if cur, exists := out[key]; !exists || mode > cur {
+				out[key] = mode
+			}
+		}
+	}
+	return out
+}
+
+// cutPathPrefix removes prefix from a dotted path: ("log.mu", "log") →
+// ("mu", true); ("mu", "") → ("mu", true); ("mu", "log") → (_, false).
+func cutPathPrefix(path, prefix string) (string, bool) {
+	if prefix == "" {
+		return path, true
+	}
+	if path == prefix {
+		return "", true
+	}
+	if rest, ok := strings.CutPrefix(path, prefix+"."); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// solveSummaries computes the transitive acquired/released lock classes and
+// blocking-operation kinds per function.
+func (mf *moduleFlow) solveSummaries() {
+	mf.acquiredTrans = make(map[*types.Func]map[lockClass]bool)
+	mf.releasesTrans = make(map[*types.Func]map[lockClass]bool)
+	mf.blocksTrans = make(map[*types.Func]map[string]bool)
+	for fn, ff := range mf.funcs {
+		acq := make(map[lockClass]bool)
+		for _, ev := range ff.acquires {
+			if ev.class != "" {
+				acq[ev.class] = true
+			}
+		}
+		rel := make(map[lockClass]bool)
+		for c := range ff.releases {
+			if c != "" {
+				rel[c] = true
+			}
+		}
+		blk := make(map[string]bool)
+		for _, ev := range ff.blocks {
+			blk[ev.kind] = true
+		}
+		mf.acquiredTrans[fn] = acq
+		mf.releasesTrans[fn] = rel
+		mf.blocksTrans[fn] = blk
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, ff := range mf.funcs {
+			for i := range ff.calls {
+				ev := &ff.calls[i]
+				if ev.async {
+					continue
+				}
+				changed = mergeClassSet(mf.acquiredTrans[fn], mf.acquiredTrans[ev.callee]) || changed
+				changed = mergeClassSet(mf.releasesTrans[fn], mf.releasesTrans[ev.callee]) || changed
+				changed = mergeKindSet(mf.blocksTrans[fn], mf.blocksTrans[ev.callee]) || changed
+			}
+		}
+	}
+}
+
+func mergeClassSet(dst, src map[lockClass]bool) bool {
+	changed := false
+	for k := range src {
+		if !dst[k] {
+			dst[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+func mergeKindSet(dst, src map[string]bool) bool {
+	changed := false
+	for k := range src {
+		if !dst[k] {
+			dst[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// classOf resolves a lockRef to its type-level class, caching the result.
+func (mf *moduleFlow) classOf(ref lockRef) lockClass {
+	if c, ok := mf.classCache[ref]; ok {
+		return c
+	}
+	c := computeClass(ref)
+	mf.classCache[ref] = c
+	return c
+}
+
+func computeClass(ref lockRef) lockClass {
+	if ref.root == nil {
+		return ""
+	}
+	if ref.path == "" {
+		// The variable itself is the lock; only package-level variables
+		// have a stable identity across functions.
+		if v, ok := ref.root.(*types.Var); ok && !v.IsField() && v.Parent() != nil &&
+			v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return lockClass(v.Pkg().Path() + "." + v.Name())
+		}
+		return ""
+	}
+	t := ref.root.Type()
+	segs := strings.Split(ref.path, ".")
+	var owner *types.Named
+	var field *types.Var
+	for _, seg := range segs {
+		owner, field = fieldOwner(t, seg)
+		if owner == nil {
+			return ""
+		}
+		t = field.Type()
+	}
+	obj := owner.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return lockClass(obj.Pkg().Path() + "." + obj.Name() + "." + field.Name())
+}
+
+// fieldOwner finds the named struct type (possibly through embedding) that
+// declares field name on t, returning the declaring type and the field.
+func fieldOwner(t types.Type, name string) (*types.Named, *types.Var) {
+	t = derefType(t)
+	named, _ := t.(*types.Named)
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == name {
+			if named == nil {
+				return nil, nil // anonymous struct: no stable class
+			}
+			return named, f
+		}
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Embedded() {
+			continue
+		}
+		if owner, fv := fieldOwner(f.Type(), name); owner != nil {
+			return owner, fv
+		}
+	}
+	return nil, nil
+}
+
+// isLockType reports whether t is one of the sync lock types tracked here.
+func isLockType(t types.Type) bool {
+	named, ok := derefType(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	switch obj.Name() {
+	case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond":
+		return true
+	}
+	return false
+}
+
+// lockFieldsOf lists the sync.Mutex/RWMutex fields declared directly on the
+// struct underlying named.
+func lockFieldsOf(named *types.Named) []*types.Var {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []*types.Var
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if n, ok := derefType(f.Type()).(*types.Named); ok {
+			if obj := n.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+				(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// chainRoot resolves an expression to (root variable, dotted field path).
+// It follows selector chains through pointers and parentheses; package
+// qualified variables resolve to the variable itself with an empty path.
+func chainRoot(p *Package, e ast.Expr) (types.Object, string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := p.Info.Uses[x]
+		if obj == nil {
+			obj = p.Info.Defs[x]
+		}
+		if v, ok := obj.(*types.Var); ok && !v.IsField() {
+			return v, "", true
+		}
+		return nil, "", false
+	case *ast.SelectorExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			if _, isPkg := p.Info.Uses[id].(*types.PkgName); isPkg {
+				if v, ok := p.Info.Uses[x.Sel].(*types.Var); ok {
+					return v, "", true
+				}
+				return nil, "", false
+			}
+		}
+		root, path, ok := chainRoot(p, x.X)
+		if !ok {
+			return nil, "", false
+		}
+		v, ok := p.Info.Uses[x.Sel].(*types.Var)
+		if !ok || !v.IsField() {
+			return nil, "", false
+		}
+		return root, joinPath(path, x.Sel.Name), true
+	case *ast.StarExpr:
+		return chainRoot(p, x.X)
+	}
+	return nil, "", false
+}
+
+func joinPath(prefix, name string) string {
+	if prefix == "" {
+		return name
+	}
+	return prefix + "." + name
+}
+
+func parentPath(path string) string {
+	if i := strings.LastIndex(path, "."); i >= 0 {
+		return path[:i]
+	}
+	return ""
+}

@@ -1,0 +1,18 @@
+package lint
+
+// GuardTally exposes the mutexguard inference tally to external tests, so
+// they can assert the dataflow substrate actually inferred a guard (a
+// clean run over a module proves nothing if inference were vacuous).
+func GuardTally(m *Module, key string) (guarded, unguarded int, ok bool) {
+	st := m.flow().guardStatsFor()[key]
+	if st == nil {
+		return 0, 0, false
+	}
+	return st.guarded, st.unguarded, true
+}
+
+// LockEdges exposes the number of lock-acquisition graph edges, so tests
+// can assert the lockorder graph is non-trivial over a real module.
+func LockEdges(m *Module) int {
+	return len(m.flow().lockGraphFor().edges)
+}

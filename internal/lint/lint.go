@@ -145,7 +145,22 @@ func analyzers() []analyzer {
 		{"errcheck", errcheck},
 		{"lockcopy", lockcopy},
 		{"goroleak", goroleak},
+		{"mutexguard", mutexguard},
+		{"lockorder", lockorder},
+		{"atomicmix", atomicmix},
 	}
+}
+
+// concurrencyAnalyzers are the analyzers that also apply to _test.go files
+// when the module is loaded with LoadWithTests: the torture and
+// group-commit tests are themselves concurrent, while the float and
+// layering rules intentionally do not bind tests.
+var concurrencyAnalyzers = map[string]bool{
+	"lockcopy":   true,
+	"goroleak":   true,
+	"mutexguard": true,
+	"lockorder":  true,
+	"atomicmix":  true,
 }
 
 // AnalyzerNames lists every analyzer in the suite.
@@ -169,6 +184,14 @@ func Run(m *Module, cfg *Config) []Diagnostic {
 		for _, a := range analyzers() {
 			for _, d := range a.run(m, p, cfg) {
 				d.Analyzer = a.name
+				if m.testFiles[d.File] && !concurrencyAnalyzers[a.name] {
+					continue // tests are exempt from the style/float rules
+				}
+				if p.TestOnly && !m.testFiles[d.File] {
+					// A test package re-checks its base sources; findings in
+					// them are duplicates of the base package's run.
+					continue
+				}
 				if _, ok := m.allowed(d.File, d.Line, a.name); ok {
 					continue
 				}
@@ -215,6 +238,48 @@ func ParseAllowlist(data string) (map[string]bool, error) {
 		out[fields[0]+" "+fields[1]] = true
 	}
 	return out, nil
+}
+
+// PruneAllowlist partitions an allowlist file's entries into live and
+// stale against the set of finding keys a suppression-free Run produced.
+// It returns the file content with stale entries removed (comments and
+// blank lines preserved) and the stale entry lines themselves.
+func PruneAllowlist(data string, liveKeys map[string]bool) (kept string, stale []string, err error) {
+	if _, err := ParseAllowlist(data); err != nil {
+		return "", nil, err
+	}
+	var b strings.Builder
+	for _, line := range strings.Split(data, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			b.WriteString(line)
+			b.WriteString("\n")
+			continue
+		}
+		fields := strings.Fields(trimmed)
+		key := fields[0] + " " + fields[1]
+		if liveKeys[key] {
+			b.WriteString(line)
+			b.WriteString("\n")
+			continue
+		}
+		stale = append(stale, trimmed)
+	}
+	kept = strings.TrimRight(b.String(), "\n")
+	if kept != "" {
+		kept += "\n"
+	}
+	return kept, stale, nil
+}
+
+// Keys collects Diagnostic.Key for each finding, the live set for
+// PruneAllowlist.
+func Keys(ds []Diagnostic) map[string]bool {
+	out := make(map[string]bool, len(ds))
+	for _, d := range ds {
+		out[d.Key()] = true
+	}
+	return out
 }
 
 // FormatAllowlist renders diagnostics in the allowlist file format, one

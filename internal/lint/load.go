@@ -29,6 +29,12 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// TestOnly marks packages that exist only because tests were loaded
+	// (the augmented base+_test.go package and external *_test packages).
+	// Findings they produce in non-test files duplicate the base package's
+	// and are suppressed centrally in Run.
+	TestOnly bool
 }
 
 // Internal reports whether the package lives under internal/.
@@ -46,6 +52,26 @@ type Module struct {
 	// allows maps "relfile:line" → set of analyzer names suppressed there
 	// by //lint:allow annotations.
 	allows map[string]map[string]string
+	// testFiles maps module-relative _test.go paths loaded by
+	// LoadWithTests.
+	testFiles map[string]bool
+	// augOf maps an import path to its augmented (base+in-package-test)
+	// package, so external foo_test packages type-check against the same
+	// view of foo that `go test` compiles them with (in-package test
+	// helpers like export_test.go definitions are visible to them).
+	augOf map[string]*Package
+	// df caches the concurrency-dataflow results (dataflow.go).
+	df *moduleFlow
+}
+
+// IsTestFile reports whether a module-relative path was loaded as a test
+// file.
+func (m *Module) IsTestFile(rel string) bool { return m.testFiles[rel] }
+
+// isTestPos reports whether pos lies in a loaded test file.
+func (m *Module) isTestPos(pos token.Pos) bool {
+	file, _, _ := m.position(pos)
+	return m.testFiles[file]
 }
 
 // Load parses and type-checks every non-test package under root, which must
@@ -53,6 +79,19 @@ type Module struct {
 // "." or "_" are skipped. Test files (_test.go) are not analyzed: tests
 // intentionally use exact float comparisons and ad-hoc goroutines.
 func Load(root string) (*Module, error) {
+	return loadModule(root, false)
+}
+
+// LoadWithTests additionally parses and type-checks _test.go files. Files
+// in package foo join a separate "augmented" copy of package foo (the base
+// package stays test-free, so analysis of production code is unchanged);
+// files in package foo_test become their own package importing the checked
+// base. Both are marked TestOnly.
+func LoadWithTests(root string) (*Module, error) {
+	return loadModule(root, true)
+}
+
+func loadModule(root string, tests bool) (*Module, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
@@ -62,13 +101,15 @@ func Load(root string) (*Module, error) {
 		return nil, err
 	}
 	m := &Module{
-		Root:   root,
-		Path:   modPath,
-		Fset:   token.NewFileSet(),
-		byPath: make(map[string]*Package),
-		allows: make(map[string]map[string]string),
+		Root:      root,
+		Path:      modPath,
+		Fset:      token.NewFileSet(),
+		byPath:    make(map[string]*Package),
+		allows:    make(map[string]map[string]string),
+		testFiles: make(map[string]bool),
+		augOf:     make(map[string]*Package),
 	}
-	if err := m.parseTree(); err != nil {
+	if err := m.parseTree(tests); err != nil {
 		return nil, err
 	}
 	if err := m.check(); err != nil {
@@ -98,7 +139,7 @@ func modulePath(gomod string) (string, error) {
 	return "", fmt.Errorf("lint: no module path in %s", gomod)
 }
 
-func (m *Module) parseTree() error {
+func (m *Module) parseTree(tests bool) error {
 	var dirs []string
 	err := filepath.WalkDir(m.Root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -121,23 +162,26 @@ func (m *Module) parseTree() error {
 	}
 	sort.Strings(dirs)
 	for _, dir := range dirs {
-		if err := m.parseDir(dir); err != nil {
+		if err := m.parseDir(dir, tests); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (m *Module) parseDir(dir string) error {
+func (m *Module) parseDir(dir string, tests bool) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("lint: %w", err)
 	}
-	var files []*ast.File
+	var files, testFs []*ast.File
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
-			strings.HasSuffix(name, "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		isTest := strings.HasSuffix(name, "_test.go")
+		if isTest && !tests {
 			continue
 		}
 		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil,
@@ -145,10 +189,15 @@ func (m *Module) parseDir(dir string) error {
 		if err != nil {
 			return fmt.Errorf("lint: %w", err)
 		}
-		files = append(files, f)
 		m.scanAllows(f)
+		if isTest {
+			m.testFiles[m.relFile(filepath.Join(dir, name))] = true
+			testFs = append(testFs, f)
+		} else {
+			files = append(files, f)
+		}
 	}
-	if len(files) == 0 {
+	if len(files) == 0 && len(testFs) == 0 {
 		return nil
 	}
 	rel, err := filepath.Rel(m.Root, dir)
@@ -160,18 +209,62 @@ func (m *Module) parseDir(dir string) error {
 	if rel != "." {
 		importPath = m.Path + "/" + rel
 	}
-	p := &Package{
-		ImportPath: importPath,
-		RelKey:     rel,
-		Key:        strings.TrimPrefix(rel, "internal/"),
-		Dir:        dir,
-		Files:      files,
-	}
+	key := strings.TrimPrefix(rel, "internal/")
 	if !strings.HasPrefix(rel, "internal/") {
-		p.Key = ""
+		key = ""
 	}
-	m.Packages = append(m.Packages, p)
-	m.byPath[importPath] = p
+	var base *Package
+	if len(files) > 0 {
+		base = &Package{
+			ImportPath: importPath,
+			RelKey:     rel,
+			Key:        key,
+			Dir:        dir,
+			Files:      files,
+		}
+		m.Packages = append(m.Packages, base)
+		m.byPath[importPath] = base
+	}
+	if len(testFs) == 0 {
+		return nil
+	}
+	// Split test files into in-package (package foo) and external
+	// (package foo_test) sets.
+	var inPkg, external []*ast.File
+	for _, f := range testFs {
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			external = append(external, f)
+		} else {
+			inPkg = append(inPkg, f)
+		}
+	}
+	if len(inPkg) > 0 && base != nil {
+		// The augmented package is a leaf: it re-checks the base sources
+		// together with the test files, is never imported by anything, and
+		// so cannot create an import cycle even when a test imports a
+		// package that itself imports the base.
+		aug := &Package{
+			ImportPath: importPath,
+			RelKey:     rel,
+			Key:        key,
+			Dir:        dir,
+			Files:      append(append([]*ast.File{}, files...), inPkg...),
+			TestOnly:   true,
+		}
+		m.Packages = append(m.Packages, aug)
+		m.augOf[importPath] = aug
+	}
+	if len(external) > 0 {
+		ext := &Package{
+			ImportPath: importPath + "_test",
+			RelKey:     rel,
+			Key:        key,
+			Dir:        dir,
+			Files:      external,
+			TestOnly:   true,
+		}
+		m.Packages = append(m.Packages, ext)
+	}
 	return nil
 }
 
@@ -259,6 +352,26 @@ func (mi *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*
 	return mi.std.Import(path)
 }
 
+// selfTestImporter redirects one import path — an external test package's
+// own base package — to the augmented copy that includes the in-package
+// test files; every other import goes through the normal chain.
+type selfTestImporter struct {
+	next *moduleImporter
+	path string
+	aug  *types.Package
+}
+
+func (si *selfTestImporter) Import(path string) (*types.Package, error) {
+	return si.ImportFrom(path, "", 0)
+}
+
+func (si *selfTestImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == si.path {
+		return si.aug, nil
+	}
+	return si.next.ImportFrom(path, dir, mode)
+}
+
 // check type-checks every package in dependency order.
 func (m *Module) check() error {
 	order, err := m.topoOrder()
@@ -267,9 +380,17 @@ func (m *Module) check() error {
 	}
 	imp := &moduleImporter{m: m, std: importer.ForCompiler(m.Fset, "source", nil)}
 	for _, p := range order {
+		// An external foo_test package sees the augmented foo (with its
+		// in-package test files), mirroring how `go test` links them.
+		pkgImp := types.Importer(imp)
+		if base, ok := strings.CutSuffix(p.ImportPath, "_test"); ok && p.TestOnly {
+			if aug := m.augOf[base]; aug != nil && aug.Types != nil {
+				pkgImp = &selfTestImporter{next: imp, path: base, aug: aug.Types}
+			}
+		}
 		var firstErr error
 		conf := types.Config{
-			Importer: imp,
+			Importer: pkgImp,
 			Error: func(err error) {
 				if firstErr == nil {
 					firstErr = err

@@ -1,0 +1,360 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// lockorder builds the module-wide lock-acquisition graph — an edge A → B
+// means some code path acquires a lock of class B while holding one of
+// class A, either directly or through a call whose summary says it
+// acquires B — and reports:
+//
+//   - potential-deadlock cycles (including class-level self edges, the
+//     two-instances-of-the-same-type coupling that deadlocks under lock
+//     inversion);
+//   - re-acquisition of a lock instance that is already held;
+//   - blocking operations (fsync, plain channel send) performed while a
+//     lock is held, directly or via a callee that may block — unless the
+//     callee releases that very lock class first (the group-commit leader
+//     pattern: Flush holds mu, syncLocked drops mu around the fsync).
+//
+// Sends inside a select are never flagged: the select makes them
+// conditional (the nonblocking publish pattern). Intentional hazards — a
+// Close path that must flush under its own lock — are annotated
+// //lint:allow lockorder <reason>.
+func lockorder(m *Module, p *Package, cfg *Config) []Diagnostic {
+	mf := m.flow()
+	g := mf.lockGraphFor()
+	var out []Diagnostic
+
+	// Cycle reports are attributed to the package owning the representative
+	// edge site, so each cycle is printed exactly once per Run.
+	for _, cyc := range g.cycles {
+		if cyc.site.pkg != p {
+			continue
+		}
+		file, line, col := m.position(cyc.site.pos)
+		out = append(out, Diagnostic{
+			File: file, Line: line, Col: col,
+			Message: fmt.Sprintf("potential deadlock: lock-order cycle %s; acquire these locks in one global order or annotate with //lint:allow lockorder <reason>", cyc.describe()),
+		})
+	}
+
+	for _, ff := range mf.funcs {
+		if ff.pkg != p {
+			continue
+		}
+		// Re-acquisition of an instance already held.
+		for i := range ff.acquires {
+			ev := &ff.acquires[i]
+			if _, already := ev.held[ev.ref]; already && mf.countsInTally(ff, ev.pos) {
+				file, line, col := m.position(ev.pos)
+				out = append(out, Diagnostic{
+					File: file, Line: line, Col: col,
+					Message: fmt.Sprintf("lock %s is acquired while already held on every path here: sync mutexes are not reentrant, this deadlocks", refString(ev.ref)),
+				})
+			}
+		}
+		// Direct blocking operations under a lock.
+		for i := range ff.blocks {
+			ev := &ff.blocks[i]
+			held := heldDescription(mf, ev.held)
+			if held == "" || !mf.countsInTally(ff, ev.pos) {
+				continue
+			}
+			file, line, col := m.position(ev.pos)
+			verb := "channel send"
+			if ev.kind == "fsync" {
+				verb = ev.desc + " (fsync)"
+			}
+			out = append(out, Diagnostic{
+				File: file, Line: line, Col: col,
+				Message: fmt.Sprintf("%s while holding %s; a blocked %s stalls every contender of the lock — release it first or annotate with //lint:allow lockorder <reason>", verb, held, ev.kind),
+			})
+		}
+		// Calls whose summary says the callee may block, while a lock the
+		// callee does not release is held.
+		for i := range ff.calls {
+			ev := &ff.calls[i]
+			if ev.async || len(ev.held) == 0 {
+				continue
+			}
+			blocks := mf.blocksTrans[ev.callee]
+			if len(blocks) == 0 {
+				continue
+			}
+			rel := mf.releasesTrans[ev.callee]
+			held := heldExceptReleased(mf, ev.held, rel)
+			if held == "" || !mf.countsInTally(ff, ev.pos) {
+				continue
+			}
+			file, line, col := m.position(ev.pos)
+			out = append(out, Diagnostic{
+				File: file, Line: line, Col: col,
+				Message: fmt.Sprintf("call to %s (which may %s) while holding %s; the lock is held across the blocking operation — release it first or annotate with //lint:allow lockorder <reason>", ev.callee.Name(), kindList(blocks), held),
+			})
+		}
+	}
+	return out
+}
+
+type lockEdge struct {
+	from, to lockClass
+}
+
+type edgeSite struct {
+	pkg    *Package
+	pos    token.Pos
+	inTest bool
+}
+
+type lockCycle struct {
+	classes []lockClass
+	site    edgeSite
+}
+
+func (c *lockCycle) describe() string {
+	parts := make([]string, 0, len(c.classes)+1)
+	for _, cl := range c.classes {
+		parts = append(parts, shortClass(cl))
+	}
+	parts = append(parts, shortClass(c.classes[0]))
+	return strings.Join(parts, " → ")
+}
+
+type lockGraph struct {
+	edges  map[lockEdge]edgeSite
+	cycles []lockCycle
+}
+
+// lockGraphFor builds (once) the class-level acquisition graph and its
+// cycles.
+func (mf *moduleFlow) lockGraphFor() *lockGraph {
+	if mf.lockGraph != nil {
+		return mf.lockGraph
+	}
+	g := &lockGraph{edges: make(map[lockEdge]edgeSite)}
+	for _, ff := range mf.funcs {
+		inTest := ff.pkg.TestOnly
+		if !mf.countsInTallyFF(ff) {
+			continue
+		}
+		for i := range ff.acquires {
+			ev := &ff.acquires[i]
+			if ev.class == "" {
+				continue
+			}
+			for ref := range ev.held {
+				from := mf.classOf(ref)
+				if from == "" {
+					continue
+				}
+				g.addEdge(mf, from, ev.class, ff.pkg, ev.pos, inTest)
+			}
+		}
+		for i := range ff.calls {
+			ev := &ff.calls[i]
+			if ev.async || len(ev.held) == 0 {
+				continue
+			}
+			acq := mf.acquiredTrans[ev.callee]
+			if len(acq) == 0 {
+				continue
+			}
+			rel := mf.releasesTrans[ev.callee]
+			for ref := range ev.held {
+				from := mf.classOf(ref)
+				if from == "" || rel[from] {
+					// The callee releases this class before (re)acquiring —
+					// the group-commit leader pattern, not an ordering edge.
+					continue
+				}
+				for to := range acq {
+					g.addEdge(mf, from, to, ff.pkg, ev.pos, inTest)
+				}
+			}
+		}
+	}
+	g.findCycles(mf)
+	mf.lockGraph = g
+	return g
+}
+
+func (g *lockGraph) addEdge(mf *moduleFlow, from, to lockClass, pkg *Package, pos token.Pos, inTest bool) {
+	e := lockEdge{from, to}
+	site := edgeSite{pkg: pkg, pos: pos, inTest: inTest}
+	cur, ok := g.edges[e]
+	if !ok || betterSite(mf, site, cur) {
+		g.edges[e] = site
+	}
+}
+
+// betterSite prefers non-test sites, then the smallest source position, so
+// cycle reports are deterministic and point at production code when any
+// production edge exists.
+func betterSite(mf *moduleFlow, a, b edgeSite) bool {
+	if a.inTest != b.inTest {
+		return !a.inTest
+	}
+	fa, la, ca := mf.m.position(a.pos)
+	fb, lb, cb := mf.m.position(b.pos)
+	if fa != fb {
+		return fa < fb
+	}
+	if la != lb {
+		return la < lb
+	}
+	return ca < cb
+}
+
+// findCycles runs Tarjan's SCC over the class graph; every SCC with more
+// than one node, plus every self edge, is a potential deadlock.
+func (g *lockGraph) findCycles(mf *moduleFlow) {
+	nodes := make(map[lockClass][]lockClass)
+	for e := range g.edges {
+		nodes[e.from] = append(nodes[e.from], e.to)
+		if _, ok := nodes[e.to]; !ok {
+			nodes[e.to] = nil
+		}
+	}
+	ordered := make([]lockClass, 0, len(nodes))
+	for n := range nodes {
+		ordered = append(ordered, n)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	for _, succs := range nodes {
+		sort.Slice(succs, func(i, j int) bool { return succs[i] < succs[j] })
+	}
+
+	index := make(map[lockClass]int)
+	low := make(map[lockClass]int)
+	onStack := make(map[lockClass]bool)
+	var stack []lockClass
+	next := 0
+	var sccs [][]lockClass
+	var strongconnect func(v lockClass)
+	strongconnect = func(v lockClass) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, wcl := range nodes[v] {
+			if _, seen := index[wcl]; !seen {
+				strongconnect(wcl)
+				if low[wcl] < low[v] {
+					low[v] = low[wcl]
+				}
+			} else if onStack[wcl] && index[wcl] < low[v] {
+				low[v] = index[wcl]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []lockClass
+			for {
+				wcl := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[wcl] = false
+				scc = append(scc, wcl)
+				if wcl == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, n := range ordered {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+
+	for _, scc := range sccs {
+		selfLoop := len(scc) == 1 && g.hasEdge(scc[0], scc[0])
+		if len(scc) < 2 && !selfLoop {
+			continue
+		}
+		sort.Slice(scc, func(i, j int) bool { return scc[i] < scc[j] })
+		// Representative site: the best site among the SCC's internal edges.
+		var site edgeSite
+		found := false
+		inScc := make(map[lockClass]bool, len(scc))
+		for _, c := range scc {
+			inScc[c] = true
+		}
+		for e, s := range g.edges {
+			if !inScc[e.from] || !inScc[e.to] {
+				continue
+			}
+			if !found || betterSite(mf, s, site) {
+				site = s
+				found = true
+			}
+		}
+		if found {
+			g.cycles = append(g.cycles, lockCycle{classes: scc, site: site})
+		}
+	}
+	sort.Slice(g.cycles, func(i, j int) bool {
+		return g.cycles[i].classes[0] < g.cycles[j].classes[0]
+	})
+}
+
+func (g *lockGraph) hasEdge(from, to lockClass) bool {
+	_, ok := g.edges[lockEdge{from, to}]
+	return ok
+}
+
+// heldDescription renders the classifiable held locks, "" when none.
+func heldDescription(mf *moduleFlow, held heldSet) string {
+	return heldExceptReleased(mf, held, nil)
+}
+
+func heldExceptReleased(mf *moduleFlow, held heldSet, released map[lockClass]bool) string {
+	var names []string
+	for ref := range held {
+		cl := mf.classOf(ref)
+		if cl == "" {
+			names = append(names, refString(ref))
+			continue
+		}
+		if released[cl] {
+			continue
+		}
+		names = append(names, shortClass(cl))
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+func refString(ref lockRef) string {
+	if ref.root == nil {
+		return "<unknown>"
+	}
+	if ref.path == "" {
+		return ref.root.Name()
+	}
+	return ref.root.Name() + "." + ref.path
+}
+
+// shortClass trims the module path prefix for readable messages:
+// "repro/internal/wal.Log.mu" → "wal.Log.mu".
+func shortClass(c lockClass) string {
+	s := string(c)
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+func kindList(kinds map[string]bool) string {
+	var out []string
+	for k := range kinds {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return strings.Join(out, "/")
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// mutexguard infers which struct fields a sibling sync.Mutex/RWMutex
+// guards and flags accesses that bypass the lock. The inference rule: a
+// field is considered guarded when, across the whole module, at least two
+// accesses happen with the sibling lock held and the guarded accesses
+// outnumber the unguarded ones — then every unguarded access is reported.
+// Writes require the exclusive lock; a write under RLock is reported even
+// when the field is mostly read-locked. Accesses through a local variable
+// freshly built from a composite literal are exempt (the value is not yet
+// shared). Intentional lock-free accesses (immutable-after-construction
+// fields, Close-path reads) are annotated //lint:allow mutexguard <reason>.
+func mutexguard(m *Module, p *Package, cfg *Config) []Diagnostic {
+	mf := m.flow()
+	stats := mf.guardStatsFor()
+	var out []Diagnostic
+	for _, ff := range mf.funcs {
+		if ff.pkg != p {
+			continue
+		}
+		for i := range ff.accesses {
+			ev := &ff.accesses[i]
+			if ev.compositeLocal {
+				continue
+			}
+			key, lockName, ok := mf.guardKey(ev)
+			if !ok {
+				continue
+			}
+			st := stats[key]
+			if st == nil || !st.inferred() {
+				continue
+			}
+			verdict := guardVerdict(mf, ev)
+			if verdict == guardOK {
+				continue
+			}
+			if !mf.countsInTally(ff, ev.pos) {
+				continue // duplicate universe (re-checked base file of a test package)
+			}
+			file, line, col := m.position(ev.pos)
+			kind := "read"
+			if ev.write {
+				kind = "write"
+			}
+			msg := fmt.Sprintf("%s of %s without holding %s (%d of %d accesses hold it); lock it or annotate with //lint:allow mutexguard <reason>",
+				kind, key, lockName, st.guarded, st.guarded+st.unguarded)
+			if verdict == guardReadLocked && ev.write {
+				msg = fmt.Sprintf("write of %s under RLock of %s; a shared lock does not exclude other readers from seeing the torn update — take the exclusive lock", key, lockName)
+			}
+			out = append(out, Diagnostic{File: file, Line: line, Col: col, Message: msg})
+		}
+	}
+	return out
+}
+
+type guardStat struct {
+	guarded   int
+	unguarded int
+}
+
+// inferred applies the majority rule: ≥2 guarded accesses and strictly more
+// guarded than unguarded.
+func (s *guardStat) inferred() bool {
+	return s.guarded >= 2 && s.guarded > s.unguarded
+}
+
+type guardVerdictKind int
+
+const (
+	guardOK guardVerdictKind = iota
+	guardUnlocked
+	guardReadLocked // only the shared lock is held
+)
+
+// guardVerdict reports whether the access holds a sibling lock adequately:
+// reads accept shared or exclusive, writes require exclusive.
+func guardVerdict(mf *moduleFlow, ev *accessEvent) guardVerdictKind {
+	parent := parentPath(ev.path)
+	best := guardUnlocked
+	for _, lf := range lockFieldsOf(ev.owner) {
+		ref := lockRef{root: ev.root, path: joinPath(parent, lf.Name())}
+		mode, ok := ev.held[ref]
+		if !ok {
+			continue
+		}
+		if mode == modeExcl {
+			return guardOK
+		}
+		if !ev.write {
+			return guardOK
+		}
+		best = guardReadLocked
+	}
+	return best
+}
+
+// guardKey names the (struct, field) pair and its first sibling lock; ok is
+// false when the owner has no mutex to guard with.
+func (mf *moduleFlow) guardKey(ev *accessEvent) (key, lockName string, ok bool) {
+	locks := lockFieldsOf(ev.owner)
+	if len(locks) == 0 {
+		return "", "", false
+	}
+	obj := ev.owner.Obj()
+	if obj.Pkg() == nil {
+		return "", "", false
+	}
+	key = shortPkg(obj.Pkg().Path()) + "." + obj.Name() + "." + ev.field.Name()
+	names := make([]string, len(locks))
+	for i, lf := range locks {
+		names[i] = lf.Name()
+	}
+	return key, strings.Join(names, "/"), true
+}
+
+// guardStatsFor tallies guarded vs unguarded accesses per (struct, field)
+// across the module, counting each source position once (test packages
+// re-check their base files; those duplicate events are skipped).
+func (mf *moduleFlow) guardStatsFor() map[string]*guardStat {
+	if mf.guardStats != nil {
+		return mf.guardStats
+	}
+	stats := make(map[string]*guardStat)
+	for _, ff := range mf.funcs {
+		if !mf.countsInTallyFF(ff) {
+			continue
+		}
+		for i := range ff.accesses {
+			ev := &ff.accesses[i]
+			if ev.compositeLocal {
+				continue
+			}
+			key, _, ok := mf.guardKey(ev)
+			if !ok {
+				continue
+			}
+			st := stats[key]
+			if st == nil {
+				st = &guardStat{}
+				stats[key] = st
+			}
+			if guardVerdict(mf, ev) == guardOK {
+				st.guarded++
+			} else {
+				st.unguarded++
+			}
+		}
+	}
+	mf.guardStats = stats
+	return stats
+}
+
+// countsInTallyFF reports whether a function's events are primary: in a
+// normal package always, in a test-only package only when the function
+// lives in a _test.go file (its non-test files re-check sources already
+// counted by the base package).
+func (mf *moduleFlow) countsInTallyFF(ff *funcFlow) bool {
+	if !ff.pkg.TestOnly {
+		return true
+	}
+	return mf.m.isTestPos(ff.decl.Pos())
+}
+
+func (mf *moduleFlow) countsInTally(ff *funcFlow, pos token.Pos) bool {
+	if !ff.pkg.TestOnly {
+		return true
+	}
+	return mf.m.isTestPos(pos)
+}
+
+// shortPkg trims the module prefix off an import path for messages.
+func shortPkg(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// sortedGuardKeys is a deterministic iteration helper for tests.
+func sortedGuardKeys(stats map[string]*guardStat) []string {
+	keys := make([]string, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

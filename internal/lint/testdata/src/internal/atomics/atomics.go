@@ -1,0 +1,53 @@
+// Package atomics is a fixture for the atomicmix analyzer: a field updated
+// through sync/atomic must never also be loaded or stored plainly.
+package atomics
+
+import "sync/atomic"
+
+// hits mixes atomic and plain access on n; total stays consistently atomic.
+type hits struct {
+	n     int64
+	total int64
+}
+
+// Inc updates n atomically.
+func (h *hits) Inc() {
+	atomic.AddInt64(&h.n, 1)
+	atomic.AddInt64(&h.total, 1)
+}
+
+// Read loads n plainly: the positive — this races with Inc.
+func (h *hits) Read() int64 {
+	return h.n
+}
+
+// Total loads total atomically: the negative.
+func (h *hits) Total() int64 {
+	return atomic.LoadInt64(&h.total)
+}
+
+// ops is a package-level counter accessed only atomically: a negative.
+var ops int64
+
+// BumpOps increments ops.
+func BumpOps() {
+	atomic.AddInt64(&ops, 1)
+}
+
+// Ops reads ops atomically.
+func Ops() int64 {
+	return atomic.LoadInt64(&ops)
+}
+
+// safe is a typed atomic: method access is inherently safe, a negative.
+var safe atomic.Int64
+
+// BumpSafe increments safe.
+func BumpSafe() {
+	safe.Add(1)
+}
+
+// ReadSafe reads safe plainly through its method.
+func ReadSafe() int64 {
+	return safe.Load()
+}

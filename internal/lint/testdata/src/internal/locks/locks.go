@@ -1,0 +1,85 @@
+// Package locks is a fixture for the mutexguard analyzer: a majority of
+// accesses under the sibling mutex makes a field "guarded", and the
+// unguarded minority is flagged — including through unexported helpers
+// that inherit the caller's lock (the ambient-lock propagation the
+// dataflow substrate exists for).
+package locks
+
+import "sync"
+
+// counter guards n with mu; hits is deliberately lock-free (accessed only
+// once, so no guard is ever inferred for it).
+type counter struct {
+	mu   sync.Mutex
+	n    int
+	hits int
+}
+
+// NewCounter builds a counter; construction-phase writes need no lock.
+func NewCounter() *counter {
+	c := &counter{}
+	c.n = 7 // negative: composite-literal local, not yet shared
+	return c
+}
+
+// Inc increments under the lock.
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Bump takes the lock and delegates to the unexported helper; the helper's
+// access counts as guarded only because every call site holds mu.
+func (c *counter) Bump() {
+	c.mu.Lock()
+	c.add()
+	c.mu.Unlock()
+}
+
+// add runs with c.mu held at every call site (cross-function positive bait:
+// without ambient propagation this access reads as unguarded and the
+// majority flips).
+func (c *counter) add() {
+	c.n++
+}
+
+// Peek reads n without the lock: the flagged positive.
+func (c *counter) Peek() int {
+	return c.n
+}
+
+// Touch is the only access to hits; one access infers no guard.
+func (c *counter) Touch() {
+	c.hits = 1
+}
+
+// table guards m with an RWMutex: reads under RLock are properly guarded
+// (the read-path negative), writes need the exclusive lock.
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// Get reads under the shared lock — a negative: RLock guards reads.
+func (t *table) Get(k string) int {
+	t.mu.RLock()
+	v := t.m[k]
+	t.mu.RUnlock()
+	return v
+}
+
+// Put writes under the exclusive lock.
+func (t *table) Put(k string, v int) {
+	t.mu.Lock()
+	t.m[k] = v
+	t.mu.Unlock()
+}
+
+// BadPut writes under the shared lock: flagged, RLock does not exclude
+// concurrent writers.
+func (t *table) BadPut(k string, v int) {
+	t.mu.RLock()
+	t.m[k] = v
+	t.mu.RUnlock()
+}

@@ -1,0 +1,107 @@
+// Package order is a fixture for the lockorder analyzer: lock-acquisition
+// cycles (including the two-instances-of-one-type self cycle) and
+// blocking-while-locked hazards, next to the group-commit negative where
+// the callee releases the lock around its fsync.
+package order
+
+import (
+	"os"
+	"sync"
+)
+
+// account: Transfer locks two instances of the same class with no global
+// order — the classic AB/BA deadlock when two transfers cross.
+type account struct {
+	mu  sync.Mutex
+	bal int
+}
+
+// Transfer moves funds while holding both account locks: the self-cycle
+// positive (account.mu → account.mu).
+func Transfer(a, b *account, amt int) {
+	a.mu.Lock()
+	b.mu.Lock()
+	a.bal -= amt
+	b.bal += amt
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// red/blue: two lock classes acquired in both orders across two functions —
+// the two-node cycle positive.
+type red struct{ mu sync.Mutex }
+type blue struct{ mu sync.Mutex }
+
+// ForwardOrder acquires red then blue.
+func ForwardOrder(r *red, b *blue) {
+	r.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// ReverseOrder acquires blue then red: combined with ForwardOrder this
+// closes the cycle.
+func ReverseOrder(r *red, b *blue) {
+	b.mu.Lock()
+	r.mu.Lock()
+	r.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// journal: fsync discipline fixtures.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// SyncUnderLock fsyncs while holding mu: the direct hazard positive.
+func (j *journal) SyncUnderLock() {
+	j.mu.Lock()
+	_ = j.f.Sync()
+	j.mu.Unlock()
+}
+
+// Flush delegates to flushLocked, which releases mu around the fsync — the
+// group-commit leader pattern, a negative for both the hazard check and
+// the self-edge check (the callee releases the class it reacquires).
+func (j *journal) Flush() {
+	j.mu.Lock()
+	j.flushLocked()
+	j.mu.Unlock()
+}
+
+// flushLocked runs with j.mu held at every call site and drops it around
+// the blocking sync.
+func (j *journal) flushLocked() {
+	j.mu.Unlock()
+	_ = j.f.Sync()
+	j.mu.Lock()
+}
+
+// bus: channel-send discipline fixtures.
+type bus struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// Emit sends while holding mu: a blocked receiver stalls every contender —
+// the send hazard positive.
+func (b *bus) Emit(v int) {
+	b.mu.Lock()
+	b.ch <- v
+	b.mu.Unlock()
+}
+
+// TryEmit uses the nonblocking select form: the negative.
+func (b *bus) TryEmit(v int) bool {
+	b.mu.Lock()
+	ok := false
+	select {
+	case b.ch <- v:
+		ok = true
+	default:
+	}
+	b.mu.Unlock()
+	return ok
+}

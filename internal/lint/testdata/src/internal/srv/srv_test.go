@@ -1,0 +1,18 @@
+// Fixture for -tests mode: concurrency analyzers run over _test.go files,
+// while style/layering analyzers stay scoped to production code (the
+// floating-point comparison below must NOT be flagged here).
+package srv
+
+import "testing"
+
+// TestSpin launches an untracked goroutine: a goroleak positive that only
+// -tests mode can see.
+func TestSpin(t *testing.T) {
+	g := &Gauge{}
+	go func() {
+		g.Set(1)
+	}()
+	if g.Value() == 1.0 {
+		t.Log("raced")
+	}
+}

@@ -1,0 +1,578 @@
+package lint
+
+// walk.go is the syntax-directed lock-set walker behind dataflow.go: one
+// pass per function body, mutating a heldSet as Lock/Unlock calls are seen
+// and recording access/acquire/call/block events with a snapshot of the
+// locks held at that point.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+type flowWalker struct {
+	mf *moduleFlow
+	ff *funcFlow
+	p  *Package
+}
+
+// stmts walks a statement list sequentially, mutating held; it reports
+// whether control definitely does not fall off the end (return, panic, or a
+// branch statement).
+func (w *flowWalker) stmts(list []ast.Stmt, held heldSet) bool {
+	for _, s := range list {
+		if w.stmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *flowWalker) stmt(s ast.Stmt, held heldSet) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && w.terminates(call) {
+			for _, a := range call.Args {
+				w.expr(a, held)
+			}
+			return true
+		}
+		w.expr(s.X, held)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.expr(rhs, held)
+		}
+		if s.Tok == token.DEFINE {
+			// Remember locals initialized from composite literals: the
+			// value is under construction and not yet shared.
+			if len(s.Rhs) == len(s.Lhs) {
+				for i, lhs := range s.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && isCompositeInit(s.Rhs[i]) {
+						if obj := w.p.Info.Defs[id]; obj != nil {
+							w.ff.compositeLocals[obj] = true
+						}
+					}
+				}
+			}
+		} else {
+			for _, lhs := range s.Lhs {
+				w.writeTarget(lhs, held)
+			}
+		}
+	case *ast.IncDecStmt:
+		w.writeTarget(s.X, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, held)
+					}
+					if len(vs.Values) == len(vs.Names) {
+						for i, name := range vs.Names {
+							if isCompositeInit(vs.Values[i]) {
+								if obj := w.p.Info.Defs[name]; obj != nil {
+									w.ff.compositeLocals[obj] = true
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true // break/continue/goto/fallthrough: conservative join
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		thenHeld := held.clone()
+		thenTerm := w.stmts(s.Body.List, thenHeld)
+		elseHeld := held.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.stmt(s.Else, elseHeld)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			replaceHeld(held, elseHeld)
+		case elseTerm:
+			replaceHeld(held, thenHeld)
+		default:
+			replaceHeld(held, intersectHeld(thenHeld, elseHeld))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		body := held.clone()
+		w.stmts(s.Body.List, body)
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+		// Lock-state changes inside a loop body do not escape it: the body
+		// may run zero times, so the conservative post-loop state is the
+		// pre-loop one.
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		body := held.clone()
+		w.stmts(s.Body.List, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		return w.caseMerge(s.Body, held, false)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.stmt(s.Assign, held)
+		return w.caseMerge(s.Body, held, false)
+	case *ast.SelectStmt:
+		return w.caseMerge(s.Body, held, true)
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+		w.ff.blocks = append(w.ff.blocks, blockEvent{
+			kind: "send", desc: "channel send", pos: s.Arrow, held: held.clone(),
+		})
+	case *ast.GoStmt:
+		w.goCall(s.Call, held)
+	case *ast.DeferStmt:
+		w.deferCall(s.Call, held)
+	}
+	return false
+}
+
+// caseMerge walks switch/select clause bodies on cloned lock-sets and joins
+// the survivors by intersection. A switch with no default keeps the
+// original held set as one path; a select always takes exactly one clause.
+func (w *flowWalker) caseMerge(body *ast.BlockStmt, held heldSet, isSelect bool) bool {
+	var results []heldSet
+	hasDefault := false
+	for _, cs := range body.List {
+		var clauseBody []ast.Stmt
+		switch c := cs.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				w.expr(e, held)
+			}
+			clauseBody = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			clauseBody = c.Body
+		default:
+			continue
+		}
+		branch := held.clone()
+		if cc, ok := cs.(*ast.CommClause); ok && cc.Comm != nil {
+			// The comm statement itself never flags as a blocking send: the
+			// select construct makes it conditional.
+			switch comm := cc.Comm.(type) {
+			case *ast.SendStmt:
+				w.expr(comm.Chan, branch)
+				w.expr(comm.Value, branch)
+			default:
+				w.stmt(comm, branch)
+			}
+		}
+		if !w.stmts(clauseBody, branch) {
+			results = append(results, branch)
+		}
+	}
+	if !isSelect && !hasDefault {
+		results = append(results, held.clone())
+	}
+	if len(results) == 0 {
+		return len(body.List) > 0 // every clause terminated
+	}
+	merged := results[0]
+	for _, r := range results[1:] {
+		merged = intersectHeld(merged, r)
+	}
+	replaceHeld(held, merged)
+	return false
+}
+
+// expr scans an expression in read context.
+func (w *flowWalker) expr(e ast.Expr, held heldSet) {
+	if e == nil {
+		return
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if fn, ok := w.p.Info.Uses[x].(*types.Func); ok {
+			if _, tracked := w.mf.funcs[fn]; tracked {
+				w.mf.addrTaken[fn] = true
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := w.p.Info.Uses[x.Sel].(*types.Func); ok {
+			// Method value (s.handle passed as a func): its body can run
+			// with any lock state, so ambient inference must not trust it.
+			if _, tracked := w.mf.funcs[fn]; tracked {
+				w.mf.addrTaken[fn] = true
+			}
+			w.expr(x.X, held)
+			return
+		}
+		if !w.recordChain(x, held, false) {
+			w.expr(x.X, held)
+		}
+	case *ast.CallExpr:
+		w.call(x, held, callNormal)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			if !w.recordChain(x.X, held, true) {
+				w.expr(x.X, held)
+			}
+			return
+		}
+		w.expr(x.X, held)
+	case *ast.BinaryExpr:
+		w.expr(x.X, held)
+		w.expr(x.Y, held)
+	case *ast.ParenExpr:
+		w.expr(x.X, held)
+	case *ast.StarExpr:
+		if !w.recordChain(x, held, false) {
+			w.expr(x.X, held)
+		}
+	case *ast.IndexExpr:
+		w.expr(x.X, held)
+		w.expr(x.Index, held)
+	case *ast.IndexListExpr:
+		w.expr(x.X, held)
+		for _, idx := range x.Indices {
+			w.expr(idx, held)
+		}
+	case *ast.SliceExpr:
+		w.expr(x.X, held)
+		w.expr(x.Low, held)
+		w.expr(x.High, held)
+		w.expr(x.Max, held)
+	case *ast.TypeAssertExpr:
+		w.expr(x.X, held)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			w.expr(el, held)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(x.Value, held)
+	case *ast.FuncLit:
+		// A function literal used as a value may run with any lock state;
+		// walk its body with nothing held. Literals invoked on the spot are
+		// handled by call()/goCall()/deferCall().
+		w.stmts(x.Body.List, make(heldSet))
+	}
+}
+
+// writeTarget scans an assignment LHS: the final field of a selector chain
+// is a write, everything on the way there is a read.
+func (w *flowWalker) writeTarget(e ast.Expr, held heldSet) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		// Writing a plain variable: no field access.
+	case *ast.SelectorExpr:
+		if !w.recordChain(x, held, true) {
+			w.expr(x.X, held)
+		}
+	case *ast.IndexExpr:
+		// m[k] = v mutates the map/slice held in the field: a write to it.
+		if !w.recordChain(x.X, held, true) {
+			w.expr(x.X, held)
+		}
+		w.expr(x.Index, held)
+	case *ast.StarExpr:
+		// *p = v writes through the pointer; the chain itself is read.
+		w.expr(x.X, held)
+	default:
+		w.expr(e, held)
+	}
+}
+
+type callKind int
+
+const (
+	callNormal callKind = iota
+	callGo
+	callDefer
+)
+
+func (w *flowWalker) goCall(c *ast.CallExpr, held heldSet) {
+	if lit, ok := ast.Unparen(c.Fun).(*ast.FuncLit); ok {
+		for _, a := range c.Args {
+			w.expr(a, held)
+		}
+		w.stmts(lit.Body.List, make(heldSet))
+		return
+	}
+	w.call(c, held, callGo)
+}
+
+func (w *flowWalker) deferCall(c *ast.CallExpr, held heldSet) {
+	if lit, ok := ast.Unparen(c.Fun).(*ast.FuncLit); ok {
+		for _, a := range c.Args {
+			w.expr(a, held)
+		}
+		// Deferred cleanup typically runs with the locks of the happy path
+		// still decided by the body; walking with the current set covers
+		// the dominant defer-unlock-and-finish pattern.
+		w.stmts(lit.Body.List, held.clone())
+		return
+	}
+	if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok {
+		if name, _, ok := lockMethod(w.p, sel); ok {
+			if name == "Unlock" || name == "RUnlock" {
+				// defer mu.Unlock(): the lock stays held to the end of the
+				// function, but the function does release it.
+				if root, path, ok := chainRoot(w.p, sel.X); ok {
+					w.ff.releases[w.mf.classOf(lockRef{root, path})] = true
+				}
+				return
+			}
+		}
+	}
+	w.call(c, held, callDefer)
+}
+
+// call handles a call expression: lock operations mutate held; resolvable
+// module-internal calls record a callEvent; fsync-like calls record a block
+// event; arguments and the receiver chain are scanned as reads.
+func (w *flowWalker) call(c *ast.CallExpr, held heldSet, kind callKind) {
+	fun := ast.Unparen(c.Fun)
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if name, mode, ok := lockMethod(w.p, sel); ok {
+			if root, path, ok := chainRoot(w.p, sel.X); ok {
+				ref := lockRef{root, path}
+				switch name {
+				case "Lock", "RLock":
+					if kind == callNormal {
+						w.ff.acquires = append(w.ff.acquires, acquireEvent{
+							ref: ref, class: w.mf.classOf(ref), mode: mode,
+							pos: sel.Sel.Pos(), held: held.clone(),
+						})
+						held[ref] = mode
+					}
+				case "Unlock", "RUnlock":
+					if kind == callNormal {
+						delete(held, ref)
+					}
+					w.ff.releases[w.mf.classOf(ref)] = true
+				}
+				return
+			}
+			// Unresolvable lock receiver (e.g. through an index
+			// expression): scan and move on.
+			w.expr(sel.X, held)
+			return
+		}
+	}
+
+	fn := calleeFunc(w.p, c)
+	eventHeld := held
+	if kind == callGo {
+		eventHeld = make(heldSet) // the goroutine starts with nothing held
+	}
+	if fn != nil && (fn.Name() == "Sync" || fn.Name() == "Fsync") {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && kind == callNormal {
+			w.ff.blocks = append(w.ff.blocks, blockEvent{
+				kind: "fsync", desc: fn.Name(), pos: c.Pos(), held: eventHeld.clone(),
+			})
+		}
+	}
+	if fn != nil {
+		if _, tracked := w.mf.funcs[fn]; tracked {
+			ev := callEvent{
+				callee: fn, pos: c.Pos(), held: eventHeld.clone(),
+				async: kind == callGo,
+			}
+			if kind == callDefer {
+				// A deferred call runs at exit where the held set is
+				// unknown; record it lock-free so it contributes summaries
+				// but never a spurious held-across hazard.
+				ev.held = make(heldSet)
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sel, ok := fun.(*ast.SelectorExpr); ok && sig != nil && sig.Recv() != nil {
+				if root, path, ok := chainRoot(w.p, sel.X); ok {
+					ev.bindings = append(ev.bindings, binding{index: -1, root: root, prefix: path})
+					if path == "" && w.ff.compositeLocals[root] {
+						ev.construction = true
+					}
+				}
+			}
+			nparams := 0
+			if sig != nil {
+				nparams = sig.Params().Len()
+			}
+			for i, arg := range c.Args {
+				if i >= nparams {
+					break
+				}
+				target := ast.Unparen(arg)
+				if ue, ok := target.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+					target = ast.Unparen(ue.X)
+				}
+				if root, path, ok := chainRoot(w.p, target); ok {
+					ev.bindings = append(ev.bindings, binding{index: i, root: root, prefix: path})
+				}
+			}
+			w.ff.calls = append(w.ff.calls, ev)
+		}
+	}
+
+	// Scan the receiver chain and the arguments as reads; immediately
+	// invoked function literals run under the current lock set.
+	switch f := fun.(type) {
+	case *ast.SelectorExpr:
+		if !w.recordChain(f.X, held, false) {
+			w.expr(f.X, held)
+		}
+	case *ast.FuncLit:
+		w.stmts(f.Body.List, held.clone())
+	case *ast.Ident:
+		// plain function name: nothing to scan
+	default:
+		w.expr(fun, held)
+	}
+	for _, a := range c.Args {
+		if lit, ok := ast.Unparen(a).(*ast.FuncLit); ok {
+			// Callback literals (sort.Slice, filepath.WalkDir, Once.Do)
+			// usually run synchronously inside the call.
+			w.stmts(lit.Body.List, held.clone())
+			continue
+		}
+		w.expr(a, held)
+	}
+}
+
+// terminates reports whether a call statement never returns: the panic
+// builtin, os.Exit, log.Fatal*, runtime.Goexit, and the testing Fatal/Skip
+// family (which call Goexit).
+func (w *flowWalker) terminates(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			_, builtin := w.p.Info.Uses[fun].(*types.Builtin)
+			return builtin || w.p.Info.Uses[fun] == nil
+		}
+	case *ast.SelectorExpr:
+		fn, _ := w.p.Info.Uses[fun.Sel].(*types.Func)
+		if fn == nil || fn.Pkg() == nil {
+			return false
+		}
+		switch fn.Pkg().Path() {
+		case "os":
+			return fn.Name() == "Exit"
+		case "runtime":
+			return fn.Name() == "Goexit"
+		case "log":
+			return strings.HasPrefix(fn.Name(), "Fatal")
+		case "testing":
+			switch fn.Name() {
+			case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lockMethod recognizes sync.Mutex/RWMutex Lock/Unlock/RLock/RUnlock calls
+// and returns the method name and acquisition mode.
+func lockMethod(p *Package, sel *ast.SelectorExpr) (string, lockMode, bool) {
+	fn, _ := p.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", 0, false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", 0, false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock":
+		return fn.Name(), modeExcl, true
+	case "RLock", "RUnlock":
+		return fn.Name(), modeShared, true
+	}
+	return "", 0, false
+}
+
+// recordChain resolves e as a field chain from a variable root and records
+// one access event per selector level (the final level carries the write
+// flag). It reports whether e was such a chain.
+func (w *flowWalker) recordChain(e ast.Expr, held heldSet, write bool) bool {
+	root, path, ok := chainRoot(w.p, e)
+	if !ok || path == "" {
+		return false
+	}
+	segs := splitPath(path)
+	t := root.Type()
+	prefix := ""
+	for i, seg := range segs {
+		owner, field := fieldOwner(t, seg)
+		if owner == nil {
+			return true
+		}
+		full := joinPath(prefix, seg)
+		if !isLockType(field.Type()) {
+			w.ff.accesses = append(w.ff.accesses, accessEvent{
+				root: root, path: full, owner: owner, field: field,
+				write: write && i == len(segs)-1,
+				pos:   e.Pos(), held: held.clone(),
+				compositeLocal: w.ff.compositeLocals[root],
+			})
+		}
+		t = field.Type()
+		prefix = full
+	}
+	return true
+}
+
+func isCompositeInit(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		// new(T) is construction too.
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+func splitPath(path string) []string {
+	return strings.Split(path, ".")
+}

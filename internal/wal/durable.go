@@ -209,6 +209,7 @@ func (d *DurableStore) Flush() error {
 	if d.poisoned != nil {
 		return d.poisoned
 	}
+	//lint:allow lockorder Flush is a stop-the-world durability barrier: holding d.mu across the fsync is the point
 	return d.log.Flush()
 }
 
@@ -229,6 +230,7 @@ func (d *DurableStore) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.poisoned != nil {
+		//lint:allow lockorder shutdown-only path: d.mu held across the final seal/close excludes concurrent appends by design
 		_ = d.log.Close() // best effort: the poison is the error worth reporting
 		return d.poisoned
 	}
@@ -241,12 +243,15 @@ func (d *DurableStore) Close() error {
 		if last.T <= d.lastLogged[id] {
 			continue
 		}
+		//lint:allow lockorder shutdown-only path: d.mu held across the final seal/close excludes concurrent appends by design
 		if err := d.log.Append(Record{ID: id, Sample: last}); err != nil {
+			//lint:allow lockorder shutdown-only path: d.mu held across the final seal/close excludes concurrent appends by design
 			_ = d.log.Close() // best effort: the append error is the one worth reporting
 			return err
 		}
 		d.lastLogged[id] = last.T
 	}
+	//lint:allow lockorder shutdown-only path: d.mu held across the final seal/close excludes concurrent appends by design
 	return d.log.Close()
 }
 
@@ -279,6 +284,7 @@ func (d *DurableStore) Compact() error {
 	// Phase 1: build the replacement. The live log stays open and
 	// authoritative until phase 2 completes.
 	_ = d.fs.Remove(tmpPath) // a leftover from an earlier crash is garbage
+	//lint:allow lockorder compaction is stop-the-world by design: d.mu is held for the whole crash-atomic rewrite
 	tmp, err := openLog(d.fs, tmpPath, nil, d.ins)
 	if err != nil {
 		return err
@@ -288,7 +294,9 @@ func (d *DurableStore) Compact() error {
 	for _, id := range d.Store.IDs() {
 		ret, _ := d.Store.Retained(id)
 		for _, s := range ret {
+			//lint:allow lockorder compaction is stop-the-world by design: d.mu is held for the whole crash-atomic rewrite
 			if err := tmp.Append(Record{ID: id, Sample: s}); err != nil {
+				//lint:allow lockorder compaction is stop-the-world by design: d.mu is held for the whole crash-atomic rewrite
 				_ = tmp.Close()          // best effort: the append error is the one worth reporting
 				_ = d.fs.Remove(tmpPath) // the temp file is garbage either way
 				return err
@@ -298,6 +306,7 @@ func (d *DurableStore) Compact() error {
 			newLast[id] = ret[ret.Len()-1].T
 		}
 	}
+	//lint:allow lockorder compaction is stop-the-world by design: d.mu is held for the whole crash-atomic rewrite
 	if err := tmp.Close(); err != nil {
 		_ = d.fs.Remove(tmpPath) // the temp file is garbage either way
 		return err
@@ -310,6 +319,7 @@ func (d *DurableStore) Compact() error {
 	}
 
 	// Phase 3: commit.
+	//lint:allow lockorder compaction is stop-the-world by design: d.mu is held for the whole crash-atomic rewrite
 	closeErr := d.log.Close()
 	if err := d.fs.Rename(donePath, path); err != nil {
 		// Roll the marker back so the old log stays authoritative; leaving
@@ -325,6 +335,7 @@ func (d *DurableStore) Compact() error {
 			d.poisoned = fmt.Errorf("%w (compact aborted: %v; old log close: %v)", ErrPoisoned, err, closeErr)
 			return d.poisoned
 		}
+		//lint:allow lockorder compaction is stop-the-world by design: d.mu is held for the whole crash-atomic rewrite
 		reopened, oerr := openLog(d.fs, path, nil, d.ins)
 		if oerr != nil {
 			d.poisoned = fmt.Errorf("%w (compact aborted: %v; reopen: %v)", ErrPoisoned, err, oerr)
@@ -334,6 +345,7 @@ func (d *DurableStore) Compact() error {
 		d.log = reopened
 		return fmt.Errorf("wal: compact rename: %w", err)
 	}
+	//lint:allow lockorder compaction is stop-the-world by design: d.mu is held for the whole crash-atomic rewrite
 	reopened, err := openLog(d.fs, path, nil, d.ins)
 	if err != nil {
 		d.poisoned = fmt.Errorf("%w (reopen after compaction: %v)", ErrPoisoned, err)

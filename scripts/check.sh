@@ -5,9 +5,12 @@
 #   1. go build ./...          compile everything
 #   2. gofmt -l               formatting (fails on any unformatted file)
 #   3. go vet ./...            the stock vet suite
-#   4. trajlint ./...          the repo-specific analyzers (internal/lint):
-#                              layering, floatcmp, nanguard, errcheck,
-#                              lockcopy, goroleak
+#   4. trajlint -tests ./...   the repo-specific analyzers (internal/lint):
+#                              layering, floatcmp, floatstep, nanguard,
+#                              errcheck, lockcopy, goroleak, mutexguard,
+#                              lockorder, atomicmix — with the concurrency
+#                              analyzers also covering _test.go files, plus
+#                              a staleness check over .trajlint.allow
 #   5. go test ./...           tier-1 tests
 #   6. go test -race ./...     tier-2: same tests under the race detector
 #   7. bench.sh --smoke        end-to-end: trajload against a live trajserver
@@ -45,8 +48,11 @@ fi
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> trajlint ./..."
-go run ./cmd/trajlint ./...
+echo "==> trajlint -tests ./..."
+go run ./cmd/trajlint -tests ./...
+
+echo "==> trajlint -prune-allowlist"
+go run ./cmd/trajlint -tests -prune-allowlist
 
 echo "==> go test ./..."
 go test ./...
