@@ -73,9 +73,10 @@ func sweepThroughput(rep report, shards int) float64 {
 
 // runCompare loads two reports and fails (exit code 1, table on stdout)
 // when the new one regresses by more than tolPct percent on append
-// throughput or p50 append latency; the 8-shard sweep throughput is
-// compared too when both reports carry it. This is the CI bench-regression
-// gate (scripts/bench_compare.sh).
+// throughput or p50 append latency; the 8-shard sweep throughput, the
+// hot/cold query p50 latencies, and the cold-tier footprint ratio are
+// compared too when both reports carry the relevant sections. This is the
+// CI bench-regression gate (scripts/bench_compare.sh).
 func runCompare(oldPath, newPath string, tolPct float64) int {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
@@ -98,6 +99,14 @@ func runCompare(oldPath, newPath string, tolPct float64) int {
 	}
 	if o, n := sweepThroughput(oldRep, 8), sweepThroughput(newRep, 8); o > 0 && n > 0 {
 		rows = append(rows, compareRow{"sweep_8_shards_pts_per_sec", o, n, true})
+	}
+	if oldRep.Query != nil && newRep.Query != nil {
+		rows = append(rows,
+			compareRow{"query_hot_range_p50_seconds", oldRep.Query.Hot.RangeLatency.P50, newRep.Query.Hot.RangeLatency.P50, false},
+			compareRow{"query_cold_range_p50_seconds", oldRep.Query.Cold.RangeLatency.P50, newRep.Query.Cold.RangeLatency.P50, false},
+			compareRow{"query_cold_nearest_p50_seconds", oldRep.Query.Cold.NearestLatency.P50, newRep.Query.Cold.NearestLatency.P50, false},
+			compareRow{"cold_footprint_ratio", oldRep.Query.FootprintRatio, newRep.Query.FootprintRatio, true},
+		)
 	}
 
 	fmt.Printf("bench compare: %s (old) vs %s (new), tolerance %.0f%%\n", oldPath, newPath, tolPct)

@@ -30,6 +30,13 @@
 //	                 again as MAPPEND batches of this size against fresh
 //	                 object IDs and report batched throughput and per-batch
 //	                 latency plus the speedup over single appends (0 = skip)
+//	-queries int     after the ingest phases, run this many seeded
+//	                 QUERYRANGE + NEAREST probes against the hot tier, SEAL
+//	                 the whole history into the cold quantized tier, and run
+//	                 the same probes again; the report's "query" section
+//	                 carries both tiers' latency quantiles plus the cold
+//	                 tier's footprint ratio versus retained points. Requires
+//	                 the server to run with -seal-eps (0 = skip)
 //	-out string      JSON report path (default "BENCH_load.json")
 //
 // # Shard sweep
@@ -112,6 +119,7 @@ type report struct {
 	ThroughputPerSec   float64            `json:"throughput_points_per_sec"`
 	AppendLatency      latencySummary     `json:"append_latency_seconds"`
 	Batch              *batchRun          `json:"batch,omitempty"`
+	Query              *queryRun          `json:"query,omitempty"`
 	Server             server.Stats       `json:"server_stats"`
 	ServerMetrics      map[string]float64 `json:"server_metrics"`
 	HTTPMetricsChecked bool               `json:"http_metrics_checked"`
@@ -165,6 +173,7 @@ func main() {
 		spread       = flag.Float64("spread", 20000, "fleet depot area edge in metres")
 		duration     = flag.Float64("duration", 1800, "per-vehicle trip duration in seconds")
 		batch        = flag.Int("batch", 0, "MAPPEND batch size for the batched ingest phase (0 = skip)")
+		queries      = flag.Int("queries", 0, "QUERYRANGE+NEAREST probes per tier for the hot/cold query phase; needs trajserver -seal-eps (0 = skip)")
 		out          = flag.String("out", "BENCH_load.json", "JSON report path")
 		shardsFlag   = flag.String("shards", "", "comma-separated store shard counts for the in-process sweep (empty = skip)")
 		sweepWorkers = flag.Int("sweep-workers", 16, "concurrent appenders per shard-sweep run")
@@ -199,6 +208,10 @@ func main() {
 				b.SpeedupVsSingle = b.ThroughputPerSec / rep.ThroughputPerSec
 			}
 			rep.Batch = &b
+		}
+		if *queries > 0 {
+			q := runQueryLoad(*addr, *seed, *objects, *clients, *points, *queries, *spread, *duration)
+			rep.Query = &q
 		}
 	}
 	rep.Config.Clients = *clients

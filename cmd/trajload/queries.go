@@ -1,0 +1,187 @@
+package main
+
+import (
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/metrics"
+	"repro/internal/server"
+)
+
+// rawSampleBytes is the in-memory footprint of one retained hot sample
+// (t, x, y as float64), the baseline the cold tier's compression is
+// measured against. Mirrors the seal package's accounting.
+const rawSampleBytes = 24
+
+// tierQueryStats is one tier's query-side measurement: latency quantiles
+// for QUERYRANGE and NEAREST plus the total points the range queries
+// returned (a sanity check that hot and cold answer the same workload).
+type tierQueryStats struct {
+	RangeLatency        latencySummary `json:"range_latency_seconds"`
+	NearestLatency      latencySummary `json:"nearest_latency_seconds"`
+	RangePointsReturned int            `json:"range_points_returned"`
+}
+
+// queryRun is the report's "query" section: the same seeded query workload
+// measured against the hot tier, then again after SEAL moved every sample
+// into the cold quantized tier, plus the cold tier's footprint versus the
+// retained-point equivalent.
+type queryRun struct {
+	Queries int            `json:"queries"`
+	Hot     tierQueryStats `json:"hot"`
+	Cold    tierQueryStats `json:"cold"`
+
+	SealedPoints            int     `json:"sealed_points"`
+	SealedBlocks            int     `json:"sealed_blocks"`
+	SealedBytes             int64   `json:"sealed_bytes"`
+	RetainedEquivalentBytes int64   `json:"retained_equivalent_bytes"`
+	FootprintRatio          float64 `json:"footprint_ratio"` // retained-equivalent / sealed, higher is better
+
+	BlocksDecoded float64 `json:"blocks_decoded_total"`
+	BlocksPruned  float64 `json:"blocks_pruned_total"`
+}
+
+// queryCase is one spatiotemporal probe: a range window anchored on a real
+// workload fix (so queries hit data, not empty space) and a kNN instant at
+// its centre.
+type queryCase struct {
+	rect   geo.Rect
+	t0, t1 float64
+	center geo.Point
+	at     float64
+}
+
+// runQueryLoad measures the query workload: n range + kNN probes against
+// the hot tier, one SEAL moving the whole history cold, and the same n
+// probes against the sealed tier. The probes are derived from the same
+// seeded fleet as the load phase, so the workload is reproducible.
+func runQueryLoad(addr string, seed int64, objects, clients, points, n int, spread, duration float64) queryRun {
+	feeds := buildFeeds(seed, objects, clients, points, spread, duration)
+	var all []fix
+	tmax := 0.0
+	for _, feed := range feeds {
+		all = append(all, feed...)
+		if last := feed[len(feed)-1].s.T; last > tmax {
+			tmax = last
+		}
+	}
+	if len(all) == 0 {
+		log.Fatal("query phase: empty workload")
+	}
+
+	rng := rand.New(rand.NewSource(seed + 7))
+	edge := spread / 8
+	if edge <= 0 {
+		edge = 500
+	}
+	halfWin := duration / 8
+	if halfWin <= 0 {
+		halfWin = 60
+	}
+	cases := make([]queryCase, n)
+	for i := range cases {
+		f := all[rng.Intn(len(all))]
+		c := f.s.Pos()
+		cases[i] = queryCase{
+			rect:   geo.Rect{Min: geo.Pt(c.X-edge/2, c.Y-edge/2), Max: geo.Pt(c.X+edge/2, c.Y+edge/2)},
+			t0:     f.s.T - halfWin,
+			t1:     f.s.T + halfWin,
+			center: c,
+			at:     f.s.T,
+		}
+	}
+
+	c, err := server.DialOptions(addr, server.ClientOptions{
+		IOTimeout: 30 * time.Second,
+		Metrics:   metrics.NewRegistry(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	run := queryRun{Queries: n}
+	run.Hot = measureTier(c, cases)
+	log.Printf("query hot: range p50=%s, nearest p50=%s, %d points returned",
+		time.Duration(run.Hot.RangeLatency.P50*float64(time.Second)).Round(time.Microsecond),
+		time.Duration(run.Hot.NearestLatency.P50*float64(time.Second)).Round(time.Microsecond),
+		run.Hot.RangePointsReturned)
+
+	// Move the entire history cold: every probe now answers from sealed
+	// quantized blocks via the R-tree.
+	if _, err := c.Seal(tmax + 1); err != nil {
+		log.Fatalf("SEAL: %v (run trajserver with -seal-eps to bench the cold tier)", err)
+	}
+	run.Cold = measureTier(c, cases)
+
+	stats, err := c.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	run.SealedPoints = stats.SealedPoints
+	run.SealedBlocks = stats.SealedBlocks
+	run.SealedBytes = stats.SealedBytes
+	run.RetainedEquivalentBytes = int64(stats.SealedPoints) * rawSampleBytes
+	if run.SealedBytes > 0 {
+		run.FootprintRatio = float64(run.RetainedEquivalentBytes) / float64(run.SealedBytes)
+	}
+	text, err := c.Metrics()
+	if err != nil {
+		log.Fatal(err)
+	}
+	parsed := parsePrometheus(text)
+	run.BlocksDecoded = parsed["seal_blocks_decoded_total"]
+	run.BlocksPruned = parsed["seal_blocks_pruned_total"]
+
+	log.Printf("query cold: range p50=%s, nearest p50=%s, %d points returned; footprint %d → %d bytes (%.1fx)",
+		time.Duration(run.Cold.RangeLatency.P50*float64(time.Second)).Round(time.Microsecond),
+		time.Duration(run.Cold.NearestLatency.P50*float64(time.Second)).Round(time.Microsecond),
+		run.Cold.RangePointsReturned,
+		run.RetainedEquivalentBytes, run.SealedBytes, run.FootprintRatio)
+	return run
+}
+
+// measureTier runs every probe once — QUERYRANGE then NEAREST — collecting
+// per-command latency histograms in a private registry.
+func measureTier(c *server.Client, cases []queryCase) tierQueryStats {
+	reg := metrics.NewRegistry()
+	rangeLat := reg.Histogram("q_range_seconds", nil)
+	nearLat := reg.Histogram("q_nearest_seconds", nil)
+	out := tierQueryStats{}
+	for _, q := range cases {
+		t0 := time.Now()
+		pts, err := c.QueryRange(q.rect, q.t0, q.t1)
+		if err != nil {
+			log.Fatalf("QUERYRANGE: %v", err)
+		}
+		rangeLat.ObserveSince(t0)
+		out.RangePointsReturned += len(pts)
+
+		t0 = time.Now()
+		if _, err := c.Nearest(q.center, q.at, 4); err != nil {
+			log.Fatalf("NEAREST: %v", err)
+		}
+		nearLat.ObserveSince(t0)
+	}
+	for _, m := range reg.Snapshot() {
+		if m.Count == 0 {
+			continue
+		}
+		s := latencySummary{
+			Mean: m.Sum / float64(m.Count),
+			P50:  m.Quantile(0.50),
+			P90:  m.Quantile(0.90),
+			P99:  m.Quantile(0.99),
+			Max:  m.Max,
+		}
+		switch m.Name {
+		case "q_range_seconds":
+			out.RangeLatency = s
+		case "q_nearest_seconds":
+			out.NearestLatency = s
+		}
+	}
+	return out
+}

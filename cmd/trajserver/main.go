@@ -22,6 +22,11 @@
 //	-http string      observability listen address serving /metrics
 //	                  (Prometheus text format) and /debug/pprof/*
 //	                  ("" = disabled)
+//	-seal-eps float   cold-tier error bound in metres: EVICT seals aged
+//	                  samples into quantized blocks instead of dropping
+//	                  them, and SEAL moves them explicitly (0 = no cold
+//	                  tier, eviction drops)
+//	-seal-block int   target points per sealed block (0 = default 256)
 //
 // On SIGINT/SIGTERM the server drains: in-flight commands finish, then
 // the WAL seals and closes. SIGKILL is survivable by design — recovery
@@ -36,6 +41,9 @@
 //	POSITION <id> <t>
 //	SNAPSHOT <id>
 //	QUERY <minx> <miny> <maxx> <maxy> <t0> <t1>
+//	QUERYRANGE <minx> <miny> <maxx> <maxy> <t0> <t1>
+//	NEAREST <x> <y> <t> <k>
+//	SEAL <t>
 //	IDS | STATS | PING | QUIT
 //
 // Try it:
@@ -100,6 +108,8 @@ func main() {
 		walSync   = flag.Int("wal-sync", 64, "records between WAL fsyncs (0 = fsync every append)")
 		maxConns  = flag.Int("max-conns", 0, "connection cap; excess connections are shed with ERR busy (0 = unlimited)")
 		httpAddr  = flag.String("http", "", "observability listen address for /metrics and /debug/pprof (empty = disabled)")
+		sealEps   = flag.Float64("seal-eps", 0, "cold-tier error bound in metres; eviction seals instead of drops (0 = no cold tier)")
+		sealBlock = flag.Int("seal-block", 0, "target points per sealed block (0 = default)")
 	)
 	flag.Parse()
 
@@ -116,7 +126,10 @@ func main() {
 	default:
 		log.Fatalf("unknown index %q (want grid or rtree)", *indexName)
 	}
-	opts := store.Options{NewCompressor: factory, CellSize: *cell, Index: index, Shards: *shards}
+	opts := store.Options{
+		NewCompressor: factory, CellSize: *cell, Index: index, Shards: *shards,
+		SealEps: *sealEps, SealBlockPoints: *sealBlock,
+	}
 
 	var backend server.Backend
 	var durable *wal.DurableStore
@@ -145,6 +158,9 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("listening on %s (compression %s, %d store shards)", l.Addr(), *compSpec, st.NumShards())
+	if *sealEps > 0 {
+		log.Printf("cold tier: sealing evicted history into quantized blocks (eps %g m)", *sealEps)
+	}
 
 	if *httpAddr != "" {
 		hl, err := serveHTTP(*httpAddr)

@@ -22,12 +22,22 @@
 // Usage:
 //
 //	trajtorture -bin ./trajserver [-cycles 5] [-objects 4] [-appends 400]
-//	            [-seed 1] [-addr host:port] [-wal path] [-batch N] [-v]
+//	            [-seed 1] [-addr host:port] [-wal path] [-batch N]
+//	            [-seal-eps E] [-v]
 //
 // With -batch N > 1, the feed randomly mixes MAPPEND batches (2..N samples,
 // sized by the seeded RNG) in with single appends, so the group-commit batch
 // path faces the same SIGKILL schedule as the single-append path: an
 // "OK appended=n" reply promises all n samples are durable.
+//
+// With -seal-eps E > 0, the child runs with a cold sealed tier and the
+// harness issues a SEAL halfway through each cycle, moving the older half of
+// the history into quantized blocks before the SIGKILL lands. After each
+// restart the harness verifies the cold tier's regenerability contract: the
+// tier comes back empty (the WAL is its only source — sealing must never be
+// a durability dependency), the full history is recovered hot, and
+// re-issuing the SEAL rebuilds a cold tier that answers range queries for
+// sealed-era samples within E metres.
 //
 // Exit status 0 means every cycle held the invariant.
 package main
@@ -37,6 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 	"os"
 	"os/exec"
@@ -45,6 +56,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/geo"
 	"repro/internal/gpsgen"
 	"repro/internal/metrics"
 	"repro/internal/server"
@@ -77,6 +89,7 @@ func main() {
 		appends = flag.Int("appends", 400, "append budget per cycle (the kill lands at a random point inside it)")
 		seed    = flag.Int64("seed", 1, "RNG seed for load and kill points (a failing run replays exactly)")
 		batch   = flag.Int("batch", 0, "mix MAPPEND batches of up to this many samples into the feed (0 = singles only)")
+		sealEps = flag.Float64("seal-eps", 0, "run the child with a cold sealed tier at this error bound and SEAL mid-cycle (0 = off)")
 		verbose = flag.Bool("v", false, "pass the child's output through")
 	)
 	flag.Parse()
@@ -105,10 +118,12 @@ func main() {
 		objs[i] = &object{id: fmt.Sprintf("veh-%d", i), traj: traj}
 	}
 
-	h := &harness{bin: *bin, addr: *addr, wal: *walPath, verbose: *verbose}
+	h := &harness{bin: *bin, addr: *addr, wal: *walPath, sealEps: *sealEps, verbose: *verbose}
 	defer h.stop()
 
 	totalAcked := 0
+	maxAckedT := 0.0 // newest acknowledged timestamp, the SEAL cut's anchor
+	sealedCut := 0.0 // last cut SEALed mid-cycle; restarts must rebuild it
 	for cycle := 1; cycle <= *cycles; cycle++ {
 		c, err := h.start()
 		if err != nil {
@@ -117,9 +132,15 @@ func main() {
 		if err := verify(c, objs); err != nil {
 			log.Fatalf("cycle %d: RECOVERY VIOLATION: %v", cycle, err)
 		}
+		if *sealEps > 0 && sealedCut > 0 {
+			if err := sealCheck(c, objs, sealedCut, *sealEps); err != nil {
+				log.Fatalf("cycle %d: COLD TIER VIOLATION: %v", cycle, err)
+			}
+		}
 
 		killAfter := 1 + rng.Intn(*appends)
 		sent := 0
+		sealDone := *sealEps <= 0
 		for round := 0; sent < killAfter; round++ {
 			o := objs[round%len(objs)]
 			if o.next >= o.traj.Len() {
@@ -152,6 +173,22 @@ func main() {
 			o.acked = o.next
 			totalAcked += n
 			sent += n
+			if t := o.traj[o.next-1].T; t > maxAckedT {
+				maxAckedT = t
+			}
+			// Halfway through the cycle, seal the older half of the history
+			// cold, so the SIGKILL lands on a server with a populated sealed
+			// tier. The cut only moves forward, so each re-seal continues the
+			// existing block chains.
+			if !sealDone && sent >= killAfter/2 {
+				if cut := maxAckedT / 2; cut > sealedCut {
+					if _, err := c.Seal(cut); err != nil {
+						log.Fatalf("cycle %d: SEAL: %v", cycle, err)
+					}
+					sealedCut = cut
+				}
+				sealDone = true
+			}
 		}
 
 		if cycle < *cycles {
@@ -176,6 +213,11 @@ func main() {
 	}
 	if err := verify(c, objs); err != nil {
 		log.Fatalf("final verification: RECOVERY VIOLATION: %v", err)
+	}
+	if *sealEps > 0 && sealedCut > 0 {
+		if err := sealCheck(c, objs, sealedCut, *sealEps); err != nil {
+			log.Fatalf("final verification: COLD TIER VIOLATION: %v", err)
+		}
 	}
 	recovered := 0
 	for _, o := range objs {
@@ -223,23 +265,84 @@ func verify(c *server.Client, objs []*object) error {
 	return nil
 }
 
+// sealCheck verifies the cold tier's regenerability after a restart: the
+// tier must come back empty (replay restores everything hot — the WAL, not
+// the sealed blocks, is the durable copy), and re-issuing the SEAL at the
+// pre-crash cut must rebuild blocks that answer range queries for
+// sealed-era samples within eps metres.
+func sealCheck(c *server.Client, objs []*object, cut, eps float64) error {
+	stats, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	if stats.SealedPoints != 0 {
+		return fmt.Errorf("cold tier holds %d points straight after recovery — it must regenerate from the WAL, not persist",
+			stats.SealedPoints)
+	}
+	if _, err := c.Seal(cut); err != nil {
+		return fmt.Errorf("re-seal at %g: %w", cut, err)
+	}
+	stats, err = c.Stats()
+	if err != nil {
+		return err
+	}
+	if stats.SealedPoints == 0 {
+		return fmt.Errorf("re-seal at %g rebuilt nothing", cut)
+	}
+	// Every object's oldest acknowledged sample older than the cut must be
+	// answerable from the rebuilt blocks, within the configured bound.
+	checked := 0
+	for _, o := range objs {
+		if o.acked == 0 || !(o.traj[0].T < cut) {
+			continue
+		}
+		s := o.traj[0]
+		rect := geo.Rect{Min: s.Pos(), Max: s.Pos()}.Expand(eps + 1)
+		pts, err := c.QueryRange(rect, s.T-1, s.T+1)
+		if err != nil {
+			return fmt.Errorf("%s: sealed-era QUERYRANGE: %w", o.id, err)
+		}
+		found := false
+		for _, p := range pts {
+			if p.ID == o.id && math.Abs(p.S.T-s.T) < 1e-3 && p.S.Pos().Dist(s.Pos()) <= eps+1e-9 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%s: sealed sample t=%g missing from rebuilt cold tier (got %d points)",
+				o.id, s.T, len(pts))
+		}
+		checked++
+	}
+	if checked == 0 {
+		return fmt.Errorf("no sealed-era samples to check at cut %g — harness bug", cut)
+	}
+	return nil
+}
+
 // harness owns the trajserver child process across kill/restart cycles.
 type harness struct {
 	bin     string
 	addr    string
 	wal     string
+	sealEps float64
 	verbose bool
 	cmd     *exec.Cmd
 }
 
 // start launches the child and waits until it answers PING.
 func (h *harness) start() (*server.Client, error) {
-	cmd := exec.Command(h.bin,
+	args := []string{
 		"-addr", h.addr,
 		"-compress", "none", // snapshot == append sequence, exactly
 		"-wal", h.wal,
 		"-wal-sync", "0", // OK reply ⇒ record fsynced
-	)
+	}
+	if h.sealEps > 0 {
+		args = append(args, "-seal-eps", fmt.Sprintf("%g", h.sealEps))
+	}
+	cmd := exec.Command(h.bin, args...)
 	if h.verbose {
 		cmd.Stdout = os.Stderr
 		cmd.Stderr = os.Stderr

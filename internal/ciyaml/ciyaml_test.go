@@ -164,6 +164,32 @@ func TestRepoWorkflowsValid(t *testing.T) {
 	}
 }
 
+// TestCIScriptsExerciseColdTier pins the cold-tier coverage of the CI
+// entry-point scripts: the bench harness must run the server with a sealed
+// tier and run the hot/cold query phase (so BENCH_load.json carries the
+// query section the compare gate checks, including the footprint ratio),
+// and the torture harness must run its seal mode so every SIGKILL cycle
+// verifies the cold tier regenerates from the WAL. Dropping any of these
+// flags would silently un-gate the sealed-tier query path.
+func TestCIScriptsExerciseColdTier(t *testing.T) {
+	root := repoRoot(t)
+	checks := []struct{ file, substr, why string }{
+		{"scripts/bench.sh", "-seal-eps", "bench server must enable the cold sealed tier"},
+		{"scripts/bench.sh", "-queries", "bench must run the hot/cold query phase"},
+		{"scripts/bench_compare.sh", "bench.sh", "compare gate must re-run the bench harness"},
+		{"scripts/torture.sh", "-seal-eps", "torture must verify cold-tier regenerability"},
+	}
+	for _, c := range checks {
+		src, err := os.ReadFile(filepath.Join(root, c.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(src), c.substr) {
+			t.Errorf("%s does not use %q: %s", c.file, c.substr, c.why)
+		}
+	}
+}
+
 // TestCIWorkflowShape pins the specifics ISSUE-level requirements of
 // ci.yml: a blocking check job on the two most recent Go releases with
 // caching, and a non-blocking bench-compare job.

@@ -117,7 +117,8 @@ func DefaultLayerRules() map[string][]string {
 		"cluster":    {"geo", "trajectory", "analysis"},
 		"mapmatch":   {"geo", "trajectory", "roadnet"},
 		"stream":     {"geo", "trajectory", "sed", "compress", "metrics"},
-		"store":      {"geo", "trajectory", "sed", "codec", "rtree", "stream", "metrics"},
+		"seal":       {"geo", "trajectory", "codec", "rtree", "metrics"},
+		"store":      {"geo", "trajectory", "sed", "codec", "rtree", "stream", "metrics", "seal"},
 		"wal":        {"geo", "trajectory", "codec", "store", "stream", "metrics", "fault"},
 		"server":     {"geo", "trajectory", "store", "stream", "wal", "metrics"},
 		"tune":       {"geo", "trajectory", "sed", "compress"},

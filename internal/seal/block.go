@@ -1,0 +1,361 @@
+package seal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/rtree"
+	"repro/internal/trajectory"
+)
+
+// Stream byte codes. Each interior sample of a block is one spatial code
+// followed by one time code; escape codes carry their operand inline.
+const (
+	// Spatial codes: 0..maxCellCodes-1 index the block's cell codebook.
+	maxCellCodes = 252
+	cellEsc16    = 252 // two little-endian int16 cell coordinates (4 bytes)
+	cellEsc32    = 253 // two little-endian int32 cell coordinates (8 bytes)
+	cellEsc64    = 254 // two float64 deltas, exact (16 bytes) — cell overflow
+
+	// Time codes: 0..maxDtCodes-1 index the block's dt codebook.
+	maxDtCodes = 254
+	dtEsc32    = 254 // raw float32 delta (4 bytes)
+	dtEsc64    = 255 // raw float64 delta (8 bytes) — sub-float32 spacing
+)
+
+// blockOverheadBytes is the per-block bookkeeping charged against the cold
+// tier's footprint on top of codebooks and the code stream: the two exact
+// boundary samples (48), the spatiotemporal box (48) and the counters/error
+// fields. Deliberately generous so reported compression never flatters.
+const blockOverheadBytes = 128
+
+// cell is one spatial codebook entry: a quantizer cell in units of the
+// block's cell edge, relative to the previous reconstructed position.
+type cell struct{ i, j int32 }
+
+// Block is one immutable sealed run of a single object's trajectory.
+//
+// The first and last samples are stored exactly; every interior sample is
+// delta-coded against the previous *reconstructed* position (closed-loop
+// DPCM), quantized onto a cell grid of edge q = ε·√2 and encoded through a
+// per-block codebook of the most frequent cells. Because each delta is taken
+// from the reconstruction, quantization error never accumulates: every
+// reconstructed position is within ε of its original by construction, and
+// the actually incurred maxima are recorded (EpsSpace, EpsTime) so queries
+// can expand predicates by the true bound rather than the configured one.
+//
+// Exact boundary samples make chains stitchable: consecutive blocks overlap
+// in exactly one sample with bit-identical time and position, so duplicate
+// suppression at query time is exact comparison, never tolerance matching.
+type Block struct {
+	seq  int  // position in the owning chain
+	cont bool // first sample duplicates the previous block's last
+	n    int  // decoded sample count (including both exact boundaries)
+
+	first, last trajectory.Sample // exact
+	box         rtree.Box         // covers original and reconstructed tracks
+
+	q        float64 // quantizer cell edge (ε·√2)
+	epsSpace float64 // max position reconstruction error incurred (≤ ε)
+	epsTime  float64 // max timestamp reconstruction error incurred
+
+	cells  []cell    // spatial codebook
+	dts    []float32 // time-delta codebook
+	stream []byte    // interior samples: (spatial code, time code) pairs
+}
+
+// Box returns the block's spatiotemporal bounding box. It covers both the
+// original samples and their reconstructions, so R-tree pruning against it
+// never misses a block whose true (uncompressed) points intersect a query.
+func (b *Block) Box() rtree.Box { return b.box }
+
+// Len returns the number of samples the block decodes to.
+func (b *Block) Len() int { return b.n }
+
+// EpsSpace returns the maximum position reconstruction error the block
+// actually incurred, in metres (≤ the configured ε).
+func (b *Block) EpsSpace() float64 { return b.epsSpace }
+
+// EpsTime returns the maximum timestamp reconstruction error the block
+// actually incurred, in seconds.
+func (b *Block) EpsTime() float64 { return b.epsTime }
+
+// CompressedBytes returns the block's accounted footprint: fixed overhead
+// plus codebooks plus the code stream.
+func (b *Block) CompressedBytes() int {
+	return blockOverheadBytes + 8*len(b.cells) + 4*len(b.dts) + len(b.stream)
+}
+
+// middle is the scratch representation of one interior sample during encode.
+type middle struct {
+	exact  bool // cell overflow: dx/dy carried as exact float64 deltas
+	ci, cj int64
+	dx, dy float64
+	use64  bool // dt too small for float32 monotonicity: float64 delta
+	dt32   float32
+	dt64   float64
+}
+
+// newBlock seals one run of samples. ss must be non-empty, finite and
+// strictly increasing in time; eps must be positive. The error cases are
+// pathological inputs a caller cannot quantize away (sample spacing below
+// float64 resolution at the given epoch).
+func newBlock(seq int, cont bool, eps float64, ss []trajectory.Sample) (*Block, error) {
+	n := len(ss)
+	if n == 0 {
+		return nil, fmt.Errorf("seal: empty block")
+	}
+	if eps <= 0 {
+		return nil, fmt.Errorf("seal: non-positive eps %v", eps)
+	}
+	for i, s := range ss {
+		if !s.IsFinite() {
+			return nil, fmt.Errorf("seal: %w at sample %d", trajectory.ErrNotFinite, i)
+		}
+		if i > 0 && s.T <= ss[i-1].T {
+			return nil, fmt.Errorf("seal: %w: t=%v after t=%v", trajectory.ErrUnsorted, s.T, ss[i-1].T)
+		}
+	}
+
+	b := &Block{
+		seq:   seq,
+		cont:  cont,
+		n:     n,
+		first: ss[0],
+		last:  ss[n-1],
+		q:     eps * math.Sqrt2,
+	}
+	rect := geo.Rect{Min: b.first.Pos(), Max: b.first.Pos()}
+	rect = rect.Extend(b.last.Pos())
+	tMax := b.last.T
+
+	// Pass 1: closed-loop quantization of the interior samples. The
+	// reconstruction here replays exactly what scan computes at decode time,
+	// so the recorded error bounds hold for decoded output.
+	mids := make([]middle, 0, maxInt(0, n-2))
+	px, py, pt := b.first.X, b.first.Y, b.first.T
+	for k := 1; k <= n-2; k++ {
+		s := ss[k]
+		var m middle
+		dx, dy := s.X-px, s.Y-py
+		ci := math.Round(dx / b.q)
+		cj := math.Round(dy / b.q)
+		var rx, ry float64
+		if math.Abs(ci) > math.MaxInt32 || math.Abs(cj) > math.MaxInt32 {
+			m.exact, m.dx, m.dy = true, dx, dy
+			rx, ry = px+dx, py+dy
+		} else {
+			m.ci, m.cj = int64(ci), int64(cj)
+			rx = px + float64(m.ci)*b.q
+			ry = py + float64(m.cj)*b.q
+		}
+
+		m.dt32 = float32(s.T - pt)
+		rt := pt + float64(m.dt32)
+		if !(rt > pt) {
+			m.use64 = true
+			m.dt64 = s.T - pt
+			rt = pt + m.dt64
+			if !(rt > pt) {
+				return nil, fmt.Errorf("seal: sample spacing below time resolution at t=%v", s.T)
+			}
+		}
+
+		if e := math.Hypot(s.X-rx, s.Y-ry); e > b.epsSpace {
+			b.epsSpace = e
+		}
+		if e := math.Abs(s.T - rt); e > b.epsTime {
+			b.epsTime = e
+		}
+		rect = rect.Extend(s.Pos()).Extend(geo.Pt(rx, ry))
+		if rt > tMax {
+			tMax = rt
+		}
+		mids = append(mids, m)
+		px, py, pt = rx, ry, rt
+	}
+	if n >= 3 && !(pt < b.last.T) {
+		return nil, fmt.Errorf("seal: reconstructed time %v not before final sample t=%v", pt, b.last.T)
+	}
+	b.box = rtree.Box{Rect: rect, T0: b.first.T, T1: tMax}
+
+	// Pass 2: build the codebooks from frequency, deterministically.
+	b.cells, b.dts = buildCodebooks(mids)
+	cellIdx := make(map[cell]int, len(b.cells))
+	for i, c := range b.cells {
+		cellIdx[c] = i
+	}
+	dtIdx := make(map[float32]int, len(b.dts))
+	for i, d := range b.dts {
+		dtIdx[d] = i
+	}
+
+	// Pass 3: emit the code stream.
+	buf := make([]byte, 0, 3*len(mids))
+	for _, m := range mids {
+		switch {
+		case m.exact:
+			buf = append(buf, cellEsc64)
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.dx))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.dy))
+		default:
+			c := cell{int32(m.ci), int32(m.cj)}
+			if idx, ok := cellIdx[c]; ok {
+				buf = append(buf, byte(idx))
+			} else if fitsInt16(m.ci) && fitsInt16(m.cj) {
+				buf = append(buf, cellEsc16)
+				buf = binary.LittleEndian.AppendUint16(buf, uint16(int16(m.ci)))
+				buf = binary.LittleEndian.AppendUint16(buf, uint16(int16(m.cj)))
+			} else {
+				buf = append(buf, cellEsc32)
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(m.ci)))
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(m.cj)))
+			}
+		}
+		switch {
+		case m.use64:
+			buf = append(buf, dtEsc64)
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.dt64))
+		default:
+			if idx, ok := dtIdx[m.dt32]; ok {
+				buf = append(buf, byte(idx))
+			} else {
+				buf = append(buf, dtEsc32)
+				buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(m.dt32))
+			}
+		}
+	}
+	b.stream = buf
+	return b, nil
+}
+
+// buildCodebooks selects the most frequent cells and time deltas, capped at
+// the code space, ordered by descending count with value tie-breaks so the
+// encoding is deterministic.
+func buildCodebooks(mids []middle) ([]cell, []float32) {
+	cellCount := make(map[cell]int)
+	dtCount := make(map[float32]int)
+	for _, m := range mids {
+		if !m.exact {
+			cellCount[cell{int32(m.ci), int32(m.cj)}]++
+		}
+		if !m.use64 {
+			dtCount[m.dt32]++
+		}
+	}
+	cells := make([]cell, 0, len(cellCount))
+	for c := range cellCount {
+		cells = append(cells, c)
+	}
+	sortStable(cells, func(a, b cell) bool {
+		if cellCount[a] != cellCount[b] {
+			return cellCount[a] > cellCount[b]
+		}
+		if a.i != b.i {
+			return a.i < b.i
+		}
+		return a.j < b.j
+	})
+	if len(cells) > maxCellCodes {
+		cells = cells[:maxCellCodes]
+	}
+	dts := make([]float32, 0, len(dtCount))
+	for d := range dtCount {
+		dts = append(dts, d)
+	}
+	sortStable(dts, func(a, b float32) bool {
+		if dtCount[a] != dtCount[b] {
+			return dtCount[a] > dtCount[b]
+		}
+		return a < b
+	})
+	if len(dts) > maxDtCodes {
+		dts = dts[:maxDtCodes]
+	}
+	return cells, dts
+}
+
+// scan decodes the block sequentially, calling fn for each sample in time
+// order until fn returns false. The first and last samples are exact; the
+// interior is the closed-loop reconstruction, within EpsSpace/EpsTime of the
+// originals. Blocks are immutable, so scan is safe for concurrent use.
+func (b *Block) scan(fn func(k int, s trajectory.Sample) bool) {
+	if !fn(0, b.first) {
+		return
+	}
+	if b.n == 1 {
+		return
+	}
+	px, py, pt := b.first.X, b.first.Y, b.first.T
+	off := 0
+	for k := 1; k <= b.n-2; k++ {
+		code := b.stream[off]
+		off++
+		switch {
+		case code < maxCellCodes:
+			c := b.cells[code]
+			px += float64(c.i) * b.q
+			py += float64(c.j) * b.q
+		case code == cellEsc16:
+			ci := int16(binary.LittleEndian.Uint16(b.stream[off:]))
+			cj := int16(binary.LittleEndian.Uint16(b.stream[off+2:]))
+			off += 4
+			px += float64(ci) * b.q
+			py += float64(cj) * b.q
+		case code == cellEsc32:
+			ci := int32(binary.LittleEndian.Uint32(b.stream[off:]))
+			cj := int32(binary.LittleEndian.Uint32(b.stream[off+4:]))
+			off += 8
+			px += float64(ci) * b.q
+			py += float64(cj) * b.q
+		default: // cellEsc64
+			px += math.Float64frombits(binary.LittleEndian.Uint64(b.stream[off:]))
+			py += math.Float64frombits(binary.LittleEndian.Uint64(b.stream[off+8:]))
+			off += 16
+		}
+		code = b.stream[off]
+		off++
+		switch {
+		case code < maxDtCodes:
+			pt += float64(b.dts[code])
+		case code == dtEsc32:
+			pt += float64(math.Float32frombits(binary.LittleEndian.Uint32(b.stream[off:])))
+			off += 4
+		default: // dtEsc64
+			pt += math.Float64frombits(binary.LittleEndian.Uint64(b.stream[off:]))
+			off += 8
+		}
+		if !fn(k, trajectory.S(pt, px, py)) {
+			return
+		}
+	}
+	fn(b.n-1, b.last)
+}
+
+// samples decodes the whole block. Test and interpolation helper.
+func (b *Block) samples() trajectory.Trajectory {
+	out := make(trajectory.Trajectory, 0, b.n)
+	b.scan(func(_ int, s trajectory.Sample) bool {
+		out = append(out, s)
+		return true
+	})
+	return out
+}
+
+// sortStable orders xs by less with sort.SliceStable, keeping codebook
+// construction deterministic for equal counts.
+func sortStable[T any](xs []T, less func(a, b T) bool) {
+	sort.SliceStable(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+}
+
+func fitsInt16(v int64) bool { return v >= math.MinInt16 && v <= math.MaxInt16 }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,195 @@
+package seal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gpsgen"
+	"repro/internal/trajectory"
+)
+
+// epoch puts test trajectories at a realistic Unix-time magnitude, where
+// float64 time resolution is coarsest (~2.4e-7 s) — the regime the
+// closed-loop time coding must survive.
+const epoch = 1.7e9
+
+func shiftEpoch(p trajectory.Trajectory) trajectory.Trajectory {
+	out := p.Clone()
+	for i := range out {
+		out[i].T += epoch
+	}
+	return out
+}
+
+func tripSamples(t *testing.T, seed int64, dur float64) trajectory.Trajectory {
+	t.Helper()
+	g := gpsgen.New(seed, gpsgen.Config{})
+	p := shiftEpoch(g.Trip(gpsgen.Urban, dur))
+	if p.Len() < 3 {
+		t.Fatalf("trip too short: %d samples", p.Len())
+	}
+	return p
+}
+
+func TestBlockRoundTripWithinEps(t *testing.T) {
+	const eps = 5.0
+	p := tripSamples(t, 1, 2400)
+	blk, err := newBlock(0, false, eps, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := blk.samples()
+	if len(got) != p.Len() {
+		t.Fatalf("decoded %d samples, want %d", len(got), p.Len())
+	}
+	if !got[0].Pos().Equal(p[0].Pos()) || got[0].T != p[0].T {
+		t.Errorf("first sample not exact: %v vs %v", got[0], p[0])
+	}
+	last := p[p.Len()-1]
+	if !got[len(got)-1].Pos().Equal(last.Pos()) || got[len(got)-1].T != last.T {
+		t.Errorf("last sample not exact: %v vs %v", got[len(got)-1], last)
+	}
+	maxPos, maxTime := 0.0, 0.0
+	for i, s := range got {
+		if d := s.Pos().Dist(p[i].Pos()); d > maxPos {
+			maxPos = d
+		}
+		if d := math.Abs(s.T - p[i].T); d > maxTime {
+			maxTime = d
+		}
+		if i > 0 && s.T <= got[i-1].T {
+			t.Fatalf("reconstructed time not increasing at %d: %v after %v", i, s.T, got[i-1].T)
+		}
+	}
+	if maxPos > eps {
+		t.Errorf("position error %v exceeds eps %v", maxPos, eps)
+	}
+	if maxPos > blk.EpsSpace() {
+		t.Errorf("position error %v exceeds recorded bound %v", maxPos, blk.EpsSpace())
+	}
+	if maxTime > blk.EpsTime() {
+		t.Errorf("time error %v exceeds recorded bound %v", maxTime, blk.EpsTime())
+	}
+	if blk.EpsTime() > 1e-3 {
+		t.Errorf("time error bound %v implausibly large", blk.EpsTime())
+	}
+}
+
+func TestBlockBoxCoversOriginalAndReconstruction(t *testing.T) {
+	p := tripSamples(t, 2, 1800)
+	blk, err := newBlock(0, false, 10, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := blk.Box()
+	for i, s := range p {
+		if !box.Rect.Contains(s.Pos()) {
+			t.Errorf("original sample %d outside box", i)
+		}
+		if s.T < box.T0 || s.T > box.T1 {
+			t.Errorf("original time %d outside box span", i)
+		}
+	}
+	for i, s := range blk.samples() {
+		if !box.Rect.Contains(s.Pos()) {
+			t.Errorf("reconstructed sample %d outside box", i)
+		}
+		if s.T < box.T0 || s.T > box.T1 {
+			t.Errorf("reconstructed time %d outside box span", i)
+		}
+	}
+}
+
+func TestBlockCompression(t *testing.T) {
+	p := tripSamples(t, 3, 2550) // ≈256 samples at the default 10 s interval
+	blk, err := newBlock(0, false, 5, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := rawSampleBytes * p.Len()
+	if ratio := float64(raw) / float64(blk.CompressedBytes()); ratio < 4 {
+		t.Errorf("compression ratio %.2f < 4 (%d raw, %d compressed)", ratio, raw, blk.CompressedBytes())
+	}
+}
+
+func TestBlockDeterministic(t *testing.T) {
+	p := tripSamples(t, 4, 1200)
+	a, err := newBlock(0, false, 5, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newBlock(0, false, 5, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.stream) != string(b.stream) {
+		t.Error("same input produced different streams")
+	}
+	if len(a.cells) != len(b.cells) || len(a.dts) != len(b.dts) {
+		t.Error("same input produced different codebooks")
+	}
+}
+
+func TestBlockTinyRuns(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		ss := make(trajectory.Trajectory, n)
+		for i := range ss {
+			ss[i] = trajectory.S(epoch+float64(i)*10, float64(i)*7, float64(i)*-3)
+		}
+		blk, err := newBlock(0, false, 1, ss)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got := blk.samples()
+		if len(got) != n {
+			t.Fatalf("n=%d: decoded %d", n, len(got))
+		}
+		for i := range ss {
+			if got[i].Pos().Dist(ss[i].Pos()) > 1 {
+				t.Errorf("n=%d sample %d error too large", n, i)
+			}
+		}
+	}
+}
+
+func TestBlockLargeJumpEscapes(t *testing.T) {
+	// A jump of 1e9 m with eps 1e-3 overflows the int32 cell space and must
+	// take the exact-delta escape; a mid-size jump exercises the int32
+	// escape; jitter stays in the codebook.
+	ss := trajectory.Trajectory{
+		trajectory.S(epoch, 0, 0),
+		trajectory.S(epoch+10, 1, 1),
+		trajectory.S(epoch+20, 1e9, -1e9),
+		trajectory.S(epoch+30, 1e9+100, -1e9+100),
+		trajectory.S(epoch+40, 1e9+101, -1e9+101),
+		trajectory.S(epoch+50, 1e9+102, -1e9+102),
+	}
+	blk, err := newBlock(0, false, 1e-3, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := blk.samples()
+	for i, s := range got {
+		if d := s.Pos().Dist(ss[i].Pos()); d > 1e-3 {
+			t.Errorf("sample %d error %v exceeds eps", i, d)
+		}
+	}
+}
+
+func TestBlockRejectsBadInput(t *testing.T) {
+	ok := trajectory.Trajectory{trajectory.S(0, 0, 0), trajectory.S(1, 1, 1)}
+	if _, err := newBlock(0, false, 0, ok); err == nil {
+		t.Error("accepted eps=0")
+	}
+	if _, err := newBlock(0, false, 1, nil); err == nil {
+		t.Error("accepted empty run")
+	}
+	unsorted := trajectory.Trajectory{trajectory.S(1, 0, 0), trajectory.S(1, 1, 1)}
+	if _, err := newBlock(0, false, 1, unsorted); err == nil {
+		t.Error("accepted duplicate timestamps")
+	}
+	nan := trajectory.Trajectory{trajectory.S(0, 0, 0), trajectory.S(1, math.NaN(), 1)}
+	if _, err := newBlock(0, false, 1, nan); err == nil {
+		t.Error("accepted NaN")
+	}
+}

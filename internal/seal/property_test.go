@@ -1,0 +1,179 @@
+package seal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/gpsgen"
+	"repro/internal/trajectory"
+)
+
+// TestPropertyQueriesMatchUncompressedReference is the tier's acceptance
+// property: on randomized gpsgen fleets, range and kNN answers over sealed
+// blocks match the uncompressed reference within the configured ε —
+// specifically,
+//
+//   - range: every object whose ORIGINAL points enter the query rectangle
+//     during the window is returned (no false negatives), and every
+//     returned object's original trajectory intersects the rectangle
+//     expanded by ε plus the conservative segment-bbox slack;
+//   - points: every original point inside the rectangle has a reported
+//     reconstruction within ε of it, and nothing is reported that is not
+//     within ε of where the original trajectory actually was;
+//   - kNN: every reported position is within ε of the object's true
+//     interpolated position at the query time.
+func TestPropertyQueriesMatchUncompressedReference(t *testing.T) {
+	for _, seed := range []int64{7, 21, 99} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			const eps = 8.0
+			g := gpsgen.New(seed, gpsgen.Config{})
+			fleet := g.Fleet(12, 4000, 3000)
+			orig := make(map[string]trajectory.Trajectory, len(fleet))
+			tr := newTestTier(eps, 64)
+			for i, p := range fleet {
+				id := fmt.Sprintf("v%02d", i)
+				p = shiftEpoch(p)
+				orig[id] = p
+				if err := tr.Seal(id, p); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			rng := rand.New(rand.NewSource(seed))
+			// Fleet bounds for plausible random query windows.
+			bounds := geo.EmptyRect()
+			tMin, tMax := math.Inf(1), math.Inf(-1)
+			for _, p := range orig {
+				for _, s := range p {
+					bounds = bounds.Extend(s.Pos())
+					tMin = math.Min(tMin, s.T)
+					tMax = math.Max(tMax, s.T)
+				}
+			}
+
+			for q := 0; q < 40; q++ {
+				rect := randRect(rng, bounds)
+				t0 := tMin + rng.Float64()*(tMax-tMin)
+				t1 := t0 + rng.Float64()*(tMax-t0)
+				checkRange(t, tr, orig, rect, t0, t1, eps)
+				checkPoints(t, tr, orig, rect, t0, t1, eps)
+				checkNearest(t, tr, orig, t0+rng.Float64()*(t1-t0), eps)
+			}
+		})
+	}
+}
+
+func randRect(rng *rand.Rand, bounds geo.Rect) geo.Rect {
+	w, h := bounds.Width(), bounds.Height()
+	cx := bounds.Min.X + rng.Float64()*w
+	cy := bounds.Min.Y + rng.Float64()*h
+	rw := (0.02 + rng.Float64()*0.3) * w
+	rh := (0.02 + rng.Float64()*0.3) * h
+	return geo.Rect{Min: geo.Pt(cx-rw/2, cy-rh/2), Max: geo.Pt(cx+rw/2, cy+rh/2)}
+}
+
+// pointInWindow reports whether any original point of p lies in rect during
+// [t0, t1] — the strictest reference: objects matching it MUST be returned.
+func pointInWindow(p trajectory.Trajectory, rect geo.Rect, t0, t1 float64) bool {
+	for _, s := range p {
+		if s.T >= t0 && s.T <= t1 && rect.Contains(s.Pos()) {
+			return true
+		}
+	}
+	return false
+}
+
+// segNearWindow reports whether any original segment's bounding box
+// overlapping [t0, t1] intersects rect expanded by slack — the loosest
+// reference: objects NOT matching it must not be returned (conservative
+// bbox-granularity false positives within slack are allowed).
+func segNearWindow(p trajectory.Trajectory, rect geo.Rect, t0, t1, slack float64) bool {
+	r := rect.Expand(slack)
+	if len(p) == 1 {
+		return r.Contains(p[0].Pos()) && p[0].T >= t0 && p[0].T <= t1
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if p[i].T <= t1 && p[i+1].T >= t0 &&
+			geo.Seg(p[i].Pos(), p[i+1].Pos()).Bounds().Intersects(r) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkRange(t *testing.T, tr *Tier, orig map[string]trajectory.Trajectory, rect geo.Rect, t0, t1, eps float64) {
+	t.Helper()
+	got := map[string]bool{}
+	for _, id := range tr.QueryIDs(rect, t0, t1) {
+		got[id] = true
+	}
+	for id, p := range orig {
+		if pointInWindow(p, rect, t0, t1) && !got[id] {
+			t.Fatalf("range %v [%v,%v]: object %s in window but not returned (false negative)", rect, t0, t1, id)
+		}
+		if got[id] && !segNearWindow(p, rect, t0, t1, 2*eps) {
+			t.Fatalf("range %v [%v,%v]: object %s returned but nowhere near the window", rect, t0, t1, id)
+		}
+	}
+}
+
+func checkPoints(t *testing.T, tr *Tier, orig map[string]trajectory.Trajectory, rect geo.Rect, t0, t1, eps float64) {
+	t.Helper()
+	hits := tr.RangePoints(rect, t0, t1)
+	byID := map[string][]trajectory.Sample{}
+	for _, h := range hits {
+		byID[h.ID] = append(byID[h.ID], h.S)
+	}
+	for id, p := range orig {
+		// Completeness: every original point strictly inside the window has
+		// a reported reconstruction within eps (timestamps within 1 ms).
+		for _, s := range p {
+			if s.T < t0 || s.T > t1 || !rect.Contains(s.Pos()) {
+				continue
+			}
+			found := false
+			for _, h := range byID[id] {
+				if math.Abs(h.T-s.T) < 1e-3 && h.Pos().Dist(s.Pos()) <= eps {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("points %v [%v,%v]: original point %v of %s missing from sealed answer", rect, t0, t1, s, id)
+			}
+		}
+		// Soundness: every reported point is within eps of the original
+		// trajectory's interpolated position at that instant.
+		for _, h := range byID[id] {
+			pos, ok := p.LocAt(h.T)
+			if !ok || pos.Dist(h.Pos()) > eps+1e-6 {
+				t.Fatalf("points: reported %v for %s is %v from the true position %v", h, id, pos.Dist(h.Pos()), pos)
+			}
+		}
+	}
+}
+
+func checkNearest(t *testing.T, tr *Tier, orig map[string]trajectory.Trajectory, at, eps float64) {
+	t.Helper()
+	tr.PositionsAt(at, nil, func(id string, pos geo.Point) {
+		truth, ok := orig[id].LocAt(at)
+		if !ok {
+			t.Fatalf("nearest at %v: %s reported but original has no position", at, id)
+		}
+		if d := pos.Dist(truth); d > eps+1e-6 {
+			t.Fatalf("nearest at %v: %s position off by %v > eps %v", at, id, d, eps)
+		}
+	})
+	// Symmetric completeness: every object live at `at` is visited.
+	visited := map[string]bool{}
+	tr.PositionsAt(at, nil, func(id string, _ geo.Point) { visited[id] = true })
+	for id, p := range orig {
+		if _, ok := p.LocAt(at); ok && !visited[id] {
+			t.Fatalf("nearest at %v: live object %s not visited", at, id)
+		}
+	}
+}

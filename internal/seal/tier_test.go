@@ -1,0 +1,265 @@
+package seal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/metrics"
+	"repro/internal/trajectory"
+)
+
+// line returns n samples marching east from (x0, 0) at 1 m/s, sampled every
+// 10 s starting at t0.
+func line(t0, x0 float64, n int) trajectory.Trajectory {
+	out := make(trajectory.Trajectory, n)
+	for i := range out {
+		out[i] = trajectory.S(t0+float64(i)*10, x0+float64(i)*10, 0)
+	}
+	return out
+}
+
+func newTestTier(eps float64, blockPts int) *Tier {
+	return NewTier(Config{Eps: eps, BlockPoints: blockPts, Metrics: metrics.NewRegistry()})
+}
+
+func TestTierSealAndQueryIDs(t *testing.T) {
+	tr := newTestTier(2, 32)
+	if err := tr.Seal("east", line(epoch, 0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Seal("far", line(epoch, 1e6, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Points() != 200 {
+		t.Errorf("points = %d, want 200", tr.Points())
+	}
+	if tr.Blocks() < 4 {
+		t.Errorf("blocks = %d, want ≥ 4 with 32-point blocks", tr.Blocks())
+	}
+
+	got := tr.QueryIDs(geo.Rect{Min: geo.Pt(100, -5), Max: geo.Pt(200, 5)}, epoch, epoch+1000)
+	if len(got) != 1 || got[0] != "east" {
+		t.Errorf("QueryIDs = %v, want [east]", got)
+	}
+	// Time window excludes the spatial hit.
+	got = tr.QueryIDs(geo.Rect{Min: geo.Pt(100, -5), Max: geo.Pt(200, 5)}, epoch+5000, epoch+6000)
+	if len(got) != 0 {
+		t.Errorf("QueryIDs outside time window = %v, want none", got)
+	}
+	// A rect far from everything.
+	got = tr.QueryIDs(geo.Rect{Min: geo.Pt(-1e5, 1e4), Max: geo.Pt(-9e4, 2e4)}, epoch, epoch+1000)
+	if len(got) != 0 {
+		t.Errorf("QueryIDs far rect = %v, want none", got)
+	}
+}
+
+func TestTierRangePointsDeduplicatesOverlap(t *testing.T) {
+	tr := newTestTier(2, 16)
+	p := line(epoch, 0, 100) // chunks into 16-point blocks with 1-sample overlap
+	if err := tr.Seal("obj", p); err != nil {
+		t.Fatal(err)
+	}
+	hits := tr.RangePoints(geo.Rect{Min: geo.Pt(-1e9, -1e9), Max: geo.Pt(1e9, 1e9)}, epoch-1, epoch+1e6)
+	if len(hits) != p.Len() {
+		t.Fatalf("RangePoints returned %d points, want %d (overlap heads deduplicated)", len(hits), p.Len())
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].S.T <= hits[i-1].S.T {
+			t.Fatalf("hits not strictly increasing in time at %d", i)
+		}
+	}
+	for i, h := range hits {
+		if d := h.S.Pos().Dist(p[i].Pos()); d > 2 {
+			t.Errorf("hit %d error %v exceeds eps", i, d)
+		}
+	}
+}
+
+func TestTierSealOverlapContinuation(t *testing.T) {
+	tr := newTestTier(2, 64)
+	p := line(epoch, 0, 41)
+	// Seal [0..20] then [20..40]: the boundary sample is shared, the way the
+	// store's seal-on-evict hands over runs.
+	if err := tr.Seal("obj", p[:21]); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Seal("obj", p[20:]); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Points() != 41 {
+		t.Errorf("points = %d, want 41 (boundary counted once)", tr.Points())
+	}
+	hits := tr.RangePoints(geo.Rect{Min: geo.Pt(-1, -1), Max: geo.Pt(1e5, 1)}, epoch-1, epoch+1e6)
+	if len(hits) != 41 {
+		t.Errorf("RangePoints = %d points, want 41", len(hits))
+	}
+
+	// Re-sealing just the boundary is a no-op; regressing is an error.
+	if err := tr.Seal("obj", p[40:41]); err != nil {
+		t.Errorf("boundary-only run: %v", err)
+	}
+	if err := tr.Seal("obj", p[10:30]); err == nil {
+		t.Error("accepted run starting before sealed history end")
+	}
+}
+
+func TestTierPositionAt(t *testing.T) {
+	tr := newTestTier(2, 16)
+	if err := tr.Seal("obj", line(epoch, 0, 50)); err != nil {
+		t.Fatal(err)
+	}
+	pos, ok := tr.PositionAt("obj", epoch+105) // midway between samples 10 and 11
+	if !ok {
+		t.Fatal("no position inside sealed span")
+	}
+	if want := geo.Pt(105, 0); pos.Dist(want) > 2+1e-6 {
+		t.Errorf("PositionAt = %v, want within eps of %v", pos, want)
+	}
+	if _, ok := tr.PositionAt("obj", epoch-1); ok {
+		t.Error("position before sealed span")
+	}
+	if _, ok := tr.PositionAt("obj", epoch+491); ok {
+		t.Error("position after sealed span")
+	}
+	if _, ok := tr.PositionAt("ghost", epoch); ok {
+		t.Error("position for unknown object")
+	}
+}
+
+func TestTierGapYieldsNoPosition(t *testing.T) {
+	tr := newTestTier(2, 16)
+	if err := tr.Seal("obj", line(epoch, 0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	// Disjoint run: starts 1000 s after the first ended.
+	if err := tr.Seal("obj", line(epoch+1090, 0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.PositionAt("obj", epoch+500); ok {
+		t.Error("interpolated across a seal gap")
+	}
+	if _, ok := tr.PositionAt("obj", epoch+1100); !ok {
+		t.Error("no position inside second run")
+	}
+}
+
+func TestTierPositionsAtSkips(t *testing.T) {
+	tr := newTestTier(2, 16)
+	for _, id := range []string{"a", "b", "c"} {
+		if err := tr.Seal(id, line(epoch, 0, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[string]geo.Point{}
+	tr.PositionsAt(epoch+45, func(id string) bool { return id == "b" }, func(id string, pos geo.Point) {
+		got[id] = pos
+	})
+	if len(got) != 2 {
+		t.Fatalf("visited %v, want a and c only", got)
+	}
+	if _, ok := got["b"]; ok {
+		t.Error("skip function ignored")
+	}
+}
+
+func TestTierFootprintAndMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := NewTier(Config{Eps: 5, BlockPoints: 256, Metrics: reg})
+	if err := tr.Seal("obj", line(epoch, 0, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	raw := tr.RawEquivalentBytes()
+	comp := tr.CompressedBytes()
+	if comp <= 0 || raw != int64(tr.Points())*rawSampleBytes {
+		t.Fatalf("footprint accounting broken: raw=%d comp=%d", raw, comp)
+	}
+	if float64(raw)/float64(comp) < 4 {
+		t.Errorf("compression ratio %.2f < 4", float64(raw)/float64(comp))
+	}
+
+	tr.QueryIDs(geo.Rect{Min: geo.Pt(0, -1), Max: geo.Pt(50, 1)}, epoch, epoch+100)
+
+	want := map[string]bool{
+		"seal_blocks": true, "seal_points": true, "seal_bytes": true,
+		"seal_compression_ratio": true, "seal_seals_total": true,
+		"seal_sealed_points_total": true, "seal_blocks_decoded_total": true,
+		"seal_blocks_pruned_total": true, "seal_query_seconds": true,
+	}
+	vals := map[string]float64{}
+	for _, snap := range reg.Snapshot() {
+		if want[snap.Name] {
+			delete(want, snap.Name)
+		}
+		vals[snap.Name] = snap.Value
+	}
+	for name := range want {
+		t.Errorf("metric %s not registered", name)
+	}
+	if vals["seal_points"] != 1000 {
+		t.Errorf("seal_points = %v, want 1000", vals["seal_points"])
+	}
+	if vals["seal_compression_ratio"] < 4 {
+		t.Errorf("seal_compression_ratio = %v, want ≥ 4", vals["seal_compression_ratio"])
+	}
+}
+
+func TestTierQueryCountsPrunedBlocks(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := NewTier(Config{Eps: 2, BlockPoints: 16, Metrics: reg})
+	// Two objects far apart; a query touching one must not decode the other.
+	if err := tr.Seal("near", line(epoch, 0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Seal("far", line(epoch, 1e7, 100)); err != nil {
+		t.Fatal(err)
+	}
+	tr.QueryIDs(geo.Rect{Min: geo.Pt(0, -1), Max: geo.Pt(30, 1)}, epoch, epoch+100)
+
+	var decoded, pruned float64
+	for _, snap := range reg.Snapshot() {
+		switch snap.Name {
+		case "seal_blocks_decoded_total":
+			decoded = snap.Value
+		case "seal_blocks_pruned_total":
+			pruned = snap.Value
+		}
+	}
+	if decoded == 0 {
+		t.Fatal("no blocks decoded")
+	}
+	total := float64(tr.Blocks())
+	if decoded+pruned != total {
+		t.Errorf("decoded %v + pruned %v != total %v", decoded, pruned, total)
+	}
+	if decoded > total/2 {
+		t.Errorf("decoded %v of %v blocks; R-tree pruning ineffective", decoded, total)
+	}
+}
+
+func TestTierRejectsInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTier accepted eps=0")
+		}
+	}()
+	NewTier(Config{Eps: 0})
+}
+
+func TestTierConcurrentSealAndQuery(t *testing.T) {
+	tr := newTestTier(2, 16)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			_ = tr.Seal("mover", line(epoch+float64(i)*1e4, float64(i)*100, 50))
+		}
+	}()
+	rect := geo.Rect{Min: geo.Pt(-1e6, -1e6), Max: geo.Pt(1e6, 1e6)}
+	for i := 0; i < 50; i++ {
+		tr.QueryIDs(rect, epoch, epoch+1e6)
+		tr.RangePoints(rect, epoch, epoch+1e6)
+		tr.PositionAt("mover", epoch+math.Mod(float64(i)*37, 1e4))
+	}
+	<-done
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/metrics"
+	"repro/internal/store"
 	"repro/internal/trajectory"
 )
 
@@ -373,6 +374,77 @@ func (c *Client) QueryWithTolerance(rect geo.Rect, t0, t1, eps float64) ([]strin
 		rect.Min.X, rect.Min.Y, rect.Max.X, rect.Max.Y, t0, t1, eps))
 }
 
+// QueryRange returns every stored point inside rect during [t0, t1] from
+// both storage tiers, ordered by object ID then time. Points answered from
+// the cold sealed tier are reconstructions within the tier's error bound ε.
+func (c *Client) QueryRange(rect geo.Rect, t0, t1 float64) ([]store.RangePoint, error) {
+	lines, err := c.readList(fmt.Sprintf("QUERYRANGE %g %g %g %g %g %g",
+		rect.Min.X, rect.Min.Y, rect.Max.X, rect.Max.Y, t0, t1))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]store.RangePoint, 0, len(lines))
+	for _, line := range lines {
+		f := strings.Fields(line)
+		if len(f) != 4 {
+			return nil, fmt.Errorf("server: bad QUERYRANGE line %q", line)
+		}
+		var p store.RangePoint
+		p.ID = f[0]
+		var errT, errX, errY error
+		p.S.T, errT = strconv.ParseFloat(f[1], 64)
+		p.S.X, errX = strconv.ParseFloat(f[2], 64)
+		p.S.Y, errY = strconv.ParseFloat(f[3], 64)
+		if errT != nil || errX != nil || errY != nil {
+			return nil, fmt.Errorf("server: bad QUERYRANGE line %q", line)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Nearest returns the k objects closest to q at time t, nearest first,
+// interpolated across both storage tiers.
+func (c *Client) Nearest(q geo.Point, t float64, k int) ([]store.Neighbor, error) {
+	lines, err := c.readList(fmt.Sprintf("NEAREST %g %g %g %d", q.X, q.Y, t, k))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]store.Neighbor, 0, len(lines))
+	for _, line := range lines {
+		f := strings.Fields(line)
+		if len(f) != 4 {
+			return nil, fmt.Errorf("server: bad NEAREST line %q", line)
+		}
+		var nb store.Neighbor
+		nb.ID = f[0]
+		var errX, errY, errD error
+		nb.Pos.X, errX = strconv.ParseFloat(f[1], 64)
+		nb.Pos.Y, errY = strconv.ParseFloat(f[2], 64)
+		nb.Dist, errD = strconv.ParseFloat(f[3], 64)
+		if errX != nil || errY != nil || errD != nil {
+			return nil, fmt.Errorf("server: bad NEAREST line %q", line)
+		}
+		out = append(out, nb)
+	}
+	return out, nil
+}
+
+// Seal moves server-side retained samples older than t into the cold sealed
+// tier, returning the number of samples moved out of the hot tier. Sealing
+// to the same cut twice is a no-op, so the command is retried like a read.
+func (c *Client) Seal(t float64) (int, error) {
+	resp, err := c.roundTrip(fmt.Sprintf("SEAL %g", t), true)
+	if err != nil {
+		return 0, err
+	}
+	var n int
+	if _, err := fmt.Sscanf(resp, "OK sealed=%d", &n); err != nil {
+		return 0, fmt.Errorf("server: bad SEAL response %q", resp)
+	}
+	return n, nil
+}
+
 // EvictBefore removes server-side data older than t, returning the number
 // of removed samples. Like Append it mutates server state, so it is not
 // retried past a transport failure.
@@ -400,6 +472,9 @@ type Stats struct {
 	RetainedPoints  int            `json:"retained_points"`
 	CompressionPct  float64        `json:"compression_pct"`
 	UptimeSeconds   float64        `json:"uptime_seconds"`
+	SealedPoints    int            `json:"sealed_points"`
+	SealedBlocks    int            `json:"sealed_blocks"`
+	SealedBytes     int64          `json:"sealed_bytes"`
 	PointsPerObject map[string]int `json:"points_per_object,omitempty"`
 }
 
@@ -412,8 +487,9 @@ func (c *Client) Stats() (Stats, error) {
 		if err != nil {
 			return err
 		}
-		if _, err := fmt.Sscanf(resp, "OK objects=%d raw=%d retained=%d compression=%g uptime=%g",
-			&st.Objects, &st.RawPoints, &st.RetainedPoints, &st.CompressionPct, &st.UptimeSeconds); err != nil {
+		if _, err := fmt.Sscanf(resp, "OK objects=%d raw=%d retained=%d compression=%g uptime=%g sealed=%d sealedblocks=%d sealedbytes=%d",
+			&st.Objects, &st.RawPoints, &st.RetainedPoints, &st.CompressionPct, &st.UptimeSeconds,
+			&st.SealedPoints, &st.SealedBlocks, &st.SealedBytes); err != nil {
 			return fmt.Errorf("server: bad STATS response %q", resp)
 		}
 		st.PointsPerObject = make(map[string]int, st.Objects)

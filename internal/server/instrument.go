@@ -9,7 +9,8 @@ import (
 // (unknown commands share the "other" series).
 var commands = []string{
 	"PING", "QUIT", "SUBSCRIBE", "APPEND", "MAPPEND", "POSITION", "SNAPSHOT",
-	"QUERY", "QUERYTOL", "EVICT", "IDS", "STATS", "METRICS",
+	"QUERY", "QUERYTOL", "QUERYRANGE", "NEAREST", "SEAL", "EVICT", "IDS",
+	"STATS", "METRICS",
 }
 
 // instruments holds the server's registered metrics; see UseRegistry.

@@ -22,12 +22,30 @@
 //	                                          (tolerance-expanded query: no
 //	                                          false negatives when eps is the
 //	                                          compressor's error bound)
-//	EVICT <t>                                 → OK removed=<n>
+//	QUERYRANGE <minx> <miny> <maxx> <maxy> <t0> <t1> → "<id> <t> <x> <y>"
+//	                                          lines, END: every stored point
+//	                                          in the window, the union of hot
+//	                                          retained samples and cold sealed
+//	                                          blocks (reconstructed within the
+//	                                          tier's error bound ε)
+//	NEAREST <x> <y> <t> <k>                   → "<id> <x> <y> <dist>" lines
+//	                                          (nearest first), END: the k
+//	                                          objects closest to (x, y) at
+//	                                          time t, interpolated across both
+//	                                          tiers
+//	SEAL <t>                                  → OK sealed=<n>: moves retained
+//	                                          samples older than t into the
+//	                                          cold sealed tier (ERR when the
+//	                                          backend has no cold tier)
+//	EVICT <t>                                 → OK removed=<n> (seals instead
+//	                                          of dropping when a cold tier is
+//	                                          configured)
 //	IDS                                       → id lines, END
 //	STATS                                     → OK objects=… raw=… retained=…
-//	                                          compression=… uptime=…, then one
-//	                                          "obj <id> points=<n>" line per
-//	                                          object, END
+//	                                          compression=… uptime=… sealed=…
+//	                                          sealedblocks=… sealedbytes=…,
+//	                                          then one "obj <id> points=<n>"
+//	                                          line per object, END
 //	METRICS                                   → Prometheus text exposition of
 //	                                          the server's metrics registry,
 //	                                          END
@@ -82,6 +100,14 @@ type Backend interface {
 	PositionAt(id string, t float64) (geo.Point, bool)
 	Query(rect geo.Rect, t0, t1 float64) []string
 	QueryWithTolerance(rect geo.Rect, t0, t1, eps float64) []string
+	// RangePoints returns every stored point in the window from both
+	// storage tiers, ordered by object ID then time.
+	RangePoints(rect geo.Rect, t0, t1 float64) []store.RangePoint
+	// Nearest returns the k objects closest to q at time t, nearest first.
+	Nearest(q geo.Point, t float64, k int) []store.Neighbor
+	// SealBefore moves retained samples older than t into the cold sealed
+	// tier; store.ErrSealDisabled when the backend has no cold tier.
+	SealBefore(t float64) (int, error)
 	EvictBefore(t float64) int
 	IDs() []string
 	Stats() store.Stats
@@ -483,6 +509,12 @@ func (s *Server) dispatch(w *bufio.Writer, br *bufio.Reader, line string) (quit 
 		s.cmdQuery(w, args)
 	case "QUERYTOL":
 		s.cmdQueryTol(w, args)
+	case "QUERYRANGE":
+		s.cmdQueryRange(w, args)
+	case "NEAREST":
+		s.cmdNearest(w, args)
+	case "SEAL":
+		s.cmdSeal(w, args)
 	case "EVICT":
 		s.cmdEvict(w, args)
 	case "IDS":
@@ -661,15 +693,76 @@ func (s *Server) cmdQueryTol(w *bufio.Writer, args []string) {
 	fmt.Fprintln(w, "END")
 }
 
+func (s *Server) cmdQueryRange(w *bufio.Writer, args []string) {
+	if len(args) != 6 {
+		fmt.Fprintln(w, "ERR usage: QUERYRANGE <minx> <miny> <maxx> <maxy> <t0> <t1>")
+		return
+	}
+	v, err := parseFloats(args)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	rect := geo.Rect{Min: geo.Pt(v[0], v[1]), Max: geo.Pt(v[2], v[3])}
+	if rect.IsEmpty() || v[5] < v[4] {
+		fmt.Fprintln(w, "ERR empty query window")
+		return
+	}
+	for _, p := range s.st.RangePoints(rect, v[4], v[5]) {
+		fmt.Fprintf(w, "%s %g %g %g\n", p.ID, p.S.T, p.S.X, p.S.Y)
+	}
+	fmt.Fprintln(w, "END")
+}
+
+func (s *Server) cmdNearest(w *bufio.Writer, args []string) {
+	if len(args) != 4 {
+		fmt.Fprintln(w, "ERR usage: NEAREST <x> <y> <t> <k>")
+		return
+	}
+	v, err := parseFloats(args[:3])
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	k, err := strconv.Atoi(args[3])
+	if err != nil || k <= 0 {
+		fmt.Fprintln(w, "ERR k must be a positive integer")
+		return
+	}
+	for _, nb := range s.st.Nearest(geo.Pt(v[0], v[1]), v[2], k) {
+		fmt.Fprintf(w, "%s %g %g %g\n", nb.ID, nb.Pos.X, nb.Pos.Y, nb.Dist)
+	}
+	fmt.Fprintln(w, "END")
+}
+
+func (s *Server) cmdSeal(w *bufio.Writer, args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(w, "ERR usage: SEAL <t>")
+		return
+	}
+	t, err := strconv.ParseFloat(args[0], 64)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	n, err := s.st.SealBefore(t)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "OK sealed=%d\n", n)
+}
+
 // cmdStats reports storage statistics from one consistent store snapshot:
 // a summary line, then one "obj <id> points=<n>" line per object, then END.
 // Uptime comes from the metrics registry so STATS and METRICS agree on the
 // process start instant.
 func (s *Server) cmdStats(w *bufio.Writer) {
 	st := s.st.Stats()
-	fmt.Fprintf(w, "OK objects=%d raw=%d retained=%d compression=%.1f uptime=%.3f\n",
+	fmt.Fprintf(w, "OK objects=%d raw=%d retained=%d compression=%.1f uptime=%.3f sealed=%d sealedblocks=%d sealedbytes=%d\n",
 		st.Objects, st.RawPoints, st.RetainedPoints, st.CompressionPct,
-		s.ins.registry.Uptime().Seconds())
+		s.ins.registry.Uptime().Seconds(),
+		st.SealedPoints, st.SealedBlocks, st.SealedBytes)
 	ids := make([]string, 0, len(st.PointsPerObject))
 	for id := range st.PointsPerObject {
 		ids = append(ids, id)

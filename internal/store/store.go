@@ -39,6 +39,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/geo"
 	"repro/internal/metrics"
+	"repro/internal/seal"
 	"repro/internal/stream"
 	"repro/internal/trajectory"
 )
@@ -83,6 +84,15 @@ type Options struct {
 	// on the same registry (process-wide totals, the usual monitoring
 	// contract).
 	Metrics *metrics.Registry
+	// SealEps enables the cold sealed tier (internal/seal) with the given
+	// spatial quantization error bound in metres: EvictBefore and SealBefore
+	// move aged retained points into quantized sealed blocks instead of
+	// dropping them, and range/kNN queries answer over both tiers. 0 (the
+	// default) disables sealing, preserving the drop-on-evict behaviour.
+	SealEps float64
+	// SealBlockPoints caps the samples per sealed block; 0 selects
+	// seal.DefaultBlockPoints. Ignored unless SealEps > 0.
+	SealBlockPoints int
 }
 
 // instruments holds the store's registered metrics; see Options.Metrics.
@@ -104,8 +114,8 @@ func newInstruments(r *metrics.Registry) *instruments {
 	if r == nil {
 		r = metrics.Default()
 	}
-	kinds := make(map[string]*metrics.Histogram, 4)
-	for _, kind := range []string{"range", "tolerance", "nearest", "position"} {
+	kinds := make(map[string]*metrics.Histogram, 5)
+	for _, kind := range []string{"range", "tolerance", "nearest", "position", "points"} {
 		kinds[kind] = r.Histogram("store_query_seconds", nil, metrics.L("kind", kind))
 	}
 	return &instruments{
@@ -128,6 +138,10 @@ type Store struct {
 	shards []*shard
 	mask   uint32
 	ins    *instruments
+	// cold is the sealed quantized tier; nil unless Options.SealEps > 0.
+	// The tier has its own lock and is never called with a shard lock held
+	// except by the sealing sweep (shard → tier, a one-way edge).
+	cold *seal.Tier
 }
 
 type object struct {
@@ -164,6 +178,13 @@ func New(opts Options) *Store {
 		shards: shards,
 		mask:   uint32(n - 1),
 		ins:    newInstruments(opts.Metrics),
+	}
+	if opts.SealEps > 0 {
+		st.cold = seal.NewTier(seal.Config{
+			Eps:         opts.SealEps,
+			BlockPoints: opts.SealBlockPoints,
+			Metrics:     opts.Metrics,
+		})
 	}
 	st.ins.shards.Set(float64(n))
 	return st
@@ -403,14 +424,21 @@ func (st *Store) IDs() []string {
 	return out
 }
 
-// Query returns the IDs of objects whose retained trajectory intersects the
-// spatial rectangle during [t0, t1], sorted. The test is conservative at
-// segment-bounding-box granularity: every truly intersecting object is
-// returned; an object whose segment box (but not the segment itself)
-// touches the rectangle may be included.
+// Query returns the IDs of objects whose trajectory intersects the spatial
+// rectangle during [t0, t1], sorted — the union of the hot retained tier
+// and, when sealing is enabled, the cold sealed tier. The test is
+// conservative at segment-bounding-box granularity: every truly
+// intersecting object is returned; an object whose segment box (but not the
+// segment itself) touches the rectangle may be included. Sealed history is
+// evaluated over quantized blocks with each block's recorded error bound
+// expanding the rectangle, so sealing introduces no false negatives.
 func (st *Store) Query(rect geo.Rect, t0, t1 float64) []string {
 	defer st.ins.querySeconds["range"].ObserveSince(time.Now())
-	return st.queryIDs(rect, t0, t1)
+	out := st.queryIDs(rect, t0, t1)
+	if st.cold != nil {
+		out = mergeIDs(out, st.cold.QueryIDs(rect, t0, t1))
+	}
+	return out
 }
 
 // queryIDs is the shared, untimed range-query body: an ordered sweep over
@@ -448,34 +476,57 @@ func (st *Store) queryIDs(rect geo.Rect, t0, t1 float64) []string {
 	return out
 }
 
-// EvictBefore removes all retained samples older than t (exclusive) and
-// rebuilds the spatiotemporal index — the data-aging countermeasure for the
-// paper's "enormous volumes of data": a tracking service keeps a rolling
-// window instead of unbounded history. Objects whose entire history
-// (including their newest observation) predates t are removed outright.
-// Samples still buffered inside an on-ingest compressor are untouched, so t
-// should lag the newest data by more than the compressor's window span.
+// EvictBefore removes all retained samples older than t (exclusive) from
+// the hot tier and rebuilds the spatiotemporal index — the data-aging
+// countermeasure for the paper's "enormous volumes of data": a tracking
+// service keeps a rolling hot window instead of unbounded history. With
+// sealing enabled (Options.SealEps) the aged samples are not lost: they are
+// sealed into the cold quantized tier (seal-on-evict) and remain queryable
+// through Query/Nearest/RangePoints. Without sealing they are dropped, the
+// original behaviour. Objects whose entire history (including their newest
+// observation) predates t are removed from the hot tier outright. Samples
+// still buffered inside an on-ingest compressor are untouched, so t should
+// lag the newest data by more than the compressor's window span.
 //
 // The sweep proceeds shard by shard, holding only one shard's lock at a
 // time: appends to other shards are never stalled behind an index rebuild.
-// It returns the number of retained samples removed.
+// It returns the number of retained samples removed from the hot tier.
 func (st *Store) EvictBefore(t float64) int {
-	removed := 0
-	for _, sh := range st.shards {
-		removed += st.evictShard(sh, t)
-	}
-	st.ins.evictions.Inc()
-	st.ins.evictedPts.Add(int64(removed))
+	removed, _ := st.ageBefore(t, st.cold != nil)
 	return removed
 }
 
-// evictShard ages out one shard and rebuilds its index segment.
-func (st *Store) evictShard(sh *shard, t float64) int {
+// ageBefore sweeps every shard, sealing (when sealing is set) or dropping
+// retained samples older than t. The first seal-encoding error is returned;
+// an object whose run fails to seal keeps its samples hot rather than
+// losing them.
+func (st *Store) ageBefore(t float64, sealing bool) (int, error) {
+	removed := 0
+	var firstErr error
+	for _, sh := range st.shards {
+		n, err := st.ageShard(sh, t, sealing)
+		removed += n
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	st.ins.evictions.Inc()
+	st.ins.evictedPts.Add(int64(removed))
+	return removed, firstErr
+}
+
+// ageShard ages out one shard and rebuilds its index segment. With sealing
+// set, each object's aged run — including the first surviving sample as an
+// overlap head, so the hot/cold boundary stays interpolable — is sealed
+// into the cold tier before it leaves the hot tier. The shard → tier lock
+// edge is one-way: the tier never calls back into the store.
+func (st *Store) ageShard(sh *shard, t float64, sealing bool) (int, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 
 	removed := 0
 	dropped := 0
+	var firstErr error
 	for id, obj := range sh.objects {
 		n := obj.retained.Len()
 		cut := 0
@@ -483,6 +534,18 @@ func (st *Store) evictShard(sh *shard, t float64) int {
 			cut++
 		}
 		if cut > 0 {
+			if sealing {
+				run := obj.retained[:cut]
+				if cut < n {
+					run = obj.retained[:cut+1] // overlap head: sealed once, kept hot
+				}
+				if err := st.cold.Seal(id, run); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					continue // unsealable: keep the samples hot, never lose them
+				}
+			}
 			removed += cut
 			obj.retained = append(trajectory.Trajectory(nil), obj.retained[cut:]...)
 		}
@@ -507,7 +570,7 @@ func (st *Store) evictShard(sh *shard, t float64) int {
 	st.ins.retained.Add(-float64(removed))
 	st.ins.indexSegments.Add(float64(segs - sh.idxSegs))
 	sh.idxSegs = segs
-	return removed
+	return removed, firstErr
 }
 
 // QueryWithTolerance is Query with the rectangle expanded by the on-ingest
@@ -522,7 +585,11 @@ func (st *Store) QueryWithTolerance(rect geo.Rect, t0, t1, eps float64) []string
 	if eps < 0 {
 		eps = 0
 	}
-	return st.queryIDs(rect.Expand(eps), t0, t1)
+	out := st.queryIDs(rect.Expand(eps), t0, t1)
+	if st.cold != nil {
+		out = mergeIDs(out, st.cold.QueryIDs(rect.Expand(eps), t0, t1))
+	}
+	return out
 }
 
 // Neighbor is one nearest-neighbour result.
@@ -534,14 +601,18 @@ type Neighbor struct {
 
 // Nearest returns the k objects closest to q at time t (objects without a
 // position at t are skipped), ordered by increasing distance. Fewer than k
-// results are returned when fewer objects are live at t. Shards are visited
-// in order; see the package comment for the consistency model.
+// results are returned when fewer objects are live at t. When sealing is
+// enabled, objects whose position at t lives only in the cold tier are
+// answered from their sealed blocks, within the tier's error bound; the hot
+// tier wins for objects present in both. Shards are visited in order; see
+// the package comment for the consistency model.
 func (st *Store) Nearest(q geo.Point, t float64, k int) []Neighbor {
 	defer st.ins.querySeconds["nearest"].ObserveSince(time.Now())
 	if k <= 0 {
 		return nil
 	}
 	var all []Neighbor
+	hot := make(map[string]bool)
 	for _, sh := range st.shards {
 		sh.mu.RLock()
 		for id, obj := range sh.objects {
@@ -550,9 +621,15 @@ func (st *Store) Nearest(q geo.Point, t float64, k int) []Neighbor {
 			if !ok {
 				continue
 			}
+			hot[id] = true
 			all = append(all, Neighbor{ID: id, Pos: pos, Dist: pos.Dist(q)})
 		}
 		sh.mu.RUnlock()
+	}
+	if st.cold != nil {
+		st.cold.PositionsAt(t, func(id string) bool { return hot[id] }, func(id string, pos geo.Point) {
+			all = append(all, Neighbor{ID: id, Pos: pos, Dist: pos.Dist(q)})
+		})
 	}
 
 	sort.Slice(all, func(i, j int) bool {
@@ -578,6 +655,10 @@ type Stats struct {
 	// captured in the same locked pass as that object's shard totals, so
 	// the breakdown always sums to RetainedPoints.
 	PointsPerObject map[string]int
+	// Cold sealed tier totals; all zero when sealing is disabled.
+	SealedBlocks int
+	SealedPoints int
+	SealedBytes  int64
 }
 
 // Stats returns current storage statistics. Each shard contributes one
@@ -600,6 +681,11 @@ func (st *Store) Stats() Stats {
 	}
 	if s.RawPoints > 0 {
 		s.CompressionPct = 100 * float64(s.RawPoints-s.RetainedPoints) / float64(s.RawPoints)
+	}
+	if st.cold != nil {
+		s.SealedBlocks = st.cold.Blocks()
+		s.SealedPoints = st.cold.Points()
+		s.SealedBytes = st.cold.CompressedBytes()
 	}
 	return s
 }

@@ -17,6 +17,13 @@ import (
 // the log from the store state and heals it.
 var ErrPoisoned = errors.New("wal: log poisoned by earlier append failure")
 
+// ErrSealedHistory is returned by Compact while the store's cold sealed
+// tier holds history. Compaction rewrites the log from the hot retained
+// state only, and the log is the sole durable copy of sealed samples (the
+// cold tier is a regenerable cache, never a durability dependency) — so
+// compacting would silently drop sealed history from durability.
+var ErrSealedHistory = errors.New("wal: compaction refused while sealed history exists (the log is its only durable copy)")
+
 // Compaction file extensions. A ".compact.tmp" is a replacement log still
 // being written — garbage after a crash. A ".compact" is by construction
 // fully written and synced (Compact renames tmp to it only after a clean
@@ -273,9 +280,18 @@ func (d *DurableStore) Close() error {
 // Only retained samples are written (never buffered tails): a live
 // compressor may still emit a cut point older than the buffered tail, and
 // replay requires per-object time order.
+//
+// Compact refuses with ErrSealedHistory while the store's cold sealed tier
+// holds samples: the rewrite covers only hot retained state, and the log is
+// the sole durable copy of sealed history (the cold tier regenerates from
+// replay and must never become a durability dependency).
 func (d *DurableStore) Compact() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+
+	if n := d.Store.SealedPoints(); n > 0 {
+		return fmt.Errorf("%w (%d sealed points)", ErrSealedHistory, n)
+	}
 
 	path := d.log.path
 	tmpPath := path + compactTmpExt

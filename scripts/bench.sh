@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # bench.sh — load-test a local trajserver with the deterministic trajload
 # workload and write BENCH_load.json (throughput, append latency quantiles,
-# live compression ratio, server-side metrics, store shard sweep).
+# live compression ratio, server-side metrics, store shard sweep, and the
+# hot/cold query phase: range+kNN latency quantiles before and after the
+# history is sealed into the cold quantized tier, plus the cold tier's
+# footprint ratio).
 #
 # Usage:
 #   scripts/bench.sh [out]           full run (seeds the perf trajectory;
@@ -25,7 +28,12 @@ OBJECTS=32
 DURATION=16000 # seconds per trip; at ~10 s sampling this fills the budget
 SHARDS="1,2,4,8"
 SWEEP_WORKERS=16
-BATCH=64 # MAPPEND batch size for the batched ingest phase
+BATCH=64    # MAPPEND batch size for the batched ingest phase
+QUERIES=40    # QUERYRANGE+NEAREST probes per tier for the hot/cold query phase
+SEAL_EPS=10   # cold-tier error bound in metres for the query phase
+SEAL_BLOCK=512 # samples per sealed block: amortizes the per-block overhead
+               # and codebooks over long chains (the bench workload's trips
+               # are ~1500 samples per object)
 OUT=BENCH_load.json
 if [ "${1:-}" = "--smoke" ]; then
     POINTS=800
@@ -34,6 +42,7 @@ if [ "${1:-}" = "--smoke" ]; then
     DURATION=1800
     SHARDS="1,8"
     BATCH=16
+    QUERIES=10
     OUT="${2:-}"
     if [ -z "$OUT" ]; then
         OUT=$(mktemp -t bench_load.XXXXXX.json)
@@ -50,7 +59,8 @@ mkdir -p "$bin"
 go build -o "$bin/trajserver" ./cmd/trajserver
 go build -o "$bin/trajload" ./cmd/trajload
 
-"$bin/trajserver" -addr 127.0.0.1:0 -http 127.0.0.1:0 >"$log" 2>&1 &
+"$bin/trajserver" -addr 127.0.0.1:0 -http 127.0.0.1:0 \
+    -seal-eps "$SEAL_EPS" -seal-block "$SEAL_BLOCK" >"$log" 2>&1 &
 srv=$!
 cleanup() {
     kill "$srv" 2>/dev/null || true
@@ -81,7 +91,7 @@ http=$(sed -n 's|.*metrics on http://\([0-9.:]*\)/metrics.*|\1|p' "$log")
 
 "$bin/trajload" -addr "$addr" -http "$http" \
     -clients "$CLIENTS" -objects "$OBJECTS" -points "$POINTS" \
-    -duration "$DURATION" -seed 1 -batch "$BATCH" \
+    -duration "$DURATION" -seed 1 -batch "$BATCH" -queries "$QUERIES" \
     -shards "$SHARDS" -sweep-workers "$SWEEP_WORKERS" \
     -out "$OUT"
 

@@ -7,9 +7,10 @@
 #   scripts/bench_compare.sh [baseline.json]
 #
 # Exit status: 0 when within tolerance, 1 when append throughput or p50
-# append latency (or the 8-shard sweep throughput, when both reports carry
-# one) regresses by more than 20% (trajload -compare prints the table), 2 on
-# usage errors.
+# append latency (or, when both reports carry the sections: the 8-shard
+# sweep throughput, the hot/cold query p50 latencies, or the cold-tier
+# footprint ratio) regresses by more than 20% (trajload -compare prints the
+# table), 2 on usage errors.
 #
 # Wired into .github/workflows/ci.yml as a NON-BLOCKING job: shared CI
 # runners have noisy neighbours, so a red bench-compare is a prompt to look,

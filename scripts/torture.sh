@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # torture.sh — crash-recovery torture: run trajtorture against a built
 # trajserver, SIGKILLing it mid-load and verifying the WAL recovers every
-# acknowledged append (see cmd/trajtorture for the invariant).
+# acknowledged append, and that the cold sealed tier regenerates from the
+# WAL after every crash (see cmd/trajtorture for the invariants).
 #
 # Usage:
 #   scripts/torture.sh             full run (8 kill cycles, bigger budget)
@@ -44,4 +45,4 @@ go build -o "$workdir/trajtorture" ./cmd/trajtorture
     -addr 127.0.0.1:7117 \
     -wal "$workdir/torture.wal" \
     -cycles "$CYCLES" -appends "$APPENDS" -objects "$OBJECTS" -seed 1 \
-    -batch 16
+    -batch 16 -seal-eps 10
