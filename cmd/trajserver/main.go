@@ -27,6 +27,17 @@
 //	                  them, and SEAL moves them explicitly (0 = no cold
 //	                  tier, eviction drops)
 //	-seal-block int   target points per sealed block (0 = default 256)
+//	-replicate-from string
+//	                  primary address to replicate from; the node starts as
+//	                  a read-only follower (requires -wal; PROMOTE flips it
+//	                  to primary)
+//	-repl-ack string  replication acknowledgement mode when this node is a
+//	                  primary: "primary" (async; lagging followers are shed)
+//	                  or "follower" (an append is acknowledged only after a
+//	                  follower has fsynced it) (default "primary")
+//	-repl-max-lag int in -repl-ack=primary mode, disconnect a follower more
+//	                  than this many records behind (0 = never shed)
+//	                  (default 4096)
 //
 // On SIGINT/SIGTERM the server drains: in-flight commands finish, then
 // the WAL seals and closes. SIGKILL is survivable by design — recovery
@@ -65,6 +76,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/repl"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/stream"
@@ -110,6 +122,9 @@ func main() {
 		httpAddr  = flag.String("http", "", "observability listen address for /metrics and /debug/pprof (empty = disabled)")
 		sealEps   = flag.Float64("seal-eps", 0, "cold-tier error bound in metres; eviction seals instead of drops (0 = no cold tier)")
 		sealBlock = flag.Int("seal-block", 0, "target points per sealed block (0 = default)")
+		replFrom  = flag.String("replicate-from", "", "primary address to replicate from; start as a read-only follower (requires -wal)")
+		replAck   = flag.String("repl-ack", "primary", `replication ack mode: "primary" (async) or "follower" (ack after a follower fsync)`)
+		replLag   = flag.Uint64("repl-max-lag", 4096, "in -repl-ack=primary mode, shed a follower more than this many records behind (0 = never)")
 	)
 	flag.Parse()
 
@@ -153,6 +168,26 @@ func main() {
 	srv.MaxConns = *maxConns
 	srv.WriteTimeout = 30 * time.Second
 
+	mode, ok := repl.ParseMode(*replAck)
+	if !ok {
+		log.Fatalf("unknown -repl-ack %q (want primary or follower)", *replAck)
+	}
+	var follower *repl.Follower
+	if durable != nil {
+		// Any WAL-backed node can serve REPLICATE: replication streams the
+		// durable log, so it exists exactly when the log does.
+		srv.Repl = repl.NewPrimary(durable, repl.Options{Mode: mode, MaxLag: *replLag})
+		if *replFrom != "" {
+			follower = repl.StartFollower(durable, *replFrom, repl.FollowerOptions{})
+			srv.Follower = follower
+			log.Printf("replicating from %s (read-only until PROMOTE)", *replFrom)
+		} else if mode == repl.AckFollower {
+			log.Printf("repl-ack=follower: appends acknowledged only after a follower fsync")
+		}
+	} else if *replFrom != "" {
+		log.Fatal("-replicate-from requires -wal: a follower applies the stream through its own log")
+	}
+
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
@@ -187,6 +222,9 @@ func main() {
 
 	if err := srv.Serve(l); err != server.ErrServerClosed {
 		log.Fatal(err)
+	}
+	if follower != nil {
+		follower.Stop()
 	}
 	if durable != nil {
 		if err := durable.Close(); err != nil {

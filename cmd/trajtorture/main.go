@@ -39,6 +39,18 @@
 // re-issuing the SEAL rebuilds a cold tier that answers range queries for
 // sealed-era samples within E metres.
 //
+// With -repl, the harness runs TWO trajserver children instead — a primary
+// and a streaming follower (see internal/repl) — and tortures the
+// replicated deployment. -repl-ack selects the scenario:
+//
+//   - follower: each cycle SIGKILLs the primary and PROMOTEs the follower,
+//     which must hold every acknowledged append (an OK reply promised a
+//     follower fsync). The demoted node rejoins with a wiped log.
+//   - primary: each cycle SIGKILLs the follower mid-feed; the primary's
+//     async ingest must never stall, and the restarted follower resumes from
+//     its durable offset. The run ends with the shedding check: a follower
+//     that never acknowledges must be disconnected (repl_sheds_total > 0).
+//
 // Exit status 0 means every cycle held the invariant.
 package main
 
@@ -46,6 +58,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"math/rand"
@@ -90,13 +103,25 @@ func main() {
 		seed    = flag.Int64("seed", 1, "RNG seed for load and kill points (a failing run replays exactly)")
 		batch   = flag.Int("batch", 0, "mix MAPPEND batches of up to this many samples into the feed (0 = singles only)")
 		sealEps = flag.Float64("seal-eps", 0, "run the child with a cold sealed tier at this error bound and SEAL mid-cycle (0 = off)")
+		repl    = flag.Bool("repl", false, "two-node replication torture: primary + follower instead of a single server")
+		replAck = flag.String("repl-ack", "follower", `ack mode under -repl: "follower" (kill-primary/PROMOTE cycles) or "primary" (kill-follower cycles + lag shedding)`)
+		workdir = flag.String("workdir", "", "directory for WALs and per-node server logs, kept after the run (default: a fresh temp dir, removed on exit)")
 		verbose = flag.Bool("v", false, "pass the child's output through")
 	)
 	flag.Parse()
 	if *bin == "" {
 		log.Fatal("-bin is required (a built trajserver binary)")
 	}
-	if *walPath == "" {
+	serverLog := ""
+	if *workdir != "" {
+		if err := os.MkdirAll(*workdir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		serverLog = filepath.Join(*workdir, "server.log")
+		if *walPath == "" {
+			*walPath = filepath.Join(*workdir, "torture.wal")
+		}
+	} else if *walPath == "" {
 		dir, err := os.MkdirTemp("", "trajtorture-*")
 		if err != nil {
 			log.Fatal(err)
@@ -118,7 +143,24 @@ func main() {
 		objs[i] = &object{id: fmt.Sprintf("veh-%d", i), traj: traj}
 	}
 
-	h := &harness{bin: *bin, addr: *addr, wal: *walPath, sealEps: *sealEps, verbose: *verbose}
+	if *repl {
+		// Two-node mode manages its own addresses and WAL directories; the
+		// -addr, -wal and -seal-eps flags apply to single-node runs only.
+		if err := runRepl(replConfig{
+			bin:     *bin,
+			ack:     *replAck,
+			cycles:  *cycles,
+			appends: *appends,
+			batch:   *batch,
+			workdir: *workdir,
+			verbose: *verbose,
+		}, rng, objs); err != nil {
+			log.Fatalf("REPLICATION VIOLATION: %v", err)
+		}
+		return
+	}
+
+	h := &harness{bin: *bin, addr: *addr, wal: *walPath, sealEps: *sealEps, logPath: serverLog, verbose: *verbose}
 	defer h.stop()
 
 	totalAcked := 0
@@ -327,6 +369,7 @@ type harness struct {
 	addr    string
 	wal     string
 	sealEps float64
+	logPath string // append the child's output here ("" = discard)
 	verbose bool
 	cmd     *exec.Cmd
 }
@@ -343,19 +386,52 @@ func (h *harness) start() (*server.Client, error) {
 		args = append(args, "-seal-eps", fmt.Sprintf("%g", h.sealEps))
 	}
 	cmd := exec.Command(h.bin, args...)
-	if h.verbose {
-		cmd.Stdout = os.Stderr
-		cmd.Stderr = os.Stderr
+	if err := childOutput(cmd, h.logPath, h.verbose); err != nil {
+		return nil, err
 	}
 	if err := cmd.Start(); err != nil {
 		return nil, err
 	}
 	h.cmd = cmd
 
+	c, err := readyClient(h.addr)
+	if err != nil {
+		_ = h.kill() // the unready child is useless; report the readiness error
+		return nil, err
+	}
+	return c, nil
+}
+
+// childOutput wires a child's stdout/stderr to the per-node log file
+// (append mode, so restarts accumulate one history) and, with -v, the
+// harness stderr. Log handles are left to process exit — the harness is
+// short-lived and starts a bounded number of children.
+func childOutput(cmd *exec.Cmd, logPath string, verbose bool) error {
+	var ws []io.Writer
+	if logPath != "" {
+		f, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		ws = append(ws, f)
+	}
+	if verbose {
+		ws = append(ws, os.Stderr)
+	}
+	if len(ws) > 0 {
+		w := io.MultiWriter(ws...)
+		cmd.Stdout = w
+		cmd.Stderr = w
+	}
+	return nil
+}
+
+// readyClient dials addr until the server answers PING.
+func readyClient(addr string) (*server.Client, error) {
 	deadline := time.Now().Add(15 * time.Second)
 	var lastErr error
 	for time.Now().Before(deadline) {
-		c, err := server.DialOptions(h.addr, server.ClientOptions{
+		c, err := server.DialOptions(addr, server.ClientOptions{
 			DialTimeout: 500 * time.Millisecond,
 			IOTimeout:   5 * time.Second,
 			Metrics:     metrics.NewRegistry(),
@@ -369,42 +445,51 @@ func (h *harness) start() (*server.Client, error) {
 		lastErr = err
 		time.Sleep(50 * time.Millisecond)
 	}
-	_ = h.kill() // the unready child is useless; report the readiness error
-	return nil, fmt.Errorf("server never became ready: %v", lastErr)
+	return nil, fmt.Errorf("server at %s never became ready: %v", addr, lastErr)
 }
 
 // kill SIGKILLs the child — no warning, no flush, the crash under test.
 func (h *harness) kill() error {
-	if h.cmd == nil || h.cmd.Process == nil {
+	err := killProcess(h.cmd)
+	h.cmd = nil
+	return err
+}
+
+func killProcess(cmd *exec.Cmd) error {
+	if cmd == nil || cmd.Process == nil {
 		return nil
 	}
-	if err := h.cmd.Process.Kill(); err != nil && !errors.Is(err, os.ErrProcessDone) {
+	if err := cmd.Process.Kill(); err != nil && !errors.Is(err, os.ErrProcessDone) {
 		return err
 	}
-	_ = h.cmd.Wait() // reap; a killed child's exit error is expected
-	h.cmd = nil
+	_ = cmd.Wait() // reap; a killed child's exit error is expected
 	return nil
 }
 
 // terminate asks the child to drain via SIGTERM and requires a clean exit.
 func (h *harness) terminate() error {
-	if h.cmd == nil || h.cmd.Process == nil {
+	err := terminateProcess(h.cmd)
+	h.cmd = nil
+	return err
+}
+
+func terminateProcess(cmd *exec.Cmd) error {
+	if cmd == nil || cmd.Process == nil {
 		return nil
 	}
-	if err := h.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		return err
 	}
 	done := make(chan error, 1)
-	go func() { done <- h.cmd.Wait() }()
+	go func() { done <- cmd.Wait() }()
 	select {
 	case err := <-done:
-		h.cmd = nil
 		if err != nil && !strings.Contains(err.Error(), "signal") {
 			return fmt.Errorf("child exited uncleanly: %v", err)
 		}
 		return nil
 	case <-time.After(15 * time.Second):
-		_ = h.kill()
+		_ = killProcess(cmd)
 		return errors.New("child ignored SIGTERM for 15s")
 	}
 }

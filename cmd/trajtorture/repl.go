@@ -1,0 +1,478 @@
+// Two-node replication torture (-repl): a primary and a follower trajserver,
+// crashed and promoted in cycles, verified against the acknowledgement log.
+//
+// In -repl-ack=follower mode the invariant is the replicated durability
+// contract: an OK reply promises the record is fsynced on the follower, so
+// SIGKILLing the primary and PROMOTEing the follower must never lose an
+// acknowledged append. Each cycle kills the primary at a seeded random
+// point, promotes the survivor, verifies, then rejoins the old primary as a
+// fresh follower (its log wiped — it may hold an unacknowledged divergent
+// tail) and waits for catch-up before resuming the feed.
+//
+// In -repl-ack=primary mode replication is asynchronous: cycles SIGKILL the
+// follower mid-feed (primary ingest must never stall), restart it, and wait
+// for it to resume from its durable offset. The run ends with the shedding
+// check: a fake follower that drains the stream but never acknowledges must
+// be disconnected (repl_sheds_total > 0) while ingest keeps succeeding.
+package main
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// replConfig carries the main flags into the two-node run.
+type replConfig struct {
+	bin     string
+	ack     string // "follower" or "primary"
+	cycles  int
+	appends int
+	batch   int
+	workdir string // keep node dirs (WAL + server.log) here ("" = temp)
+	verbose bool
+}
+
+// shedMaxLag is the -repl-max-lag handed to children in ack=primary runs:
+// small enough that the shedding check trips within a few hundred appends.
+const shedMaxLag = 64
+
+// replNode is one trajserver child in the two-node deployment.
+type replNode struct {
+	name string
+	addr string
+	dir  string // holds the node's WAL; wiped when the node rejoins demoted
+	cmd  *exec.Cmd
+}
+
+func (n *replNode) walPath() string { return filepath.Join(n.dir, "trips.wal") }
+func (n *replNode) logPath() string { return filepath.Join(n.dir, "server.log") }
+
+// replTorture owns both children.
+type replTorture struct {
+	cfg   replConfig
+	nodes [2]*replNode
+}
+
+// startNode launches nodes[i]; replicateFrom makes it a follower.
+func (h *replTorture) startNode(i int, replicateFrom string) error {
+	n := h.nodes[i]
+	args := []string{
+		"-addr", n.addr,
+		"-compress", "none",
+		"-wal", n.walPath(),
+		"-wal-sync", "0",
+		"-repl-ack", h.cfg.ack,
+		"-repl-max-lag", strconv.Itoa(shedMaxLag),
+	}
+	if replicateFrom != "" {
+		args = append(args, "-replicate-from", replicateFrom)
+	}
+	cmd := exec.Command(h.cfg.bin, args...)
+	if err := childOutput(cmd, n.logPath(), h.cfg.verbose); err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	n.cmd = cmd
+	return nil
+}
+
+func (h *replTorture) kill(i int) error {
+	err := killProcess(h.nodes[i].cmd)
+	h.nodes[i].cmd = nil
+	return err
+}
+
+func (h *replTorture) terminate(i int) error {
+	err := terminateProcess(h.nodes[i].cmd)
+	h.nodes[i].cmd = nil
+	return err
+}
+
+func (h *replTorture) stopAll() {
+	for i := range h.nodes {
+		_ = h.kill(i)
+	}
+}
+
+// wipe removes a node's WAL (but keeps its server.log, so the failure
+// artifacts hold the node's whole history). A demoted primary may hold a
+// durable tail the new primary never acknowledged; rejoining with that log
+// would be refused as diverged, so the node re-replicates from scratch.
+func (h *replTorture) wipe(i int) error {
+	matches, err := filepath.Glob(h.nodes[i].walPath() + "*")
+	if err != nil {
+		return err
+	}
+	for _, m := range matches {
+		if err := os.Remove(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// freeAddr reserves an ephemeral loopback address and releases it for the
+// child to bind. The tiny reuse race is acceptable in a test harness.
+func freeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	return addr, l.Close()
+}
+
+// feedRepl sends up to budget samples to the current primary, mixing MAPPEND
+// batches when batch > 1. An append error has an unknown outcome — the
+// sample counts as sent, never as acknowledged, and the feed stops so no
+// later append can paper over a lost one.
+func feedRepl(c *server.Client, objs []*object, rng *rand.Rand, budget, batch int) (sent, acked int, err error) {
+	for round := 0; sent < budget; round++ {
+		o := objs[round%len(objs)]
+		if o.next >= o.traj.Len() {
+			break // this vehicle's trip is over; others keep the load up
+		}
+		n := 1
+		if batch > 1 && rng.Intn(2) == 0 {
+			n = 2 + rng.Intn(batch-1)
+			if rest := o.traj.Len() - o.next; n > rest {
+				n = rest
+			}
+		}
+		var aerr error
+		if n == 1 {
+			aerr = c.Append(o.id, o.traj[o.next])
+		} else {
+			aerr = c.AppendBatch(o.id, o.traj[o.next:o.next+n])
+		}
+		if aerr != nil {
+			o.next += n
+			return sent + n, acked, aerr
+		}
+		o.next += n
+		o.acked = o.next
+		sent += n
+		acked += n
+	}
+	return sent, acked, nil
+}
+
+// waitCaughtUp polls STATS on both nodes until the follower's durable WAL
+// offset equals the primary's. The logs are byte-identical by construction,
+// so offset equality is state equality.
+func waitCaughtUp(pc, fc *server.Client) error {
+	deadline := time.Now().Add(30 * time.Second)
+	var last string
+	for time.Now().Before(deadline) {
+		ps, perr := pc.Stats()
+		fs, ferr := fc.Stats()
+		if perr == nil && ferr == nil {
+			if fs.WALAckedOffset == ps.WALAckedOffset {
+				return nil
+			}
+			last = fmt.Sprintf("follower at %d, primary at %d", fs.WALAckedOffset, ps.WALAckedOffset)
+		} else {
+			last = fmt.Sprintf("stats: %v / %v", perr, ferr)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("follower never caught up: %s", last)
+}
+
+// runRepl is the -repl entry point.
+func runRepl(cfg replConfig, rng *rand.Rand, objs []*object) error {
+	root := cfg.workdir
+	if root == "" {
+		tmp, err := os.MkdirTemp("", "trajtorture-repl-*")
+		if err != nil {
+			return err
+		}
+		root = tmp
+		defer func() {
+			_ = os.RemoveAll(tmp) // best effort: temp dir cleanup
+		}()
+	}
+	h := &replTorture{cfg: cfg}
+	for i := range h.nodes {
+		addr, err := freeAddr()
+		if err != nil {
+			return err
+		}
+		h.nodes[i] = &replNode{name: fmt.Sprintf("node%d", i), addr: addr, dir: filepath.Join(root, fmt.Sprintf("node%d", i))}
+		if err := os.MkdirAll(h.nodes[i].dir, 0o755); err != nil {
+			return err
+		}
+	}
+	defer h.stopAll()
+
+	switch cfg.ack {
+	case "follower":
+		return h.runKillPrimary(rng, objs)
+	case "primary":
+		return h.runKillFollower(rng, objs)
+	default:
+		return fmt.Errorf("unknown -repl-ack %q (want follower or primary)", cfg.ack)
+	}
+}
+
+// runKillPrimary is the ack=follower scenario: every cycle SIGKILLs the
+// primary and promotes the follower, which must hold every acknowledged
+// append.
+func (h *replTorture) runKillPrimary(rng *rand.Rand, objs []*object) error {
+	prim, fol := 0, 1
+	if err := h.startNode(prim, ""); err != nil {
+		return err
+	}
+	if err := h.startNode(fol, h.nodes[prim].addr); err != nil {
+		return err
+	}
+	pc, err := readyClient(h.nodes[prim].addr)
+	if err != nil {
+		return err
+	}
+	fc, err := readyClient(h.nodes[fol].addr)
+	if err != nil {
+		return err
+	}
+
+	totalAcked, promotions := 0, 0
+	for cycle := 1; cycle <= h.cfg.cycles; cycle++ {
+		killAfter := 1 + rng.Intn(h.cfg.appends)
+		sent, acked, ferr := feedRepl(pc, objs, rng, killAfter, h.cfg.batch)
+		totalAcked += acked
+		if ferr != nil {
+			// Unknown outcome mid-feed: tolerated, the kill + verify below
+			// resolves it. It is rare with both nodes healthy, so log it.
+			log.Printf("cycle %d: append with unknown outcome (%v) — verifying", cycle, ferr)
+		}
+
+		if cycle < h.cfg.cycles {
+			if err := h.kill(prim); err != nil {
+				return fmt.Errorf("cycle %d: kill primary: %v", cycle, err)
+			}
+			if err := fc.Promote(); err != nil {
+				return fmt.Errorf("cycle %d: PROMOTE: %v", cycle, err)
+			}
+			promotions++
+			if err := verify(fc, objs); err != nil {
+				return fmt.Errorf("cycle %d: after promoting %s: %v", cycle, h.nodes[fol].name, err)
+			}
+			log.Printf("cycle %d: SIGKILL %s after %d appends, promoted %s, all %d acked appends held",
+				cycle, h.nodes[prim].name, sent, h.nodes[fol].name, totalAcked)
+
+			// The demoted node rejoins as a follower of the new primary,
+			// log wiped: its unacknowledged tail may diverge.
+			if err := h.wipe(prim); err != nil {
+				return err
+			}
+			if err := h.startNode(prim, h.nodes[fol].addr); err != nil {
+				return err
+			}
+			prim, fol = fol, prim
+			_ = pc.Close()
+			pc = fc
+			if fc, err = readyClient(h.nodes[fol].addr); err != nil {
+				return err
+			}
+			if err := waitCaughtUp(pc, fc); err != nil {
+				return fmt.Errorf("cycle %d: %v", cycle, err)
+			}
+		} else {
+			// Last cycle: both nodes drain gracefully.
+			_ = fc.Close()
+			if err := h.terminate(fol); err != nil {
+				return fmt.Errorf("follower shutdown: %v", err)
+			}
+			_ = pc.Close()
+			if err := h.terminate(prim); err != nil {
+				return fmt.Errorf("primary shutdown: %v", err)
+			}
+			log.Printf("cycle %d: SIGTERM both after %d appends (%d acked total)", cycle, sent, totalAcked)
+		}
+	}
+
+	// Post-mortem: the final primary restarts alone and must hold the full
+	// acknowledged history.
+	if err := h.startNode(prim, ""); err != nil {
+		return err
+	}
+	pc, err = readyClient(h.nodes[prim].addr)
+	if err != nil {
+		return err
+	}
+	if err := verify(pc, objs); err != nil {
+		return fmt.Errorf("final verification: %v", err)
+	}
+	_ = pc.Close()
+	if err := h.terminate(prim); err != nil {
+		return fmt.Errorf("final shutdown: %v", err)
+	}
+	log.Printf("PASS: %d cycles, %d promotions, %d acknowledged appends, zero acknowledged records lost",
+		h.cfg.cycles, promotions, totalAcked)
+	return nil
+}
+
+// runKillFollower is the ack=primary scenario: replication is asynchronous,
+// so follower crashes must never stall primary ingest, a restarted follower
+// resumes from its durable offset, and a follower that never acknowledges
+// is shed.
+func (h *replTorture) runKillFollower(rng *rand.Rand, objs []*object) error {
+	prim, fol := 0, 1
+	if err := h.startNode(prim, ""); err != nil {
+		return err
+	}
+	if err := h.startNode(fol, h.nodes[prim].addr); err != nil {
+		return err
+	}
+	pc, err := readyClient(h.nodes[prim].addr)
+	if err != nil {
+		return err
+	}
+	fc, err := readyClient(h.nodes[fol].addr)
+	if err != nil {
+		return err
+	}
+
+	totalAcked := 0
+	for cycle := 1; cycle <= h.cfg.cycles; cycle++ {
+		budget := 1 + rng.Intn(h.cfg.appends)
+		mid := 1 + rng.Intn(budget)
+
+		// First part of the feed with the follower alive, then SIGKILL it
+		// mid-cycle. Async mode: every append must keep succeeding.
+		_, acked, ferr := feedRepl(pc, objs, rng, mid, h.cfg.batch)
+		totalAcked += acked
+		if ferr != nil {
+			return fmt.Errorf("cycle %d: primary refused an append with follower alive: %v", cycle, ferr)
+		}
+		_ = fc.Close()
+		if err := h.kill(fol); err != nil {
+			return fmt.Errorf("cycle %d: kill follower: %v", cycle, err)
+		}
+		_, acked, ferr = feedRepl(pc, objs, rng, budget-mid, h.cfg.batch)
+		totalAcked += acked
+		if ferr != nil {
+			return fmt.Errorf("cycle %d: dead follower stalled primary ingest: %v", cycle, ferr)
+		}
+
+		// The follower restarts with its log intact and resumes from its
+		// durable offset.
+		if err := h.startNode(fol, h.nodes[prim].addr); err != nil {
+			return err
+		}
+		if fc, err = readyClient(h.nodes[fol].addr); err != nil {
+			return err
+		}
+		if err := waitCaughtUp(pc, fc); err != nil {
+			return fmt.Errorf("cycle %d: %v", cycle, err)
+		}
+		if err := verify(fc, objs); err != nil {
+			return fmt.Errorf("cycle %d: caught-up follower: %v", cycle, err)
+		}
+		log.Printf("cycle %d: SIGKILL follower mid-feed (%d/%d appends), resumed and caught up (%d acked total)",
+			cycle, mid, budget, totalAcked)
+	}
+
+	if err := h.shedCheck(pc, h.nodes[prim].addr, objs, rng); err != nil {
+		return err
+	}
+
+	_ = fc.Close()
+	if err := h.terminate(fol); err != nil {
+		return fmt.Errorf("follower shutdown: %v", err)
+	}
+	_ = pc.Close()
+	if err := h.terminate(prim); err != nil {
+		return fmt.Errorf("primary shutdown: %v", err)
+	}
+	log.Printf("PASS: %d cycles, %d acknowledged appends, follower crashes never stalled ingest", h.cfg.cycles, totalAcked)
+	return nil
+}
+
+// shedCheck attaches a follower that drains the stream but never sends an
+// ACK. Once it trails by more than the primary's -repl-max-lag it must be
+// disconnected with a lagging error while ingest keeps succeeding.
+func (h *replTorture) shedCheck(pc *server.Client, primaryAddr string, objs []*object, rng *rand.Rand) error {
+	conn, err := net.Dial("tcp", primaryAddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "REPLICATE %d 0\n", wal.HeaderLen); err != nil {
+		return err
+	}
+	shed := make(chan string, 1)
+	go func() {
+		br := bufio.NewReader(conn)
+		for {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				return
+			}
+			if strings.HasPrefix(line, "ERR") {
+				shed <- strings.TrimSpace(line)
+				return
+			}
+			if strings.HasPrefix(line, "DATA ") {
+				var n int
+				if _, err := fmt.Sscanf(line, "DATA %d", &n); err != nil {
+					return
+				}
+				if _, err := br.Discard(n); err != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	// Push well past the lag bound; the primary must neither block nor
+	// refuse a single append.
+	_, _, ferr := feedRepl(pc, objs, rng, 3*shedMaxLag, h.cfg.batch)
+	if ferr != nil {
+		return fmt.Errorf("stalled follower blocked primary ingest: %v", ferr)
+	}
+	select {
+	case line := <-shed:
+		if !strings.Contains(line, "lagging") {
+			return fmt.Errorf("stalled follower disconnected with %q, want a lagging error", line)
+		}
+	case <-time.After(15 * time.Second):
+		return errors.New("stalled follower was never shed")
+	}
+	text, err := pc.Metrics()
+	if err != nil {
+		return err
+	}
+	if v := metricValue(text, "repl_sheds_total"); v < 1 {
+		return fmt.Errorf("repl_sheds_total = %g after shedding, want >= 1", v)
+	}
+	log.Printf("shed check: stalled follower disconnected, repl_sheds_total >= 1, ingest never blocked")
+	return nil
+}
+
+// metricValue extracts an unlabelled series' value from an exposition.
+func metricValue(text, name string) float64 {
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, _ := strconv.ParseFloat(fields[1], 64)
+			return v
+		}
+	}
+	return 0
+}

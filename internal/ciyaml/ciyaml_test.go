@@ -190,6 +190,31 @@ func TestCIScriptsExerciseColdTier(t *testing.T) {
 	}
 }
 
+// TestCIScriptsExerciseReplication pins the replication coverage of the CI
+// entry points: the torture script must offer the two-node mode in both ack
+// flavours with per-node artifact directories, and the verify gate must run
+// the replication smoke. Dropping any of these would silently un-gate the
+// failover path.
+func TestCIScriptsExerciseReplication(t *testing.T) {
+	root := repoRoot(t)
+	checks := []struct{ file, substr, why string }{
+		{"scripts/torture.sh", "--repl-smoke", "torture must define the replication smoke mode"},
+		{"scripts/torture.sh", "-repl-ack follower", "replication torture must cover kill-primary/PROMOTE cycles"},
+		{"scripts/torture.sh", "-repl-ack primary", "replication torture must cover kill-follower + shedding cycles"},
+		{"scripts/torture.sh", "-workdir", "multi-process failures must collect per-node WALs and logs"},
+		{"scripts/check.sh", "--repl-smoke", "the verify gate must run the replication smoke"},
+	}
+	for _, c := range checks {
+		src, err := os.ReadFile(filepath.Join(root, c.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(src), c.substr) {
+			t.Errorf("%s does not use %q: %s", c.file, c.substr, c.why)
+		}
+	}
+}
+
 // TestCIWorkflowShape pins the specifics ISSUE-level requirements of
 // ci.yml: a blocking check job on the two most recent Go releases with
 // caching, and a non-blocking bench-compare job.
@@ -256,6 +281,27 @@ func TestCIWorkflowShape(t *testing.T) {
 	}
 	if !uploadsFindings {
 		t.Error("lint job does not upload trajlint.json unconditionally (if: always())")
+	}
+
+	replJob := jobs.Get("repl-torture")
+	if replJob == nil {
+		t.Fatal("ci.yml has no repl-torture job")
+	}
+	var runsReplTorture, uploadsReplArtifacts bool
+	for _, step := range replJob.Get("steps").Seq {
+		if strings.Contains(step.Get("run").Str(), "scripts/torture.sh --repl") {
+			runsReplTorture = true
+		}
+		if strings.Contains(step.Get("uses").Str(), "upload-artifact") &&
+			step.Get("if").Str() == "failure()" {
+			uploadsReplArtifacts = true
+		}
+	}
+	if !runsReplTorture {
+		t.Error("repl-torture job does not run scripts/torture.sh --repl")
+	}
+	if !uploadsReplArtifacts {
+		t.Error("repl-torture job does not upload per-node artifacts on failure")
 	}
 
 	bench := jobs.Get("bench-compare")

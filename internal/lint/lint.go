@@ -90,7 +90,7 @@ func DefaultConfig() *Config {
 	return &Config{
 		LayerRules:    DefaultLayerRules(),
 		NaNGuardPkgs:  map[string]bool{"geo": true, "sed": true, "compress": true},
-		GoroutinePkgs: map[string]bool{"server": true, "stream": true},
+		GoroutinePkgs: map[string]bool{"server": true, "stream": true, "repl": true},
 	}
 }
 
@@ -120,7 +120,8 @@ func DefaultLayerRules() map[string][]string {
 		"seal":       {"geo", "trajectory", "codec", "rtree", "metrics"},
 		"store":      {"geo", "trajectory", "sed", "codec", "rtree", "stream", "metrics", "seal"},
 		"wal":        {"geo", "trajectory", "codec", "store", "stream", "metrics", "fault"},
-		"server":     {"geo", "trajectory", "store", "stream", "wal", "metrics"},
+		"repl":       {"metrics", "wal", "store", "trajectory", "geo", "codec", "stream"},
+		"server":     {"geo", "trajectory", "store", "stream", "wal", "repl", "metrics"},
 		"tune":       {"geo", "trajectory", "sed", "compress"},
 		"plot":       {"geo", "trajectory"},
 		"experiments": {"geo", "trajectory", "sed", "compress", "gpsgen",

@@ -1,0 +1,275 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/wal"
+)
+
+// FollowerOptions tunes a Follower's connection management.
+type FollowerOptions struct {
+	// DialTimeout bounds each connection attempt to the primary.
+	DialTimeout time.Duration
+	// ReadTimeout is the per-frame read deadline; it must exceed the
+	// primary's ping interval or an idle stream looks dead.
+	ReadTimeout time.Duration
+	// WriteTimeout is the per-ACK write deadline.
+	WriteTimeout time.Duration
+	// BackoffBase/BackoffMax shape the reconnect backoff.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Metrics receives the repl_* instruments (nil: the default registry).
+	Metrics *metrics.Registry
+}
+
+func (o FollowerOptions) withDefaults() FollowerOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = defaultDialTimeout
+	}
+	if o.ReadTimeout <= 0 {
+		o.ReadTimeout = defaultReadTimeout
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = defaultWriteTimeout
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = defaultBackoffBase
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = defaultBackoffMax
+	}
+	return o
+}
+
+// Follower is the receiving side of replication: it keeps a REPLICATE
+// stream open to the primary (reconnecting with backoff after any error,
+// including being shed for lag), applies the record stream through its own
+// DurableStore, and acknowledges each applied batch with its durable offset.
+// The store is held in replica mode — writes fail with wal.ErrReplica —
+// until Promote.
+type Follower struct {
+	store *wal.DurableStore
+	addr  string
+	opts  FollowerOptions
+	ins   *instruments
+
+	mu       sync.Mutex
+	conn     net.Conn // live stream connection, closed to interrupt reads
+	stopped  bool
+	promoted bool
+	lastErr  error
+	stop     chan struct{}
+	done     chan struct{} // closed when the run loop has fully exited
+}
+
+// StartFollower puts the store into replica mode and starts the replication
+// loop against the primary at addr. The returned Follower keeps reconnecting
+// until Stop or Promote.
+func StartFollower(store *wal.DurableStore, addr string, opts FollowerOptions) *Follower {
+	store.SetReplica(true)
+	f := &Follower{
+		store: store,
+		addr:  addr,
+		opts:  opts.withDefaults(),
+		ins:   newInstruments(opts.Metrics),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go f.run()
+	return f
+}
+
+// Promoted reports whether Promote has flipped this node to primary.
+func (f *Follower) Promoted() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.promoted
+}
+
+// Err returns the most recent stream error, for diagnostics.
+func (f *Follower) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastErr
+}
+
+// Stop ends the replication loop without changing the store's replica mode.
+func (f *Follower) Stop() {
+	f.halt()
+	<-f.done
+}
+
+// Promote stops replication and reopens the store's write path: the node is
+// now a primary (manual failover — the operator must ensure the old primary
+// is dead or demoted, this package enforces no consensus). Idempotent.
+func (f *Follower) Promote() {
+	f.mu.Lock()
+	already := f.promoted
+	f.promoted = true
+	f.mu.Unlock()
+	if already {
+		return
+	}
+	f.halt()
+	<-f.done // no ApplyReplica can be in flight once the loop has exited
+	f.store.SetReplica(false)
+}
+
+// halt closes the stop channel and the live connection so every blocking
+// read/sleep in the run loop returns promptly.
+func (f *Follower) halt() {
+	f.mu.Lock()
+	if !f.stopped {
+		f.stopped = true
+		close(f.stop)
+	}
+	conn := f.conn
+	f.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// setConn publishes the live connection for halt to interrupt; it closes c
+// immediately if the follower was stopped in between.
+func (f *Follower) setConn(c net.Conn) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.stopped {
+		if c != nil {
+			_ = c.Close()
+		}
+		return false
+	}
+	f.conn = c
+	return true
+}
+
+func (f *Follower) setErr(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.lastErr = err
+}
+
+func (f *Follower) isStopped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stopped
+}
+
+// run is the reconnect loop: dial, stream until error, back off, repeat.
+func (f *Follower) run() {
+	defer close(f.done)
+	backoff := f.opts.BackoffBase
+	for {
+		if f.isStopped() {
+			return
+		}
+		conn, err := net.DialTimeout("tcp", f.addr, f.opts.DialTimeout)
+		if err == nil {
+			if !f.setConn(conn) {
+				return
+			}
+			f.ins.connects.Inc()
+			start := time.Now()
+			err = f.stream(conn)
+			_ = conn.Close()
+			f.setConn(nil)
+			if time.Since(start) > 10*time.Second {
+				backoff = f.opts.BackoffBase // the session was healthy: reset
+			}
+		}
+		f.setErr(err)
+		if f.isStopped() {
+			return
+		}
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > f.opts.BackoffMax {
+			backoff = f.opts.BackoffMax
+		}
+	}
+}
+
+// stream runs one REPLICATE session: handshake from the local durable
+// offset, then apply DATA frames (reassembling records that split across
+// chunks) and acknowledge each applied batch.
+func (f *Follower) stream(conn net.Conn) error {
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	_ = conn.SetWriteDeadline(time.Now().Add(f.opts.WriteTimeout))
+	if _, err := fmt.Fprintf(bw, "REPLICATE %d %d\n", f.store.AckedOffset(), f.store.AckedSeq()); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(f.opts.ReadTimeout))
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("repl: handshake: %w", err)
+	}
+	if !strings.HasPrefix(line, "OK") {
+		return errors.New("repl: handshake refused: " + strings.TrimSpace(line))
+	}
+
+	var pending []byte // raw log bytes not yet forming a whole record
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(f.opts.ReadTimeout))
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		line = strings.TrimSuffix(line, "\n")
+		switch {
+		case line == framePing:
+			// Keepalive only; nothing to apply or acknowledge.
+		case strings.HasPrefix(line, frameData):
+			n, err := strconv.Atoi(line[len(frameData):])
+			if err != nil || n <= 0 || n > maxFrameBytes {
+				return fmt.Errorf("repl: bad DATA frame %q", line)
+			}
+			chunk := make([]byte, n)
+			_ = conn.SetReadDeadline(time.Now().Add(f.opts.ReadTimeout))
+			if _, err := io.ReadFull(br, chunk); err != nil {
+				return err
+			}
+			pending = append(pending, chunk...)
+			recs, consumed, err := wal.Decode(pending)
+			if err != nil {
+				return fmt.Errorf("repl: corrupt stream: %w", err)
+			}
+			if len(recs) > 0 {
+				if err := f.store.ApplyReplica(recs); err != nil {
+					return err
+				}
+				f.ins.applied.Add(int64(len(recs)))
+			}
+			pending = append(pending[:0], pending[consumed:]...)
+			_ = conn.SetWriteDeadline(time.Now().Add(f.opts.WriteTimeout))
+			if _, err := fmt.Fprintf(bw, "%s%d %d\n", frameAck, f.store.AckedOffset(), f.store.AckedSeq()); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, frameErr):
+			return errors.New("repl: primary: " + strings.TrimPrefix(line, frameErr))
+		default:
+			return fmt.Errorf("repl: unexpected frame %q", line)
+		}
+	}
+}

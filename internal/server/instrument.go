@@ -10,7 +10,7 @@ import (
 var commands = []string{
 	"PING", "QUIT", "SUBSCRIBE", "APPEND", "MAPPEND", "POSITION", "SNAPSHOT",
 	"QUERY", "QUERYTOL", "QUERYRANGE", "NEAREST", "SEAL", "EVICT", "IDS",
-	"STATS", "METRICS",
+	"STATS", "METRICS", "REPLICATE", "PROMOTE",
 }
 
 // instruments holds the server's registered metrics; see UseRegistry.

@@ -1,0 +1,227 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/repl"
+	"repro/internal/store"
+	"repro/internal/trajectory"
+	"repro/internal/wal"
+)
+
+// replNode is one WAL-backed server in a replicated test deployment.
+type replNode struct {
+	store *wal.DurableStore
+	srv   *Server
+	reg   *metrics.Registry
+	addr  string
+}
+
+// startReplNode starts a WAL-backed server wired for replication. When
+// replicateFrom is non-empty the node runs as a follower of that address.
+func startReplNode(t *testing.T, mode repl.Mode, ackTimeout time.Duration, replicateFrom string) *replNode {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	d, err := wal.OpenDurable(filepath.Join(t.TempDir(), "trips.wal"), store.Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetSyncEvery(0)
+	srv := New(d)
+	srv.UseRegistry(reg)
+	srv.Repl = repl.NewPrimary(d, repl.Options{
+		Mode:       mode,
+		AckTimeout: ackTimeout,
+		PingEvery:  20 * time.Millisecond,
+		Metrics:    reg,
+	})
+	if replicateFrom != "" {
+		srv.Follower = repl.StartFollower(d, replicateFrom, repl.FollowerOptions{
+			DialTimeout: time.Second,
+			ReadTimeout: 2 * time.Second,
+			BackoffBase: 5 * time.Millisecond,
+			BackoffMax:  50 * time.Millisecond,
+			Metrics:     reg,
+		})
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	n := &replNode{store: d, srv: srv, reg: reg, addr: l.Addr().String()}
+	t.Cleanup(func() {
+		if srv.Follower != nil {
+			srv.Follower.Stop()
+		}
+		_ = srv.Close()
+		<-done
+		_ = d.Close()
+	})
+	return n
+}
+
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestReplicationEndToEnd drives the whole wire path: a client writes to the
+// primary, the follower converges to the same durable offset, serves reads,
+// refuses writes, and accepts them after PROMOTE.
+func TestReplicationEndToEnd(t *testing.T) {
+	primary := startReplNode(t, repl.AckPrimary, 0, "")
+	follower := startReplNode(t, repl.AckPrimary, 0, primary.addr)
+
+	c, err := Dial(primary.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 30; i++ {
+		if err := c.Append("tram", trajectory.S(float64(i), float64(i), 5)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+
+	waitCond(t, "follower convergence", func() bool {
+		return follower.store.AckedOffset() == primary.store.AckedOffset()
+	})
+
+	fc, err := Dial(follower.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+
+	// STATS reports the replication role and the durable WAL offset.
+	st, err := fc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "follower" {
+		t.Errorf("follower STATS role = %q, want follower", st.Role)
+	}
+	if st.WALAckedOffset != primary.store.AckedOffset() {
+		t.Errorf("follower walacked = %d, want %d", st.WALAckedOffset, primary.store.AckedOffset())
+	}
+	pst, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pst.Role != "primary" {
+		t.Errorf("primary STATS role = %q, want primary", pst.Role)
+	}
+
+	// The follower serves reads with the replicated data.
+	snap, err := fc.Snapshot("tram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 30 {
+		t.Errorf("follower snapshot has %d samples, want 30", len(snap))
+	}
+
+	// Writes are refused with a readonly error.
+	err = fc.Append("tram", trajectory.S(100, 1, 1))
+	var remote *RemoteError
+	if !errors.As(err, &remote) || !strings.HasPrefix(remote.Msg, "readonly") {
+		t.Errorf("follower Append = %v, want readonly RemoteError", err)
+	}
+	if _, err := fc.EvictBefore(5); !errors.As(err, &remote) || !strings.HasPrefix(remote.Msg, "readonly") {
+		t.Errorf("follower Evict = %v, want readonly RemoteError", err)
+	}
+
+	// PROMOTE flips the node; it now accepts writes.
+	if err := fc.Promote(); err != nil {
+		t.Fatalf("PROMOTE: %v", err)
+	}
+	if err := fc.Append("tram", trajectory.S(100, 1, 1)); err != nil {
+		t.Errorf("post-promotion Append: %v", err)
+	}
+	// PROMOTE on a node that already is a primary stays OK.
+	if err := c.Promote(); err != nil {
+		t.Errorf("PROMOTE on primary: %v", err)
+	}
+}
+
+// TestFollowerReadonlyKeepsMAPPENDFraming: the readonly refusal of MAPPEND
+// must still consume the batch's data lines, or the connection would
+// interpret samples as commands.
+func TestFollowerReadonlyKeepsMAPPENDFraming(t *testing.T) {
+	primary := startReplNode(t, repl.AckPrimary, 0, "")
+	follower := startReplNode(t, repl.AckPrimary, 0, primary.addr)
+
+	conn, err := net.Dial("tcp", follower.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "MAPPEND x 2\n1 1 1\n2 2 2\nPING\n"); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "ERR readonly") {
+		t.Fatalf("MAPPEND reply = %q, %v; want ERR readonly", line, err)
+	}
+	line, err = br.ReadString('\n')
+	if err != nil || strings.TrimSpace(line) != "OK pong" {
+		t.Fatalf("post-batch PING reply = %q, %v; want OK pong (framing intact)", line, err)
+	}
+}
+
+// TestFollowerAckMode: with -repl-ack=follower semantics, a write is only
+// acknowledged once a follower has fsynced it; with no follower attached the
+// append fails rather than lying about replication.
+func TestFollowerAckMode(t *testing.T) {
+	// A short ack wait so the no-follower case fails fast.
+	primary := startReplNode(t, repl.AckFollower, 150*time.Millisecond, "")
+
+	c, err := Dial(primary.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	err = c.Append("x", trajectory.S(1, 1, 1))
+	var remote *RemoteError
+	if !errors.As(err, &remote) || !strings.HasPrefix(remote.Msg, "repl:") {
+		t.Fatalf("no-follower append = %v, want repl RemoteError", err)
+	}
+
+	follower := startReplNode(t, repl.AckPrimary, 0, primary.addr)
+	// The follower first catches up the unconfirmed record, then live
+	// appends are confirmed synchronously.
+	deadline := time.Now().Add(10 * time.Second)
+	var appendErr error
+	n := 1
+	for time.Now().Before(deadline) {
+		if appendErr = c.Append("x", trajectory.S(float64(n+1), 1, 1)); appendErr == nil {
+			break
+		}
+		n++
+	}
+	if appendErr != nil {
+		t.Fatalf("append with live follower never succeeded: %v", appendErr)
+	}
+	waitCond(t, "synchronous replication", func() bool {
+		return follower.store.AckedOffset() == primary.store.AckedOffset()
+	})
+}

@@ -43,12 +43,28 @@
 //	IDS                                       → id lines, END
 //	STATS                                     → OK objects=… raw=… retained=…
 //	                                          compression=… uptime=… sealed=…
-//	                                          sealedblocks=… sealedbytes=…,
-//	                                          then one "obj <id> points=<n>"
-//	                                          line per object, END
+//	                                          sealedblocks=… sealedbytes=…
+//	                                          walacked=… role=…, then one
+//	                                          "obj <id> points=<n>" line per
+//	                                          object, END (walacked is the
+//	                                          WAL's durable byte offset, 0
+//	                                          without a WAL; role is primary
+//	                                          or follower)
 //	METRICS                                   → Prometheus text exposition of
 //	                                          the server's metrics registry,
 //	                                          END
+//	REPLICATE <offset> [seq]                  → OK replicate offset=<n>, then
+//	                                          a replication stream of DATA/
+//	                                          PING frames (see internal/repl)
+//	                                          until the follower disconnects,
+//	                                          is shed for lag, or the server
+//	                                          stops; the connection leaves the
+//	                                          command protocol for good
+//	PROMOTE                                   → OK role=primary: flips a
+//	                                          replication follower into a
+//	                                          primary (manual failover);
+//	                                          idempotent, also on a node that
+//	                                          already is a primary
 //	SUBSCRIBE <id|*>                          → OK subscribed, then a live
 //	                                          "POS <id> <t> <x> <y>" line per
 //	                                          APPEND of a matching object
@@ -83,6 +99,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/metrics"
+	"repro/internal/repl"
 	"repro/internal/store"
 	"repro/internal/trajectory"
 )
@@ -132,6 +149,19 @@ type Server struct {
 	// so one wedged client cannot pin a handler forever. 0 (the default)
 	// disables the limit. Set before Serve.
 	WriteTimeout time.Duration
+
+	// Repl, when non-nil, answers REPLICATE by streaming the backend's WAL
+	// to the dialling follower and — in AckFollower mode — holds each write
+	// acknowledgement until a follower has fsynced the record. Set before
+	// Serve. A promoted follower needs this wired too: it is what lets the
+	// restarted old primary re-attach to the new one.
+	Repl *repl.Primary
+
+	// Follower, when non-nil and not yet promoted, marks this node a
+	// replication follower: write commands are refused with "ERR readonly"
+	// (reads are served normally) and PROMOTE flips it to primary. Set
+	// before Serve.
+	Follower *repl.Follower
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -265,6 +295,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(sub.ch)
 	}
 	s.subsMu.Unlock()
+	// End replication streams (their handlers never finish on their own)
+	// and release any writes still waiting on a follower acknowledgement.
+	if s.Repl != nil {
+		s.Repl.Stop()
+	}
 
 	done := make(chan struct{})
 	go func() {
@@ -304,6 +339,9 @@ func (s *Server) Close() error {
 	var err error
 	if l != nil {
 		err = l.Close()
+	}
+	if s.Repl != nil {
+		s.Repl.Stop()
 	}
 	s.wg.Wait()
 	return err
@@ -372,7 +410,14 @@ func (s *Server) handle(conn net.Conn) {
 		if line == "" {
 			continue
 		}
-		quit, sub := s.dispatch(w, br, line)
+		quit, sub, rr := s.dispatch(w, br, line)
+		if rr != nil {
+			// The connection leaves the command protocol and becomes a
+			// replication stream until it breaks; ServeFollower flushes any
+			// responses still buffered from a pipelined batch first.
+			_ = s.Repl.ServeFollower(conn, br, w, rr.offset, rr.seq)
+			return
+		}
 		// Pipelining fast path: while more input is already buffered, defer
 		// the flush — the whole pipelined batch answers in one syscall.
 		if br.Buffered() > 0 && !quit && sub == nil {
@@ -466,10 +511,41 @@ func (s *Server) publish(id string, smp trajectory.Sample) {
 	}
 }
 
+// replRequest carries a validated REPLICATE command from dispatch back to
+// the handler loop, which owns the net.Conn the stream needs.
+type replRequest struct {
+	offset int64
+	seq    uint64
+}
+
+// readonly reports whether write commands must be refused: the node is a
+// replication follower that has not been promoted.
+func (s *Server) readonly() bool {
+	return s.Follower != nil && !s.Follower.Promoted()
+}
+
+// role names the node's replication role for STATS.
+func (s *Server) role() string {
+	if s.readonly() {
+		return "follower"
+	}
+	return "primary"
+}
+
+// errReadonly is the refusal every write command gets on a follower.
+const errReadonly = "ERR readonly: this node is a replication follower (send writes to the primary or PROMOTE)"
+
+// ackedBackend is the optional backend surface replication-aware STATS
+// report; *wal.DurableStore implements it.
+type ackedBackend interface {
+	AckedOffset() int64
+}
+
 // dispatch executes one command line; it reports whether the connection
-// should close, and a non-nil subscriber when the connection switches to
-// streaming mode. MAPPEND additionally reads its data lines from br.
-func (s *Server) dispatch(w *bufio.Writer, br *bufio.Reader, line string) (quit bool, sub *subscriber) {
+// should close, a non-nil subscriber when the connection switches to
+// streaming mode, and a non-nil replRequest when it switches to a
+// replication stream. MAPPEND additionally reads its data lines from br.
+func (s *Server) dispatch(w *bufio.Writer, br *bufio.Reader, line string) (quit bool, sub *subscriber, rr *replRequest) {
 	fields := strings.Fields(line)
 	cmd := strings.ToUpper(fields[0])
 	args := fields[1:]
@@ -483,24 +559,28 @@ func (s *Server) dispatch(w *bufio.Writer, br *bufio.Reader, line string) (quit 
 		fmt.Fprintln(w, "OK pong")
 	case "QUIT":
 		fmt.Fprintln(w, "OK bye")
-		return true, nil
+		return true, nil, nil
 	case "SUBSCRIBE":
 		if len(args) != 1 {
 			fmt.Fprintln(w, "ERR usage: SUBSCRIBE <id|*>")
-			return false, nil
+			return false, nil, nil
 		}
 		sub = &subscriber{id: args[0], ch: make(chan string, 256)}
 		s.subsMu.Lock()
 		s.subs[sub] = struct{}{}
 		s.subsMu.Unlock()
 		fmt.Fprintln(w, "OK subscribed")
-		return false, sub
+		return false, sub, nil
 	case "APPEND":
 		s.cmdAppend(w, args)
 	case "MAPPEND":
 		if err := s.cmdBatchAppend(w, br, args); err != nil {
-			return true, nil // torn mid-batch: no way back to command framing
+			return true, nil, nil // torn mid-batch: no way back to command framing
 		}
+	case "REPLICATE":
+		return false, nil, s.cmdReplicate(w, args)
+	case "PROMOTE":
+		s.cmdPromote(w)
 	case "POSITION":
 		s.cmdPosition(w, args)
 	case "SNAPSHOT":
@@ -530,7 +610,44 @@ func (s *Server) dispatch(w *bufio.Writer, br *bufio.Reader, line string) (quit 
 	default:
 		fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
 	}
-	return false, nil
+	return false, nil, nil
+}
+
+// cmdReplicate validates REPLICATE <offset> [seq] and hands the stream
+// request back to the handler loop (nil return: an error was written).
+func (s *Server) cmdReplicate(w *bufio.Writer, args []string) *replRequest {
+	if s.Repl == nil {
+		fmt.Fprintln(w, "ERR replication not available (this server runs without a WAL)")
+		return nil
+	}
+	if len(args) < 1 || len(args) > 2 {
+		fmt.Fprintln(w, "ERR usage: REPLICATE <offset> [seq]")
+		return nil
+	}
+	offset, err := strconv.ParseInt(args[0], 10, 64)
+	if err != nil || offset < 0 {
+		fmt.Fprintln(w, "ERR offset must be a non-negative integer")
+		return nil
+	}
+	var seq uint64
+	if len(args) == 2 {
+		seq, err = strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			fmt.Fprintln(w, "ERR seq must be a non-negative integer")
+			return nil
+		}
+	}
+	return &replRequest{offset: offset, seq: seq}
+}
+
+// cmdPromote flips a follower into a primary; on a node that already is a
+// primary it is a no-op. Always answers the resulting role, so retrying the
+// command against the wrong node is harmless.
+func (s *Server) cmdPromote(w *bufio.Writer) {
+	if s.Follower != nil {
+		s.Follower.Promote()
+	}
+	fmt.Fprintln(w, "OK role=primary")
 }
 
 func parseFloats(args []string) ([]float64, error) {
@@ -546,6 +663,10 @@ func parseFloats(args []string) ([]float64, error) {
 }
 
 func (s *Server) cmdAppend(w *bufio.Writer, args []string) {
+	if s.readonly() {
+		fmt.Fprintln(w, errReadonly)
+		return
+	}
 	if len(args) != 4 {
 		fmt.Fprintln(w, "ERR usage: APPEND <id> <t> <x> <y>")
 		return
@@ -561,6 +682,16 @@ func (s *Server) cmdAppend(w *bufio.Writer, args []string) {
 		return
 	}
 	s.publish(args[0], smp)
+	// Follower-ack mode: the record is locally durable, but the OK must
+	// additionally mean a follower fsynced it. A wait failure is reported as
+	// ERR — the client must treat the append as unconfirmed, exactly like a
+	// connection cut after send.
+	if s.Repl != nil {
+		if err := s.Repl.WaitReplicated(); err != nil {
+			fmt.Fprintf(w, "ERR repl: %v\n", err)
+			return
+		}
+	}
 	fmt.Fprintln(w, "OK")
 }
 
@@ -603,6 +734,12 @@ func (s *Server) cmdBatchAppend(w *bufio.Writer, br *bufio.Reader, args []string
 		fmt.Fprintf(w, "ERR %v\n", badLine)
 		return nil
 	}
+	// The readonly refusal comes only after every data line is consumed, so
+	// the connection stays in command framing.
+	if s.readonly() {
+		fmt.Fprintln(w, errReadonly)
+		return nil
+	}
 	s.ins.batchAppends.Inc()
 	s.ins.batchSize.Observe(float64(len(samples)))
 	applied, err := s.st.AppendBatch(args[0], samples)
@@ -612,6 +749,14 @@ func (s *Server) cmdBatchAppend(w *bufio.Writer, br *bufio.Reader, args []string
 	if err != nil {
 		fmt.Fprintf(w, "ERR applied=%d: %v\n", applied, err)
 		return nil
+	}
+	if s.Repl != nil {
+		if err := s.Repl.WaitReplicated(); err != nil {
+			// The batch is applied and locally durable but its replication
+			// is unconfirmed; applied= lets the client keep exact cursors.
+			fmt.Fprintf(w, "ERR applied=%d: repl: %v\n", applied, err)
+			return nil
+		}
 	}
 	fmt.Fprintf(w, "OK appended=%d\n", applied)
 	return nil
@@ -736,6 +881,10 @@ func (s *Server) cmdNearest(w *bufio.Writer, args []string) {
 }
 
 func (s *Server) cmdSeal(w *bufio.Writer, args []string) {
+	if s.readonly() {
+		fmt.Fprintln(w, errReadonly)
+		return
+	}
 	if len(args) != 1 {
 		fmt.Fprintln(w, "ERR usage: SEAL <t>")
 		return
@@ -759,10 +908,15 @@ func (s *Server) cmdSeal(w *bufio.Writer, args []string) {
 // process start instant.
 func (s *Server) cmdStats(w *bufio.Writer) {
 	st := s.st.Stats()
-	fmt.Fprintf(w, "OK objects=%d raw=%d retained=%d compression=%.1f uptime=%.3f sealed=%d sealedblocks=%d sealedbytes=%d\n",
+	var walAcked int64
+	if ab, ok := s.st.(ackedBackend); ok {
+		walAcked = ab.AckedOffset()
+	}
+	fmt.Fprintf(w, "OK objects=%d raw=%d retained=%d compression=%.1f uptime=%.3f sealed=%d sealedblocks=%d sealedbytes=%d walacked=%d role=%s\n",
 		st.Objects, st.RawPoints, st.RetainedPoints, st.CompressionPct,
 		s.ins.registry.Uptime().Seconds(),
-		st.SealedPoints, st.SealedBlocks, st.SealedBytes)
+		st.SealedPoints, st.SealedBlocks, st.SealedBytes,
+		walAcked, s.role())
 	ids := make([]string, 0, len(st.PointsPerObject))
 	for id := range st.PointsPerObject {
 		ids = append(ids, id)
@@ -775,6 +929,10 @@ func (s *Server) cmdStats(w *bufio.Writer) {
 }
 
 func (s *Server) cmdEvict(w *bufio.Writer, args []string) {
+	if s.readonly() {
+		fmt.Fprintln(w, errReadonly)
+		return
+	}
 	if len(args) != 1 {
 		fmt.Fprintln(w, "ERR usage: EVICT <t>")
 		return

@@ -49,7 +49,13 @@ type DurableStore struct {
 	lastLogged map[string]float64 // last logged timestamp per object
 	syncEvery  int                // sticky across compaction reopens
 	poisoned   error              // sticky divergence error; see ErrPoisoned
+	replica    bool               // replication follower: see SetReplica
 }
+
+// ErrReplica is returned by the write path while the store is in replica
+// mode: a follower's state must stay exactly the replay of its primary's
+// log, so only ApplyReplica may mutate it.
+var ErrReplica = errors.New("wal: store is a replication follower (readonly)")
 
 // OpenDurable opens (or creates) a durable store backed by the log at path,
 // replaying any existing records into a fresh store built with opts. The
@@ -124,6 +130,10 @@ func (d *DurableStore) Poisoned() error {
 // appenders share one fsync instead of serializing behind each other's.
 func (d *DurableStore) Append(id string, s trajectory.Sample) error {
 	d.mu.Lock()
+	if d.replica {
+		d.mu.Unlock()
+		return ErrReplica
+	}
 	if d.poisoned != nil {
 		err := d.poisoned
 		d.mu.Unlock()
@@ -157,6 +167,10 @@ func (d *DurableStore) Append(id string, s trajectory.Sample) error {
 // the store.
 func (d *DurableStore) AppendBatch(id string, ss []trajectory.Sample) (int, error) {
 	d.mu.Lock()
+	if d.replica {
+		d.mu.Unlock()
+		return 0, ErrReplica
+	}
 	if d.poisoned != nil {
 		err := d.poisoned
 		d.mu.Unlock()
@@ -199,14 +213,128 @@ func (d *DurableStore) stageLocked(id string, retained []trajectory.Sample) (*Lo
 // samples the store already accepted may never have reached stable storage.
 // If a concurrent Compact already replaced the log, the rewrite covered
 // every retained sample from the store state, so the stale log's failure is
-// moot and no poison is set.
-func (d *DurableStore) poisonCommit(log *Log, id string, err error) error {
+// moot and no poison is set. what names the failing operation for the error
+// chain ("object \"car\"", "replica batch").
+func (d *DurableStore) poisonCommit(log *Log, what string, err error) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.log == log && d.poisoned == nil {
-		d.poisoned = fmt.Errorf("%w (object %q: %v)", ErrPoisoned, id, err)
+		d.poisoned = fmt.Errorf("%w (%s: %v)", ErrPoisoned, what, err)
 	}
-	return fmt.Errorf("wal: append %q: %w", id, err)
+	return fmt.Errorf("wal: %s: %w", what, err)
+}
+
+// SetReplica flips the store in or out of replication-follower mode. In
+// replica mode the write path (Append, AppendBatch) refuses with ErrReplica
+// — only ApplyReplica may mutate state, so the local log stays a byte-exact
+// prefix of the primary's — and Close skips sealing latest positions (the
+// primary never logged those records, so sealing would diverge the logs).
+// Promotion to primary is SetReplica(false).
+func (d *DurableStore) SetReplica(on bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.replica = on
+}
+
+// Replica reports whether the store is in replication-follower mode.
+func (d *DurableStore) Replica() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.replica
+}
+
+// AckedOffset returns the durable acknowledged byte offset of the log: the
+// prefix below it is covered by a completed fsync. A follower sends it as
+// the catch-up cursor of REPLICATE and reports it back in ACKs.
+func (d *DurableStore) AckedOffset() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.log.AckedOffset()
+}
+
+// AckedSeq returns the number of log records covered by a completed fsync,
+// counted from the log's first record — stable across reopens, and directly
+// comparable between a primary and its followers for lag accounting.
+func (d *DurableStore) AckedSeq() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.log.SyncedSeq()
+}
+
+// WrittenOffset returns the staged log length in bytes; every append
+// accepted so far ends at or below it. See Log.WrittenOffset.
+func (d *DurableStore) WrittenOffset() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.log.WrittenOffset()
+}
+
+// LogPath returns the path of the live log file — the file a replication
+// sender streams from. Compact swaps the file behind this path, which
+// invalidates any open reader; replication deployments must not compact
+// while followers are attached (runtime code never compacts — it is a
+// maintenance operation).
+func (d *DurableStore) LogPath() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.log.path
+}
+
+// SubscribeSynced registers ch for a poke whenever the durable acknowledged
+// offset advances; UnsubscribeSynced removes it. See Log.SubscribeSynced.
+func (d *DurableStore) SubscribeSynced(ch chan struct{}) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.log.SubscribeSynced(ch)
+}
+
+// UnsubscribeSynced removes ch from the sync notification list.
+func (d *DurableStore) UnsubscribeSynced(ch chan struct{}) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.log.UnsubscribeSynced(ch)
+}
+
+// ApplyReplica applies records received from a primary's replication stream:
+// each record is restored into the store (bypassing compression — the
+// stream is already the primary's post-compression retained sequence) and
+// staged into the local log, then the whole batch is committed with one
+// group fsync. Re-encoding is deterministic, so the local log remains a
+// byte-exact prefix of the primary's log and the local synced offset is the
+// ACK cursor. A restore rejection (stream/store divergence) leaves store
+// and log agreeing on the applied prefix and is returned un-poisoned; a log
+// staging or commit failure poisons the store exactly like Append.
+func (d *DurableStore) ApplyReplica(recs []Record) error {
+	d.mu.Lock()
+	if d.poisoned != nil {
+		err := d.poisoned
+		d.mu.Unlock()
+		return err
+	}
+	var lastSeq uint64
+	for _, rec := range recs {
+		if err := d.Store.Restore(rec.ID, rec.Sample); err != nil {
+			d.mu.Unlock()
+			return fmt.Errorf("wal: replica apply %q: %w", rec.ID, err)
+		}
+		seq, err := d.log.stage(rec)
+		if err != nil {
+			d.poisoned = fmt.Errorf("%w (replica apply %q: %v)", ErrPoisoned, rec.ID, err)
+			d.mu.Unlock()
+			return fmt.Errorf("wal: replica apply %q: %w", rec.ID, err)
+		}
+		d.lastLogged[rec.ID] = rec.Sample.T
+		lastSeq = seq
+	}
+	log := d.log
+	d.mu.Unlock()
+	if lastSeq == 0 {
+		return nil // empty batch
+	}
+	if err := log.Flush(); err != nil {
+		return d.poisonCommit(log, "replica", err)
+	}
+	return nil
 }
 
 // Flush forces all logged records to stable storage.
@@ -240,6 +368,12 @@ func (d *DurableStore) Close() error {
 		//lint:allow lockorder shutdown-only path: d.mu held across the final seal/close excludes concurrent appends by design
 		_ = d.log.Close() // best effort: the poison is the error worth reporting
 		return d.poisoned
+	}
+	if d.replica {
+		// A follower must not invent records the primary never logged;
+		// whatever sits in the replicated prefix is already durable.
+		//lint:allow lockorder shutdown-only path: d.mu held across the final seal/close excludes concurrent appends by design
+		return d.log.Close()
 	}
 	for _, id := range d.Store.IDs() {
 		snap, ok := d.Store.Snapshot(id)

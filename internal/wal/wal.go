@@ -32,6 +32,7 @@ package wal
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -70,6 +71,10 @@ type instruments struct {
 	tornTails *metrics.Counter
 	// compactions counts successful log compactions.
 	compactions *metrics.Counter
+	// ackedOffset is the durable acknowledged byte offset: every byte below
+	// it is covered by a completed fsync. It is what a replication follower
+	// may be streamed and what its ACKs are measured against.
+	ackedOffset *metrics.Gauge
 }
 
 func newInstruments(r *metrics.Registry) *instruments {
@@ -82,6 +87,7 @@ func newInstruments(r *metrics.Registry) *instruments {
 		groupSize:   r.Histogram("wal_group_commit_records", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
 		tornTails:   r.Counter("wal_torn_tail_recoveries_total"),
 		compactions: r.Counter("wal_compactions_total"),
+		ackedOffset: r.Gauge("wal_acked_offset"),
 	}
 }
 
@@ -106,10 +112,17 @@ type Log struct {
 	synced   *sync.Cond // signalled whenever a leader's sync round finishes
 	f        fault.File
 	w        *bufio.Writer
-	writeSeq uint64 // records staged into the buffer
-	syncSeq  uint64 // records covered by a completed fsync
-	syncing  bool   // a leader's flush+fsync round is in flight
-	sticky   error  // first write/flush/sync failure; the log is torn
+	writeSeq uint64 // records staged into the buffer, counted from the log's first byte
+	syncSeq  uint64 // records covered by a completed fsync, same absolute scale
+	// writeBytes/syncBytes are the byte-offset twins of writeSeq/syncSeq:
+	// the staged log length and the durable acknowledged prefix length.
+	// Because the record encoding is deterministic, these offsets are stable
+	// across reopens and identical on a faithful replication follower.
+	writeBytes int64
+	syncBytes  int64
+	notify     []chan struct{} // subscribers poked when syncBytes advances
+	syncing    bool            // a leader's flush+fsync round is in flight
+	sticky     error           // first write/flush/sync failure; the log is torn
 
 	// SyncEvery controls how many staged records may precede an fsync; 0
 	// syncs on every append (slow, maximally durable: Append returning nil
@@ -138,7 +151,7 @@ func openLog(fsys fault.FS, path string, apply func(Record) error, ins *instrume
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	good, err := replay(f, apply)
+	good, count, err := replay(f, apply)
 	if err != nil {
 		_ = f.Close() // the replay error is the one worth reporting
 		return nil, err
@@ -157,24 +170,32 @@ func openLog(fsys fault.FS, path string, apply func(Record) error, ins *instrume
 		_ = f.Close() // the seek error is the one worth reporting
 		return nil, fmt.Errorf("wal: seek: %w", err)
 	}
-	l := &Log{f: f, fs: fsys, w: bufio.NewWriter(f), path: path, ins: ins, SyncEvery: 64}
+	// Seqs and byte offsets start at the replayed totals, not zero, so they
+	// are absolute positions in the log — stable across reopens and directly
+	// comparable between a primary and its replication followers.
+	l := &Log{
+		f: f, fs: fsys, w: bufio.NewWriter(f), path: path, ins: ins, SyncEvery: 64,
+		writeSeq: count, syncSeq: count, writeBytes: good, syncBytes: good,
+	}
 	l.synced = sync.NewCond(&l.mu)
 	if good == 0 {
 		if _, err := l.w.WriteString(headerMagic); err != nil {
 			_ = f.Close() // the header write error is the one worth reporting
 			return nil, fmt.Errorf("wal: header: %w", err)
 		}
+		l.writeBytes = int64(len(headerMagic))
 		if err := l.Flush(); err != nil {
 			_ = f.Close() // the sync error is the one worth reporting
 			return nil, err
 		}
 	}
+	ins.ackedOffset.Set(float64(l.syncBytes))
 	return l, nil
 }
 
 // replay reads the header and all intact records, returning the byte offset
-// just past the last good record.
-func replay(f fault.File, apply func(Record) error) (int64, error) {
+// just past the last good record and the number of intact records.
+func replay(f fault.File, apply func(Record) error) (int64, uint64, error) {
 	r := bufio.NewReader(f)
 	head := make([]byte, len(headerMagic))
 	n, err := io.ReadFull(r, head)
@@ -183,25 +204,27 @@ func replay(f fault.File, apply func(Record) error) (int64, error) {
 		// crash tore the very first header write; both recover as an empty
 		// log. Anything that is not a prefix of the magic is a foreign file.
 		if n == 0 || string(head[:n]) == headerMagic[:n] {
-			return 0, nil
+			return 0, 0, nil
 		}
-		return 0, errors.New("wal: not a trajectory WAL file")
+		return 0, 0, errors.New("wal: not a trajectory WAL file")
 	}
 	if string(head) != headerMagic {
-		return 0, errors.New("wal: not a trajectory WAL file")
+		return 0, 0, errors.New("wal: not a trajectory WAL file")
 	}
 	offset := int64(len(headerMagic))
+	var count uint64
 	for {
 		rec, size, err := readRecord(r)
 		if err != nil {
-			return offset, nil // torn/corrupt/EOF tail: stop replay here
+			return offset, count, nil // torn/corrupt/EOF tail: stop replay here
 		}
 		if apply != nil {
 			if aerr := apply(rec); aerr != nil {
-				return 0, fmt.Errorf("wal: replay: %w", aerr)
+				return 0, 0, fmt.Errorf("wal: replay: %w", aerr)
 			}
 		}
 		offset += size
+		count++
 	}
 }
 
@@ -291,6 +314,7 @@ func (l *Log) stage(rec Record) (uint64, error) {
 		return 0, l.sticky
 	}
 	l.writeSeq++
+	l.writeBytes += int64(len(buf))
 	l.ins.records.Inc()
 	return l.writeSeq, nil
 }
@@ -342,6 +366,7 @@ func (l *Log) syncLocked(seq uint64, force bool) error {
 			return l.sticky
 		}
 		target := l.writeSeq
+		targetBytes := l.writeBytes
 		l.mu.Unlock()
 		t0 := time.Now()
 		err := l.f.Sync()
@@ -356,6 +381,18 @@ func (l *Log) syncLocked(seq uint64, force bool) error {
 		if target > l.syncSeq {
 			l.ins.groupSize.Observe(float64(target - l.syncSeq))
 			l.syncSeq = target
+		}
+		if targetBytes > l.syncBytes {
+			l.syncBytes = targetBytes
+			l.ins.ackedOffset.Set(float64(l.syncBytes))
+			// Poke subscribers (replication senders waiting for new durable
+			// bytes); a full channel already carries the wake-up.
+			for _, ch := range l.notify {
+				select {
+				case ch <- struct{}{}:
+				default:
+				}
+			}
 		}
 		l.synced.Broadcast()
 	}
@@ -394,6 +431,56 @@ func (l *Log) Size() (int64, error) {
 	return info.Size(), nil
 }
 
+// AckedOffset returns the durable acknowledged byte offset: the log prefix
+// below it is covered by a completed fsync. It is the offset a replication
+// follower may be streamed up to, and the offset it reports back in ACKs.
+func (l *Log) AckedOffset() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncBytes
+}
+
+// SyncedSeq returns the number of records covered by a completed fsync,
+// counted from the log's first record (absolute across reopens). The
+// difference between a primary's SyncedSeq and a follower's is the
+// follower's replication lag in records.
+func (l *Log) SyncedSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncSeq
+}
+
+// WrittenOffset returns the staged log length in bytes: every record
+// accepted so far ends at or below it, whether or not an fsync covers it
+// yet. Waiting for a follower ACK at WrittenOffset therefore covers every
+// append staged before the call.
+func (l *Log) WrittenOffset() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.writeBytes
+}
+
+// SubscribeSynced registers ch for a non-blocking poke whenever the durable
+// acknowledged offset advances. The channel should have capacity 1; a full
+// channel already carries the pending wake-up.
+func (l *Log) SubscribeSynced(ch chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.notify = append(l.notify, ch)
+}
+
+// UnsubscribeSynced removes ch from the sync notification list.
+func (l *Log) UnsubscribeSynced(ch chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, c := range l.notify {
+		if c == ch {
+			l.notify = append(l.notify[:i], l.notify[i+1:]...)
+			return
+		}
+	}
+}
+
 // Close flushes, syncs, and closes the log. Callers must have quiesced
 // stage/Append; commit waiters are fine — the closing sync covers every
 // staged record, so they wake before the file handle goes away.
@@ -403,4 +490,31 @@ func (l *Log) Close() error {
 		return err
 	}
 	return l.f.Close()
+}
+
+// HeaderLen is the byte length of the log header — the smallest valid
+// offset into a log, and the catch-up offset of a brand-new replication
+// follower.
+const HeaderLen = len(headerMagic)
+
+// Decode parses as many complete records as buf holds, returning them with
+// the number of bytes consumed. A clean stop — buf simply ends inside a
+// record — returns a nil error; the caller keeps the unconsumed tail and
+// retries once more bytes arrive. A non-nil error means the bytes are not a
+// record stream at the expected position (corruption or a desynchronized
+// stream), which a replication follower must treat as fatal for the
+// connection. It is the wire-side twin of the recovery replay loop.
+func Decode(buf []byte) (recs []Record, consumed int, err error) {
+	r := bufio.NewReader(bytes.NewReader(buf))
+	for {
+		rec, size, err := readRecord(r)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return recs, consumed, nil // incomplete tail: wait for more bytes
+			}
+			return recs, consumed, err
+		}
+		recs = append(recs, rec)
+		consumed += int(size)
+	}
 }

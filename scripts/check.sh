@@ -21,6 +21,10 @@
 #   8. torture.sh --smoke      crash-recovery: SIGKILL a WAL-backed
 #                              trajserver mid-load five times and verify no
 #                              acknowledged append is ever lost
+#   9. torture.sh --repl-smoke replication: a primary + streaming follower
+#                              pair through kill-primary/PROMOTE cycles
+#                              (ack=follower) and kill-follower + lag-shed
+#                              cycles (ack=primary)
 #
 # Failure propagation: bash with -e -u and -o pipefail, so a failure in any
 # pipeline stage — not just the last command — fails the script, and the
@@ -65,5 +69,8 @@ bash scripts/bench.sh --smoke "${BENCH_SMOKE_OUT:-}"
 
 echo "==> torture smoke (SIGKILL crash-recovery cycles)"
 bash scripts/torture.sh --smoke
+
+echo "==> repl torture smoke (two-node kill/promote + shedding cycles)"
+bash scripts/torture.sh --repl-smoke
 
 echo "==> all checks passed"

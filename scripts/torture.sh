@@ -5,25 +5,47 @@
 # WAL after every crash (see cmd/trajtorture for the invariants).
 #
 # Usage:
-#   scripts/torture.sh             full run (8 kill cycles, bigger budget)
-#   scripts/torture.sh --smoke     5 kill cycles, small budget
-#                                  (wired into scripts/check.sh)
+#   scripts/torture.sh               full run (8 kill cycles, bigger budget)
+#   scripts/torture.sh --smoke       5 kill cycles, small budget
+#   scripts/torture.sh --repl        two-node replication torture: 20
+#                                    kill-primary/PROMOTE cycles under
+#                                    -repl-ack=follower, then kill-follower
+#                                    cycles + the lag-shedding check under
+#                                    -repl-ack=primary
+#   scripts/torture.sh --repl-smoke  the same two scenarios, 5 cycles each
+#                                    (wired into scripts/check.sh)
 #
-# Fixed seed: a failing run replays exactly. On failure, the working
-# directory (WAL, server logs) is preserved into $TRAJ_ARTIFACT_DIR when
-# that variable is set — CI uploads it as a build artifact.
+# Fixed seed: a failing run replays exactly. Every server generation writes
+# its WAL and server.log under $workdir (per-node subdirectories in -repl
+# mode, so a multi-process failure keeps each node's log and WAL apart). On
+# failure the whole workdir is preserved into $TRAJ_ARTIFACT_DIR when that
+# variable is set — CI uploads it as a build artifact.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+MODE=single
 CYCLES=8
 APPENDS=1200
 OBJECTS=6
-if [ "${1:-}" = "--smoke" ]; then
+case "${1:-}" in
+--smoke)
     CYCLES=5
     APPENDS=300
     OBJECTS=4
-fi
+    ;;
+--repl)
+    MODE=repl
+    CYCLES=20
+    APPENDS=400
+    ;;
+--repl-smoke)
+    MODE=repl
+    CYCLES=5
+    APPENDS=150
+    OBJECTS=4
+    ;;
+esac
 
 workdir=$(mktemp -d -t trajtorture.XXXXXX)
 cleanup() {
@@ -40,9 +62,27 @@ trap cleanup EXIT INT TERM
 go build -o "$workdir/trajserver" ./cmd/trajserver
 go build -o "$workdir/trajtorture" ./cmd/trajtorture
 
-"$workdir/trajtorture" \
-    -bin "$workdir/trajserver" \
-    -addr 127.0.0.1:7117 \
-    -wal "$workdir/torture.wal" \
-    -cycles "$CYCLES" -appends "$APPENDS" -objects "$OBJECTS" -seed 1 \
-    -batch 16 -seal-eps 10
+if [ "$MODE" = repl ]; then
+    echo "==> repl torture: ack=follower (SIGKILL primary, PROMOTE follower, $CYCLES cycles)"
+    "$workdir/trajtorture" \
+        -bin "$workdir/trajserver" \
+        -repl -repl-ack follower \
+        -workdir "$workdir/repl-follower-ack" \
+        -cycles "$CYCLES" -appends "$APPENDS" -objects "$OBJECTS" -seed 1 \
+        -batch 16
+
+    echo "==> repl torture: ack=primary (SIGKILL follower mid-feed + lag shedding)"
+    "$workdir/trajtorture" \
+        -bin "$workdir/trajserver" \
+        -repl -repl-ack primary \
+        -workdir "$workdir/repl-primary-ack" \
+        -cycles "$CYCLES" -appends "$APPENDS" -objects "$OBJECTS" -seed 1 \
+        -batch 16
+else
+    "$workdir/trajtorture" \
+        -bin "$workdir/trajserver" \
+        -addr 127.0.0.1:7117 \
+        -workdir "$workdir/single" \
+        -cycles "$CYCLES" -appends "$APPENDS" -objects "$OBJECTS" -seed 1 \
+        -batch 16 -seal-eps 10
+fi
