@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	experiments [-run all|table2|fig7|fig8|fig9|fig10|fig11|ablations] [-svg dir]
-//	            [-parallel n]
+//	experiments [-run all|table2|fig7|fig8|fig9|fig10|fig11|onepass|ablations]
+//	            [-svg dir] [-parallel n]
 //
 // With -svg, every regenerated figure is also written as SVG line charts
 // (one error chart and one compression chart per figure) into dir. The
@@ -29,7 +29,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
-	run := flag.String("run", "all", "which artifact to regenerate: all, table2, fig7, fig8, fig9, fig10, fig11, ablations, verify")
+	run := flag.String("run", "all", "which artifact to regenerate: all, table2, fig7, fig8, fig9, fig10, fig11, onepass, ablations, verify")
 	svgDir := flag.String("svg", "", "directory to also write figures as SVG charts (empty = off)")
 	parallel := flag.Int("parallel", 0, "worker-pool width for the sweep grid (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
@@ -68,6 +68,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintln(out)
+		figure(experiments.OnePassFigure())
 		figure(experiments.AblationTailDrop())
 		figure(experiments.AblationBreakStrategy())
 		figure(experiments.TaxonomyFigure())
@@ -87,7 +88,10 @@ func main() {
 		if err := experiments.RenderFrontier(out, experiments.Figure11()); err != nil {
 			log.Fatal(err)
 		}
+	case "onepass":
+		figure(experiments.OnePassFigure())
 	case "ablations":
+		figure(experiments.OnePassFigure())
 		figure(experiments.AblationTailDrop())
 		figure(experiments.AblationBreakStrategy())
 		figure(experiments.TaxonomyFigure())

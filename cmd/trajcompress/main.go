@@ -7,7 +7,8 @@
 //
 //	-alg string     algorithm spec, e.g. ndp:30, tdtr:30, opwtr:50,
 //	                opwsp:30:5, tdsp:30:5, nopw:30, bopw:30, uniform:3,
-//	                radial:25, dr:40 (required)
+//	                radial:25, dr:40, operb:30, ciseds:30, cisedw:30
+//	                (required)
 //	-in string      input file (default: stdin)
 //	-out string     output file (default: stdout)
 //	-from string    input format: csv, bin or gpx (default "csv")

@@ -74,7 +74,8 @@ func sweepThroughput(rep report, shards int) float64 {
 // runCompare loads two reports and fails (exit code 1, table on stdout)
 // when the new one regresses by more than tolPct percent on append
 // throughput or p50 append latency; the 8-shard sweep throughput, the
-// hot/cold query p50 latencies, and the cold-tier footprint ratio are
+// hot/cold query p50 latencies, the cold-tier footprint ratio, and the
+// per-point stream-CPU cost of each online compression algorithm are
 // compared too when both reports carry the relevant sections. This is the
 // CI bench-regression gate (scripts/bench_compare.sh).
 func runCompare(oldPath, newPath string, tolPct float64) int {
@@ -107,6 +108,16 @@ func runCompare(oldPath, newPath string, tolPct float64) int {
 			compareRow{"query_cold_nearest_p50_seconds", oldRep.Query.Cold.NearestLatency.P50, newRep.Query.Cold.NearestLatency.P50, false},
 			compareRow{"cold_footprint_ratio", oldRep.Query.FootprintRatio, newRep.Query.FootprintRatio, true},
 		)
+	}
+	if oldRep.StreamCPU != nil && newRep.StreamCPU != nil {
+		oldCPU, newCPU := streamCPUByName(oldRep), streamCPUByName(newRep)
+		for _, spec := range streamCPUSpecs(oldRep.StreamCPU.EpsMetres) {
+			o, okOld := oldCPU[spec]
+			n, okNew := newCPU[spec]
+			if okOld && okNew {
+				rows = append(rows, compareRow{"stream_cpu_ns[" + spec + "]", o.NsPerPoint, n.NsPerPoint, false})
+			}
+		}
 	}
 
 	fmt.Printf("bench compare: %s (old) vs %s (new), tolerance %.0f%%\n", oldPath, newPath, tolPct)

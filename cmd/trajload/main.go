@@ -37,6 +37,14 @@
 //	                 carries both tiers' latency quantiles plus the cold
 //	                 tier's footprint ratio versus retained points. Requires
 //	                 the server to run with -seal-eps (0 = skip)
+//	-stream-cpu float  per-point CPU budget benchmark: replay the seeded
+//	                 fleet in-process through every online compression
+//	                 algorithm at this error tolerance (metres) and record
+//	                 ns/point + compression per algorithm in the report's
+//	                 "stream_cpu" section (best of three runs; no TCP, no
+//	                 store — this isolates the compressor Push cost that
+//	                 bounds ingest under trajserver -compress). Gated by
+//	                 -compare like the other sections (0 = skip)
 //	-out string      JSON report path (default "BENCH_load.json")
 //
 // # Shard sweep
@@ -124,6 +132,7 @@ type report struct {
 	ServerMetrics      map[string]float64 `json:"server_metrics"`
 	HTTPMetricsChecked bool               `json:"http_metrics_checked"`
 	ShardSweep         *shardSweep        `json:"shard_sweep,omitempty"`
+	StreamCPU          *streamCPURun      `json:"stream_cpu,omitempty"`
 }
 
 // batchRun is the MAPPEND bulk-ingest phase of the report: the same seeded
@@ -178,6 +187,7 @@ func main() {
 		shardsFlag   = flag.String("shards", "", "comma-separated store shard counts for the in-process sweep (empty = skip)")
 		sweepWorkers = flag.Int("sweep-workers", 16, "concurrent appenders per shard-sweep run")
 		sweepPoints  = flag.Int("sweep-points", 0, "point budget per shard-sweep run (0 = -points)")
+		streamCPU    = flag.Float64("stream-cpu", 0, "error tolerance in metres for the in-process per-point CPU benchmark over all online compression algorithms (0 = skip)")
 		compare      = flag.Bool("compare", false, "compare two reports: trajload -compare old.json new.json")
 		regressPct   = flag.Float64("regress-pct", 20, "tolerated regression percentage in compare mode")
 	)
@@ -192,8 +202,8 @@ func main() {
 	if *clients <= 0 || *objects <= 0 || *points <= 0 {
 		log.Fatal("-clients, -objects and -points must be positive")
 	}
-	if *addr == "" && *shardsFlag == "" {
-		log.Fatal("nothing to do: -addr is empty and no -shards sweep requested")
+	if *addr == "" && *shardsFlag == "" && *streamCPU <= 0 {
+		log.Fatal("nothing to do: -addr is empty, no -shards sweep and no -stream-cpu benchmark requested")
 	}
 
 	if *batch < 0 || *batch == 1 {
@@ -233,6 +243,11 @@ func main() {
 		}
 		sweep := runShardSweep(counts, *sweepWorkers, *objects, budget, *seed, *spread, *duration, *batch)
 		rep.ShardSweep = &sweep
+	}
+
+	if *streamCPU > 0 {
+		cpu := runStreamCPU(*seed, *objects, *points, *spread, *duration, *streamCPU)
+		rep.StreamCPU = &cpu
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")

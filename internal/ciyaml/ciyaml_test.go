@@ -176,6 +176,7 @@ func TestCIScriptsExerciseColdTier(t *testing.T) {
 	checks := []struct{ file, substr, why string }{
 		{"scripts/bench.sh", "-seal-eps", "bench server must enable the cold sealed tier"},
 		{"scripts/bench.sh", "-queries", "bench must run the hot/cold query phase"},
+		{"scripts/bench.sh", "-stream-cpu", "bench must record per-point stream-CPU cost so the compare gate sees it"},
 		{"scripts/bench_compare.sh", "bench.sh", "compare gate must re-run the bench harness"},
 		{"scripts/torture.sh", "-seal-eps", "torture must verify cold-tier regenerability"},
 	}
@@ -228,6 +229,24 @@ func TestCIWorkflowShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+
+	// Superseded PR runs must be cancelled (one concurrency group per ref),
+	// but push/schedule runs on main must never be: losing a merge-gate run
+	// from history would hide when a regression actually landed.
+	conc := doc.Get("concurrency")
+	if conc == nil {
+		t.Error("ci.yml has no workflow-level concurrency block")
+	} else {
+		group := conc.Get("group").Str()
+		if !strings.Contains(group, "github.workflow") || !strings.Contains(group, "github.ref") {
+			t.Errorf("concurrency group %q does not key on workflow+ref", group)
+		}
+		cancel := conc.Get("cancel-in-progress").Str()
+		if !strings.Contains(cancel, "pull_request") {
+			t.Errorf("cancel-in-progress %q must cancel only superseded pull_request runs", cancel)
+		}
+	}
+
 	jobs := doc.Get("jobs")
 
 	check := jobs.Get("check")
@@ -323,5 +342,93 @@ func TestCIWorkflowShape(t *testing.T) {
 	}
 	if !runsGate {
 		t.Error("bench-compare job does not run scripts/bench_compare.sh")
+	}
+}
+
+// TestCIFuzzJobShape pins the scheduled fuzz sweep: ci.yml must trigger on
+// schedule and workflow_dispatch, and the fuzz job must run `go test -fuzz`
+// with a time budget over every registered fuzz target (gated off the merge
+// path) and upload new crashers from testdata/fuzz/ on failure. Adding a
+// fuzz target without extending the matrix here fails this test, so the
+// sweep can never silently fall out of sync with the target inventory.
+func TestCIFuzzJobShape(t *testing.T) {
+	root := repoRoot(t)
+	src, err := os.ReadFile(filepath.Join(root, ".github", "workflows", "ci.yml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	on := doc.Get("on")
+	for _, ev := range []string{"schedule", "workflow_dispatch"} {
+		if on.Get(ev) == nil {
+			t.Errorf("ci.yml does not trigger on %s (the fuzz job would never run)", ev)
+		}
+	}
+	if sched := on.Get("schedule"); sched != nil {
+		if sched.Kind != SeqNode || len(sched.Seq) == 0 || sched.Seq[0].Get("cron").Str() == "" {
+			t.Error("schedule trigger has no cron entry")
+		}
+	}
+
+	fuzz := doc.Get("jobs").Get("fuzz")
+	if fuzz == nil {
+		t.Fatal("ci.yml has no fuzz job")
+	}
+	cond := fuzz.Get("if").Str()
+	if !strings.Contains(cond, "schedule") || !strings.Contains(cond, "workflow_dispatch") {
+		t.Errorf("fuzz job if-condition %q must restrict it to schedule/workflow_dispatch", cond)
+	}
+
+	// Every fuzz target in the repo must appear in the matrix, paired with
+	// its package.
+	want := map[string]string{
+		"FuzzParse":                   "./internal/compress",
+		"FuzzCompressInvariants":      "./internal/compress",
+		"FuzzOnePassErrorBound":       "./internal/compress",
+		"FuzzOPWSPStreamMatchesBatch": "./internal/stream",
+		"FuzzOPERBStreamMatchesBatch": "./internal/stream",
+		"FuzzCISEDStreamMatchesBatch": "./internal/stream",
+	}
+	include := fuzz.Get("strategy").Get("matrix").Get("include")
+	if include == nil || include.Kind != SeqNode {
+		t.Fatal("fuzz job has no matrix include list")
+	}
+	got := map[string]string{}
+	for _, entry := range include.Seq {
+		got[entry.Get("target").Str()] = entry.Get("pkg").Str()
+	}
+	for target, pkg := range want {
+		if got[target] != pkg {
+			t.Errorf("fuzz matrix: target %s has pkg %q, want %q", target, got[target], pkg)
+		}
+	}
+	for target := range got {
+		if _, ok := want[target]; !ok {
+			t.Errorf("fuzz matrix lists unknown target %s (update this test's inventory)", target)
+		}
+	}
+
+	var runsFuzz, uploadsCrashers bool
+	for _, step := range fuzz.Get("steps").Seq {
+		run := step.Get("run").Str()
+		if strings.Contains(run, "-fuzz=") && strings.Contains(run, "-fuzztime=") &&
+			strings.Contains(run, "matrix.target") {
+			runsFuzz = true
+		}
+		if strings.Contains(step.Get("uses").Str(), "upload-artifact") &&
+			step.Get("if").Str() == "failure()" &&
+			strings.Contains(step.Get("with").Get("path").Str(), "testdata/fuzz") {
+			uploadsCrashers = true
+		}
+	}
+	if !runsFuzz {
+		t.Error("fuzz job does not run go test -fuzz with a -fuzztime budget per matrix target")
+	}
+	if !uploadsCrashers {
+		t.Error("fuzz job does not upload testdata/fuzz crashers on failure")
 	}
 }

@@ -15,11 +15,19 @@
 //   - The paper's spatiotemporal class (§3.3): OPWSP (the pseudocode
 //     algorithm SPT) and TDSP, which add a speed-difference threshold.
 //   - DeadReckoning, an online baseline from the follow-on literature.
+//   - The one-pass error-bounded family from the follow-on literature:
+//     OPERB (perpendicular distance, arXiv:1702.05597) and CISED-S/CISED-W
+//     (synchronous Euclidean distance, arXiv:1801.05360), which process
+//     each point exactly once with O(1) memory.
 //
-// Every algorithm returns a subsequence of the input samples: points are
-// only ever discarded, never moved or invented, exactly as the paper's error
-// derivation assumes ("we never invented new data points, let alone time
-// stamps", §4.2).
+// With a single exception, every algorithm returns a subsequence of the
+// input samples: points are only ever discarded, never moved or invented,
+// exactly as the paper's error derivation assumes ("we never invented new
+// data points, let alone time stamps", §4.2). The exception is CISED-W,
+// a weak simplification that synthesizes window-closing joints (at input
+// timestamps, never inventing time stamps); such algorithms advertise
+// themselves via the WeakSimplifier interface so callers that rely on the
+// subsequence property can detect them with IsWeak.
 package compress
 
 import (
@@ -36,6 +44,23 @@ type Algorithm interface {
 	// subsequence of p's samples, retains p's first sample, and is never
 	// longer than p. Implementations must not modify p.
 	Compress(p trajectory.Trajectory) trajectory.Trajectory
+}
+
+// WeakSimplifier is implemented by algorithms whose output is not a vertex
+// subsequence of the input: weak simplifications may synthesize new points
+// (always at input timestamps). Everything else about the Algorithm
+// contract — first sample retained, never longer than the input, input
+// never modified — still holds.
+type WeakSimplifier interface {
+	// WeakSimplification reports whether the algorithm may emit
+	// synthesized points.
+	WeakSimplification() bool
+}
+
+// IsWeak reports whether a is a weak simplification (see WeakSimplifier).
+func IsWeak(a Algorithm) bool {
+	w, ok := a.(WeakSimplifier)
+	return ok && w.WeakSimplification()
 }
 
 // Rate returns the compression rate achieved by reducing a trajectory of

@@ -49,6 +49,12 @@ func TestTranslationEquivariance(t *testing.T) {
 		SQUISH{Capacity: 12},
 		Visvalingam{AreaThreshold: 2000},
 		DeadReckoning{Threshold: 60},
+		// One-pass algorithms: every decision is made on anchor-relative
+		// differences, which are bit-exact under lattice shifts. (CISED-W
+		// is excluded: its synthesized joints are anchor + v·dt sums whose
+		// rounding depends on the absolute coordinates.)
+		OPERB{Threshold: 60},
+		CISEDS{Threshold: 60},
 	}
 	shifts := []struct{ dt, dx, dy float64 }{
 		{1024, 0, 0},        // pure time shift

@@ -29,6 +29,10 @@ import (
 //	tdtrn:N              top-down time ratio to a budget of N points
 //	squish:N             SQUISH online sketch of N points
 //	vw:A                 Visvalingam–Whyatt, effective area tolerance A m²
+//	operb:D              one-pass error bounded, perpendicular tolerance D
+//	ciseds:D             one-pass strong SED simplification, tolerance D
+//	cisedw:D             one-pass weak SED simplification (synthesizes
+//	                     joints; see WeakSimplifier), tolerance D
 //
 // Algorithm names are case-insensitive.
 func Parse(spec string) (Algorithm, error) {
@@ -67,7 +71,8 @@ func Parse(spec string) (Algorithm, error) {
 			return nil, fmt.Errorf("compress: spec %q: stride must be a positive integer", spec)
 		}
 		return Uniform{K: int(k)}, nil
-	case "radial", "angular", "dr", "ndp", "ndphull", "nopw", "bopw", "tdtr", "opwtr", "bu", "butr", "vw":
+	case "radial", "angular", "dr", "ndp", "ndphull", "nopw", "bopw", "tdtr", "opwtr", "bu", "butr", "vw",
+		"operb", "ciseds", "cisedw":
 		if err := need(1); err != nil {
 			return nil, err
 		}
@@ -101,6 +106,12 @@ func Parse(spec string) (Algorithm, error) {
 			return BottomUpTR{Threshold: d}, nil
 		case "vw":
 			return Visvalingam{AreaThreshold: d}, nil
+		case "operb":
+			return OPERB{Threshold: d}, nil
+		case "ciseds":
+			return CISEDS{Threshold: d}, nil
+		case "cisedw":
+			return CISEDW{Threshold: d}, nil
 		default:
 			return OPWTR{Threshold: d}, nil
 		}

@@ -174,6 +174,27 @@ func MapMatchFigure() Figure {
 	}
 }
 
+// OnePassFigure is extension experiment E4: the one-pass error-bounded
+// family (OPERB's perpendicular bound, CISED's synchronized bound in strong
+// and weak flavours) head-to-head against OPW-SP(15 m/s), the paper's best
+// spatiotemporal opening-window algorithm. The one-pass algorithms decide
+// each point in O(1) without re-scanning a window, so the interesting
+// question is how much error/compression quality that speed costs — the
+// per-point CPU side of the trade is measured by trajload -stream-cpu and
+// recorded in BENCH_load.json.
+func OnePassFigure() Figure {
+	return Figure{
+		ID:    "Extension E4",
+		Title: "One-pass algorithms (OPERB, CISED-S, CISED-W) vs OPW-SP(15m/s)",
+		Series: SweepAll(
+			OPWSPFactory(15),
+			OPERBFactory,
+			CISEDSFactory,
+			CISEDWFactory,
+		),
+	}
+}
+
 // TaxonomyFigure is an extension experiment: the paper's full §2 taxonomy —
 // top-down, bottom-up, sliding-window and opening-window — all under the
 // synchronized (time-ratio) distance, isolating the effect of the scan

@@ -283,6 +283,16 @@ func OPWSPFactory(speed float64) Factory {
 	}
 }
 
+// One-pass family factories (OPERB and CISED; see internal/compress). They
+// sweep the same distance-threshold axis as the paper's algorithms: for
+// OPERB the threshold bounds the perpendicular distance, for CISED the
+// synchronized distance.
+var (
+	OPERBFactory  = Factory{"OPERB", func(d float64) compress.Algorithm { return compress.OPERB{Threshold: d} }}
+	CISEDSFactory = Factory{"CISED-S", func(d float64) compress.Algorithm { return compress.CISEDS{Threshold: d} }}
+	CISEDWFactory = Factory{"CISED-W", func(d float64) compress.Algorithm { return compress.CISEDW{Threshold: d} }}
+)
+
 // TDSPFactory returns the TD-SP family member with the given speed
 // threshold.
 func TDSPFactory(speed float64) Factory {

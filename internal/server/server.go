@@ -65,14 +65,24 @@
 //	                                          primary (manual failover);
 //	                                          idempotent, also on a node that
 //	                                          already is a primary
-//	SUBSCRIBE <id|*>                          → OK subscribed, then a live
+//	SUBSCRIBE <id|*> [spec]                   → OK subscribed, then a live
 //	                                          "POS <id> <t> <x> <y>" line per
 //	                                          APPEND of a matching object
 //	                                          until the subscriber closes its
 //	                                          connection; the feed is
 //	                                          best-effort (slow subscribers
 //	                                          drop updates, never block
-//	                                          ingest)
+//	                                          ingest). The optional spec is a
+//	                                          stream.ParseFactory algorithm
+//	                                          (e.g. operb:30, ciseds:30,
+//	                                          opwtr:30) applied per object on
+//	                                          this subscriber's feed: only
+//	                                          retained points are delivered,
+//	                                          trading latency/completeness
+//	                                          for bandwidth under the
+//	                                          algorithm's error bound. "none"
+//	                                          (the default) relays every
+//	                                          point
 //	PING                                      → OK pong
 //	QUIT                                      → OK bye (connection closes)
 //
@@ -101,6 +111,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/repl"
 	"repro/internal/store"
+	"repro/internal/stream"
 	"repro/internal/trajectory"
 )
 
@@ -180,6 +191,12 @@ type Server struct {
 type subscriber struct {
 	id string // object id, or "*" for all
 	ch chan string
+	// newComp, when non-nil, selects live compression for this feed: each
+	// object the subscriber sees gets its own compressor (SUBSCRIBE's
+	// optional spec argument). comps is only touched under the server's
+	// subsMu, like every publish.
+	newComp func() stream.Compressor
+	comps   map[string]stream.Compressor
 }
 
 // New returns a server over the given backend, instrumented in the default
@@ -498,17 +515,54 @@ func (s *Server) publish(id string, smp trajectory.Sample) {
 	if len(s.subs) == 0 {
 		return
 	}
-	line := fmt.Sprintf("POS %s %g %g %g", id, smp.T, smp.X, smp.Y)
+	line := ""
 	for sub := range s.subs {
 		if sub.id != "*" && sub.id != id {
 			continue
 		}
-		select {
-		case sub.ch <- line:
-		default: // feed saturated: drop rather than block ingest
-			s.ins.subDrops.Inc()
+		if sub.newComp != nil {
+			s.publishCompressed(sub, id, smp)
+			continue
 		}
+		if line == "" {
+			// Formatted once, shared by every plain-relay subscriber.
+			line = posLine(id, smp)
+		}
+		s.send(sub, line)
 	}
+}
+
+// publishCompressed pushes one observation through the subscriber's
+// per-object compressor, relaying only the retained points. A compressor
+// error (out-of-order feed after a primary failover, say) falls back to
+// relaying the raw observation: degraded bandwidth beats a silent gap.
+func (s *Server) publishCompressed(sub *subscriber, id string, smp trajectory.Sample) {
+	c := sub.comps[id]
+	if c == nil {
+		c = sub.newComp()
+		sub.comps[id] = c
+	}
+	kept, err := c.Push(smp)
+	if err != nil {
+		s.send(sub, posLine(id, smp))
+		return
+	}
+	for _, k := range kept {
+		s.send(sub, posLine(id, k))
+	}
+}
+
+// send delivers one line to a subscriber feed, dropping when saturated.
+func (s *Server) send(sub *subscriber, line string) {
+	select {
+	case sub.ch <- line:
+	default: // feed saturated: drop rather than block ingest
+		s.ins.subDrops.Inc()
+	}
+}
+
+func posLine(id string, smp trajectory.Sample) string {
+	return fmt.Sprintf("POS %s %g %g %g", id, smp.T, smp.X, smp.Y)
 }
 
 // replRequest carries a validated REPLICATE command from dispatch back to
@@ -561,11 +615,23 @@ func (s *Server) dispatch(w *bufio.Writer, br *bufio.Reader, line string) (quit 
 		fmt.Fprintln(w, "OK bye")
 		return true, nil, nil
 	case "SUBSCRIBE":
-		if len(args) != 1 {
-			fmt.Fprintln(w, "ERR usage: SUBSCRIBE <id|*>")
+		if len(args) < 1 || len(args) > 2 {
+			fmt.Fprintln(w, "ERR usage: SUBSCRIBE <id|*> [spec]")
 			return false, nil, nil
 		}
-		sub = &subscriber{id: args[0], ch: make(chan string, 256)}
+		var newComp func() stream.Compressor
+		if len(args) == 2 {
+			factory, err := stream.ParseFactory(args[1])
+			if err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				return false, nil, nil
+			}
+			newComp = factory // nil for "none": plain relay
+		}
+		sub = &subscriber{id: args[0], ch: make(chan string, 256), newComp: newComp}
+		if newComp != nil {
+			sub.comps = make(map[string]stream.Compressor)
+		}
 		s.subsMu.Lock()
 		s.subs[sub] = struct{}{}
 		s.subsMu.Unlock()

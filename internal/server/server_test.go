@@ -288,6 +288,81 @@ func TestServerSubscribe(t *testing.T) {
 	}
 }
 
+// A SUBSCRIBE with a stream-algorithm spec must deliver only the retained
+// points: the compressor runs per object inside the publish path.
+func TestServerSubscribeCompressed(t *testing.T) {
+	addr, shutdown := startServer(t, store.New(store.Options{}))
+	defer shutdown()
+
+	subConn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subConn.Close()
+	subR := bufio.NewReader(subConn)
+	fmt.Fprintln(subConn, "SUBSCRIBE bus-1 operb:10")
+	if resp, _ := subR.ReadString('\n'); !strings.HasPrefix(resp, "OK subscribed") {
+		t.Fatalf("subscribe response %q", resp)
+	}
+
+	pub, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	// A straight run: OPERB retains only the first point immediately...
+	for i := 0; i < 4; i++ {
+		if err := pub.Append("bus-1", trajectory.S(float64(i), float64(i*10), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ...until a sharp corner forces a cut, which retains the corner's
+	// predecessor (t=3). The intermediates t=1, t=2 must never arrive.
+	if err := pub.Append("bus-1", trajectory.S(4, 30, 1000)); err != nil {
+		t.Fatal(err)
+	}
+
+	subConn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	line1, err := subR.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	line2, err := subR.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(line1) != "POS bus-1 0 0 0" {
+		t.Errorf("first update %q, want the anchor point", line1)
+	}
+	if strings.TrimSpace(line2) != "POS bus-1 3 30 0" {
+		t.Errorf("second update %q, want the pre-corner cut point", line2)
+	}
+}
+
+// A malformed spec must be refused at SUBSCRIBE time, leaving the
+// connection usable.
+func TestServerSubscribeBadSpec(t *testing.T) {
+	addr, shutdown := startServer(t, store.New(store.Options{}))
+	defer shutdown()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	for _, line := range []string{"SUBSCRIBE bus-1 bogus:1", "SUBSCRIBE bus-1 operb:-5", "SUBSCRIBE a b c"} {
+		fmt.Fprintln(conn, line)
+		if resp, _ := r.ReadString('\n'); !strings.HasPrefix(resp, "ERR") {
+			t.Fatalf("%q: response %q, want ERR", line, resp)
+		}
+	}
+	fmt.Fprintln(conn, "PING")
+	if resp, _ := r.ReadString('\n'); strings.TrimSpace(resp) != "OK pong" {
+		t.Fatalf("connection unusable after bad SUBSCRIBE: %q", resp)
+	}
+}
+
 func TestServerSubscribeWildcard(t *testing.T) {
 	addr, shutdown := startServer(t, store.New(store.Options{}))
 	defer shutdown()

@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/compress"
+	"repro/internal/geo"
+	"repro/internal/sed"
 	"repro/internal/trajectory"
 )
 
@@ -84,6 +86,116 @@ func FuzzOPWSPStreamMatchesBatch(f *testing.F) {
 				t.Fatalf("retained points %d and %d are %d input samples apart, window cap %d", prev, idx, idx-prev, maxWindow)
 			}
 			prev = idx
+		}
+	})
+}
+
+// FuzzOPERBStreamMatchesBatch mirrors the OPW-SP target for the one-pass
+// OPERB engine: the emitted stream must equal the batch output bit-for-bit
+// (they share one engine, so this pins the wrapper), stay a vertex
+// subsequence with both endpoints, and honour the bounded-error invariant —
+// every discarded point within ε (perpendicular distance, plus float slack)
+// of the output segment covering it.
+func FuzzOPERBStreamMatchesBatch(f *testing.F) {
+	f.Add(int64(1), uint8(40), float64(50))
+	f.Add(int64(7), uint8(3), float64(0))
+	f.Add(int64(11), uint8(200), float64(30))
+	f.Add(int64(42), uint8(120), float64(1e6))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8, eps float64) {
+		if n < 3 || !(eps >= 0) || math.IsInf(eps, 0) {
+			return
+		}
+		p := fuzzTrack(seed, int(n))
+		got, err := Collect(NewOPERB(eps), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := compress.OPERB{Threshold: eps}.Compress(p)
+		if !sameTrajectory(got, want) {
+			t.Fatalf("online OPERB diverges from batch: %d vs %d points", got.Len(), want.Len())
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if !got.IsVertexSubsetOf(p) {
+			t.Fatal("output is not a vertex subsequence of the input")
+		}
+		if got[0] != p[0] || got[got.Len()-1] != p[p.Len()-1] {
+			t.Fatal("output dropped an endpoint")
+		}
+		tol := eps*(1+1e-9) + 1e-3
+		j := 0
+		for _, s := range p {
+			for j+1 < got.Len()-1 && got[j+1].T < s.T {
+				j++
+			}
+			seg := geo.Seg(got[j].Pos(), got[j+1].Pos())
+			if d := seg.Dist(s.Pos()); d > tol {
+				t.Fatalf("sample t=%v is %v from its covering segment, bound %v", s.T, d, tol)
+			}
+		}
+	})
+}
+
+// FuzzCISEDStreamMatchesBatch is the same target for both CISED variants,
+// with the bounded-error invariant measured in the synchronous Euclidean
+// distance. The weak variant is additionally pinned to never invent
+// timestamps.
+func FuzzCISEDStreamMatchesBatch(f *testing.F) {
+	f.Add(int64(1), uint8(40), float64(50), false)
+	f.Add(int64(7), uint8(3), float64(0), true)
+	f.Add(int64(11), uint8(200), float64(30), true)
+	f.Add(int64(42), uint8(120), float64(1e6), false)
+	f.Fuzz(func(t *testing.T, seed int64, n uint8, eps float64, weak bool) {
+		if n < 3 || !(eps >= 0) || math.IsInf(eps, 0) {
+			return
+		}
+		p := fuzzTrack(seed, int(n))
+		fresh := func() Compressor {
+			if weak {
+				return NewCISEDW(eps)
+			}
+			return NewCISEDS(eps)
+		}
+		got, err := Collect(fresh(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var batch compress.Algorithm
+		if weak {
+			batch = compress.CISEDW{Threshold: eps}
+		} else {
+			batch = compress.CISEDS{Threshold: eps}
+		}
+		want := batch.Compress(p)
+		if !sameTrajectory(got, want) {
+			t.Fatalf("online %s diverges from batch: %d vs %d points", batch.Name(), got.Len(), want.Len())
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if weak {
+			times := make(map[float64]bool, p.Len())
+			for _, s := range p {
+				times[s.T] = true
+			}
+			for _, s := range got {
+				if !times[s.T] {
+					t.Fatalf("CISED-W invented timestamp %v", s.T)
+				}
+			}
+		} else if !got.IsVertexSubsetOf(p) {
+			t.Fatal("CISED-S output is not a vertex subsequence of the input")
+		}
+		tol := eps*(1+1e-9) + 1e-3
+		j := 0
+		for _, s := range p {
+			for j+1 < got.Len()-1 && got[j+1].T < s.T {
+				j++
+			}
+			if d := sed.Distance(s, got[j], got[j+1]); d > tol {
+				t.Fatalf("sample t=%v has SED %v to its covering segment, bound %v", s.T, d, tol)
+			}
 		}
 	})
 }

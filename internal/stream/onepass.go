@@ -1,0 +1,68 @@
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/trajectory"
+)
+
+// The one-pass compressors wrap the incremental engines of
+// internal/compress (OPERB and CISED), which decide every point's fate the
+// moment it arrives: unlike the opening-window engine there is no buffered
+// window to re-scan, so the per-point cost is O(1) and BufferLen never
+// exceeds one. The emitted stream equals the batch algorithm's output on
+// the same input by construction — both run the identical engine.
+
+// onePassEngine is the incremental surface shared by the compress-package
+// engines.
+type onePassEngine interface {
+	Push(s trajectory.Sample) []trajectory.Sample
+	Flush() []trajectory.Sample
+	Pending() int
+}
+
+type onePass struct {
+	engine onePassEngine
+	seen   bool
+	prevT  float64
+}
+
+// NewOPERB returns the online OPERB compressor (one-pass error bounded,
+// perpendicular distance ≤ eps; arXiv:1702.05597). O(1) memory, no window
+// cap needed.
+func NewOPERB(eps float64) Compressor {
+	return &onePass{engine: compress.NewOPERBEngine(eps)}
+}
+
+// NewCISEDS returns the online CISED-S compressor (one-pass strong SED
+// simplification, SED ≤ eps; arXiv:1801.05360). O(1) memory, emits only
+// input samples.
+func NewCISEDS(eps float64) Compressor {
+	return &onePass{engine: compress.NewCISEDEngine(eps, false)}
+}
+
+// NewCISEDW returns the online CISED-W compressor: like CISED-S but weak —
+// windows close with synthesized joint points (at input timestamps), which
+// buys a higher compression rate at the same ε.
+func NewCISEDW(eps float64) Compressor {
+	return &onePass{engine: compress.NewCISEDEngine(eps, true)}
+}
+
+func (o *onePass) Push(s trajectory.Sample) ([]trajectory.Sample, error) {
+	if o.seen && s.T <= o.prevT {
+		return nil, fmt.Errorf("%w: t=%v after t=%v", ErrOutOfOrder, s.T, o.prevT)
+	}
+	o.seen = true
+	o.prevT = s.T
+	return o.engine.Push(s), nil
+}
+
+func (o *onePass) Flush() []trajectory.Sample {
+	o.seen = false
+	return o.engine.Flush()
+}
+
+// BufferLen reports the samples awaiting a retention decision — at most 1,
+// the one-pass memory guarantee (vs the opening-window engines' windows).
+func (o *onePass) BufferLen() int { return o.engine.Pending() }

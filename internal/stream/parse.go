@@ -14,9 +14,15 @@ import (
 //	opwtr:D[:W]          online OPW-TR, synchronized tolerance D metres
 //	opwsp:D:V[:W]        online OPW-SP, speed tolerance V m/s
 //	dr:D                 online dead reckoning
+//	operb:D              one-pass error bounded (O(1) memory, no window)
+//	ciseds:D             one-pass strong SED simplification
+//	cisedw:D             one-pass weak SED simplification (synthesizes
+//	                     window-closing joints)
 //
-// W is the optional window cap (default unbounded). The returned factory
-// yields a fresh compressor per call; it is nil for "none".
+// W is the optional window cap (default unbounded). The one-pass
+// algorithms buffer at most one sample by construction and take no window
+// argument. The returned factory yields a fresh compressor per call; it is
+// nil for "none".
 func ParseFactory(spec string) (func() Compressor, error) {
 	parts := strings.Split(spec, ":")
 	name := strings.ToLower(strings.TrimSpace(parts[0]))
@@ -81,7 +87,7 @@ func ParseFactory(spec string) (func() Compressor, error) {
 			return nil, err
 		}
 		return func() Compressor { return NewOPWSP(d, v, w) }, nil
-	case "dr":
+	case "dr", "operb", "ciseds", "cisedw":
 		if err := argsBetween(1, 1); err != nil {
 			return nil, err
 		}
@@ -89,8 +95,17 @@ func ParseFactory(spec string) (func() Compressor, error) {
 		if d < 0 {
 			return nil, fmt.Errorf("stream: spec %q: negative threshold", spec)
 		}
-		return func() Compressor { return NewDeadReckoning(d) }, nil
+		switch name {
+		case "operb":
+			return func() Compressor { return NewOPERB(d) }, nil
+		case "ciseds":
+			return func() Compressor { return NewCISEDS(d) }, nil
+		case "cisedw":
+			return func() Compressor { return NewCISEDW(d) }, nil
+		default:
+			return func() Compressor { return NewDeadReckoning(d) }, nil
+		}
 	default:
-		return nil, fmt.Errorf("stream: unknown online algorithm %q (want none, nopw, opwtr, opwsp or dr)", name)
+		return nil, fmt.Errorf("stream: unknown online algorithm %q (want none, nopw, opwtr, opwsp, dr, operb, ciseds or cisedw)", name)
 	}
 }

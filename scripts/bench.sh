@@ -4,7 +4,8 @@
 # live compression ratio, server-side metrics, store shard sweep, and the
 # hot/cold query phase: range+kNN latency quantiles before and after the
 # history is sealed into the cold quantized tier, plus the cold tier's
-# footprint ratio).
+# footprint ratio, and the per-point stream-CPU cost of every online
+# compression algorithm at a fixed tolerance).
 #
 # Usage:
 #   scripts/bench.sh [out]           full run (seeds the perf trajectory;
@@ -34,6 +35,7 @@ SEAL_EPS=10   # cold-tier error bound in metres for the query phase
 SEAL_BLOCK=512 # samples per sealed block: amortizes the per-block overhead
                # and codebooks over long chains (the bench workload's trips
                # are ~1500 samples per object)
+STREAM_CPU=30 # tolerance in metres for the per-point stream-CPU benchmark
 OUT=BENCH_load.json
 if [ "${1:-}" = "--smoke" ]; then
     POINTS=800
@@ -93,6 +95,7 @@ http=$(sed -n 's|.*metrics on http://\([0-9.:]*\)/metrics.*|\1|p' "$log")
     -clients "$CLIENTS" -objects "$OBJECTS" -points "$POINTS" \
     -duration "$DURATION" -seed 1 -batch "$BATCH" -queries "$QUERIES" \
     -shards "$SHARDS" -sweep-workers "$SWEEP_WORKERS" \
+    -stream-cpu "$STREAM_CPU" \
     -out "$OUT"
 
 # The server must still be the same live process after the load: a crash

@@ -8,9 +8,10 @@
 #
 # Exit status: 0 when within tolerance, 1 when append throughput or p50
 # append latency (or, when both reports carry the sections: the 8-shard
-# sweep throughput, the hot/cold query p50 latencies, or the cold-tier
-# footprint ratio) regresses by more than 20% (trajload -compare prints the
-# table), 2 on usage errors.
+# sweep throughput, the hot/cold query p50 latencies, the cold-tier
+# footprint ratio, or any online algorithm's per-point stream-CPU cost)
+# regresses by more than 20% (trajload -compare prints the table), 2 on
+# usage errors.
 #
 # Wired into .github/workflows/ci.yml as a NON-BLOCKING job: shared CI
 # runners have noisy neighbours, so a red bench-compare is a prompt to look,

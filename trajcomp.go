@@ -12,7 +12,10 @@
 //   - the paper's time-ratio algorithms TD-TR and OPW-TR, which replace the
 //     perpendicular distance with the time-synchronized distance;
 //   - the paper's spatiotemporal algorithms OPW-SP and TD-SP, which add a
-//     speed-difference criterion.
+//     speed-difference criterion;
+//   - the follow-on one-pass error-bounded family OPERB and
+//     CISED-S/CISED-W, which decide each point in O(1) time and memory
+//     (NewOPERB, NewCISEDS, NewCISEDW and their online counterparts).
 //
 // Compression quality is measured with the paper's time-synchronized average
 // error α(p, a) (AvgError) alongside classic perpendicular measures
@@ -243,6 +246,24 @@ func NewDeadReckoning(threshold float64) Algorithm {
 	return compress.DeadReckoning{Threshold: threshold}
 }
 
+// NewOPERB returns the one-pass error-bounded algorithm (perpendicular
+// distance ≤ threshold, O(1) memory, one pass — arXiv:1702.05597).
+func NewOPERB(threshold float64) Algorithm { return compress.OPERB{Threshold: threshold} }
+
+// NewCISEDS returns the one-pass strong SED simplification (SED ≤
+// threshold, subsequence output — arXiv:1801.05360).
+func NewCISEDS(threshold float64) Algorithm { return compress.CISEDS{Threshold: threshold} }
+
+// NewCISEDW returns the one-pass weak SED simplification: like CISED-S but
+// windows close with synthesized joint points (at input timestamps),
+// trading the subsequence property for a higher compression rate. Detect
+// weak algorithms with IsWeakAlgorithm.
+func NewCISEDW(threshold float64) Algorithm { return compress.CISEDW{Threshold: threshold} }
+
+// IsWeakAlgorithm reports whether alg may synthesize output points rather
+// than returning a vertex subsequence (currently only CISED-W).
+func IsWeakAlgorithm(alg Algorithm) bool { return compress.IsWeak(alg) }
+
 // ParseAlgorithm builds an algorithm from a textual spec such as "tdtr:30"
 // or "opwsp:30:5"; see the compress package documentation for the grammar.
 func ParseAlgorithm(spec string) (Algorithm, error) { return compress.Parse(spec) }
@@ -297,6 +318,18 @@ func NewOnlineNOPW(threshold float64, maxWindow int) Compressor {
 func NewOnlineDeadReckoning(threshold float64) Compressor {
 	return stream.NewDeadReckoning(threshold)
 }
+
+// NewOnlineOPERB returns the online OPERB compressor: one pass, O(1)
+// memory (no window), every point decided on arrival.
+func NewOnlineOPERB(eps float64) Compressor { return stream.NewOPERB(eps) }
+
+// NewOnlineCISEDS returns the online CISED-S compressor (one-pass strong
+// SED simplification).
+func NewOnlineCISEDS(eps float64) Compressor { return stream.NewCISEDS(eps) }
+
+// NewOnlineCISEDW returns the online CISED-W compressor (one-pass weak SED
+// simplification with synthesized window-closing joints).
+func NewOnlineCISEDW(eps float64) Compressor { return stream.NewCISEDW(eps) }
 
 // Collect runs an online compressor over a whole trajectory.
 func Collect(c Compressor, p Trajectory) (Trajectory, error) { return stream.Collect(c, p) }
