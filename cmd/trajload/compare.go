@@ -74,8 +74,9 @@ func sweepThroughput(rep report, shards int) float64 {
 // runCompare loads two reports and fails (exit code 1, table on stdout)
 // when the new one regresses by more than tolPct percent on append
 // throughput or p50 append latency; the 8-shard sweep throughput, the
-// hot/cold query p50 latencies, the cold-tier footprint ratio, and the
-// per-point stream-CPU cost of each online compression algorithm are
+// hot/cold query p50 latencies, the cold-tier footprint ratio, the
+// per-point stream-CPU cost of each online compression algorithm, and the
+// SUBSCRIBE fan-out publish throughput and delivery p50 latency are
 // compared too when both reports carry the relevant sections. This is the
 // CI bench-regression gate (scripts/bench_compare.sh).
 func runCompare(oldPath, newPath string, tolPct float64) int {
@@ -107,6 +108,12 @@ func runCompare(oldPath, newPath string, tolPct float64) int {
 			compareRow{"query_cold_range_p50_seconds", oldRep.Query.Cold.RangeLatency.P50, newRep.Query.Cold.RangeLatency.P50, false},
 			compareRow{"query_cold_nearest_p50_seconds", oldRep.Query.Cold.NearestLatency.P50, newRep.Query.Cold.NearestLatency.P50, false},
 			compareRow{"cold_footprint_ratio", oldRep.Query.FootprintRatio, newRep.Query.FootprintRatio, true},
+		)
+	}
+	if oldRep.Fanout != nil && newRep.Fanout != nil {
+		rows = append(rows,
+			compareRow{"fanout_publish_pts_per_sec", oldRep.Fanout.PublishPerSec, newRep.Fanout.PublishPerSec, true},
+			compareRow{"fanout_delivery_p50_seconds", oldRep.Fanout.DeliveryLatency.P50, newRep.Fanout.DeliveryLatency.P50, false},
 		)
 	}
 	if oldRep.StreamCPU != nil && newRep.StreamCPU != nil {

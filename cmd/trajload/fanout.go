@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/trajectory"
+)
+
+// fanoutRun is the SUBSCRIBE fan-out phase of the report: N wildcard
+// subscribers counting delivered lines while one publisher streams fresh
+// appends, measuring how the server's broadcast bus scales and what the
+// slow-consumer policy drops.
+type fanoutRun struct {
+	Subscribers     int            `json:"subscribers"`
+	Policy          string         `json:"policy"`
+	PointsPublished int            `json:"points_published"`
+	LinesDelivered  int64          `json:"lines_delivered"`
+	LinesDropped    int64          `json:"lines_dropped"`
+	ElapsedSeconds  float64        `json:"elapsed_seconds"`
+	PublishPerSec   float64        `json:"publish_points_per_sec"`
+	DeliveryLatency latencySummary `json:"delivery_latency_seconds"`
+}
+
+// fanoutObjects is the number of distinct publishing objects: enough to
+// spread across the bus shards while keeping per-object feeds long.
+const fanoutObjects = 16
+
+// runFanout subscribes subs wildcard feeds with the given slow-consumer
+// policy, publishes points fresh appends through one client, and measures
+// delivery counts and latency. Sample timestamps encode wall-clock seconds
+// since a local epoch, so delivery latency is (receive instant − publish
+// instant) with no clock skew: publisher and subscribers share one process.
+func runFanout(addr string, subs, points int, policy string) fanoutRun {
+	log.Printf("fan-out: %d subscribers (%s), %d published points", subs, policy, points)
+	reg := metrics.NewRegistry()
+	lat := reg.Histogram("fanout_delivery_seconds", nil)
+	epoch := time.Now()
+
+	var delivered atomic.Int64
+	var wg sync.WaitGroup
+	conns := make([]net.Conn, 0, subs)
+	for i := 0; i < subs; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			log.Fatalf("fan-out subscriber %d: %v", i, err)
+		}
+		conns = append(conns, conn)
+		fmt.Fprintf(conn, "SUBSCRIBE * %s\n", policy)
+		r := bufio.NewReader(conn)
+		resp, err := r.ReadString('\n')
+		if err != nil || !strings.HasPrefix(resp, "OK subscribed") {
+			log.Fatalf("fan-out subscriber %d: %q (%v)", i, strings.TrimSpace(resp), err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				line, err := r.ReadString('\n')
+				if err != nil {
+					return
+				}
+				// POS <id> <t> <x> <y>: t carries the publish instant.
+				f := strings.Fields(line)
+				if len(f) != 5 || f[0] != "POS" {
+					continue
+				}
+				t, err := strconv.ParseFloat(f[2], 64)
+				if err != nil {
+					continue
+				}
+				lat.Observe(time.Since(epoch).Seconds() - t)
+				delivered.Add(1)
+			}
+		}()
+	}
+
+	pub, err := server.DialOptions(addr, server.ClientOptions{
+		IOTimeout: 30 * time.Second,
+		Metrics:   metrics.NewRegistry(),
+	})
+	if err != nil {
+		log.Fatalf("fan-out publisher: %v", err)
+	}
+	defer pub.Close()
+
+	start := time.Now()
+	prev := make([]float64, fanoutObjects)
+	for i := 0; i < points; i++ {
+		obj := i % fanoutObjects
+		// Wall-clock timestamp, nudged to stay strictly increasing per
+		// object (the store and any feed compressors require it).
+		t := time.Since(epoch).Seconds()
+		if t <= prev[obj] {
+			t = prev[obj] + 1e-6
+		}
+		prev[obj] = t
+		id := fmt.Sprintf("fan-%02d", obj)
+		if err := pub.Append(id, trajectory.S(t, float64(i%1000), float64(obj))); err != nil {
+			log.Fatalf("fan-out publish %d: %v", i, err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	// Let in-flight ring backlogs drain before tearing the feeds down.
+	time.Sleep(300 * time.Millisecond)
+	for _, conn := range conns {
+		_ = conn.Close() // teardown: the feed is already measured
+	}
+	wg.Wait()
+
+	run := fanoutRun{
+		Subscribers:     subs,
+		Policy:          policy,
+		PointsPublished: points,
+		LinesDelivered:  delivered.Load(),
+		ElapsedSeconds:  elapsed.Seconds(),
+	}
+	run.LinesDropped = int64(subs)*int64(points) - run.LinesDelivered
+	if run.LinesDropped < 0 {
+		run.LinesDropped = 0
+	}
+	if elapsed > 0 {
+		run.PublishPerSec = float64(points) / elapsed.Seconds()
+	}
+	for _, m := range reg.Snapshot() {
+		if m.Name == "fanout_delivery_seconds" && m.Count > 0 {
+			run.DeliveryLatency = latencySummary{
+				Mean: m.Sum / float64(m.Count),
+				P50:  m.Quantile(0.50),
+				P90:  m.Quantile(0.90),
+				P99:  m.Quantile(0.99),
+				Max:  m.Max,
+			}
+		}
+	}
+	log.Printf("fan-out: %d/%d lines delivered (%d dropped), publish %.0f pts/s, delivery p50=%s",
+		run.LinesDelivered, int64(subs)*int64(points), run.LinesDropped, run.PublishPerSec,
+		time.Duration(run.DeliveryLatency.P50*float64(time.Second)).Round(time.Microsecond))
+	return run
+}

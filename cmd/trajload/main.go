@@ -37,6 +37,18 @@
 //	                 carries both tiers' latency quantiles plus the cold
 //	                 tier's footprint ratio versus retained points. Requires
 //	                 the server to run with -seal-eps (0 = skip)
+//	-subs int        SUBSCRIBE fan-out phase: this many wildcard subscriber
+//	                 connections count delivered lines and delivery latency
+//	                 while a publisher streams -subs-points fresh appends;
+//	                 the report's "fanout" section carries delivered/dropped
+//	                 counts and delivery-latency quantiles. Gated by
+//	                 -compare like the other sections (0 = skip)
+//	-subs-points int points published during the fan-out phase
+//	                 (default 2000)
+//	-subs-policy string
+//	                 slow-consumer policy the fan-out subscribers request:
+//	                 drop-newest, drop-oldest, or disconnect
+//	                 (default "drop-oldest")
 //	-stream-cpu float  per-point CPU budget benchmark: replay the seeded
 //	                 fleet in-process through every online compression
 //	                 algorithm at this error tolerance (metres) and record
@@ -133,6 +145,7 @@ type report struct {
 	HTTPMetricsChecked bool               `json:"http_metrics_checked"`
 	ShardSweep         *shardSweep        `json:"shard_sweep,omitempty"`
 	StreamCPU          *streamCPURun      `json:"stream_cpu,omitempty"`
+	Fanout             *fanoutRun         `json:"fanout,omitempty"`
 }
 
 // batchRun is the MAPPEND bulk-ingest phase of the report: the same seeded
@@ -187,6 +200,9 @@ func main() {
 		shardsFlag   = flag.String("shards", "", "comma-separated store shard counts for the in-process sweep (empty = skip)")
 		sweepWorkers = flag.Int("sweep-workers", 16, "concurrent appenders per shard-sweep run")
 		sweepPoints  = flag.Int("sweep-points", 0, "point budget per shard-sweep run (0 = -points)")
+		subs         = flag.Int("subs", 0, "SUBSCRIBE fan-out phase: wildcard subscriber connections counting delivered lines and delivery latency (0 = skip)")
+		subsPoints   = flag.Int("subs-points", 2000, "points published during the fan-out phase")
+		subsPolicy   = flag.String("subs-policy", "drop-oldest", "slow-consumer policy the fan-out subscribers request: drop-newest, drop-oldest, or disconnect")
 		streamCPU    = flag.Float64("stream-cpu", 0, "error tolerance in metres for the in-process per-point CPU benchmark over all online compression algorithms (0 = skip)")
 		compare      = flag.Bool("compare", false, "compare two reports: trajload -compare old.json new.json")
 		regressPct   = flag.Float64("regress-pct", 20, "tolerated regression percentage in compare mode")
@@ -222,6 +238,13 @@ func main() {
 		if *queries > 0 {
 			q := runQueryLoad(*addr, *seed, *objects, *clients, *points, *queries, *spread, *duration)
 			rep.Query = &q
+		}
+		if *subs > 0 {
+			if *subsPoints <= 0 {
+				log.Fatal("-subs-points must be positive when -subs is set")
+			}
+			f := runFanout(*addr, *subs, *subsPoints, *subsPolicy)
+			rep.Fanout = &f
 		}
 	}
 	rep.Config.Clients = *clients

@@ -21,6 +21,9 @@
 //	                  (default 64)
 //	-max-conns int    connection cap; excess connections get one "ERR busy"
 //	                  line and are closed (0 = unlimited)
+//	-sub-buf int      per-subscriber ring capacity for SUBSCRIBE feeds; a
+//	                  saturated ring applies the feed's slow-consumer
+//	                  policy (0 = default 256)
 //	-http string      observability listen address serving /metrics
 //	                  (Prometheus text format) and /debug/pprof/*
 //	                  ("" = disabled)
@@ -57,6 +60,10 @@
 //	QUERYRANGE <minx> <miny> <maxx> <maxy> <t0> <t1>
 //	NEAREST <x> <y> <t> <k>
 //	SEAL <t>
+//	SUBSCRIBE <id|*> [spec] [policy]
+//	SUBSCRIBE BOX <minx> <miny> <maxx> <maxy> [spec] [policy]
+//	                        (live feed; policy is drop-newest, drop-oldest,
+//	                        or disconnect — what a saturated feed does)
 //	IDS | STATS | PING | QUIT
 //
 // Try it:
@@ -121,6 +128,7 @@ func main() {
 		walPath   = flag.String("wal", "", "write-ahead log path for durability (empty = in-memory only)")
 		walSync   = flag.Int("wal-sync", 64, "records between WAL fsyncs (0 = fsync every append)")
 		maxConns  = flag.Int("max-conns", 0, "connection cap; excess connections are shed with ERR busy (0 = unlimited)")
+		subBuf    = flag.Int("sub-buf", 0, "per-subscriber ring capacity for SUBSCRIBE feeds (0 = default 256)")
 		httpAddr  = flag.String("http", "", "observability listen address for /metrics and /debug/pprof (empty = disabled)")
 		sealEps   = flag.Float64("seal-eps", 0, "cold-tier error bound in metres; eviction seals instead of drops (0 = no cold tier)")
 		sealBlock = flag.Int("seal-block", 0, "target points per sealed block (0 = default)")
@@ -168,6 +176,7 @@ func main() {
 	srv := server.New(backend)
 	//lint:allow mutexguard single-threaded setup: Serve has not started, no connection can race this write
 	srv.MaxConns = *maxConns
+	srv.SubBuf = *subBuf
 	srv.WriteTimeout = 30 * time.Second
 
 	mode, ok := repl.ParseMode(*replAck)

@@ -1,0 +1,49 @@
+package bus
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/trajectory"
+)
+
+// BenchmarkPublishScaling pins the acceptance criterion that ingest-side
+// publish cost stays flat as unrelated subscribers accumulate: each idle
+// subscriber follows its own object, so publishing to "hot" must not slow
+// down as their count grows to 10k. A linear-scan bus fails this by orders
+// of magnitude.
+func BenchmarkPublishScaling(b *testing.B) {
+	for _, idle := range []int{0, 100, 10000} {
+		b.Run(fmt.Sprintf("idle=%d", idle), func(b *testing.B) {
+			bus := New(Options{Shards: 16})
+			for i := 0; i < idle; i++ {
+				bus.Subscribe(SubOptions{ID: fmt.Sprintf("other-%d", i), Capacity: 8})
+			}
+			// One interested consumer so the publish path does real work.
+			sub := bus.Subscribe(SubOptions{ID: "hot", Policy: DropOldest, Capacity: 64})
+			_ = sub
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bus.Publish("hot", trajectory.S(float64(i), 1, 2))
+			}
+		})
+	}
+}
+
+// BenchmarkPublishWildcardFanout measures the per-subscriber cost when
+// every subscriber is interested (wildcards), the worst case for one
+// publish.
+func BenchmarkPublishWildcardFanout(b *testing.B) {
+	for _, subs := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			bus := New(Options{Shards: 16})
+			for i := 0; i < subs; i++ {
+				bus.Subscribe(SubOptions{ID: "*", Policy: DropOldest, Capacity: 64})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bus.Publish("hot", trajectory.S(float64(i), 1, 2))
+			}
+		})
+	}
+}

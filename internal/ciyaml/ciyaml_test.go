@@ -191,6 +191,28 @@ func TestCIScriptsExerciseColdTier(t *testing.T) {
 	}
 }
 
+// TestCIScriptsExerciseFanout pins the SUBSCRIBE fan-out coverage of the
+// bench harness: trajload must run the subscriber fan-out phase so
+// BENCH_load.json carries the fanout section the compare gate checks
+// (publish throughput and delivery p50). Dropping the flag would silently
+// un-gate the broadcast-bus fan-out path.
+func TestCIScriptsExerciseFanout(t *testing.T) {
+	root := repoRoot(t)
+	checks := []struct{ file, substr, why string }{
+		{"scripts/bench.sh", "-subs", "bench must run the SUBSCRIBE fan-out phase"},
+		{"scripts/bench.sh", "-subs-points", "fan-out publish budget must be pinned for reproducible reports"},
+	}
+	for _, c := range checks {
+		src, err := os.ReadFile(filepath.Join(root, c.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(src), c.substr) {
+			t.Errorf("%s does not use %q: %s", c.file, c.substr, c.why)
+		}
+	}
+}
+
 // TestCIScriptsExerciseReplication pins the replication coverage of the CI
 // entry points: the torture script must offer the two-node mode in both ack
 // flavours with per-node artifact directories, and the verify gate must run

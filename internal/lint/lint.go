@@ -117,11 +117,12 @@ func DefaultLayerRules() map[string][]string {
 		"cluster":    {"geo", "trajectory", "analysis"},
 		"mapmatch":   {"geo", "trajectory", "roadnet"},
 		"stream":     {"geo", "trajectory", "sed", "compress", "metrics"},
+		"bus":        {"geo", "trajectory", "stream", "metrics"},
 		"seal":       {"geo", "trajectory", "codec", "rtree", "metrics"},
 		"store":      {"geo", "trajectory", "sed", "codec", "rtree", "stream", "metrics", "seal"},
 		"wal":        {"geo", "trajectory", "codec", "store", "stream", "metrics", "fault"},
 		"repl":       {"metrics", "wal", "store", "trajectory", "geo", "codec", "stream"},
-		"server":     {"geo", "trajectory", "store", "stream", "wal", "repl", "metrics"},
+		"server":     {"geo", "trajectory", "store", "stream", "wal", "repl", "metrics", "bus"},
 		"tune":       {"geo", "trajectory", "sed", "compress"},
 		"plot":       {"geo", "trajectory"},
 		"experiments": {"geo", "trajectory", "sed", "compress", "gpsgen",

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"repro/internal/bus"
 	"repro/internal/metrics"
 )
 
@@ -21,6 +22,12 @@ type instruments struct {
 	connsTotal  *metrics.Counter
 	subDrops    *metrics.Counter
 	sheds       *metrics.Counter
+
+	// subsActive gauges live SUBSCRIBE feeds; policyDrops splits the drop
+	// total by the slow-consumer policy that caused each drop (the plain
+	// subDrops total cannot distinguish them).
+	subsActive  *metrics.Gauge
+	policyDrops [bus.NumPolicies]*metrics.Counter
 
 	// batchAppends counts MAPPEND commands; batchSize is the distribution
 	// of samples per batch, so the payoff of pipelined ingest is visible.
@@ -47,11 +54,25 @@ func newInstruments(r *metrics.Registry) *instruments {
 		cmds:    make(map[string]*metrics.Counter, len(commands)+1),
 		cmdSecs: make(map[string]*metrics.Histogram, len(commands)+1),
 	}
+	ins.subsActive = r.Gauge("server_subscribers_active")
+	for p := bus.Policy(0); p < bus.NumPolicies; p++ {
+		ins.policyDrops[p] = r.Counter("server_subscribe_policy_drops_total",
+			metrics.L("policy", p.String()))
+	}
 	for _, cmd := range append([]string{"other"}, commands...) {
 		ins.cmds[cmd] = r.Counter("server_commands_total", metrics.L("cmd", cmd))
 		ins.cmdSecs[cmd] = r.Histogram("server_command_seconds", nil, metrics.L("cmd", cmd))
 	}
 	return ins
+}
+
+// busOptions wires the fan-out bus to the server's instruments.
+func (ins *instruments) busOptions() bus.Options {
+	return bus.Options{
+		Active:      ins.subsActive,
+		DropsTotal:  ins.subDrops,
+		PolicyDrops: ins.policyDrops,
+	}
 }
 
 // command resolves a wire command to its pre-registered counter and latency

@@ -372,6 +372,10 @@ func TestResilienceCountersInBothExpositions(t *testing.T) {
 		"client_retries_total",
 		"client_reconnects_total",
 		"server_sheds_total",
+		"server_subscribers_active",
+		`server_subscribe_policy_drops_total{policy="drop-newest"}`,
+		`server_subscribe_policy_drops_total{policy="drop-oldest"}`,
+		`server_subscribe_policy_drops_total{policy="disconnect"}`,
 	} {
 		if !strings.Contains(tcpText, name) {
 			t.Errorf("TCP METRICS exposition missing %s", name)

@@ -65,14 +65,14 @@
 //	                                          primary (manual failover);
 //	                                          idempotent, also on a node that
 //	                                          already is a primary
-//	SUBSCRIBE <id|*> [spec]                   → OK subscribed, then a live
+//	SUBSCRIBE <id|*> [spec] [policy]          → OK subscribed, then a live
 //	                                          "POS <id> <t> <x> <y>" line per
 //	                                          APPEND of a matching object
 //	                                          until the subscriber closes its
 //	                                          connection; the feed is
 //	                                          best-effort (slow subscribers
-//	                                          drop updates, never block
-//	                                          ingest). The optional spec is a
+//	                                          never block ingest). The
+//	                                          optional spec is a
 //	                                          stream.ParseFactory algorithm
 //	                                          (e.g. operb:30, ciseds:30,
 //	                                          opwtr:30) applied per object on
@@ -82,7 +82,22 @@
 //	                                          for bandwidth under the
 //	                                          algorithm's error bound. "none"
 //	                                          (the default) relays every
-//	                                          point
+//	                                          point. The optional policy
+//	                                          picks what a saturated feed
+//	                                          does: drop-newest (default —
+//	                                          the incoming update is lost),
+//	                                          drop-oldest (the feed
+//	                                          converges on the freshest
+//	                                          positions), or disconnect (the
+//	                                          feed ends). Spec and policy
+//	                                          may appear in either order
+//	SUBSCRIBE BOX <minx> <miny> <maxx> <maxy> [spec] [policy]
+//	                                          → OK subscribed: a geofence
+//	                                          feed — like SUBSCRIBE *, but
+//	                                          only positions inside the box
+//	                                          are delivered; the predicate
+//	                                          is evaluated server-side on
+//	                                          the fan-out bus shard
 //	PING                                      → OK pong
 //	QUIT                                      → OK bye (connection closes)
 //
@@ -107,6 +122,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bus"
 	"repro/internal/geo"
 	"repro/internal/metrics"
 	"repro/internal/repl"
@@ -174,47 +190,46 @@ type Server struct {
 	// before Serve.
 	Follower *repl.Follower
 
+	// SubBuf is the per-subscriber ring capacity for SUBSCRIBE feeds; 0
+	// (the default) selects 256, matching the buffered channel the fan-out
+	// bus replaced. Set before Serve.
+	SubBuf int
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
 
-	subsMu sync.Mutex
-	subs   map[*subscriber]struct{}
+	// bus fans accepted observations out to SUBSCRIBE feeds: shard-keyed
+	// registration, per-subscriber ring buffers with a slow-consumer
+	// policy, and per-subscriber compression outside any server lock.
+	bus *bus.Bus
 
 	ins *instruments
-}
-
-// subscriber is one live position feed. Updates flow through a buffered
-// channel so a slow consumer drops updates instead of blocking ingest.
-type subscriber struct {
-	id string // object id, or "*" for all
-	ch chan string
-	// newComp, when non-nil, selects live compression for this feed: each
-	// object the subscriber sees gets its own compressor (SUBSCRIBE's
-	// optional spec argument). comps is only touched under the server's
-	// subsMu, like every publish.
-	newComp func() stream.Compressor
-	comps   map[string]stream.Compressor
 }
 
 // New returns a server over the given backend, instrumented in the default
 // metrics registry (see UseRegistry).
 func New(st Backend) *Server {
+	ins := newInstruments(nil)
 	return &Server{
 		st:    st,
 		conns: make(map[net.Conn]struct{}),
-		subs:  make(map[*subscriber]struct{}),
-		ins:   newInstruments(nil),
+		bus:   bus.New(ins.busOptions()),
+		ins:   ins,
 	}
 }
 
 // UseRegistry re-registers the server's instruments in r and makes METRICS
 // report r's snapshot. Call before Serve; pair it with the same registry in
-// store.Options.Metrics so one snapshot covers the whole stack.
+// store.Options.Metrics so one snapshot covers the whole stack. The fan-out
+// bus is rebuilt against the new instruments, so feeds subscribed earlier
+// are closed — call before serving traffic.
 func (s *Server) UseRegistry(r *metrics.Registry) {
+	s.bus.CloseAll()
 	s.ins = newInstruments(r)
+	s.bus = bus.New(s.ins.busOptions())
 }
 
 // ErrServerClosed is returned by Serve after Close.
@@ -304,14 +319,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if l != nil {
 		err = l.Close()
 	}
-	// Close every subscriber feed: streaming handlers drain their channel
-	// and exit once the final updates are written.
-	s.subsMu.Lock()
-	for sub := range s.subs {
-		delete(s.subs, sub)
-		close(sub.ch)
-	}
-	s.subsMu.Unlock()
+	// Close every subscriber feed: streaming handlers drain their ring
+	// backlog and exit once the final updates are written.
+	s.bus.CloseAll()
 	// End replication streams (their handlers never finish on their own)
 	// and release any writes still waiting on a follower acknowledgement.
 	if s.Repl != nil {
@@ -460,109 +470,80 @@ func (s *Server) flush(conn net.Conn, w *bufio.Writer) error {
 	return w.Flush()
 }
 
-// stream pumps a subscriber's feed to the connection until the feed drains
-// after unsubscription or the write fails; a reader goroutine watches for
-// the client closing its end.
-func (s *Server) stream(conn net.Conn, w *bufio.Writer, sub *subscriber) {
-	defer s.unsubscribe(sub)
+// stream pumps a subscriber's feed to the connection until the feed closes
+// (client unsubscription, a disconnect-policy overflow, or Shutdown) or the
+// write fails; a reader goroutine watches for the client closing its end.
+// Each ring drain is written as one batch with a single flush, so a burst
+// of published updates costs one SetWriteDeadline+Flush syscall pair
+// instead of one per line.
+func (s *Server) stream(conn net.Conn, w *bufio.Writer, sub *bus.Subscriber) {
+	defer s.bus.Unsubscribe(sub)
 	// Detect client hangup: when the read side errors, unsubscribe, which
-	// closes the channel and ends the loop below. The goroutine is tracked
-	// by s.wg (the counter is already positive: the handler holds a unit),
-	// and terminates when the handler's deferred conn.Close unblocks the
-	// read — so Close cannot return while it still runs.
+	// closes the feed and ends the drain loop below. The goroutine is
+	// tracked by s.wg (the counter is already positive: the handler holds a
+	// unit), and terminates when the handler's deferred conn.Close unblocks
+	// the read — so Close cannot return while it still runs.
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
+		if s.IdleTimeout > 0 {
+			// Streaming connections are exempt from the idle timeout on
+			// reads (the client is not expected to talk); clearing the
+			// deadline once covers every subsequent read.
+			if err := conn.SetReadDeadline(time.Time{}); err != nil {
+				s.bus.Unsubscribe(sub)
+				return
+			}
+		}
 		buf := make([]byte, 64)
 		for {
-			if s.IdleTimeout > 0 {
-				// Streaming connections are exempt from the idle timeout on
-				// reads; the client is not expected to talk.
-				if err := conn.SetReadDeadline(time.Time{}); err != nil {
-					break
-				}
-			}
 			if _, err := conn.Read(buf); err != nil {
 				break
 			}
 		}
-		s.unsubscribe(sub)
+		s.bus.Unsubscribe(sub)
 	}()
-	for line := range sub.ch {
-		if _, err := w.WriteString(line + "\n"); err != nil {
-			return
+	var lines []string
+	for {
+		var open bool
+		lines, open = sub.Drain(lines)
+		for _, line := range lines {
+			if _, err := w.WriteString(line); err != nil {
+				return
+			}
+			if err := w.WriteByte('\n'); err != nil {
+				return
+			}
 		}
-		if err := s.flush(conn, w); err != nil {
+		if len(lines) > 0 {
+			if err := s.flush(conn, w); err != nil {
+				return
+			}
+		}
+		if !open {
 			return
 		}
 	}
 }
 
-func (s *Server) unsubscribe(sub *subscriber) {
-	s.subsMu.Lock()
-	defer s.subsMu.Unlock()
-	if _, ok := s.subs[sub]; ok {
-		delete(s.subs, sub)
-		close(sub.ch)
-	}
-}
-
-// publish fans one accepted observation out to matching subscribers,
-// dropping updates for saturated feeds.
+// publish fans one accepted observation out to subscriber feeds via the
+// sharded bus: no server lock is held, and per-subscriber compression and
+// line formatting run outside any global lock.
 func (s *Server) publish(id string, smp trajectory.Sample) {
-	s.subsMu.Lock()
-	defer s.subsMu.Unlock()
-	if len(s.subs) == 0 {
-		return
-	}
-	line := ""
-	for sub := range s.subs {
-		if sub.id != "*" && sub.id != id {
-			continue
-		}
-		if sub.newComp != nil {
-			s.publishCompressed(sub, id, smp)
-			continue
-		}
-		if line == "" {
-			// Formatted once, shared by every plain-relay subscriber.
-			line = posLine(id, smp)
-		}
-		s.send(sub, line)
-	}
+	s.bus.Publish(id, smp)
 }
 
-// publishCompressed pushes one observation through the subscriber's
-// per-object compressor, relaying only the retained points. A compressor
-// error (out-of-order feed after a primary failover, say) falls back to
-// relaying the raw observation: degraded bandwidth beats a silent gap.
-func (s *Server) publishCompressed(sub *subscriber, id string, smp trajectory.Sample) {
-	c := sub.comps[id]
-	if c == nil {
-		c = sub.newComp()
-		sub.comps[id] = c
+// releaseEvictedComps drops per-object feed compressors for objects that no
+// longer exist in the store — without this, a wildcard subscriber with a
+// compression spec leaks a compressor per evicted object forever under
+// fleet churn.
+func (s *Server) releaseEvictedComps() {
+	ids := s.st.IDs()
+	live := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		live[id] = true
 	}
-	kept, err := c.Push(smp)
-	if err != nil {
-		s.send(sub, posLine(id, smp))
-		return
-	}
-	for _, k := range kept {
-		s.send(sub, posLine(id, k))
-	}
-}
-
-// send delivers one line to a subscriber feed, dropping when saturated.
-func (s *Server) send(sub *subscriber, line string) {
-	select {
-	case sub.ch <- line:
-	default: // feed saturated: drop rather than block ingest
-		s.ins.subDrops.Inc()
-	}
-}
-
-func posLine(id string, smp trajectory.Sample) string {
-	return fmt.Sprintf("POS %s %g %g %g", id, smp.T, smp.X, smp.Y)
+	s.bus.ReleaseCompressors(func(id string) bool { return live[id] })
 }
 
 // replRequest carries a validated REPLICATE command from dispatch back to
@@ -599,7 +580,7 @@ type ackedBackend interface {
 // should close, a non-nil subscriber when the connection switches to
 // streaming mode, and a non-nil replRequest when it switches to a
 // replication stream. MAPPEND additionally reads its data lines from br.
-func (s *Server) dispatch(w *bufio.Writer, br *bufio.Reader, line string) (quit bool, sub *subscriber, rr *replRequest) {
+func (s *Server) dispatch(w *bufio.Writer, br *bufio.Reader, line string) (quit bool, sub *bus.Subscriber, rr *replRequest) {
 	fields := strings.Fields(line)
 	cmd := strings.ToUpper(fields[0])
 	args := fields[1:]
@@ -615,28 +596,7 @@ func (s *Server) dispatch(w *bufio.Writer, br *bufio.Reader, line string) (quit 
 		fmt.Fprintln(w, "OK bye")
 		return true, nil, nil
 	case "SUBSCRIBE":
-		if len(args) < 1 || len(args) > 2 {
-			fmt.Fprintln(w, "ERR usage: SUBSCRIBE <id|*> [spec]")
-			return false, nil, nil
-		}
-		var newComp func() stream.Compressor
-		if len(args) == 2 {
-			factory, err := stream.ParseFactory(args[1])
-			if err != nil {
-				fmt.Fprintf(w, "ERR %v\n", err)
-				return false, nil, nil
-			}
-			newComp = factory // nil for "none": plain relay
-		}
-		sub = &subscriber{id: args[0], ch: make(chan string, 256), newComp: newComp}
-		if newComp != nil {
-			sub.comps = make(map[string]stream.Compressor)
-		}
-		s.subsMu.Lock()
-		s.subs[sub] = struct{}{}
-		s.subsMu.Unlock()
-		fmt.Fprintln(w, "OK subscribed")
-		return false, sub, nil
+		return false, s.cmdSubscribe(w, args), nil
 	case "APPEND":
 		s.cmdAppend(w, args)
 	case "MAPPEND":
@@ -677,6 +637,62 @@ func (s *Server) dispatch(w *bufio.Writer, br *bufio.Reader, line string) (quit 
 		fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
 	}
 	return false, nil, nil
+}
+
+const subscribeUsage = "ERR usage: SUBSCRIBE <id|*> [spec] [policy] | SUBSCRIBE BOX <minx> <miny> <maxx> <maxy> [spec] [policy]"
+
+// cmdSubscribe parses both SUBSCRIBE forms and registers the feed on the
+// fan-out bus (nil return: an error was written). The tail arguments — at
+// most one compression spec and one slow-consumer policy — may appear in
+// either order: policy names never collide with ParseFactory's spec
+// grammar.
+func (s *Server) cmdSubscribe(w *bufio.Writer, args []string) *bus.Subscriber {
+	if len(args) < 1 {
+		fmt.Fprintln(w, subscribeUsage)
+		return nil
+	}
+	opts := bus.SubOptions{ID: args[0], Capacity: s.SubBuf}
+	tail := args[1:]
+	if strings.ToUpper(args[0]) == "BOX" {
+		if len(args) < 5 {
+			fmt.Fprintln(w, subscribeUsage)
+			return nil
+		}
+		v, err := parseFloats(args[1:5])
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return nil
+		}
+		rect := geo.Rect{Min: geo.Pt(v[0], v[1]), Max: geo.Pt(v[2], v[3])}
+		if rect.IsEmpty() {
+			fmt.Fprintln(w, "ERR empty geofence box")
+			return nil
+		}
+		opts.Box = &rect
+		tail = args[5:]
+	}
+	var havePolicy, haveSpec bool
+	for _, arg := range tail {
+		if p, ok := bus.ParsePolicy(arg); ok && !havePolicy {
+			opts.Policy = p
+			havePolicy = true
+			continue
+		}
+		if haveSpec {
+			fmt.Fprintln(w, subscribeUsage)
+			return nil
+		}
+		factory, err := stream.ParseFactory(arg)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return nil
+		}
+		opts.NewComp = factory // nil for "none": plain relay
+		haveSpec = true
+	}
+	sub := s.bus.Subscribe(opts)
+	fmt.Fprintln(w, "OK subscribed")
+	return sub
 }
 
 // cmdReplicate validates REPLICATE <offset> [seq] and hands the stream
@@ -965,6 +981,9 @@ func (s *Server) cmdSeal(w *bufio.Writer, args []string) {
 		fmt.Fprintf(w, "ERR %v\n", err)
 		return
 	}
+	if n > 0 {
+		s.releaseEvictedComps()
+	}
 	fmt.Fprintf(w, "OK sealed=%d\n", n)
 }
 
@@ -1008,5 +1027,9 @@ func (s *Server) cmdEvict(w *bufio.Writer, args []string) {
 		fmt.Fprintf(w, "ERR %v\n", err)
 		return
 	}
-	fmt.Fprintf(w, "OK removed=%d\n", s.st.EvictBefore(t))
+	n := s.st.EvictBefore(t)
+	if n > 0 {
+		s.releaseEvictedComps()
+	}
+	fmt.Fprintf(w, "OK removed=%d\n", n)
 }

@@ -574,6 +574,10 @@ func TestServerMetrics(t *testing.T) {
 		`server_commands_total{cmd="APPEND"} 20`,
 		`server_commands_total{cmd="POSITION"} 1`,
 		"server_connections_active 1",
+		"server_subscribers_active 0",
+		`server_subscribe_policy_drops_total{policy="drop-newest"} 0`,
+		`server_subscribe_policy_drops_total{policy="drop-oldest"} 0`,
+		`server_subscribe_policy_drops_total{policy="disconnect"} 0`,
 		"store_appends_total 20",
 		"stream_points_in_total 20",
 		`server_command_seconds_count{cmd="APPEND"} 20`,

@@ -4,8 +4,10 @@
 # live compression ratio, server-side metrics, store shard sweep, and the
 # hot/cold query phase: range+kNN latency quantiles before and after the
 # history is sealed into the cold quantized tier, plus the cold tier's
-# footprint ratio, and the per-point stream-CPU cost of every online
-# compression algorithm at a fixed tolerance).
+# footprint ratio, the per-point stream-CPU cost of every online
+# compression algorithm at a fixed tolerance, and the SUBSCRIBE fan-out
+# phase: wildcard subscribers counting delivered/dropped lines and
+# delivery-latency quantiles).
 #
 # Usage:
 #   scripts/bench.sh [out]           full run (seeds the perf trajectory;
@@ -36,6 +38,8 @@ SEAL_BLOCK=512 # samples per sealed block: amortizes the per-block overhead
                # and codebooks over long chains (the bench workload's trips
                # are ~1500 samples per object)
 STREAM_CPU=30 # tolerance in metres for the per-point stream-CPU benchmark
+SUBS=128      # wildcard subscriber connections for the SUBSCRIBE fan-out phase
+SUBS_POINTS=2000 # points published during the fan-out phase
 OUT=BENCH_load.json
 if [ "${1:-}" = "--smoke" ]; then
     POINTS=800
@@ -45,6 +49,8 @@ if [ "${1:-}" = "--smoke" ]; then
     SHARDS="1,8"
     BATCH=16
     QUERIES=10
+    SUBS=8
+    SUBS_POINTS=200
     OUT="${2:-}"
     if [ -z "$OUT" ]; then
         OUT=$(mktemp -t bench_load.XXXXXX.json)
@@ -96,6 +102,7 @@ http=$(sed -n 's|.*metrics on http://\([0-9.:]*\)/metrics.*|\1|p' "$log")
     -duration "$DURATION" -seed 1 -batch "$BATCH" -queries "$QUERIES" \
     -shards "$SHARDS" -sweep-workers "$SWEEP_WORKERS" \
     -stream-cpu "$STREAM_CPU" \
+    -subs "$SUBS" -subs-points "$SUBS_POINTS" \
     -out "$OUT"
 
 # The server must still be the same live process after the load: a crash
